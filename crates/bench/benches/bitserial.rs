@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the bit-serial MAC: the exact bit-level
+//! datapath versus the proven-equivalent wrapped arithmetic fast path.
+
+use cc_systolic::mac::BitSerialMac;
+use cc_tensor::quant::AccumWidth;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mac_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_word_op");
+    g.measurement_time(Duration::from_secs(2)).sample_size(50);
+    for acc in [AccumWidth::Bits16, AccumWidth::Bits32] {
+        let mac = BitSerialMac::new(-77, acc);
+        g.bench_with_input(
+            BenchmarkId::new("bit_serial_exact", format!("{acc:?}")),
+            &mac,
+            |b, mac| {
+                b.iter(|| {
+                    let mut y = 0i64;
+                    for x in -64i8..64 {
+                        y = mac.run(black_box(x), y).0;
+                    }
+                    y
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("wrapped_fast_path", format!("{acc:?}")),
+            &acc,
+            |b, acc| {
+                b.iter(|| {
+                    let mut y = 0i64;
+                    for x in -64i8..64 {
+                        y = acc.wrap(y + black_box(x) as i64 * -77);
+                    }
+                    y
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mac_paths);
+criterion_main!(benches);

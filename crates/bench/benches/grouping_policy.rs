@@ -1,0 +1,57 @@
+//! Ablation benchmark for the DESIGN.md call-outs: dense-column-first
+//! versus first-fit grouping — runtime cost and packing quality side by
+//! side (quality is printed once before measurement).
+
+use cc_packing::{group_columns, pack_columns, GroupingConfig, GroupingPolicy};
+use cc_tensor::init::sparse_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_policies(c: &mut Criterion) {
+    let f = sparse_matrix(256, 256, 0.16, 7);
+
+    // Print the quality ablation once (groups + utilization per policy).
+    for (name, policy) in [
+        ("dense-column-first", GroupingPolicy::DenseColumnFirst),
+        ("first-fit", GroupingPolicy::FirstFit),
+    ] {
+        let cfg = GroupingConfig::new(8, 0.5).with_policy(policy);
+        let groups = group_columns(&f, &cfg);
+        let packed = pack_columns(&f, &groups);
+        eprintln!(
+            "[ablation] {name}: {} groups, {:.1}% utilization",
+            groups.len(),
+            packed.utilization_efficiency() * 100.0
+        );
+    }
+
+    let mut g = c.benchmark_group("grouping_policy");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for (name, policy) in [
+        ("dense_first", GroupingPolicy::DenseColumnFirst),
+        ("first_fit", GroupingPolicy::FirstFit),
+    ] {
+        let cfg = GroupingConfig::new(8, 0.5).with_policy(policy);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| group_columns(black_box(&f), cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_alpha_cost(c: &mut Criterion) {
+    let f = sparse_matrix(192, 192, 0.16, 8);
+    let mut g = c.benchmark_group("grouping_alpha");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &alpha in &[2usize, 8, 16] {
+        let cfg = GroupingConfig::new(alpha, 0.5);
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &cfg, |b, cfg| {
+            b.iter(|| group_columns(black_box(&f), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_alpha_cost);
+criterion_main!(benches);

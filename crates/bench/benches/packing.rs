@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the packing pipeline: grouping, conflict
+//! pruning and packed-matrix construction across matrix sizes and
+//! densities.
+
+use cc_packing::{group_columns, pack_columns, prune_conflicts, GroupingConfig};
+use cc_tensor::init::sparse_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_group_columns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_columns");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &(rows, cols) in &[(96usize, 94usize), (256, 256), (512, 512)] {
+        let f = sparse_matrix(rows, cols, 0.16, 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &f,
+            |b, f| b.iter(|| group_columns(black_box(f), &GroupingConfig::paper_default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_columns_density");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &density in &[0.05f64, 0.16, 0.4] {
+        let f = sparse_matrix(128, 128, density, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(density), &f, |b, f| {
+            b.iter(|| group_columns(black_box(f), &GroupingConfig::paper_default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack_and_prune(c: &mut Criterion) {
+    let f = sparse_matrix(256, 256, 0.16, 3);
+    let groups = group_columns(&f, &GroupingConfig::paper_default());
+    let mut g = c.benchmark_group("pack");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("prune_conflicts_256", |b| {
+        b.iter(|| prune_conflicts(black_box(&f), black_box(&groups)))
+    });
+    g.bench_function("pack_columns_256", |b| {
+        b.iter(|| pack_columns(black_box(&f), black_box(&groups)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_columns, bench_density_sweep, bench_pack_and_prune);
+criterion_main!(benches);

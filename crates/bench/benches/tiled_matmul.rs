@@ -1,0 +1,52 @@
+//! Criterion benchmarks for tiled systolic matrix multiplication: packed
+//! (column-combined) versus unpacked execution of the same sparse layer —
+//! the micro-scale version of the paper's throughput claims.
+
+use cc_packing::{group_columns, pack_columns, GroupingConfig};
+use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiled_matmul_96x94");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    let f = sparse_matrix(96, 94, 0.16, 1);
+    let params = QuantParams::calibrate(f.as_slice());
+    let qw = QuantMatrix::quantize_with(&f, params);
+    let groups = group_columns(&f, &GroupingConfig::paper_default());
+    let packed = pack_columns(&f, &groups);
+    let qp = QuantPacked::quantize_with(&packed, params);
+    let data = QuantMatrix::quantize(&sparse_matrix(94, 256, 1.0, 2));
+    let sched = TiledScheduler::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+
+    g.bench_function("unpacked", |b| {
+        b.iter(|| sched.run_unpacked(black_box(&qw), black_box(&data)))
+    });
+    g.bench_function("packed", |b| {
+        b.iter(|| sched.run_packed(black_box(&qp), black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_array_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiled_matmul_array_size");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let f = sparse_matrix(128, 128, 0.16, 3);
+    let qw = QuantMatrix::quantize(&f);
+    let data = QuantMatrix::quantize(&sparse_matrix(128, 128, 1.0, 4));
+    for &size in &[16usize, 32, 64] {
+        let sched = TiledScheduler::new(ArrayConfig::new(size, size, AccumWidth::Bits32));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &sched, |b, sched| {
+            b.iter(|| sched.run_unpacked(black_box(&qw), black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiled, bench_array_sizes);
+criterion_main!(benches);

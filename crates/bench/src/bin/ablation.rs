@@ -1,0 +1,8 @@
+//! Regenerates the DESIGN.md ablation study (grouping policy, greedy
+//! optimality gap, gamma mechanism). Run with `--release`.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::ablation::run(&scale);
+    cc_bench::emit("ablation", &tables);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13c (impact of gamma). Run with `--release`.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::fig13bc::run_gamma(&scale);
+    cc_bench::emit("fig13c", &tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig15b artifact. Run with `--release`;
+//! set `CC_SCALE=full` for a longer run.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::fig15b::run(&scale);
+    cc_bench::emit("fig15b", &tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig16 artifact. Run with `--release`;
+//! set `CC_SCALE=full` for a longer run.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::fig16::run(&scale);
+    cc_bench::emit("fig16", &tables);
+}

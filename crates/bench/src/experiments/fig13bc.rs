@@ -1,0 +1,64 @@
+//! Figures 13b and 13c: impact of α (columns per group) and γ (allowed
+//! conflicts per row) on classification accuracy and utilization
+//! efficiency — 5 ResNet-20 models each.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use cc_packing::ColumnCombiner;
+
+fn sweep(
+    scale: &Scale,
+    title: &str,
+    param_name: &str,
+    configs: &[(String, usize, f64)],
+) -> Table {
+    let (train, test) = setups::cifar_setup(scale, 0x13BC);
+    let mut table = Table::new(
+        title,
+        &[param_name, "test_accuracy", "utilization_efficiency", "nonzero_weights", "combined_columns"],
+    );
+    for (label, alpha, gamma) in configs {
+        let mut net = setups::resnet(scale, 2);
+        let cfg = setups::combine_config(scale, &net, 0.20, *alpha, *gamma);
+        let combiner = ColumnCombiner::new(cfg);
+        let (history, groups, report) = combiner.run(&mut net, &train, Some(&test));
+        let total_groups: usize = groups.iter().map(|g| g.len()).sum();
+        table.push_row(vec![
+            label.clone(),
+            fnum(history.final_accuracy, 4),
+            fnum(report.utilization_efficiency(), 4),
+            net.nonzero_conv_weights().to_string(),
+            total_groups.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Figure 13b: α ∈ {1, 2, 4, 8, 16} at β = 20, γ = 0.5.
+pub fn run_alpha(scale: &Scale) -> Vec<Table> {
+    let configs: Vec<(String, usize, f64)> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&a| (a.to_string(), a, if a == 1 { 0.0 } else { 0.5 }))
+        .collect();
+    vec![sweep(
+        scale,
+        "Figure 13b: impact of alpha (ResNet-20, b=20, g=0.5)",
+        "alpha",
+        &configs,
+    )]
+}
+
+/// Figure 13c: γ ∈ {0.1, 0.3, 0.5, 0.7, 0.9} at α = 8, β = 20.
+pub fn run_gamma(scale: &Scale) -> Vec<Table> {
+    let configs: Vec<(String, usize, f64)> = [0.1f64, 0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&g| (format!("{g:.1}"), 8, g))
+        .collect();
+    vec![sweep(
+        scale,
+        "Figure 13c: impact of gamma (ResNet-20, a=8, b=20)",
+        "gamma",
+        &configs,
+    )]
+}

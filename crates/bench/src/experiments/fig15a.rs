@@ -1,0 +1,79 @@
+//! Figure 15a: number of 32×32-array tiles per ResNet-20 layer under the
+//! three Algorithm 1 settings (baseline / column-combine /
+//! column-combine pruning).
+//!
+//! Tile counts depend only on layer geometry and sparsity structure, so
+//! this experiment runs at *publication geometry*: the paper's shift
+//! ResNet-20 is ≈6× wider than the textbook network (its layer 3 filter
+//! matrix is 96×94, Fig. 14b), pruned to ≈16% density as iterative
+//! pruning produces. No training is needed.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::setups::Setting;
+use crate::workload::{groups_for, sparsify, PaperModel};
+use cc_packing::tiling::network_tiles;
+
+/// Width multiplier matching the paper's shift-ResNet geometry.
+const PAPER_WIDTH: f32 = 6.0;
+/// Density after iterative pruning (Fig. 14b: 16% nonzero).
+const DENSITY: f64 = 0.16;
+
+/// Builds the wide sparse ResNet-20 and counts tiles per layer.
+pub fn run(_scale: &Scale) -> Vec<Table> {
+    let (mut net, _) = PaperModel::Resnet20.build_full(PAPER_WIDTH, 0x15A);
+    sparsify(&mut net, DENSITY);
+
+    let mut per_setting: Vec<Vec<usize>> = Vec::new();
+    for setting in Setting::all() {
+        let (alpha, gamma) = setting.alpha_gamma();
+        let groups = groups_for(&net, alpha, gamma);
+        per_setting.push(network_tiles(&net, &groups, 32, 32).per_layer);
+    }
+
+    let n_layers = per_setting[0].len();
+    let mut t = Table::new(
+        "Figure 15a: tiles per ResNet-20 layer on a 32x32 array (paper geometry, 16% dense)",
+        &["layer", "baseline(a=1,g=0)", "combine(a=8,g=0)", "combine-prune(a=8,g=0.5)"],
+    );
+    for layer in 0..n_layers {
+        t.push_row(vec![
+            (layer + 1).to_string(),
+            per_setting[0][layer].to_string(),
+            per_setting[1][layer].to_string(),
+            per_setting[2][layer].to_string(),
+        ]);
+    }
+    let totals: Vec<usize> = per_setting.iter().map(|v| v.iter().sum()).collect();
+    t.push_row(vec![
+        "total".into(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+    ]);
+
+    let mut claims = Table::new(
+        "Figure 15a: paper-vs-measured",
+        &["quantity", "paper", "measured"],
+    );
+    claims.push_row(vec![
+        "combine-only tile reduction".into(),
+        "<= 10%".into(),
+        format!("{:.0}%", (1.0 - totals[1] as f64 / totals[0] as f64) * 100.0),
+    ]);
+    let largest = n_layers - 1;
+    claims.push_row(vec![
+        "largest-layer reduction (combine-prune)".into(),
+        "~5x".into(),
+        format!(
+            "{:.1}x",
+            per_setting[0][largest] as f64 / per_setting[2][largest].max(1) as f64
+        ),
+    ]);
+    claims.push_row(vec![
+        "total reduction (combine-prune)".into(),
+        "4-6x".into(),
+        format!("{:.1}x", totals[0] as f64 / totals[2].max(1) as f64),
+    ]);
+    vec![t, claims]
+}

@@ -1,0 +1,54 @@
+//! Figure 15b: column combining with limited training data (§6) —
+//! retraining a pretrained dense model needs far less data than training a
+//! new model from scratch.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use cc_nn::schedule::LrSchedule;
+use cc_nn::train::{TrainConfig, Trainer};
+use cc_packing::ColumnCombiner;
+
+/// Fractions of the training set to retrain with (percent).
+const FRACTIONS: &[f64] = &[1.0, 2.5, 5.0, 7.5, 10.0, 15.0, 25.0, 35.0, 50.0, 100.0];
+
+/// Compares pretrained-then-combined against trained-from-scratch across
+/// training-set fractions.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let (train, test) = setups::cifar_setup(scale, 0x15B);
+
+    // Pretrain a dense model on the full training set (the customer's
+    // model in the paper's vendor scenario).
+    let mut pretrained = setups::resnet(scale, 4);
+    let pre_cfg = TrainConfig {
+        epochs: (scale.epochs_per_iteration * 3).max(4),
+        batch_size: scale.batch_size,
+        schedule: LrSchedule::Constant(scale.eta),
+        ..TrainConfig::default()
+    };
+    Trainer::new(pre_cfg).fit(&mut pretrained, &train, None);
+
+    let mut t = Table::new(
+        "Figure 15b: training with limited data (ResNet-20, a=8, b=20, g=0.5)",
+        &["fraction_pct", "new_model_accuracy", "pretrained_model_accuracy"],
+    );
+
+    for &frac in FRACTIONS {
+        let subset = train.subset_fraction(frac / 100.0, 0xF00D);
+
+        let mut new_net = setups::resnet(scale, 5);
+        let cfg = setups::combine_config(scale, &new_net, 0.20, 8, 0.5);
+        let (h_new, _, _) = ColumnCombiner::new(cfg).run(&mut new_net, &subset, Some(&test));
+
+        let mut pre_net = pretrained.clone();
+        let cfg = setups::combine_config(scale, &pre_net, 0.20, 8, 0.5);
+        let (h_pre, _, _) = ColumnCombiner::new(cfg).run(&mut pre_net, &subset, Some(&test));
+
+        t.push_row(vec![
+            format!("{frac}"),
+            fnum(h_new.final_accuracy, 4),
+            fnum(h_pre.final_accuracy, 4),
+        ]);
+    }
+    vec![t]
+}

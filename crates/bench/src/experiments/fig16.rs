@@ -1,0 +1,116 @@
+//! Figure 16: ASIC comparison across LeNet-5 / VGG-16 / ResNet-20 and the
+//! three Algorithm 1 settings — throughput, tiles, energy per sample and
+//! classification accuracy, on a single 32×32 array with tiling (§7.1.1,
+//! 32-bit accumulation).
+//!
+//! Accuracy comes from networks trained at experiment scale; hardware
+//! metrics are measured at publication geometry (full-size inputs and
+//! widths, 16% density), where tiling is non-trivial. ResNet uses the
+//! paper's ≈6× widened shift geometry (see Fig. 14b's 96×94 layer 3).
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups::{self, Setting};
+use crate::workload::{evaluate_on_array, groups_for, sparsify, NetworkWorkload, PaperModel};
+use cc_hwmodel::AsicDesign;
+use cc_packing::ColumnCombiner;
+use cc_systolic::array::ArrayConfig;
+use cc_tensor::quant::AccumWidth;
+
+/// Density after iterative pruning.
+const DENSITY: f64 = 0.16;
+
+struct Case {
+    name: &'static str,
+    model: PaperModel,
+    width: f32,
+    baseline_acc: f64,
+    ccp_acc: f64,
+}
+
+/// Trains accuracy references and measures the hardware metrics per
+/// network × setting.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let (cifar_train, cifar_test) = setups::cifar_setup(scale, 0x16);
+    let (mnist_train, mnist_test) = setups::mnist_setup(scale, 0x16);
+
+    // Accuracy references from trained, scaled networks (baseline pruning
+    // vs column-combine pruning).
+    let mut cases = Vec::new();
+    for (name, model, width) in [
+        ("LeNet", PaperModel::Lenet5, 1.0f32),
+        ("VGG", PaperModel::Vgg16, 1.0),
+        ("ResNet", PaperModel::Resnet20, 6.0),
+    ] {
+        let (train, test) = if name == "LeNet" {
+            (&mnist_train, &mnist_test)
+        } else {
+            (&cifar_train, &cifar_test)
+        };
+        let build = |seed: u64| match name {
+            "LeNet" => setups::lenet(scale, seed),
+            "VGG" => setups::vgg(scale, seed),
+            _ => setups::resnet(scale, seed),
+        };
+        let mut base = build(11);
+        let cfg = setups::combine_config(scale, &base, 0.20, 1, 0.0);
+        let (h_base, _, _) = ColumnCombiner::new(cfg).run(&mut base, train, Some(test));
+        let mut ccp = build(11);
+        let cfg = setups::combine_config(scale, &ccp, 0.20, 8, 0.5);
+        let (h_ccp, _, _) = ColumnCombiner::new(cfg).run(&mut ccp, train, Some(test));
+        cases.push(Case {
+            name,
+            model,
+            width,
+            baseline_acc: h_base.final_accuracy,
+            ccp_acc: h_ccp.final_accuracy,
+        });
+    }
+
+    let design = AsicDesign::paper_32x32();
+    let array = ArrayConfig::new(32, 32, AccumWidth::Bits32);
+
+    let mut t = Table::new(
+        "Figure 16: ASIC comparison with tiling (32x32 array, 32-bit accumulation)",
+        &[
+            "network",
+            "setting",
+            "tiles",
+            "throughput_fps",
+            "energy_per_sample_uJ",
+            "accuracy",
+            "utilization",
+        ],
+    );
+
+    for case in &cases {
+        let (mut full, input) = case.model.build_full(case.width, 0x16);
+        sparsify(&mut full, DENSITY);
+        for setting in Setting::all() {
+            let (alpha, gamma) = setting.alpha_gamma();
+            let acc = match setting {
+                Setting::Baseline | Setting::Combine => case.baseline_acc,
+                Setting::CombinePrune => case.ccp_acc,
+            };
+            let groups;
+            let workload = if alpha == 1 {
+                NetworkWorkload::from_network(&full, input, None)
+            } else {
+                groups = groups_for(&full, alpha, gamma);
+                NetworkWorkload::from_network(&full, input, Some(&groups))
+            };
+            let eval = evaluate_on_array(&workload, array);
+            let report = design.evaluate(&eval.stats, eval.weight_words, 1);
+            t.push_row(vec![
+                case.name.into(),
+                setting.label().into(),
+                eval.tiles.to_string(),
+                fnum(report.throughput_fps, 1),
+                fnum(report.energy_per_sample_j * 1e6, 3),
+                fnum(acc, 4),
+                fnum(report.utilization, 3),
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -1,0 +1,53 @@
+//! §7.2: optimality in energy efficiency — how close packing takes the
+//! design to the optimal-MAC-count bound, as a function of γ.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use crate::workload::{evaluate_on_array, NetworkWorkload};
+use cc_hwmodel::optimality::OptimalityPoint;
+use cc_hwmodel::AsicDesign;
+use cc_packing::{group_columns, ColumnCombiner, ColumnGroups, GroupingConfig};
+use cc_systolic::array::ArrayConfig;
+use cc_tensor::quant::AccumWidth;
+
+/// Sweeps γ, measuring utilization (→ c) and the memory/compute ratio
+/// (→ r), and reports the achieved fraction of optimal energy efficiency.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let (train, test) = setups::cifar_setup(scale, 0x720);
+    let design = AsicDesign::paper_32x32();
+    let array = ArrayConfig::new(32, 32, AccumWidth::Bits32);
+    let hw = scale.image_hw;
+
+    let mut t = Table::new(
+        "Section 7.2: achieved fraction of optimal energy efficiency (ResNet-20)",
+        &["gamma", "utilization(1/c)", "r=Emem/Ecomp", "efficiency_ratio", "approx_1_over_c"],
+    );
+
+    for gamma in [0.1f64, 0.5, 0.9] {
+        let mut net = setups::resnet(scale, 51);
+        let cfg = setups::combine_config(scale, &net, 0.20, 8, gamma);
+        ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+        let gcfg = GroupingConfig::new(8, gamma);
+        let mut groups: Vec<ColumnGroups> = Vec::new();
+        net.visit_pointwise_ref(&mut |_, pw| {
+            groups.push(group_columns(&pw.filter_matrix(), &gcfg))
+        });
+        let workload = NetworkWorkload::from_network(&net, (3, hw, hw), Some(&groups));
+        let eval = evaluate_on_array(&workload, array);
+        let report = design.evaluate(&eval.stats, eval.weight_words, 1);
+
+        let util = report.utilization.max(1e-9);
+        let r = report.memory_compute_ratio();
+        let point = OptimalityPoint::from_utilization(util.min(1.0), r);
+        t.push_row(vec![
+            format!("{gamma:.1}"),
+            fnum(util, 3),
+            fnum(r, 3),
+            fnum(point.efficiency_ratio(), 3),
+            fnum(point.packing_efficiency(), 3),
+        ]);
+    }
+    vec![t]
+}

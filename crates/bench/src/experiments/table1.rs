@@ -1,0 +1,81 @@
+//! Table 1: our LeNet-5 ASIC design points (ρ = 8k and 5k nonzeros,
+//! 16-bit accumulation, §7.1.2) against prior MNIST accelerators.
+//!
+//! Accuracy comes from the trained (scaled) networks; hardware metrics are
+//! evaluated at publication geometry — full-width LeNet-5-Shift on 28×28
+//! inputs with each design's target sparsity — since energy/area depend on
+//! shapes and sparsity, not on trained weight values.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use crate::workload::{evaluate_on_array, groups_for, sparsify, NetworkWorkload, PaperModel};
+use cc_hwmodel::priorart::{TABLE1_PAPER_OURS, TABLE1_PRIOR_ART};
+use cc_hwmodel::AsicDesign;
+use cc_packing::ColumnCombiner;
+use cc_systolic::array::ArrayConfig;
+use cc_tensor::quant::AccumWidth;
+
+/// Trains two LeNet design points for accuracy and evaluates the matching
+/// full-geometry hardware workloads.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let (train, test) = setups::mnist_setup(scale, 0x71);
+    let design = AsicDesign::lenet_16bit();
+    let array = ArrayConfig::new(32, 32, AccumWidth::Bits16);
+
+    let mut t = Table::new(
+        "Table 1: LeNet-5 ASIC comparison on MNIST-like data",
+        &["platform", "network", "substrate", "accuracy_pct", "area_eff", "energy_eff"],
+    );
+
+    // Paper design points keep 8k (design 1) and 5k (design 2) of the
+    // ~32k full LeNet weights: 25% and 15% density.
+    for (label, keep) in [("Ours (design 1)", 0.25), ("Ours (design 2)", 0.15)] {
+        // Accuracy: Algorithm 1 on the trained, scaled network.
+        let mut net = setups::lenet(scale, 21);
+        let cfg = setups::combine_config(scale, &net, keep, 8, 0.5);
+        let (history, _, _) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+        // Hardware: full-geometry LeNet at the design's density.
+        let (mut full, input) = PaperModel::Lenet5.build_full(1.0, 0x71);
+        sparsify(&mut full, keep);
+        let groups = groups_for(&full, 8, 0.5);
+        let workload = NetworkWorkload::from_network(&full, input, Some(&groups));
+        let eval = evaluate_on_array(&workload, array);
+        let report = design.evaluate(&eval.stats, eval.weight_words, 1);
+
+        t.push_row(vec![
+            label.into(),
+            "CNN".into(),
+            "ASIC (simulated)".into(),
+            fnum(history.final_accuracy * 100.0, 2),
+            fnum(report.area_eff_fps_per_mm2, 0),
+            fnum(report.energy_eff_fps_per_j, 0),
+        ]);
+    }
+
+    for row in TABLE1_PRIOR_ART {
+        t.push_row(vec![
+            row.platform.into(),
+            row.network.into(),
+            row.substrate.into(),
+            fnum(row.accuracy_pct, 2),
+            row.area_eff.map_or("N/A".into(), |v| fnum(v, 0)),
+            fnum(row.energy_eff, 0),
+        ]);
+    }
+
+    let mut paper = Table::new(
+        "Table 1: paper's own rows (for paper-vs-measured)",
+        &["platform", "accuracy_pct", "area_eff", "energy_eff"],
+    );
+    for row in TABLE1_PAPER_OURS {
+        paper.push_row(vec![
+            row.platform.into(),
+            fnum(row.accuracy_pct, 2),
+            row.area_eff.map_or("N/A".into(), |v| fnum(v, 0)),
+            fnum(row.energy_eff, 0),
+        ]);
+    }
+    vec![t, paper]
+}

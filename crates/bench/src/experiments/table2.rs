@@ -1,0 +1,66 @@
+//! Table 2: FPGA energy efficiency of the column-combined ResNet-20
+//! against prior CIFAR-10 FPGA implementations (§7.3).
+//!
+//! The paper's FPGA design streams frames through per-layer arrays, so its
+//! energy efficiency is set by the pipelined steady-state throughput at
+//! 150 MHz. Accuracy comes from the trained (scaled) network; throughput
+//! from the full-geometry packed ResNet-20.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use crate::workload::{groups_for, sparsify, NetworkWorkload, PaperModel};
+use cc_hwmodel::priorart::{TABLE2_PAPER_OURS, TABLE2_PRIOR_ART};
+use cc_hwmodel::FpgaDesign;
+use cc_packing::ColumnCombiner;
+use cc_systolic::pipeline::{pipeline_throughput_cycles, DEFAULT_PORT_WORDS};
+
+/// Trains the combined ResNet-20 for accuracy and evaluates the FPGA
+/// design point at publication geometry.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    // Accuracy at experiment scale.
+    let (train, test) = setups::cifar_setup(scale, 0x72);
+    let mut net = setups::resnet(scale, 31);
+    let cfg = setups::combine_config(scale, &net, 0.20, 8, 0.5);
+    let (history, _, _) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+    // Throughput at publication geometry: packed per-layer arrays.
+    let (mut full, input) = PaperModel::Resnet20.build_full(1.0, 0x72);
+    sparsify(&mut full, 0.16);
+    let groups = groups_for(&full, 8, 0.5);
+    let workload = NetworkWorkload::from_network(&full, input, Some(&groups));
+    let cycles_per_frame =
+        pipeline_throughput_cycles(&workload.pipeline_shapes(), DEFAULT_PORT_WORDS);
+
+    let fpga = FpgaDesign::paper_xcku035();
+    let report = fpga.evaluate(cycles_per_frame);
+
+    let mut t = Table::new(
+        "Table 2: FPGA implementations for CIFAR-10-like data",
+        &["design", "frequency_mhz", "precision_bits", "accuracy_pct", "energy_eff_fpj"],
+    );
+    for row in TABLE2_PRIOR_ART {
+        t.push_row(vec![
+            row.design.into(),
+            row.frequency_mhz.map_or("N/A".into(), |v| fnum(v, 0)),
+            row.precision_bits.map_or("N/A".into(), |v| v.to_string()),
+            row.accuracy_pct.map_or("N/A".into(), |v| fnum(v, 2)),
+            fnum(row.energy_eff_fpj, 0),
+        ]);
+    }
+    t.push_row(vec![
+        "Ours (measured, simulated FPGA)".into(),
+        fnum(fpga.clock_hz / 1e6, 0),
+        fpga.precision_bits.to_string(),
+        fnum(history.final_accuracy * 100.0, 2),
+        fnum(report.energy_eff_fpj, 0),
+    ]);
+    t.push_row(vec![
+        TABLE2_PAPER_OURS.design.into(),
+        TABLE2_PAPER_OURS.frequency_mhz.map_or("N/A".into(), |v| fnum(v, 0)),
+        TABLE2_PAPER_OURS.precision_bits.map_or("N/A".into(), |v| v.to_string()),
+        TABLE2_PAPER_OURS.accuracy_pct.map_or("N/A".into(), |v| fnum(v, 2)),
+        fnum(TABLE2_PAPER_OURS.energy_eff_fpj, 0),
+    ]);
+    vec![t]
+}

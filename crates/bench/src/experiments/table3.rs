@@ -1,0 +1,81 @@
+//! Table 3 and §7.4: end-to-end single-sample latency with cross-layer
+//! pipelining — speedups for LeNet-5 and ResNet-20, and the latency
+//! comparison against prior CIFAR-10 accelerators.
+//!
+//! Latency depends on geometry and sparsity only, so the pipelining model
+//! runs at publication geometry (full-width networks, 16% density);
+//! accuracy comes from the trained, scaled ResNet.
+
+use crate::report::{fnum, Table};
+use crate::scale::Scale;
+use crate::setups;
+use crate::workload::{groups_for, sparsify, NetworkWorkload, PaperModel};
+use cc_hwmodel::priorart::{TABLE3_PAPER_OURS, TABLE3_PRIOR_ART};
+use cc_hwmodel::FpgaDesign;
+use cc_packing::ColumnCombiner;
+use cc_systolic::pipeline::{pipeline_latency, DEFAULT_PORT_WORDS};
+
+/// Evaluates cross-layer pipelining for LeNet-5 and ResNet-20 and builds
+/// the Table 3 comparison.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let fpga = FpgaDesign::paper_xcku035();
+
+    let mut speedups = Table::new(
+        "Section 7.4: latency reduction from cross-layer pipelining (publication geometry)",
+        &["network", "sequential_us", "pipelined_us", "speedup", "paper_speedup"],
+    );
+
+    let mut resnet_latency_us = 0.0f64;
+    for (model, name, paper_speedup) in [
+        (PaperModel::Lenet5, "LeNet-5", "3.5x"),
+        (PaperModel::Resnet20, "ResNet-20", "9.3x"),
+    ] {
+        let (mut net, input) = model.build_full(1.0, 0x74);
+        sparsify(&mut net, 0.16);
+        let groups = groups_for(&net, 8, 0.5);
+        let workload = NetworkWorkload::from_network(&net, input, Some(&groups));
+        let report = pipeline_latency(&workload.pipeline_shapes(), DEFAULT_PORT_WORDS);
+        let seq_us = report.sequential_cycles as f64 / fpga.clock_hz * 1e6;
+        let pipe_us = report.pipelined_cycles as f64 / fpga.clock_hz * 1e6;
+        if name == "ResNet-20" {
+            resnet_latency_us = pipe_us;
+        }
+        speedups.push_row(vec![
+            name.into(),
+            fnum(seq_us, 2),
+            fnum(pipe_us, 2),
+            format!("{:.1}x", report.speedup()),
+            paper_speedup.into(),
+        ]);
+    }
+
+    // Accuracy of the trained, combined ResNet at experiment scale.
+    let (train, test) = setups::cifar_setup(scale, 0x73);
+    let mut net = setups::resnet(scale, 41);
+    let cfg = setups::combine_config(scale, &net, 0.20, 8, 0.5);
+    let (history, _, _) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+    let mut t3 = Table::new(
+        "Table 3: single-sample latency, CIFAR-10-like data",
+        &["design", "accuracy_pct", "latency_us"],
+    );
+    for row in TABLE3_PRIOR_ART {
+        let latency = if row.latency_is_lower_bound {
+            format!(">{}", fnum(row.latency_us, 0))
+        } else {
+            fnum(row.latency_us, 0)
+        };
+        t3.push_row(vec![row.design.into(), fnum(row.accuracy_pct, 2), latency]);
+    }
+    t3.push_row(vec![
+        "Ours (measured, pipelined sim)".into(),
+        fnum(history.final_accuracy * 100.0, 2),
+        fnum(resnet_latency_us, 2),
+    ]);
+    t3.push_row(vec![
+        TABLE3_PAPER_OURS.design.into(),
+        fnum(TABLE3_PAPER_OURS.accuracy_pct, 2),
+        fnum(TABLE3_PAPER_OURS.latency_us, 2),
+    ]);
+    vec![speedups, t3]
+}

@@ -1,0 +1,32 @@
+//! Experiment harness for the column-combining reproduction.
+//!
+//! One binary per paper artifact (see `src/bin/`): `fig13a`, `fig13b`,
+//! `fig13c`, `fig14b`, `fig15a`, `fig15b`, `fig16`, `table1`, `table2`,
+//! `table3`, `sec72`, plus `all` which runs the lot and writes CSVs under
+//! `results/`. Criterion micro-benchmarks live in `benches/`.
+//!
+//! Experiments run at a CPU-friendly **quick** scale by default (small
+//! synthetic datasets, width-scaled networks); set `CC_SCALE=full` for
+//! longer runs. The *shapes* of the paper's results — who wins, by what
+//! factor, where the knees are — are what these regenerate; see
+//! `EXPERIMENTS.md` for the recorded paper-vs-measured comparison.
+
+pub mod report;
+pub mod scale;
+pub mod setups;
+pub mod workload;
+
+pub mod experiments;
+
+use report::Table;
+
+/// Prints each table and writes it to `results/<name>_<index>.csv`.
+pub fn emit(name: &str, tables: &[Table]) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        let path = format!("results/{name}_{i}.csv");
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}

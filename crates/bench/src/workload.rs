@@ -1,0 +1,252 @@
+//! Hardware workload evaluation: drive the cycle-level simulator with a
+//! (possibly packed) network and aggregate the statistics the ASIC/FPGA
+//! models consume.
+
+use cc_nn::shapes::{pointwise_shapes, PointwiseShape};
+use cc_nn::Network;
+use cc_packing::{pack_columns, ColumnGroups};
+use cc_systolic::array::{ArrayConfig, QuantPacked, SimStats};
+use cc_systolic::pipeline::LayerShape;
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{QuantMatrix, QuantParams};
+use cc_tensor::Matrix;
+
+/// One pointwise layer's filter matrix plus its geometry and (optionally)
+/// its column groups.
+#[derive(Clone, Debug)]
+pub struct LayerWorkload {
+    /// Geometry (channels, spatial size → stream length).
+    pub shape: PointwiseShape,
+    /// The layer's filter matrix.
+    pub filter: Matrix,
+    /// Column groups when the layer is packed; `None` = unpacked baseline.
+    pub groups: Option<ColumnGroups>,
+}
+
+/// Every pointwise layer of a network, ready for hardware evaluation.
+#[derive(Clone, Debug)]
+pub struct NetworkWorkload {
+    /// Per-layer workloads in execution order.
+    pub layers: Vec<LayerWorkload>,
+}
+
+impl NetworkWorkload {
+    /// Extracts the workload from `net`. Pass per-layer `groups` to model
+    /// the packed deployment, or `None` for the unpacked baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is present with the wrong layer count.
+    pub fn from_network(
+        net: &Network,
+        input: (usize, usize, usize),
+        groups: Option<&[ColumnGroups]>,
+    ) -> Self {
+        let shapes = pointwise_shapes(net, input.0, input.1, input.2);
+        if let Some(g) = groups {
+            assert_eq!(g.len(), shapes.len(), "one group set per pointwise layer");
+        }
+        let mut filters = Vec::with_capacity(shapes.len());
+        net.visit_pointwise_ref(&mut |_, pw| filters.push(pw.filter_matrix()));
+        let layers = shapes
+            .into_iter()
+            .zip(filters)
+            .map(|(shape, filter)| LayerWorkload {
+                shape,
+                groups: groups.map(|g| g[shape.index].clone()),
+                filter,
+            })
+            .collect();
+        NetworkWorkload { layers }
+    }
+
+    /// Per-layer shapes for the cross-layer pipelining model: columns are
+    /// the packed group count when groups are present.
+    pub fn pipeline_shapes(&self) -> Vec<LayerShape> {
+        self.layers
+            .iter()
+            .map(|l| {
+                let cols = l.groups.as_ref().map_or(l.shape.in_channels, ColumnGroups::len);
+                LayerShape::new(l.shape.out_channels, cols, l.shape.stream_len().max(1))
+            })
+            .collect()
+    }
+
+    /// Total nonzero weights across layers.
+    pub fn total_nonzeros(&self) -> usize {
+        self.layers.iter().map(|l| l.filter.count_nonzero()).sum()
+    }
+}
+
+/// Aggregated hardware evaluation of a workload on one array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HwEval {
+    /// Merged simulator counters (cycles summed across layers and tiles).
+    pub stats: SimStats,
+    /// Total tiles executed.
+    pub tiles: usize,
+    /// 8-bit weight words loaded per sample.
+    pub weight_words: u64,
+}
+
+/// Runs every layer of `workload` through the tiled scheduler for one
+/// input sample (stream length = spatial positions per layer), merging the
+/// statistics. Data values are synthetic — the cost model depends only on
+/// shapes and sparsity.
+pub fn evaluate_on_array(workload: &NetworkWorkload, cfg: ArrayConfig) -> HwEval {
+    let sched = TiledScheduler::new(cfg);
+    let mut eval = HwEval::default();
+    for (li, layer) in workload.layers.iter().enumerate() {
+        let l = layer.shape.stream_len().max(1);
+        let data = QuantMatrix::quantize(&sparse_matrix(
+            layer.shape.in_channels,
+            l,
+            1.0,
+            0xDA7A + li as u64,
+        ));
+        let params = QuantParams::calibrate(layer.filter.as_slice());
+        let run = match &layer.groups {
+            Some(groups) => {
+                let packed = pack_columns(&layer.filter, groups);
+                let qp = QuantPacked::quantize_with(&packed, params);
+                eval.weight_words += (qp.rows() * qp.groups()) as u64;
+                sched.run_packed(&qp, &data)
+            }
+            None => {
+                let qw = QuantMatrix::quantize_with(&layer.filter, params);
+                eval.weight_words += (qw.rows() * qw.cols()) as u64;
+                sched.run_unpacked(&qw, &data)
+            }
+        };
+        eval.tiles += run.tiles;
+        eval.stats.merge(&run.stats);
+    }
+    eval
+}
+
+
+/// The paper's three evaluation networks at *publication geometry* —
+/// full-size inputs and widths — for hardware-only experiments (tiles,
+/// cycles, energy, latency), which depend on shapes and sparsity but not
+/// on trained weight values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperModel {
+    /// LeNet-5-Shift on 28×28 MNIST-shaped inputs.
+    Lenet5,
+    /// VGG-16-Shift on 32×32 CIFAR-shaped inputs.
+    Vgg16,
+    /// ResNet-20-Shift on 32×32 CIFAR-shaped inputs.
+    Resnet20,
+}
+
+impl PaperModel {
+    /// Builds the untrained full-geometry network and its input shape.
+    /// `width` scales channel counts (1.0 = textbook widths; the paper's
+    /// shift-ResNet is ≈6× wider — its layer 3 is 96×94, Fig. 14b).
+    pub fn build_full(self, width: f32, seed: u64) -> (cc_nn::Network, (usize, usize, usize)) {
+        use cc_nn::models::{lenet5_shift, resnet20_shift, vgg16_shift, ModelConfig};
+        match self {
+            PaperModel::Lenet5 => {
+                let cfg = ModelConfig::new(1, 28, 28, 10).with_width(width).with_seed(seed);
+                (lenet5_shift(&cfg), (1, 28, 28))
+            }
+            PaperModel::Vgg16 => {
+                let cfg = ModelConfig::new(3, 32, 32, 10).with_width(width).with_seed(seed);
+                (vgg16_shift(&cfg), (3, 32, 32))
+            }
+            PaperModel::Resnet20 => {
+                let cfg = ModelConfig::new(3, 32, 32, 10).with_width(width).with_seed(seed);
+                (resnet20_shift(&cfg), (3, 32, 32))
+            }
+        }
+    }
+}
+
+/// Magnitude-prunes every pointwise layer of `net` to the target density,
+/// emulating the sparsity iterative pruning produces (no training needed
+/// for hardware-shape experiments).
+pub fn sparsify(net: &mut cc_nn::Network, density: f64) {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    net.visit_pointwise(&mut |_, pw| {
+        let f = pw.filter_matrix();
+        let (pruned, _) = cc_packing::prune_smallest_fraction(&f, 1.0 - density);
+        pw.set_filter_matrix(pruned);
+    });
+}
+
+/// Groups every pointwise layer of `net` under `(alpha, gamma)`.
+pub fn groups_for(net: &cc_nn::Network, alpha: usize, gamma: f64) -> Vec<ColumnGroups> {
+    let cfg = cc_packing::GroupingConfig::new(alpha, gamma);
+    let mut out = Vec::new();
+    net.visit_pointwise_ref(&mut |_, pw| {
+        out.push(cc_packing::group_columns(&pw.filter_matrix(), &cfg))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::setups;
+    use cc_packing::{group_columns, GroupingConfig};
+    use cc_tensor::quant::AccumWidth;
+
+    fn packed_groups(net: &Network, alpha: usize, gamma: f64) -> Vec<ColumnGroups> {
+        let cfg = GroupingConfig::new(alpha, gamma);
+        let mut out = Vec::new();
+        net.visit_pointwise_ref(&mut |_, pw| {
+            out.push(group_columns(&pw.filter_matrix(), &cfg))
+        });
+        out
+    }
+
+    #[test]
+    fn workload_covers_all_layers() {
+        let s = Scale::quick();
+        let net = setups::resnet(&s, 1);
+        let w = NetworkWorkload::from_network(&net, (3, s.image_hw, s.image_hw), None);
+        assert_eq!(w.layers.len(), 19);
+        assert_eq!(w.pipeline_shapes().len(), 19);
+    }
+
+    #[test]
+    fn packed_evaluation_cheaper_on_sparse_net() {
+        let s = Scale::quick();
+        let mut net = setups::lenet(&s, 2);
+        // Sparsify heavily without training (hardware model only).
+        net.visit_pointwise(&mut |_, pw| {
+            let f = pw.filter_matrix();
+            let (pruned, _) = cc_packing::prune_smallest_fraction(&f, 0.85);
+            pw.set_filter_matrix(pruned);
+        });
+        let input = (1, s.image_hw, s.image_hw);
+        let base = evaluate_on_array(
+            &NetworkWorkload::from_network(&net, input, None),
+            ArrayConfig::new(32, 32, AccumWidth::Bits32),
+        );
+        let groups = packed_groups(&net, 8, 0.5);
+        let packed = evaluate_on_array(
+            &NetworkWorkload::from_network(&net, input, Some(&groups)),
+            ArrayConfig::new(32, 32, AccumWidth::Bits32),
+        );
+        assert!(packed.tiles < base.tiles);
+        assert!(packed.stats.cycles < base.stats.cycles);
+        assert!(packed.stats.utilization() > base.stats.utilization());
+    }
+
+    #[test]
+    fn pipeline_shapes_use_group_counts() {
+        let s = Scale::quick();
+        let net = setups::lenet(&s, 3);
+        let groups = packed_groups(&net, 8, 1.0);
+        let input = (1, s.image_hw, s.image_hw);
+        let packed = NetworkWorkload::from_network(&net, input, Some(&groups));
+        let unpacked = NetworkWorkload::from_network(&net, input, None);
+        for (p, u) in packed.pipeline_shapes().iter().zip(unpacked.pipeline_shapes()) {
+            assert!(p.cols <= u.cols);
+            assert_eq!(p.rows, u.rows);
+        }
+    }
+}

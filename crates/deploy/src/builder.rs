@@ -1,0 +1,386 @@
+//! Builds a [`DeployedNetwork`] from a trained float network: packs each
+//! pointwise layer, folds batch norm into per-channel scale/bias, and
+//! calibrates activation scales on sample data.
+
+use crate::engine::{run_layer, DeployedLayer, StageOutput};
+use crate::qmap::QMap;
+use cc_dataset::Dataset;
+use cc_nn::layer::LayerKind;
+use cc_nn::layers::AvgPool2;
+use cc_nn::Network;
+use cc_packing::{pack_columns, ColumnGroups};
+use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+use cc_tensor::{Matrix, Shape, Tensor};
+
+/// A column-combined network lowered to the integer pipeline of the
+/// paper's systolic system (Fig. 6).
+#[derive(Clone, Debug)]
+pub struct DeployedNetwork {
+    layers: Vec<DeployedLayer>,
+    input_scale: f32,
+    array: ArrayConfig,
+    classes: usize,
+}
+
+impl DeployedNetwork {
+    /// Lowers `net` using per-layer column `groups`, calibrating
+    /// activation scales on up to 16 samples of `calibration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len()` differs from the pointwise-layer count or
+    /// the calibration set is empty.
+    pub fn build(net: &Network, groups: &[ColumnGroups], calibration: &Dataset) -> Self {
+        Self::build_with_array(
+            net,
+            groups,
+            calibration,
+            ArrayConfig::new(32, 32, AccumWidth::Bits32),
+        )
+    }
+
+    /// [`DeployedNetwork::build`] with an explicit array configuration.
+    pub fn build_with_array(
+        net: &Network,
+        groups: &[ColumnGroups],
+        calibration: &Dataset,
+        array: ArrayConfig,
+    ) -> Self {
+        assert_eq!(groups.len(), net.num_pointwise(), "one group set per pointwise layer");
+        assert!(!calibration.is_empty(), "calibration set must be non-empty");
+
+        // Calibration batch (float).
+        let n = calibration.len().min(16);
+        let img_shape = calibration.image(0).shape();
+        let (c, h, w) = (img_shape.dim(0), img_shape.dim(1), img_shape.dim(2));
+        let mut batch = Tensor::zeros(Shape::d4(n, c, h, w));
+        let chw = c * h * w;
+        for i in 0..n {
+            batch.as_mut_slice()[i * chw..(i + 1) * chw]
+                .copy_from_slice(calibration.image(i).as_slice());
+        }
+        let input_scale = scale_of(&batch);
+
+        let mut float_net = net.clone();
+        let mut ctx = BuildCtx { groups, pw_index: 0 };
+        let (layers, _) = build_sequence(float_net.layers_mut(), batch, &mut ctx);
+
+        DeployedNetwork { layers, input_scale, array, classes: net.num_classes() }
+    }
+
+    /// The deployed stages.
+    pub fn layers(&self) -> &[DeployedLayer] {
+        &self.layers
+    }
+
+    /// The calibrated input activation scale.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Runs integer inference on one `(C, H, W)` image, returning logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline does not end in a classifier head.
+    pub fn logits(&self, image: &Tensor) -> Vec<f32> {
+        let mut map = QMap::quantize(image, self.input_scale);
+        for layer in &self.layers {
+            match run_layer(layer, &map, self.array) {
+                StageOutput::Map(m) => map = m,
+                StageOutput::Logits(l) => return l,
+            }
+        }
+        panic!("deployed network has no classifier head");
+    }
+
+    /// Predicted class for one image.
+    pub fn classify(&self, image: &Tensor) -> usize {
+        let logits = self.logits(image);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Classification accuracy of the deployed integer network.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.classify(data.image(i)) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+struct BuildCtx<'a> {
+    groups: &'a [ColumnGroups],
+    pw_index: usize,
+}
+
+/// Calibrated activation scale: the 99.9th percentile of magnitudes maps
+/// to ±127, which is robust to outliers (per-tensor max calibration can
+/// crush the useful resolution of an 8-bit code).
+fn scale_of(t: &Tensor) -> f32 {
+    let mut mags: Vec<f32> = t.as_slice().iter().map(|v| v.abs()).collect();
+    if mags.is_empty() {
+        return 1e-6;
+    }
+    let idx = ((mags.len() as f64 * 0.999) as usize).min(mags.len() - 1);
+    mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+    (mags[idx] / 127.0).max(1e-6)
+}
+
+/// Walks a float layer sequence, advancing the calibration activations and
+/// emitting deployed stages. Pointwise → [BatchNorm] → [ReLU] runs are
+/// fused into a single `PackedConv`.
+fn build_sequence(
+    layers: &mut [LayerKind],
+    mut act: Tensor,
+    ctx: &mut BuildCtx<'_>,
+) -> (Vec<DeployedLayer>, Tensor) {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < layers.len() {
+        // Split so the fused lookahead can borrow the tail mutably.
+        let (head, tail) = layers[i..].split_first_mut().expect("non-empty");
+        match head {
+            LayerKind::Shift(s) => {
+                out.push(DeployedLayer::Shift { shifts: s.shifts().to_vec() });
+                act = s.forward(&act);
+                i += 1;
+            }
+            LayerKind::Pointwise(pw) => {
+                let filter = pw.filter_matrix();
+                let packed = pack_columns(&filter, &ctx.groups[ctx.pw_index]);
+                ctx.pw_index += 1;
+                let weight_params = QuantParams::calibrate(filter.as_slice());
+                let weights = QuantPacked::quantize_with(&packed, weight_params);
+
+                // Float path through the conv.
+                act = pw.forward(&act, false);
+                let n = pw.out_channels();
+                let mut channel_scale = vec![1.0f32; n];
+                let mut channel_bias = vec![0.0f32; n];
+                if let Some(bias) = pw.bias() {
+                    channel_bias.copy_from_slice(bias.value.as_slice());
+                }
+
+                // Fuse a following BatchNorm.
+                let mut consumed = 0usize;
+                if let Some(LayerKind::BatchNorm(bn)) = tail.first_mut() {
+                    for ci in 0..n {
+                        let inv_std = 1.0 / (bn.running_var()[ci] + bn.eps()).sqrt();
+                        let s = bn.gamma()[ci] * inv_std;
+                        channel_scale[ci] = s;
+                        channel_bias[ci] =
+                            channel_bias[ci] * s + bn.beta()[ci] - s * bn.running_mean()[ci];
+                    }
+                    act = bn.forward(&act, false);
+                    consumed += 1;
+                }
+                // Fuse a following ReLU.
+                let mut relu = false;
+                if let Some(LayerKind::Relu(r)) = tail.get_mut(consumed) {
+                    relu = true;
+                    act = r.forward(&act, false);
+                    consumed += 1;
+                }
+
+                let out_scale = scale_of(&act);
+                out.push(DeployedLayer::PackedConv {
+                    weights,
+                    weight_scale: weight_params.scale(),
+                    channel_scale,
+                    channel_bias,
+                    relu,
+                    out_scale,
+                });
+                i += 1 + consumed;
+            }
+            LayerKind::BatchNorm(_) => {
+                panic!("standalone BatchNorm cannot be deployed (must follow a Pointwise)")
+            }
+            LayerKind::Conv3x3(_) => panic!(
+                "standard 3x3 convolutions are a training-side baseline; deploy shift + \
+                 pointwise networks instead"
+            ),
+            LayerKind::Relu(r) => {
+                out.push(DeployedLayer::Relu);
+                act = r.forward(&act, false);
+                i += 1;
+            }
+            LayerKind::AvgPool(p) => {
+                out.push(DeployedLayer::AvgPool);
+                act = p.forward(&act, false);
+                i += 1;
+            }
+            LayerKind::GlobalAvgPool(p) => {
+                out.push(DeployedLayer::GlobalAvgPool);
+                act = p.forward(&act, false);
+                i += 1;
+            }
+            LayerKind::Linear(l) => {
+                let wm = Matrix::from_tensor(l.weight().value.clone());
+                let params = QuantParams::calibrate(wm.as_slice());
+                out.push(DeployedLayer::Linear {
+                    weights: QuantMatrix::quantize_with(&wm, params),
+                    weight_scale: params.scale(),
+                    bias: l.bias().value.as_slice().to_vec(),
+                });
+                act = l.forward(&act, false);
+                i += 1;
+            }
+            LayerKind::Residual(block) => {
+                let downsample = block.is_downsampling();
+                let out_channels = block.out_channels();
+                let shortcut = shortcut_float(&act, downsample, out_channels);
+                let (body, body_act) = build_sequence(block.body_mut(), act.clone(), ctx);
+                let mut merged = body_act;
+                merged.axpy(1.0, &shortcut);
+                let out_scale = scale_of(&merged);
+                out.push(DeployedLayer::Residual { body, downsample, out_channels, out_scale });
+                act = merged;
+                i += 1;
+            }
+        }
+    }
+    (out, act)
+}
+
+/// Float replica of the residual shortcut for calibration.
+fn shortcut_float(x: &Tensor, downsample: bool, out_channels: usize) -> Tensor {
+    if !downsample {
+        return x.clone();
+    }
+    let mut pool = AvgPool2::new();
+    let pooled = pool.forward(x, false);
+    let s = pooled.shape();
+    let (b, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let mut out = Tensor::zeros(Shape::d4(b, out_channels, h, w));
+    let hw = h * w;
+    for bi in 0..b {
+        for ci in 0..c {
+            let src = &pooled.as_slice()[(bi * c + ci) * hw..(bi * c + ci + 1) * hw];
+            out.as_mut_slice()
+                [(bi * out_channels + ci) * hw..(bi * out_channels + ci) * hw + hw]
+                .copy_from_slice(src);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_dataset::SyntheticSpec;
+    use cc_nn::metrics::accuracy;
+    use cc_nn::models::{lenet5_shift, resnet20_shift, ModelConfig};
+    use cc_nn::schedule::LrSchedule;
+    use cc_nn::train::{TrainConfig, Trainer};
+    use cc_packing::{ColumnCombineConfig, ColumnCombiner};
+
+    fn train_and_combine(
+        mut net: Network,
+        train: &Dataset,
+        keep: f64,
+    ) -> (Network, Vec<ColumnGroups>) {
+        let pre = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            schedule: LrSchedule::Constant(0.05),
+            ..TrainConfig::default()
+        };
+        Trainer::new(pre).fit(&mut net, train, None);
+        let cfg = ColumnCombineConfig {
+            rho: (net.nonzero_conv_weights() as f64 * keep) as usize,
+            epochs_per_iteration: 2,
+            final_epochs: 4,
+            eta: 0.05,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, train, None);
+        (net, groups)
+    }
+
+    #[test]
+    fn deployed_lenet_matches_float_accuracy_closely() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(10, 10).with_samples(384, 128).generate(17);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 10, 10, 10).with_width(0.5));
+        let (mut net, groups) = train_and_combine(net, &train, 0.4);
+        let float_acc = accuracy(&mut net, &test, 64);
+
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+        let int_acc = deployed.accuracy(&test);
+
+        assert!(
+            int_acc > float_acc - 0.10,
+            "quantized deployment lost too much: float {float_acc:.3} vs int {int_acc:.3}"
+        );
+        assert!(int_acc > 0.3, "deployed accuracy implausibly low: {int_acc}");
+    }
+
+    #[test]
+    fn deployed_resnet_runs_residual_path() {
+        let (train, test) =
+            SyntheticSpec::cifar_like().with_size(8, 8).with_samples(256, 64).generate(21);
+        let net = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        let (mut net, groups) = train_and_combine(net, &train, 0.5);
+        let float_acc = accuracy(&mut net, &test, 64);
+
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+        let int_acc = deployed.accuracy(&test);
+        assert!(
+            int_acc > float_acc - 0.20,
+            "residual deployment degraded: float {float_acc:.3} vs int {int_acc:.3}"
+        );
+    }
+
+    #[test]
+    fn logits_are_finite_and_classes_match() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(64, 8).generate(5);
+        let mut net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 2,
+            epochs_per_iteration: 1,
+            final_epochs: 1,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+        let logits = deployed.logits(test.image(0));
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|v| v.is_finite()));
+        assert_eq!(deployed.num_classes(), 10);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (train, _) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(32, 8).generate(6);
+        let mut net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 2,
+            epochs_per_iteration: 1,
+            final_epochs: 0,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        let a = DeployedNetwork::build(&net, &groups, &train);
+        let b = DeployedNetwork::build(&net, &groups, &train);
+        assert_eq!(a.input_scale(), b.input_scale());
+        assert_eq!(a.logits(train.image(0)), b.logits(train.image(0)));
+    }
+}

@@ -1,0 +1,341 @@
+//! The deployed integer inference engine: one enum variant per hardware
+//! block of the paper's Fig. 6 system.
+
+use crate::qmap::QMap;
+use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+
+/// One stage of the deployed pipeline.
+#[derive(Clone, Debug)]
+pub enum DeployedLayer {
+    /// Shift block (§4.3): pure data movement on quantized planes.
+    Shift {
+        /// Per-channel `(dy, dx)` offsets.
+        shifts: Vec<(i8, i8)>,
+    },
+    /// Packed pointwise convolution on the MX-cell array, with batch norm
+    /// folded into per-channel scale/bias and the ReLU + quantizer blocks
+    /// fused behind it (§4.4).
+    PackedConv {
+        /// Quantized packed weights with mux channels.
+        weights: QuantPacked,
+        /// Weight quantization step.
+        weight_scale: f32,
+        /// Folded per-output-channel scale (γ/σ of the trained BN).
+        channel_scale: Vec<f32>,
+        /// Folded per-output-channel bias (β − γμ/σ).
+        channel_bias: Vec<f32>,
+        /// Apply ReLU before requantization.
+        relu: bool,
+        /// Output activation scale (calibrated).
+        out_scale: f32,
+    },
+    /// 2×2 stride-2 average pooling in the integer domain.
+    AvgPool,
+    /// Global average pooling in the integer domain.
+    GlobalAvgPool,
+    /// ReLU applied directly to a quantized map (after residual adds).
+    Relu,
+    /// Residual block: body stages plus an identity or pool-and-pad
+    /// shortcut; the sum is requantized to a calibrated scale.
+    Residual {
+        /// Deployed body stages.
+        body: Vec<DeployedLayer>,
+        /// Shortcut pools 2× and zero-pads channels when set.
+        downsample: bool,
+        /// Output channels after padding.
+        out_channels: usize,
+        /// Calibrated scale of the block output.
+        out_scale: f32,
+    },
+    /// Quantized classifier head; produces real-valued logits.
+    Linear {
+        /// Quantized weight matrix (classes × features).
+        weights: QuantMatrix,
+        /// Weight quantization step.
+        weight_scale: f32,
+        /// Float bias per class.
+        bias: Vec<f32>,
+    },
+}
+
+/// Executes one stage. `PackedConv` runs on the tiled systolic simulator;
+/// everything else is the corresponding peripheral block.
+pub fn run_layer(layer: &DeployedLayer, input: &QMap, array: ArrayConfig) -> StageOutput {
+    match layer {
+        DeployedLayer::Shift { shifts } => StageOutput::Map(run_shift(shifts, input)),
+        DeployedLayer::PackedConv {
+            weights,
+            weight_scale,
+            channel_scale,
+            channel_bias,
+            relu,
+            out_scale,
+        } => StageOutput::Map(run_packed_conv(
+            weights,
+            *weight_scale,
+            channel_scale,
+            channel_bias,
+            *relu,
+            *out_scale,
+            input,
+            array,
+        )),
+        DeployedLayer::AvgPool => StageOutput::Map(run_avgpool(input)),
+        DeployedLayer::GlobalAvgPool => StageOutput::Map(run_global_pool(input)),
+        DeployedLayer::Relu => StageOutput::Map(run_relu(input)),
+        DeployedLayer::Residual { body, downsample, out_channels, out_scale } => {
+            StageOutput::Map(run_residual(body, *downsample, *out_channels, *out_scale, input, array))
+        }
+        DeployedLayer::Linear { weights, weight_scale, bias } => {
+            StageOutput::Logits(run_linear(weights, *weight_scale, bias, input))
+        }
+    }
+}
+
+/// Result of a stage: another feature map, or the final logits.
+#[derive(Clone, Debug)]
+pub enum StageOutput {
+    /// Intermediate quantized feature map.
+    Map(QMap),
+    /// Real-valued class logits.
+    Logits(Vec<f32>),
+}
+
+fn run_shift(shifts: &[(i8, i8)], input: &QMap) -> QMap {
+    assert_eq!(shifts.len(), input.channels(), "shift channel mismatch");
+    let (c, h, w) = (input.channels(), input.height(), input.width());
+    let mut out = vec![0i8; c * h * w];
+    for ci in 0..c {
+        let (dy, dx) = shifts[ci];
+        for y in 0..h as i64 {
+            let sy = y - dy as i64;
+            if sy < 0 || sy >= h as i64 {
+                continue;
+            }
+            for x in 0..w as i64 {
+                let sx = x - dx as i64;
+                if sx < 0 || sx >= w as i64 {
+                    continue;
+                }
+                out[(ci * h + y as usize) * w + x as usize] =
+                    input.get(ci, sy as usize, sx as usize);
+            }
+        }
+    }
+    QMap::from_raw(out, c, h, w, input.scale())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_packed_conv(
+    weights: &QuantPacked,
+    weight_scale: f32,
+    channel_scale: &[f32],
+    channel_bias: &[f32],
+    relu: bool,
+    out_scale: f32,
+    input: &QMap,
+    array: ArrayConfig,
+) -> QMap {
+    let (h, w) = (input.height(), input.width());
+    let l = h * w;
+    // Data matrix: channels × positions, already quantized.
+    let data = QuantMatrix::from_raw(
+        input.channels(),
+        l,
+        input.as_slice().to_vec(),
+        QuantParams::from_max_abs(input.scale() * 127.0),
+    );
+    let run = TiledScheduler::new(array).run_packed(weights, &data);
+
+    let n = weights.rows();
+    let acc_scale = weight_scale * input.scale();
+    let mut out = vec![0i8; n * l];
+    for ni in 0..n {
+        for p in 0..l {
+            let acc = run.outputs[ni * l + p] as f32 * acc_scale;
+            let mut real = channel_scale[ni] * acc + channel_bias[ni];
+            if relu && real < 0.0 {
+                real = 0.0;
+            }
+            out[ni * l + p] = (real / out_scale).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+    QMap::from_raw(out, n, h, w, out_scale)
+}
+
+fn run_avgpool(input: &QMap) -> QMap {
+    let (c, h, w) = (input.channels(), input.height(), input.width());
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0i8; c * oh * ow];
+    for ci in 0..c {
+        for y in 0..oh {
+            for x in 0..ow {
+                let s = input.get(ci, 2 * y, 2 * x) as i32
+                    + input.get(ci, 2 * y, 2 * x + 1) as i32
+                    + input.get(ci, 2 * y + 1, 2 * x) as i32
+                    + input.get(ci, 2 * y + 1, 2 * x + 1) as i32;
+                // round-half-away integer division by 4
+                let v = if s >= 0 { (s + 2) / 4 } else { (s - 2) / 4 };
+                out[(ci * oh + y) * ow + x] = v.clamp(-127, 127) as i8;
+            }
+        }
+    }
+    QMap::from_raw(out, c, oh, ow, input.scale())
+}
+
+fn run_global_pool(input: &QMap) -> QMap {
+    let (c, h, w) = (input.channels(), input.height(), input.width());
+    let plane = (h * w) as i32;
+    let mut out = vec![0i8; c];
+    for ci in 0..c {
+        let mut s = 0i32;
+        for y in 0..h {
+            for x in 0..w {
+                s += input.get(ci, y, x) as i32;
+            }
+        }
+        let v = if s >= 0 { (s + plane / 2) / plane } else { (s - plane / 2) / plane };
+        out[ci] = v.clamp(-127, 127) as i8;
+    }
+    QMap::from_raw(out, c, 1, 1, input.scale())
+}
+
+fn run_relu(input: &QMap) -> QMap {
+    let out = input.as_slice().iter().map(|&q| q.max(0)).collect();
+    QMap::from_raw(out, input.channels(), input.height(), input.width(), input.scale())
+}
+
+fn run_residual(
+    body: &[DeployedLayer],
+    downsample: bool,
+    out_channels: usize,
+    out_scale: f32,
+    input: &QMap,
+    array: ArrayConfig,
+) -> QMap {
+    // Body path.
+    let mut h = input.clone();
+    for stage in body {
+        match run_layer(stage, &h, array) {
+            StageOutput::Map(m) => h = m,
+            StageOutput::Logits(_) => panic!("classifier inside residual body"),
+        }
+    }
+    // Shortcut path.
+    let shortcut = if downsample {
+        let pooled = run_avgpool(input);
+        pad_channels(&pooled, out_channels)
+    } else {
+        input.clone()
+    };
+    assert_eq!(h.channels(), shortcut.channels(), "residual channel mismatch");
+    assert_eq!(h.plane(), shortcut.plane(), "residual plane mismatch");
+
+    // Integer add with per-path rescale into the calibrated output scale.
+    let (sb, ss) = (h.scale(), shortcut.scale());
+    let out: Vec<i8> = h
+        .as_slice()
+        .iter()
+        .zip(shortcut.as_slice())
+        .map(|(&b, &s)| {
+            let real = b as f32 * sb + s as f32 * ss;
+            (real / out_scale).round().clamp(-127.0, 127.0) as i8
+        })
+        .collect();
+    QMap::from_raw(out, h.channels(), h.height(), h.width(), out_scale)
+}
+
+fn pad_channels(input: &QMap, out_channels: usize) -> QMap {
+    if input.channels() == out_channels {
+        return input.clone();
+    }
+    let (c, h, w) = (input.channels(), input.height(), input.width());
+    let mut out = vec![0i8; out_channels * h * w];
+    out[..c * h * w].copy_from_slice(input.as_slice());
+    QMap::from_raw(out, out_channels, h, w, input.scale())
+}
+
+fn run_linear(weights: &QuantMatrix, weight_scale: f32, bias: &[f32], input: &QMap) -> Vec<f32> {
+    let feat = input.channels() * input.plane();
+    assert_eq!(weights.cols(), feat, "linear feature mismatch");
+    let acc_scale = weight_scale * input.scale();
+    (0..weights.rows())
+        .map(|o| {
+            let mut acc = 0i64;
+            for f in 0..feat {
+                acc += weights.get(o, f) as i64 * input.as_slice()[f] as i64;
+            }
+            acc = AccumWidth::Bits32.wrap(acc);
+            acc as f32 * acc_scale + bias[o]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::{Shape, Tensor};
+
+    fn map_from(vals: &[f32], c: usize, h: usize, w: usize) -> QMap {
+        let t = Tensor::from_vec(Shape::d3(c, h, w), vals.to_vec());
+        let scale = (t.max_abs() / 127.0).max(1e-6);
+        QMap::quantize(&t, scale)
+    }
+
+    #[test]
+    fn shift_moves_quantized_pixels() {
+        let m = map_from(&[0.0, 1.0, 0.0, 0.0], 1, 2, 2);
+        let out = run_shift(&[(1, 0)], &m);
+        assert_eq!(out.get(0, 1, 1), m.get(0, 0, 1));
+        assert_eq!(out.get(0, 0, 1), 0);
+    }
+
+    #[test]
+    fn avgpool_rounds_integer_mean() {
+        let m = QMap::from_raw(vec![1, 2, 3, 5], 1, 2, 2, 1.0);
+        let out = run_avgpool(&m);
+        // (1+2+3+5)/4 = 2.75 → 3 with round-half-away
+        assert_eq!(out.get(0, 0, 0), 3);
+    }
+
+    #[test]
+    fn avgpool_negative_rounding_symmetric() {
+        let m = QMap::from_raw(vec![-1, -2, -3, -5], 1, 2, 2, 1.0);
+        let out = run_avgpool(&m);
+        assert_eq!(out.get(0, 0, 0), -3);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let m = QMap::from_raw(vec![-3, 4], 2, 1, 1, 0.5);
+        let out = run_relu(&m);
+        assert_eq!(out.as_slice(), &[0, 4]);
+    }
+
+    #[test]
+    fn global_pool_averages() {
+        let m = QMap::from_raw(vec![4, 4, 4, 8], 1, 2, 2, 1.0);
+        let out = run_global_pool(&m);
+        assert_eq!(out.get(0, 0, 0), 5);
+        assert_eq!(out.plane(), 1);
+    }
+
+    #[test]
+    fn linear_matches_float_reference() {
+        let w = cc_tensor::Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.5]]);
+        let qw = QuantMatrix::quantize(&w);
+        let m = map_from(&[1.0, 0.5], 2, 1, 1);
+        let logits = run_linear(&qw, qw.params().scale(), &[0.0, 0.1], &m);
+        assert!((logits[0] - 0.5).abs() < 0.05);
+        assert!((logits[1] - 0.85).abs() < 0.05);
+    }
+
+    #[test]
+    fn pad_channels_zero_fills() {
+        let m = QMap::from_raw(vec![7], 1, 1, 1, 1.0);
+        let out = pad_channels(&m, 3);
+        assert_eq!(out.as_slice(), &[7, 0, 0]);
+    }
+}

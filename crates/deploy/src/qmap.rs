@@ -1,0 +1,127 @@
+//! Quantized feature maps: the 8-bit activations that move between the
+//! accelerator's blocks.
+
+use cc_tensor::quant::QuantParams;
+use cc_tensor::Tensor;
+
+/// An 8-bit quantized feature map `(C, H, W)` with its scale:
+/// `real = scale · q`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QMap {
+    data: Vec<i8>,
+    channels: usize,
+    height: usize,
+    width: usize,
+    scale: f32,
+}
+
+impl QMap {
+    /// Quantizes a float `(C, H, W)` tensor at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the scale is not positive.
+    pub fn quantize(x: &Tensor, scale: f32) -> Self {
+        assert_eq!(x.shape().rank(), 3, "QMap expects a (C,H,W) tensor");
+        assert!(scale > 0.0, "scale must be positive");
+        let params = QuantParams::from_max_abs(scale * 127.0);
+        QMap {
+            data: x.as_slice().iter().map(|&v| params.quantize(v)).collect(),
+            channels: x.shape().dim(0),
+            height: x.shape().dim(1),
+            width: x.shape().dim(2),
+            scale,
+        }
+    }
+
+    /// Builds a map from raw quantized storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage length is inconsistent.
+    pub fn from_raw(data: Vec<i8>, channels: usize, height: usize, width: usize, scale: f32) -> Self {
+        assert_eq!(data.len(), channels * height * width, "QMap storage mismatch");
+        assert!(scale > 0.0, "scale must be positive");
+        QMap { data, channels, height, width, scale }
+    }
+
+    /// Channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Spatial positions per channel.
+    pub fn plane(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// The scale of one quantization step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw storage, channel-major.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Quantized value at `(c, y, x)`.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> i8 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Real (dequantized) value at `(c, y, x)`.
+    pub fn real(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.get(c, y, x) as f32 * self.scale
+    }
+
+    /// Dequantizes the whole map.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            cc_tensor::Shape::d3(self.channels, self.height, self.width),
+            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::Shape;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let x = cc_tensor::init::kaiming_tensor(Shape::d3(2, 3, 3), 9, 1);
+        let scale = x.max_abs() / 127.0;
+        let q = QMap::quantize(&x, scale);
+        let back = q.dequantize();
+        for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn indexing_is_channel_major() {
+        let x = Tensor::from_vec(Shape::d3(2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let q = QMap::quantize(&x, 1.0);
+        assert_eq!(q.get(0, 0, 1), 2);
+        assert_eq!(q.get(1, 0, 0), 3);
+        assert_eq!(q.real(1, 0, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        QMap::quantize(&Tensor::zeros(Shape::d3(1, 1, 1)), 0.0);
+    }
+}

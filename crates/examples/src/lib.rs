@@ -1,0 +1,1 @@
+//! Runnable examples for the column-combining reproduction; see `src/bin/`.

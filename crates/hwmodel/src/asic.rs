@@ -1,0 +1,211 @@
+//! ASIC design-point evaluation (paper §7.1).
+//!
+//! An [`AsicDesign`] couples a systolic array geometry with weight / input /
+//! output scratchpads. Fed with the cycle-level statistics from
+//! `cc-systolic`, it produces the §7.1 metrics: energy per input sample,
+//! throughput, area efficiency and energy efficiency.
+//!
+//! Energy accounting: every occupied cell·word slot burns one bit-serial
+//! MAC's energy (zero weights still clock through the datapath — this is
+//! exactly why packing helps: it removes the slots, not just the work),
+//! and every SRAM word moved costs the CACTI-like access energy.
+
+use crate::sram::SramModel;
+use crate::tech::TechParams;
+use cc_systolic::array::SimStats;
+use cc_systolic::cell::CellKind;
+use cc_tensor::quant::AccumWidth;
+
+/// An ASIC design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsicDesign {
+    /// Technology constants.
+    pub tech: TechParams,
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Cell flavour (MX for column-combining designs).
+    pub cell: CellKind,
+    /// Accumulator width.
+    pub acc: AccumWidth,
+    /// Weight buffer.
+    pub weight_sram: SramModel,
+    /// Input buffer.
+    pub input_sram: SramModel,
+    /// Output buffer.
+    pub output_sram: SramModel,
+}
+
+impl AsicDesign {
+    /// The paper's main configuration: a 32×32 MX-cell array with 32-bit
+    /// accumulation and 8/16/8 KiB weight/input/output buffers.
+    pub fn paper_32x32() -> Self {
+        AsicDesign {
+            tech: TechParams::nangate45(),
+            rows: 32,
+            cols: 32,
+            cell: CellKind::Multiplexed { mux_width: 8 },
+            acc: AccumWidth::Bits32,
+            weight_sram: SramModel::new(8 * 1024),
+            input_sram: SramModel::new(16 * 1024),
+            output_sram: SramModel::new(8 * 1024),
+        }
+    }
+
+    /// A LeNet-scale configuration with 16-bit accumulation (§7.1.2).
+    pub fn lenet_16bit() -> Self {
+        AsicDesign {
+            acc: AccumWidth::Bits16,
+            weight_sram: SramModel::new(4 * 1024),
+            input_sram: SramModel::new(4 * 1024),
+            output_sram: SramModel::new(2 * 1024),
+            ..Self::paper_32x32()
+        }
+    }
+
+    /// Die area of the design in mm² (cells + scratchpads; periphery
+    /// amortized into the constants).
+    pub fn area_mm2(&self) -> f64 {
+        let cells = (self.rows * self.cols) as f64 * self.tech.cell_area(self.cell, self.acc);
+        cells
+            + self.weight_sram.area_mm2()
+            + self.input_sram.area_mm2()
+            + self.output_sram.area_mm2()
+    }
+
+    /// Evaluates the design on a workload.
+    ///
+    /// * `stats` — merged simulator counters for processing `samples`
+    ///   input samples;
+    /// * `weight_words` — 8-bit weight words loaded from the weight buffer
+    ///   (tile loads × tile size when tiling).
+    pub fn evaluate(&self, stats: &SimStats, weight_words: u64, samples: u64) -> AsicReport {
+        assert!(samples > 0, "need at least one sample");
+        let mac_pj = self.tech.mac_pj(self.acc);
+        let acc_bytes = (self.acc.bits() / 8) as u64;
+
+        let e_comp_pj = stats.cell_word_slots as f64 * mac_pj;
+        let e_mem_pj = self.input_sram.access_energy_pj(stats.input_words)
+            + self.output_sram.access_energy_pj(stats.output_words * acc_bytes)
+            + self.weight_sram.access_energy_pj(weight_words);
+        let e_total_pj = (e_comp_pj + e_mem_pj) * (1.0 + self.tech.static_overhead);
+
+        let time_s = stats.cycles as f64 * self.tech.cycle_time();
+        let energy_per_sample_j = e_total_pj * 1e-12 / samples as f64;
+        let throughput = samples as f64 / time_s.max(f64::MIN_POSITIVE);
+        let area = self.area_mm2();
+
+        AsicReport {
+            energy_comp_pj: e_comp_pj,
+            energy_mem_pj: e_mem_pj,
+            energy_per_sample_j: energy_per_sample_j,
+            throughput_fps: throughput,
+            area_mm2: area,
+            area_eff_fps_per_mm2: throughput / area,
+            energy_eff_fps_per_j: 1.0 / energy_per_sample_j,
+            utilization: stats.utilization(),
+        }
+    }
+}
+
+/// Evaluation results for an ASIC design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsicReport {
+    /// Dynamic MAC-datapath energy, pJ (the paper's `Ecomp`).
+    pub energy_comp_pj: f64,
+    /// SRAM traffic energy, pJ (the paper's `Emem`).
+    pub energy_mem_pj: f64,
+    /// Joules per input sample.
+    pub energy_per_sample_j: f64,
+    /// Input samples per second.
+    pub throughput_fps: f64,
+    /// Die area, mm².
+    pub area_mm2: f64,
+    /// Area efficiency (frames/s/mm², as in Table 1).
+    pub area_eff_fps_per_mm2: f64,
+    /// Energy efficiency (frames/J, as in Table 1).
+    pub energy_eff_fps_per_j: f64,
+    /// Fraction of occupied cell slots doing useful MACs.
+    pub utilization: f64,
+}
+
+impl AsicReport {
+    /// The paper's `r = Emem / Ecomp` (§7.2).
+    pub fn memory_compute_ratio(&self) -> f64 {
+        if self.energy_comp_pj == 0.0 {
+            0.0
+        } else {
+            self.energy_mem_pj / self.energy_comp_pj
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cell_word_slots: u64, mac_ops: u64, cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            load_cycles: 0,
+            mac_ops,
+            cell_word_slots,
+            // Realistic reuse: inputs fetched once per 32-row band, outputs
+            // written once per row band after accumulating 4 column tiles.
+            input_words: cell_word_slots / 32,
+            output_words: cell_word_slots / 128,
+        }
+    }
+
+    #[test]
+    fn packed_design_beats_unpacked_energy() {
+        let d = AsicDesign::paper_32x32();
+        // Unpacked: 6× the cell slots for the same useful MACs & more cycles.
+        let unpacked = d.evaluate(&stats(6_000_000, 1_000_000, 600_000), 60_000, 1);
+        let packed = d.evaluate(&stats(1_100_000, 1_000_000, 110_000), 11_000, 1);
+        let gain = unpacked.energy_per_sample_j / packed.energy_per_sample_j;
+        assert!(
+            (3.0..8.0).contains(&gain),
+            "energy gain {gain} outside the paper's 4–6× band (± margin)"
+        );
+        let tp_gain = packed.throughput_fps / unpacked.throughput_fps;
+        assert!(tp_gain > 3.0, "throughput gain {tp_gain}");
+    }
+
+    #[test]
+    fn sixteen_bit_design_cheaper_per_mac() {
+        let d32 = AsicDesign::paper_32x32();
+        let d16 = AsicDesign::lenet_16bit();
+        let s = stats(1_000_000, 900_000, 100_000);
+        let r32 = d32.evaluate(&s, 10_000, 1);
+        let r16 = d16.evaluate(&s, 10_000, 1);
+        assert!(r16.energy_per_sample_j < r32.energy_per_sample_j);
+        assert!(r16.area_mm2 < r32.area_mm2);
+    }
+
+    #[test]
+    fn memory_ratio_small_for_compute_heavy_workloads() {
+        let d = AsicDesign::paper_32x32();
+        let r = d.evaluate(&stats(10_000_000, 9_000_000, 1_000_000), 10_000, 1);
+        let ratio = r.memory_compute_ratio();
+        assert!(ratio < 0.5, "r = {ratio} should be small (§7.2 regime)");
+    }
+
+    #[test]
+    fn area_includes_srams() {
+        let d = AsicDesign::paper_32x32();
+        let cells_only =
+            (d.rows * d.cols) as f64 * d.tech.cell_area(d.cell, d.acc);
+        assert!(d.area_mm2() > cells_only);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let d = AsicDesign::paper_32x32();
+        let r = d.evaluate(&stats(1_000_000, 800_000, 100_000), 5_000, 2);
+        assert!((r.energy_eff_fps_per_j * r.energy_per_sample_j - 1.0).abs() < 1e-9);
+        assert!((r.area_eff_fps_per_mm2 * r.area_mm2 - r.throughput_fps).abs() < 1e-6);
+        assert!((r.utilization - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! FPGA design-point model (paper §7.3–7.4, Tables 2–3).
+//!
+//! The paper implements the column-combined arrays on a Xilinx XCKU035 at
+//! 150 MHz with 8-bit data/weights and 32-bit accumulation. Without the
+//! Vivado toolchain we model the design point by its clock and a board
+//! power estimate, and drive it with the simulator's cycle counts — the
+//! quantities Tables 2 and 3 compare (accuracy, frames/J, latency).
+
+/// An FPGA implementation point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FpgaDesign {
+    /// Clock frequency, Hz (paper: 150 MHz).
+    pub clock_hz: f64,
+    /// Accelerator power while streaming inference, watts: the array +
+    /// buffer logic of this design class at 150 MHz draws ≈1 W (the
+    /// calibration that makes published frames/J figures consistent).
+    pub power_w: f64,
+    /// Data/weight precision in bits (paper: 8).
+    pub precision_bits: u32,
+}
+
+impl Default for FpgaDesign {
+    fn default() -> Self {
+        Self::paper_xcku035()
+    }
+}
+
+impl FpgaDesign {
+    /// The paper's XCKU035 configuration.
+    pub fn paper_xcku035() -> Self {
+        FpgaDesign { clock_hz: 150e6, power_w: 1.0, precision_bits: 8 }
+    }
+
+    /// Evaluates a workload of `cycles_per_frame` clocks per input sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_frame` is zero.
+    pub fn evaluate(&self, cycles_per_frame: u64) -> FpgaReport {
+        assert!(cycles_per_frame > 0, "cycles per frame must be positive");
+        let latency_s = cycles_per_frame as f64 / self.clock_hz;
+        let fps = 1.0 / latency_s;
+        FpgaReport {
+            latency_us: latency_s * 1e6,
+            throughput_fps: fps,
+            energy_eff_fpj: fps / self.power_w,
+        }
+    }
+}
+
+/// FPGA evaluation results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FpgaReport {
+    /// Single-sample latency, microseconds (Table 3's metric).
+    pub latency_us: f64,
+    /// Frames per second.
+    pub throughput_fps: f64,
+    /// Energy efficiency, frames per joule (Table 2's metric).
+    pub energy_eff_fpj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_inverse_of_throughput() {
+        let r = FpgaDesign::paper_xcku035().evaluate(15_000);
+        assert!((r.latency_us * r.throughput_fps - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fewer_cycles_better_everywhere() {
+        let d = FpgaDesign::paper_xcku035();
+        let slow = d.evaluate(100_000);
+        let fast = d.evaluate(10_000);
+        assert!(fast.latency_us < slow.latency_us);
+        assert!(fast.energy_eff_fpj > slow.energy_eff_fpj);
+    }
+
+    #[test]
+    fn paper_clock_rate() {
+        let d = FpgaDesign::paper_xcku035();
+        assert_eq!(d.clock_hz, 150e6);
+        assert_eq!(d.precision_bits, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycles_panics() {
+        FpgaDesign::paper_xcku035().evaluate(0);
+    }
+}

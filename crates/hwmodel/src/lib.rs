@@ -1,0 +1,34 @@
+//! Hardware cost models for the column-combining reproduction (paper §7).
+//!
+//! The paper evaluates its design with Synopsys DC + the NanGate 45 nm
+//! library and CACTI 7.0. Neither tool is available here, so this crate
+//! substitutes *analytic models with constants calibrated to published
+//! 45 nm numbers* (energy per MAC/add from Horowitz's ISSCC 2014 survey,
+//! CACTI-style capacity scaling for SRAM). Every §7 comparison is a ratio
+//! between design points sharing these constants, so the ratios — which are
+//! what the paper's tables and figures report — are preserved. See
+//! DESIGN.md §2.
+//!
+//! Modules:
+//!
+//! * [`tech`] — 45 nm-class energy/area constants;
+//! * [`sram`] — CACTI-like SRAM energy/area model;
+//! * [`asic`] — ASIC design-point evaluation (energy/sample, throughput,
+//!   area efficiency, energy efficiency) from simulator statistics;
+//! * [`fpga`] — FPGA design-point model (Table 2/3 rows);
+//! * [`priorart`] — the prior-art rows of Tables 1–3, quoted from the
+//!   paper as fixed baselines;
+//! * [`optimality`] — the §7.2 optimality-of-energy-efficiency analysis.
+
+pub mod asic;
+pub mod fpga;
+pub mod optimality;
+pub mod priorart;
+pub mod sram;
+pub mod tech;
+
+pub use asic::{AsicDesign, AsicReport};
+pub use fpga::{FpgaDesign, FpgaReport};
+pub use optimality::{energy_efficiency_ratio, OptimalityPoint};
+pub use sram::SramModel;
+pub use tech::TechParams;

@@ -1,0 +1,119 @@
+//! Optimality-in-energy-efficiency analysis (paper §7.2).
+//!
+//! With `Etotal = Emac·c·Nopt + Emem`, where `c ≥ 1` is the ratio of
+//! performed to optimal MAC operations (the reciprocal of packing
+//! efficiency) and `r = Emem/Ecomp`, the paper shows
+//!
+//! ```text
+//! Energy Eff. / Optimal Energy Eff. = (1/c + r) / (1 + r) ≈ 1/c  (small r)
+//! ```
+//!
+//! so when SRAM traffic is a small fraction of compute energy, the packing
+//! efficiency achieved by column combining *is* the fraction of optimal
+//! energy efficiency attained.
+
+/// A design point for the §7.2 analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptimalityPoint {
+    /// `c` — performed MACs over optimal MACs (≥ 1; `1/utilization`).
+    pub c: f64,
+    /// `r` — memory energy over compute energy at the optimal design.
+    pub r: f64,
+}
+
+impl OptimalityPoint {
+    /// Builds a point from a measured utilization (packing) efficiency and
+    /// memory/compute ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization ≤ 1` and `r ≥ 0`.
+    pub fn from_utilization(utilization: f64, r: f64) -> Self {
+        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0,1]");
+        assert!(r >= 0.0, "r must be non-negative");
+        OptimalityPoint { c: 1.0 / utilization, r }
+    }
+
+    /// The packing efficiency `1/c`.
+    pub fn packing_efficiency(&self) -> f64 {
+        1.0 / self.c
+    }
+
+    /// The exact ratio of achieved to optimal energy efficiency.
+    pub fn efficiency_ratio(&self) -> f64 {
+        energy_efficiency_ratio(self.c, self.r)
+    }
+}
+
+/// `(1/c + r) / (1 + r)` — achieved over optimal energy efficiency.
+///
+/// # Panics
+///
+/// Panics if `c < 1` or `r < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cc_hwmodel::optimality::energy_efficiency_ratio;
+/// // §7.2's worked example: 94.5% packing efficiency, small r
+/// let ratio = energy_efficiency_ratio(1.0 / 0.945, 0.06);
+/// assert!((ratio - 0.948).abs() < 0.005); // ≈ packing efficiency
+/// ```
+pub fn energy_efficiency_ratio(c: f64, r: f64) -> f64 {
+    assert!(c >= 1.0, "c must be at least 1");
+    assert!(r >= 0.0, "r must be non-negative");
+    (1.0 / c + r) / (1.0 + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_packing_is_optimal() {
+        assert!((energy_efficiency_ratio(1.0, 0.1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_r_approximation_holds() {
+        // For small r the ratio approaches 1/c.
+        for util in [0.5, 0.8, 0.945] {
+            let p = OptimalityPoint::from_utilization(util, 0.01);
+            assert!((p.efficiency_ratio() - util).abs() < 0.02, "util={util}");
+        }
+    }
+
+    #[test]
+    fn large_r_dampens_packing_benefit() {
+        // When memory dominates, packing matters less.
+        let low_r = energy_efficiency_ratio(4.0, 0.05);
+        let high_r = energy_efficiency_ratio(4.0, 2.0);
+        assert!(high_r > low_r);
+        assert!(high_r > 0.7); // memory-bound: even poor packing is near "optimal"
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // γ=0.5 packing efficiency ≈ 94.5%, LeNet r = 0.06, ResNet r = 0.1.
+        let lenet = OptimalityPoint::from_utilization(0.945, 0.06);
+        assert!(lenet.efficiency_ratio() > 0.94);
+        let resnet = OptimalityPoint::from_utilization(0.945, 0.1);
+        assert!(resnet.efficiency_ratio() > 0.94);
+    }
+
+    #[test]
+    fn ratio_monotone_in_utilization() {
+        let mut prev = 0.0;
+        for util in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let v = OptimalityPoint::from_utilization(util, 0.06).efficiency_ratio();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn c_below_one_panics() {
+        energy_efficiency_ratio(0.5, 0.1);
+    }
+}

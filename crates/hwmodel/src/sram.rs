@@ -1,0 +1,97 @@
+//! CACTI-like analytic SRAM model.
+//!
+//! CACTI's detailed circuit model is unavailable offline; this reproduces
+//! its first-order behaviour: access energy grows roughly with the square
+//! root of capacity (longer bit/word lines), area grows linearly with a
+//! fixed per-bit cell area plus periphery. Constants are anchored at the
+//! familiar 45 nm datapoint of ≈5 pJ for a 32-bit read from an 8 KiB array
+//! (Horowitz, ISSCC 2014).
+
+/// Analytic SRAM model for a single-bank scratchpad.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramModel {
+    capacity_bytes: usize,
+    /// pJ per 8-bit word access at the 8 KiB anchor point.
+    anchor_word_pj: f64,
+    /// Anchor capacity for the sqrt scaling law.
+    anchor_bytes: f64,
+    /// mm² per KiB (bit cells + periphery amortized).
+    area_per_kib_mm2: f64,
+}
+
+impl SramModel {
+    /// Creates a model for a scratchpad of `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be positive");
+        SramModel {
+            capacity_bytes,
+            anchor_word_pj: 1.25, // 5 pJ / 32-bit read → 1.25 pJ per byte
+            anchor_bytes: 8.0 * 1024.0,
+            area_per_kib_mm2: 2.0e-3,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Energy of one 8-bit word access (read or write), pJ.
+    pub fn word_access_pj(&self) -> f64 {
+        let ratio = self.capacity_bytes as f64 / self.anchor_bytes;
+        self.anchor_word_pj * ratio.sqrt().max(0.25)
+    }
+
+    /// Energy for `words` 8-bit word accesses, pJ.
+    pub fn access_energy_pj(&self, words: u64) -> f64 {
+        words as f64 * self.word_access_pj()
+    }
+
+    /// Macro area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.capacity_bytes as f64 / 1024.0 * self.area_per_kib_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point_energy() {
+        let m = SramModel::new(8 * 1024);
+        assert!((m.word_access_pj() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_sublinearly_with_capacity() {
+        let small = SramModel::new(8 * 1024);
+        let big = SramModel::new(32 * 1024);
+        let ratio = big.word_access_pj() / small.word_access_pj();
+        assert!(ratio > 1.0 && ratio < 4.0);
+        assert!((ratio - 2.0).abs() < 1e-9); // sqrt(4) = 2
+    }
+
+    #[test]
+    fn tiny_arrays_floor_out() {
+        let m = SramModel::new(64);
+        assert!(m.word_access_pj() >= 1.25 * 0.25 - 1e-12);
+    }
+
+    #[test]
+    fn area_linear_in_capacity() {
+        let a = SramModel::new(16 * 1024).area_mm2();
+        let b = SramModel::new(32 * 1024).area_mm2();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        SramModel::new(0);
+    }
+}

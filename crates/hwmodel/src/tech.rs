@@ -1,0 +1,94 @@
+//! 45 nm-class technology constants.
+//!
+//! Energy numbers follow the widely-used 45 nm survey values
+//! (Horowitz, "Computing's energy problem", ISSCC 2014): an 8-bit multiply
+//! ≈ 0.2 pJ, an 8-bit add ≈ 0.03 pJ, a 32-bit add ≈ 0.1 pJ. A bit-serial
+//! 8×8→32 MAC word-operation is modelled as multiply + wide accumulate.
+//! Area constants are order-of-magnitude NanGate-45-class figures; all §7
+//! results are ratios between designs sharing these constants.
+
+use cc_systolic::cell::CellKind;
+use cc_tensor::quant::AccumWidth;
+
+/// Technology parameters for ASIC evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechParams {
+    /// Energy of one 8-bit × 8-bit multiply contribution (pJ).
+    pub mult_pj: f64,
+    /// Energy of the accumulate portion per word, per 8 accumulator bits (pJ).
+    pub add_per_byte_pj: f64,
+    /// Register/clock-tree energy per word operation (pJ). Bit-serial MACs
+    /// shift input, weight and accumulation registers on every clock of the
+    /// word, which dominates a parallel MAC's register cost.
+    pub register_pj: f64,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Area of one balanced bit-serial cell in mm² (MAC + weight register).
+    pub cell_area_mm2: f64,
+    /// Leakage + clocking overhead power as a fraction of dynamic energy.
+    pub static_overhead: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::nangate45()
+    }
+}
+
+impl TechParams {
+    /// The calibrated 45 nm-class parameter set used throughout.
+    pub fn nangate45() -> Self {
+        TechParams {
+            mult_pj: 0.25,
+            add_per_byte_pj: 0.025,
+            register_pj: 0.8,
+            clock_hz: 500e6,
+            cell_area_mm2: 6.0e-4, // ~600 µm² for MAC + registers
+            static_overhead: 0.15,
+        }
+    }
+
+    /// Energy of one bit-serial MAC word-operation at the given
+    /// accumulator width (pJ).
+    pub fn mac_pj(&self, acc: AccumWidth) -> f64 {
+        self.mult_pj + self.register_pj + self.add_per_byte_pj * (acc.bits() as f64 / 8.0)
+    }
+
+    /// Area of one systolic cell of the given kind (mm²).
+    pub fn cell_area(&self, cell: CellKind, acc: AccumWidth) -> f64 {
+        self.cell_area_mm2 * cell.relative_area(acc)
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_energy_scales_with_accumulator_width() {
+        let t = TechParams::nangate45();
+        let e16 = t.mac_pj(AccumWidth::Bits16);
+        let e32 = t.mac_pj(AccumWidth::Bits32);
+        assert!(e32 > e16);
+        assert!((e32 - e16 - 2.0 * t.add_per_byte_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mx_cell_area_slightly_above_interleaved() {
+        let t = TechParams::nangate45();
+        let il = t.cell_area(CellKind::Interleaved, AccumWidth::Bits32);
+        let mx = t.cell_area(CellKind::Multiplexed { mux_width: 8 }, AccumWidth::Bits32);
+        assert!(mx > il && mx < 1.2 * il);
+    }
+
+    #[test]
+    fn cycle_time_consistent() {
+        let t = TechParams::nangate45();
+        assert!((t.cycle_time() - 2e-9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-channel batch normalization with a hand-written backward pass.
+
+use crate::layers::pointwise::dims4;
+use crate::param::Param;
+use cc_tensor::{Shape, Tensor};
+
+/// Batch normalization over the `(B, H, W)` axes of an NCHW tensor.
+///
+/// Keeps running statistics for evaluation mode; learns a per-channel
+/// scale `γ` and bias `β`. Needed because the paper's deep shift networks
+/// (ResNet-20-Shift, VGG-16-Shift) do not train stably without it.
+#[derive(Clone, Debug)]
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `channels` channels
+    /// (γ = 1, β = 0, ε = 1e-5, running-stat momentum 0.1).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(Tensor::full(Shape::d1(channels), 1.0)),
+            beta: Param::new(Tensor::zeros(Shape::d1(channels))),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Learned per-channel scale γ.
+    pub fn gamma(&self) -> &[f32] {
+        self.gamma.value.as_slice()
+    }
+
+    /// Learned per-channel bias β.
+    pub fn beta(&self) -> &[f32] {
+        self.beta.value.as_slice()
+    }
+
+    /// Running per-channel mean (eval-mode statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running per-channel variance (eval-mode statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// The ε added to variances for numerical stability.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Permutes the channel dimension of γ, β and the running statistics
+    /// (used when the producing convolution's output channels are
+    /// permuted, §3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of the channels.
+    pub fn permute_channels(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.channels, "permutation length mismatch");
+        self.gamma.permute_leading(perm);
+        self.beta.permute_leading(perm);
+        let mean = self.running_mean.clone();
+        let var = self.running_var.clone();
+        for (i, &p) in perm.iter().enumerate() {
+            self.running_mean[i] = mean[p];
+            self.running_var[i] = var[p];
+        }
+    }
+
+    /// Forward pass. In training mode uses batch statistics and updates the
+    /// running estimates; in eval mode uses the running estimates.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        let (b, c, h, w) = dims4(x);
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let plane = b * h * w;
+        let hw = h * w;
+        let mut out = Tensor::zeros(x.shape());
+
+        let (mean, var) = if training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut s = 0.0;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * hw;
+                    for i in 0..hw {
+                        s += x.as_slice()[base + i];
+                    }
+                }
+                mean[ci] = s / plane as f32;
+                let mut v = 0.0;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * hw;
+                    for i in 0..hw {
+                        let d = x.as_slice()[base + i] - mean[ci];
+                        v += d * d;
+                    }
+                }
+                var[ci] = v / plane as f32;
+            }
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(x.shape());
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * hw;
+                let g = self.gamma.value[ci];
+                let bt = self.beta.value[ci];
+                for i in 0..hw {
+                    let xh = (x.as_slice()[base + i] - mean[ci]) * inv_std[ci];
+                    x_hat.as_mut_slice()[base + i] = xh;
+                    out.as_mut_slice()[base + i] = g * xh + bt;
+                }
+            }
+        }
+
+        if training {
+            self.cache = Some(BnCache { x_hat, inv_std });
+        }
+        out
+    }
+
+    /// Backward pass (training statistics), returning `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let (b, c, h, w) = dims4(grad_out);
+        let hw = h * w;
+        let plane = (b * hw) as f32;
+        let mut dx = Tensor::zeros(grad_out.shape());
+
+        for ci in 0..c {
+            // Accumulate per-channel reductions.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.as_slice()[base + i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.as_slice()[base + i];
+                }
+            }
+            self.beta.grad[ci] += sum_dy;
+            self.gamma.grad[ci] += sum_dy_xhat;
+
+            let g = self.gamma.value[ci];
+            let istd = cache.inv_std[ci];
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.as_slice()[base + i];
+                    let xh = cache.x_hat.as_slice()[base + i];
+                    dx.as_mut_slice()[base + i] =
+                        g * istd * (dy - sum_dy / plane - xh * sum_dy_xhat / plane);
+                }
+            }
+        }
+        dx
+    }
+
+    /// Visits γ and β.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::init;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm::new(3);
+        let x = init::kaiming_tensor(Shape::d4(4, 3, 5, 5), 3, 1);
+        let y = bn.forward(&x, true);
+        let (b, c, h, w) = (4, 3, 5, 5);
+        let hw = h * w;
+        for ci in 0..c {
+            let mut mean = 0.0;
+            let mut var = 0.0;
+            for bi in 0..b {
+                for i in 0..hw {
+                    mean += y.as_slice()[(bi * c + ci) * hw + i];
+                }
+            }
+            mean /= (b * hw) as f32;
+            for bi in 0..b {
+                for i in 0..hw {
+                    let d = y.as_slice()[(bi * c + ci) * hw + i] - mean;
+                    var += d * d;
+                }
+            }
+            var /= (b * hw) as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(2);
+        let x = init::kaiming_tensor(Shape::d4(8, 2, 4, 4), 2, 2);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let y_train = bn.forward(&x, true);
+        // after many updates running stats converge to batch stats
+        for (a, b) in y_eval.as_slice().iter().zip(y_train.as_slice()) {
+            assert!((a - b).abs() < 0.15, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm::new(2);
+        let x = init::kaiming_tensor(Shape::d4(2, 2, 3, 3), 2, 3);
+        // Loss: weighted sum so gradient is non-uniform.
+        let wgt = init::kaiming_tensor(Shape::d4(2, 2, 3, 3), 2, 4);
+        let y = bn.forward(&x, true);
+        let _ = y;
+        let dx = bn.backward(&wgt);
+
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let mut bn2 = BatchNorm::new(2);
+            let yp: f32 = bn2
+                .forward(&xp, true)
+                .as_slice()
+                .iter()
+                .zip(wgt.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let ym: f32 = bn2
+                .forward(&xm, true)
+                .as_slice()
+                .iter()
+                .zip(wgt.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (dx[i] - num).abs() < 2e-2,
+                "bn dx mismatch at {i}: analytic {} numeric {num}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm::new(1);
+        let x = init::kaiming_tensor(Shape::d4(1, 1, 2, 2), 1, 5);
+        let y = bn.forward(&x, true);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let _ = bn.backward(&ones);
+        // dβ = Σ dy = 4
+        assert!((bn.beta.grad[0] - 4.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Standard 3×3 convolution — the Fig. 2 baseline that shift convolution
+//! replaces.
+//!
+//! The paper's general formulation (§2.1) views any convolutional layer as
+//! a matrix product between an `N × (M·K·K)` filter matrix and an im2col
+//! data matrix. This layer provides that baseline so the cost/accuracy
+//! trade-off of moving to shift + pointwise layers (§2.3) can be measured
+//! within the same framework.
+
+use crate::layers::pointwise::dims4;
+use crate::param::Param;
+use cc_tensor::{init, matmul, transpose, Matrix, Shape, Tensor};
+
+/// 3×3 convolution with stride 1 and zero padding 1 (spatial size
+/// preserved), implemented as im2col + GEMM.
+#[derive(Clone, Debug)]
+pub struct Conv3x3 {
+    weight: Param, // (N, M*9) flattened filter matrix
+    in_channels: usize,
+    out_channels: usize,
+    cache_x: Option<Tensor>,
+}
+
+const K: usize = 3;
+const PAD: i64 = 1;
+
+impl Conv3x3 {
+    /// Creates a Kaiming-initialized 3×3 convolution.
+    pub fn new(in_channels: usize, out_channels: usize, seed: u64) -> Self {
+        let fan_in = in_channels * K * K;
+        Conv3x3 {
+            weight: Param::new(init::kaiming_matrix(out_channels, fan_in, seed).into_tensor()),
+            in_channels,
+            out_channels,
+            cache_x: None,
+        }
+    }
+
+    /// Input channels `M`.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channels `N`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The flattened `N × (M·9)` filter matrix (the paper's Fig. 1b form).
+    pub fn filter_matrix(&self) -> Matrix {
+        Matrix::from_tensor(self.weight.value.clone())
+    }
+
+    /// Weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        let (b, m, h, w) = dims4(x);
+        assert_eq!(m, self.in_channels, "conv3x3 input channels mismatch");
+        let col = im2col(x); // (M*9) × (B·H·W)
+        let f = Matrix::from_tensor(self.weight.value.clone());
+        let y = matmul(&f, &col); // N × BHW
+        if training {
+            self.cache_x = Some(x.clone());
+        }
+        crate::layers::pointwise::from_result_matrix(&y, b, self.out_channels, h, w)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward before forward");
+        let col = im2col(&x);
+        let g = crate::layers::pointwise::to_data_matrix(grad_out); // N × BHW
+
+        let dw = matmul(&g, &transpose(&col));
+        self.weight.grad.axpy(1.0, dw.as_tensor());
+        if let Some(mask) = &self.weight.mask {
+            for (gv, mv) in self.weight.grad.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                *gv *= mv;
+            }
+        }
+
+        let f = Matrix::from_tensor(self.weight.value.clone());
+        let dcol = matmul(&transpose(&f), &g); // (M*9) × BHW
+        col2im(&dcol, x.shape())
+    }
+
+    /// Visits the weight parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+}
+
+/// im2col for 3×3 / stride 1 / pad 1: row `(m·9 + ky·3 + kx)`, column
+/// `(b·H·W + y·W + x)` holds `x[b, m, y+ky−1, x+kx−1]` (zero outside).
+pub fn im2col(x: &Tensor) -> Matrix {
+    let (b, m, h, w) = dims4(x);
+    let mut col = Matrix::zeros(m * K * K, b * h * w);
+    for bi in 0..b {
+        for mi in 0..m {
+            for ky in 0..K {
+                for kx in 0..K {
+                    let row = mi * K * K + ky * K + kx;
+                    for y in 0..h as i64 {
+                        let sy = y + ky as i64 - PAD;
+                        if sy < 0 || sy >= h as i64 {
+                            continue;
+                        }
+                        for xx in 0..w as i64 {
+                            let sx = xx + kx as i64 - PAD;
+                            if sx < 0 || sx >= w as i64 {
+                                continue;
+                            }
+                            col.set(
+                                row,
+                                bi * h * w + y as usize * w + xx as usize,
+                                x.get4(bi, mi, sy as usize, sx as usize),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Adjoint of [`im2col`]: scatters column gradients back to image space.
+fn col2im(dcol: &Matrix, shape: Shape) -> Tensor {
+    let (b, m, h, w) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+    let mut out = Tensor::zeros(shape);
+    for bi in 0..b {
+        for mi in 0..m {
+            for ky in 0..K {
+                for kx in 0..K {
+                    let row = mi * K * K + ky * K + kx;
+                    for y in 0..h as i64 {
+                        let sy = y + ky as i64 - PAD;
+                        if sy < 0 || sy >= h as i64 {
+                            continue;
+                        }
+                        for xx in 0..w as i64 {
+                            let sx = xx + kx as i64 - PAD;
+                            if sx < 0 || sx >= w as i64 {
+                                continue;
+                            }
+                            let cur = out.get4(bi, mi, sy as usize, sx as usize);
+                            out.set4(
+                                bi,
+                                mi,
+                                sy as usize,
+                                sx as usize,
+                                cur + dcol.get(row, bi * h * w + y as usize * w + xx as usize),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut conv = Conv3x3::new(2, 3, 1);
+        let x = init::kaiming_tensor(Shape::d4(1, 2, 4, 4), 2, 2);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 3, 4, 4]);
+        let f = conv.filter_matrix();
+        // direct sliding-window reference
+        for n in 0..3 {
+            for oy in 0..4i64 {
+                for ox in 0..4i64 {
+                    let mut s = 0.0;
+                    for m in 0..2 {
+                        for ky in 0..3i64 {
+                            for kx in 0..3i64 {
+                                let sy = oy + ky - 1;
+                                let sx = ox + kx - 1;
+                                if sy < 0 || sy >= 4 || sx < 0 || sx >= 4 {
+                                    continue;
+                                }
+                                s += f.get(n, m * 9 + (ky * 3 + kx) as usize)
+                                    * x.get4(0, m, sy as usize, sx as usize);
+                            }
+                        }
+                    }
+                    let got = y.get4(0, n, oy as usize, ox as usize);
+                    assert!((got - s).abs() < 1e-4, "mismatch at ({n},{oy},{ox})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut conv = Conv3x3::new(2, 2, 3);
+        let x = init::kaiming_tensor(Shape::d4(1, 2, 3, 3), 2, 4);
+        let y = conv.forward(&x, true);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let dx = conv.backward(&ones);
+        let eps = 1e-3;
+        for i in (0..x.len()).step_by(2) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let yp = conv.forward(&xp, false).sum();
+            let ym = conv.forward(&xm, false).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((dx[i] - num).abs() < 1e-2, "dx mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_difference() {
+        let mut conv = Conv3x3::new(1, 2, 5);
+        let x = init::kaiming_tensor(Shape::d4(2, 1, 3, 3), 1, 6);
+        let y = conv.forward(&x, true);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let _ = conv.backward(&ones);
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-3;
+        for i in (0..conv.weight.value.len()).step_by(3) {
+            let orig = conv.weight.value[i];
+            conv.weight.value[i] = orig + eps;
+            let yp = conv.forward(&x, false).sum();
+            conv.weight.value[i] = orig - eps;
+            let ym = conv.forward(&x, false).sum();
+            conv.weight.value[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((analytic[i] - num).abs() < 1e-2, "dw mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn im2col_center_tap_is_identity() {
+        // The (ky=1, kx=1) row of im2col is the unshifted image.
+        let x = init::kaiming_tensor(Shape::d4(1, 1, 3, 3), 1, 7);
+        let col = im2col(&x);
+        let center = col.row(4); // 1*3+1
+        assert_eq!(center, x.as_slice());
+    }
+
+    #[test]
+    fn nine_times_pointwise_parameters() {
+        let conv = Conv3x3::new(8, 16, 1);
+        assert_eq!(conv.weight().len(), 16 * 8 * 9);
+    }
+}

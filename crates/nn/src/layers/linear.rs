@@ -1,0 +1,195 @@
+//! Fully-connected layer on flattened activations.
+
+use crate::param::Param;
+use cc_tensor::{init, matmul, transpose, Matrix, Shape, Tensor};
+
+/// Fully-connected layer: flattens `(B, C, H, W)` to `(B, C·H·W)` and
+/// applies `y = W·x + b` per sample.
+///
+/// In the paper's deployments the classifier head is also a matrix
+/// multiplication on the systolic array, so its weight participates in
+/// model-size accounting (ρ in Algorithm 1) alongside the pointwise layers.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_x: Option<Matrix>,
+    cache_shape: Option<Shape>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized fully-connected layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Linear {
+            weight: Param::new(init::kaiming_matrix(out_features, in_features, seed).into_tensor()),
+            bias: Param::new(Tensor::zeros(Shape::d1(out_features))),
+            in_features,
+            out_features,
+            cache_x: None,
+            cache_shape: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Permutes input features (weight columns) to match a channel
+    /// permutation of the producing layer. Valid when each input feature
+    /// corresponds to one channel (e.g. after global average pooling).
+    pub fn permute_in_features(&mut self, perm: &[usize]) {
+        self.weight.permute_cols(perm);
+    }
+
+    /// Forward pass; accepts any rank-4 input and flattens per sample.
+    /// Returns `(B, out, 1, 1)`.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        let b = x.shape().dim(0);
+        let feat = x.len() / b;
+        assert_eq!(feat, self.in_features, "linear input features mismatch");
+        // X as (in_features × B)
+        let mut xm = Matrix::zeros(self.in_features, b);
+        for bi in 0..b {
+            for f in 0..feat {
+                xm.set(f, bi, x.as_slice()[bi * feat + f]);
+            }
+        }
+        let w = Matrix::from_tensor(self.weight.value.clone());
+        let y = matmul(&w, &xm); // out × B
+        if training {
+            self.cache_x = Some(xm);
+            self.cache_shape = Some(x.shape());
+        }
+        let mut out = Tensor::zeros(Shape::d4(b, self.out_features, 1, 1));
+        for bi in 0..b {
+            for o in 0..self.out_features {
+                out.set4(bi, o, 0, 0, y.get(o, bi) + self.bias.value[o]);
+            }
+        }
+        out
+    }
+
+    /// Backward pass, returning `dL/dx` in the caller's original rank-4
+    /// input shape `(B, C, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xm = self.cache_x.take().expect("backward before forward");
+        let in_shape = self.cache_shape.take().expect("backward before forward");
+        let b = grad_out.shape().dim(0);
+        let mut g = Matrix::zeros(self.out_features, b);
+        for bi in 0..b {
+            for o in 0..self.out_features {
+                g.set(o, bi, grad_out.get4(bi, o, 0, 0));
+                self.bias.grad[o] += grad_out.get4(bi, o, 0, 0);
+            }
+        }
+        let dw = matmul(&g, &transpose(&xm));
+        self.weight.grad.axpy(1.0, dw.as_tensor());
+        if let Some(mask) = &self.weight.mask {
+            for (gv, mv) in self.weight.grad.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                *gv *= mv;
+            }
+        }
+        let w = Matrix::from_tensor(self.weight.value.clone());
+        let dx = matmul(&transpose(&w), &g); // in × B
+        let mut out = Tensor::zeros(in_shape);
+        let feat = self.in_features;
+        for bi in 0..b {
+            for f in 0..feat {
+                out.as_mut_slice()[bi * feat + f] = dx.get(f, bi);
+            }
+        }
+        out
+    }
+
+    /// Visits weight and bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_affine() {
+        let mut l = Linear::new(3, 2, 1);
+        let w = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 1.0]]);
+        l.weight.value = w.into_tensor();
+        l.bias.value[1] = 0.5;
+        let x = Tensor::from_vec(Shape::d4(1, 3, 1, 1), vec![2.0, 3.0, 4.0]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.get4(0, 0, 0, 0), 2.0);
+        assert_eq!(y.get4(0, 1, 0, 0), 7.5);
+    }
+
+    #[test]
+    fn backward_grads_match_finite_difference() {
+        let mut l = Linear::new(4, 3, 2);
+        let x = init::kaiming_tensor(Shape::d4(2, 4, 1, 1), 4, 3);
+        let y = l.forward(&x, true);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let dx = l.backward(&ones);
+        let analytic_w = l.weight.grad.clone();
+
+        let eps = 1e-3;
+        // input gradient
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let yp = l.forward(&xp, false).sum();
+            let ym = l.forward(&xm, false).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((dx[i] - num).abs() < 1e-2, "dx mismatch at {i}");
+        }
+        // weight gradient
+        for i in 0..l.weight.value.len() {
+            let orig = l.weight.value[i];
+            l.weight.value[i] = orig + eps;
+            let yp = l.forward(&x, false).sum();
+            l.weight.value[i] = orig - eps;
+            let ym = l.forward(&x, false).sum();
+            l.weight.value[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((analytic_w[i] - num).abs() < 1e-2, "dw mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn flattens_spatial_input() {
+        let mut l = Linear::new(8, 2, 5);
+        let x = init::kaiming_tensor(Shape::d4(3, 2, 2, 2), 8, 6);
+        let y = l.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[3, 2, 1, 1]);
+    }
+}

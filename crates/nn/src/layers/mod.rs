@@ -1,0 +1,17 @@
+//! Layer implementations (each with a hand-written backward pass).
+
+pub mod batchnorm;
+pub mod conv3x3;
+pub mod linear;
+pub mod pointwise;
+pub mod pool;
+pub mod relu;
+pub mod shift;
+
+pub use batchnorm::BatchNorm;
+pub use conv3x3::Conv3x3;
+pub use linear::Linear;
+pub use pointwise::{from_result_matrix, to_data_matrix, PointwiseConv};
+pub use pool::{AvgPool2, GlobalAvgPool};
+pub use relu::Relu;
+pub use shift::Shift;

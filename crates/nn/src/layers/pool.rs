@@ -1,0 +1,184 @@
+//! Average pooling layers.
+
+use crate::layers::pointwise::dims4;
+use cc_tensor::{Shape, Tensor};
+
+/// 2×2 average pooling with stride 2 (odd trailing rows/columns dropped,
+/// as in the standard LeNet/VGG reductions).
+#[derive(Clone, Debug, Default)]
+pub struct AvgPool2 {
+    in_shape: Option<Shape>,
+}
+
+impl AvgPool2 {
+    /// Creates a 2×2 stride-2 average-pooling layer.
+    pub fn new() -> Self {
+        AvgPool2 { in_shape: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        let (b, c, h, w) = dims4(x);
+        let (oh, ow) = (h / 2, w / 2);
+        if training {
+            self.in_shape = Some(x.shape());
+        }
+        let mut out = Tensor::zeros(Shape::d4(b, c, oh, ow));
+        for bi in 0..b {
+            for ci in 0..c {
+                for y in 0..oh {
+                    for xp in 0..ow {
+                        let s = x.get4(bi, ci, 2 * y, 2 * xp)
+                            + x.get4(bi, ci, 2 * y, 2 * xp + 1)
+                            + x.get4(bi, ci, 2 * y + 1, 2 * xp)
+                            + x.get4(bi, ci, 2 * y + 1, 2 * xp + 1);
+                        out.set4(bi, ci, y, xp, s / 4.0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: spreads each output gradient equally over its window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self.in_shape.take().expect("backward before forward");
+        let (b, c, oh, ow) = dims4(grad_out);
+        let mut dx = Tensor::zeros(in_shape);
+        for bi in 0..b {
+            for ci in 0..c {
+                for y in 0..oh {
+                    for xp in 0..ow {
+                        let g = grad_out.get4(bi, ci, y, xp) / 4.0;
+                        for (dy, dx_) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                            let prev = dx.get4(bi, ci, 2 * y + dy, 2 * xp + dx_);
+                            dx.set4(bi, ci, 2 * y + dy, 2 * xp + dx_, prev + g);
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// Global average pooling: collapses each channel's spatial plane to one
+/// value, producing `(B, C, 1, 1)`.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        let (b, c, h, w) = dims4(x);
+        if training {
+            self.in_shape = Some(x.shape());
+        }
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(Shape::d4(b, c, 1, 1));
+        for bi in 0..b {
+            for ci in 0..c {
+                let mut s = 0.0;
+                for y in 0..h {
+                    for xp in 0..w {
+                        s += x.get4(bi, ci, y, xp);
+                    }
+                }
+                out.set4(bi, ci, 0, 0, s / hw);
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self.in_shape.take().expect("backward before forward");
+        let (b, c, h, w) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2), in_shape.dim(3));
+        let hw = (h * w) as f32;
+        let mut dx = Tensor::zeros(in_shape);
+        for bi in 0..b {
+            for ci in 0..c {
+                let g = grad_out.get4(bi, ci, 0, 0) / hw;
+                for y in 0..h {
+                    for xp in 0..w {
+                        dx.set4(bi, ci, y, xp, g);
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avgpool_halves_resolution() {
+        let mut p = AvgPool2::new();
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.get4(0, 0, 0, 0), 2.5);
+    }
+
+    #[test]
+    fn avgpool_backward_distributes() {
+        let mut p = AvgPool2::new();
+        let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let _ = p.forward(&x, true);
+        let mut g = Tensor::zeros(Shape::d4(1, 1, 2, 2));
+        g.set4(0, 0, 0, 0, 4.0);
+        let dx = p.backward(&g);
+        assert_eq!(dx.get4(0, 0, 0, 0), 1.0);
+        assert_eq!(dx.get4(0, 0, 1, 1), 1.0);
+        assert_eq!(dx.get4(0, 0, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn global_pool_averages_plane() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(Shape::d4(1, 2, 2, 2), vec![1.0; 8]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.get4(0, 1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn global_pool_adjoint() {
+        let mut p = GlobalAvgPool::new();
+        let x = cc_tensor::init::kaiming_tensor(Shape::d4(1, 1, 3, 3), 1, 7);
+        let _ = p.forward(&x, true);
+        let mut g = Tensor::zeros(Shape::d4(1, 1, 1, 1));
+        g.set4(0, 0, 0, 0, 9.0);
+        let dx = p.backward(&g);
+        assert!(dx.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn odd_size_drops_trailing() {
+        let mut p = AvgPool2::new();
+        let x = Tensor::zeros(Shape::d4(1, 1, 5, 5));
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+}

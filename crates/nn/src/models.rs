@@ -1,0 +1,302 @@
+//! Model builders: LeNet-5-Shift, VGG-16-Shift and ResNet-20-Shift.
+//!
+//! Per the paper (§5): "Each convolution layer in all networks is replaced
+//! by shift followed by pointwise convolution (Shift Convolution in
+//! Figure 2)". A `width_mult` scales channel counts so the CPU-scale
+//! experiments finish quickly while preserving every filter-matrix aspect
+//! ratio (see DESIGN.md §2); `width_mult = 1.0` reproduces the full-size
+//! topologies.
+
+use crate::layer::{LayerKind, ResidualBlock};
+use crate::layers::{AvgPool2, BatchNorm, Conv3x3, GlobalAvgPool, Linear, PointwiseConv, Relu, Shift};
+use crate::network::Network;
+
+/// Input geometry and scaling for a model builder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelConfig {
+    /// Input channels (1 for MNIST-like, 3 for CIFAR-like).
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Channel-count multiplier (1.0 = paper-size network).
+    pub width_mult: f32,
+    /// Base RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// Full-width configuration.
+    pub fn new(in_channels: usize, height: usize, width: usize, classes: usize) -> Self {
+        ModelConfig { in_channels, height, width, classes, width_mult: 1.0, seed: 42 }
+    }
+
+    /// Quarter-width configuration for fast tests.
+    pub fn tiny(in_channels: usize, height: usize, width: usize, classes: usize) -> Self {
+        Self::new(in_channels, height, width, classes).with_width(0.25)
+    }
+
+    /// Overrides the width multiplier.
+    pub fn with_width(mut self, width_mult: f32) -> Self {
+        assert!(width_mult > 0.0, "width multiplier must be positive");
+        self.width_mult = width_mult;
+        self
+    }
+
+    /// Overrides the initialization seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales a base channel count, clamping to at least 4.
+    fn ch(&self, base: usize) -> usize {
+        ((base as f32 * self.width_mult).round() as usize).max(4)
+    }
+}
+
+/// Per-builder seed sequencer so every layer gets a distinct seed.
+struct SeedSeq(u64);
+
+impl SeedSeq {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// One shift-convolution unit: shift → pointwise → batch-norm → ReLU.
+fn shift_conv(in_ch: usize, out_ch: usize, seeds: &mut SeedSeq) -> Vec<LayerKind> {
+    vec![
+        LayerKind::Shift(Shift::new(in_ch)),
+        LayerKind::Pointwise(PointwiseConv::new(in_ch, out_ch, false, seeds.next())),
+        LayerKind::BatchNorm(BatchNorm::new(out_ch)),
+        LayerKind::Relu(Relu::new()),
+    ]
+}
+
+/// LeNet-5 with shift convolutions: two shift-conv + pool blocks, two
+/// pointwise "FC" layers on pooled features, and a linear classifier —
+/// mirroring LeNet-5's C1/C3 convolutions and F5/F6 fully-connected layers,
+/// all in packable pointwise form.
+pub fn lenet5_shift(cfg: &ModelConfig) -> Network {
+    let mut seeds = SeedSeq(cfg.seed);
+    let (c1, c2, f1, f2) = (cfg.ch(6), cfg.ch(16), cfg.ch(120), cfg.ch(84));
+    let mut layers = Vec::new();
+    layers.extend(shift_conv(cfg.in_channels, c1, &mut seeds));
+    layers.push(LayerKind::AvgPool(AvgPool2::new()));
+    layers.extend(shift_conv(c1, c2, &mut seeds));
+    layers.push(LayerKind::AvgPool(AvgPool2::new()));
+    // F5/F6 as pointwise convs over the remaining low-resolution plane:
+    // packable on the array, and they keep spatial detail the way LeNet's
+    // flattening FC layers do.
+    layers.extend(shift_conv(c2, f1, &mut seeds));
+    layers.extend(shift_conv(f1, f2, &mut seeds));
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(LayerKind::Linear(Linear::new(f2, cfg.classes, seeds.next())));
+    Network::new("lenet5-shift", layers, cfg.classes)
+}
+
+/// LeNet-5 with *standard* 3×3 convolutions — the Fig. 2 baseline.
+/// Identical topology to [`lenet5_shift`] but with each shift + pointwise
+/// pair replaced by one standard convolution (9× the weights per layer).
+pub fn lenet5_standard(cfg: &ModelConfig) -> Network {
+    let mut seeds = SeedSeq(cfg.seed ^ 0x57D);
+    let (c1, c2, f1, f2) = (cfg.ch(6), cfg.ch(16), cfg.ch(120), cfg.ch(84));
+    let conv = |in_ch: usize, out_ch: usize, seeds: &mut SeedSeq| {
+        vec![
+            LayerKind::Conv3x3(Conv3x3::new(in_ch, out_ch, seeds.next())),
+            LayerKind::BatchNorm(BatchNorm::new(out_ch)),
+            LayerKind::Relu(Relu::new()),
+        ]
+    };
+    let mut layers = Vec::new();
+    layers.extend(conv(cfg.in_channels, c1, &mut seeds));
+    layers.push(LayerKind::AvgPool(AvgPool2::new()));
+    layers.extend(conv(c1, c2, &mut seeds));
+    layers.push(LayerKind::AvgPool(AvgPool2::new()));
+    layers.extend(conv(c2, f1, &mut seeds));
+    layers.extend(conv(f1, f2, &mut seeds));
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(LayerKind::Linear(Linear::new(f2, cfg.classes, seeds.next())));
+    Network::new("lenet5-standard", layers, cfg.classes)
+}
+
+/// VGG-16 with shift convolutions: the standard 13-convolution stack with
+/// pooling after each stage (pooling is skipped once the spatial size
+/// reaches 1×1, so reduced-resolution configs remain valid).
+pub fn vgg16_shift(cfg: &ModelConfig) -> Network {
+    let mut seeds = SeedSeq(cfg.seed ^ 0x5673);
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut layers = Vec::new();
+    let mut in_ch = cfg.in_channels;
+    let (mut h, mut w) = (cfg.height, cfg.width);
+    for (base, convs) in stages {
+        let out_ch = cfg.ch(base);
+        for _ in 0..convs {
+            layers.extend(shift_conv(in_ch, out_ch, &mut seeds));
+            in_ch = out_ch;
+        }
+        if h >= 2 && w >= 2 {
+            layers.push(LayerKind::AvgPool(AvgPool2::new()));
+            h /= 2;
+            w /= 2;
+        }
+    }
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.extend(shift_conv(in_ch, cfg.ch(512), &mut seeds));
+    layers.push(LayerKind::Linear(Linear::new(cfg.ch(512), cfg.classes, seeds.next())));
+    Network::new("vgg16-shift", layers, cfg.classes)
+}
+
+/// ResNet-20 with shift convolutions: a stem plus three stages of three
+/// residual blocks (widths 16/32/64 before scaling), global average pooling
+/// and a linear classifier. Stage transitions downsample with a pool +
+/// zero-pad shortcut. 19 pointwise layers + classifier = the paper's 20.
+pub fn resnet20_shift(cfg: &ModelConfig) -> Network {
+    let mut seeds = SeedSeq(cfg.seed ^ 0xABCD);
+    let widths = [cfg.ch(16), cfg.ch(32), cfg.ch(64)];
+    let mut layers = Vec::new();
+    layers.extend(shift_conv(cfg.in_channels, widths[0], &mut seeds));
+
+    let mut in_ch = widths[0];
+    for (stage, &out_ch) in widths.iter().enumerate() {
+        for block in 0..3 {
+            let downsample = stage > 0 && block == 0;
+            let body = if downsample {
+                let mut b = vec![LayerKind::AvgPool(AvgPool2::new())];
+                b.extend(shift_conv(in_ch, out_ch, &mut seeds));
+                b.push(LayerKind::Shift(Shift::new(out_ch)));
+                b.push(LayerKind::Pointwise(PointwiseConv::new(
+                    out_ch,
+                    out_ch,
+                    false,
+                    seeds.next(),
+                )));
+                b.push(LayerKind::BatchNorm(BatchNorm::new(out_ch)));
+                b
+            } else {
+                let mut b = shift_conv(in_ch, out_ch, &mut seeds);
+                b.push(LayerKind::Shift(Shift::new(out_ch)));
+                b.push(LayerKind::Pointwise(PointwiseConv::new(
+                    out_ch,
+                    out_ch,
+                    false,
+                    seeds.next(),
+                )));
+                b.push(LayerKind::BatchNorm(BatchNorm::new(out_ch)));
+                b
+            };
+            let residual = if downsample {
+                ResidualBlock::downsampling(body, in_ch, out_ch)
+            } else {
+                ResidualBlock::identity(body, out_ch)
+            };
+            layers.push(LayerKind::Residual(residual));
+            layers.push(LayerKind::Relu(Relu::new()));
+            in_ch = out_ch;
+        }
+    }
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(LayerKind::Linear(Linear::new(in_ch, cfg.classes, seeds.next())));
+    Network::new("resnet20-shift", layers, cfg.classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::{init, Shape};
+
+    #[test]
+    fn lenet_forward_shape() {
+        let cfg = ModelConfig::tiny(1, 16, 16, 10);
+        let mut net = lenet5_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(2, 1, 16, 16), 1, 1);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[2, 10, 1, 1]);
+        assert_eq!(net.num_pointwise(), 4);
+    }
+
+    #[test]
+    fn vgg_forward_shape_and_layer_count() {
+        let cfg = ModelConfig::tiny(3, 16, 16, 10).with_width(0.1);
+        let mut net = vgg16_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(1, 3, 16, 16), 3, 2);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 10, 1, 1]);
+        assert_eq!(net.num_pointwise(), 14); // 13 convs + 1 pointwise FC
+    }
+
+    #[test]
+    fn resnet_forward_shape_and_layer_count() {
+        let cfg = ModelConfig::tiny(3, 16, 16, 10);
+        let mut net = resnet20_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(2, 3, 16, 16), 3, 3);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[2, 10, 1, 1]);
+        assert_eq!(net.num_pointwise(), 19);
+    }
+
+    #[test]
+    fn resnet_backward_runs() {
+        let cfg = ModelConfig::tiny(3, 8, 8, 4);
+        let mut net = resnet20_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(2, 3, 8, 8), 3, 4);
+        let y = net.forward(&x, true);
+        net.zero_grad();
+        net.backward(&cc_tensor::Tensor::full(y.shape(), 0.5));
+        let mut grad_norm = 0.0f32;
+        net.visit_params(&mut |p| {
+            grad_norm += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>()
+        });
+        assert!(grad_norm > 0.0, "no gradient reached parameters");
+    }
+
+    #[test]
+    fn width_mult_scales_channels() {
+        let full = ModelConfig::new(3, 32, 32, 10);
+        let half = full.with_width(0.5);
+        let mut net_full = resnet20_shift(&full);
+        let mut net_half = resnet20_shift(&half);
+        let first_out = |n: &mut Network| n.with_pointwise(0, |pw| pw.out_channels());
+        assert_eq!(first_out(&mut net_full), 16);
+        assert_eq!(first_out(&mut net_half), 8);
+    }
+
+    #[test]
+    fn full_width_resnet_matches_paper_widths() {
+        let cfg = ModelConfig::new(3, 32, 32, 10);
+        let mut net = resnet20_shift(&cfg);
+        let mut outs = Vec::new();
+        net.visit_pointwise(&mut |_, pw| outs.push(pw.out_channels()));
+        assert_eq!(outs[0], 16);
+        assert_eq!(*outs.last().unwrap(), 64);
+        assert!(outs.contains(&32));
+    }
+
+    #[test]
+    fn standard_lenet_matches_shift_topology() {
+        let cfg = ModelConfig::tiny(1, 16, 16, 10);
+        let mut std_net = lenet5_standard(&cfg);
+        let mut shift_net = lenet5_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(1, 1, 16, 16), 1, 1);
+        assert_eq!(std_net.forward(&x, false).shape(), shift_net.forward(&x, false).shape());
+        // Standard convs carry ~9x the conv weights of the pointwise stack.
+        assert_eq!(std_net.num_pointwise(), 0);
+        let std_params = std_net.num_params();
+        let shift_params = shift_net.num_params();
+        assert!(std_params > 5 * shift_params, "{std_params} vs {shift_params}");
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let cfg = ModelConfig::tiny(1, 8, 8, 10);
+        let mut a = lenet5_shift(&cfg);
+        let mut b = lenet5_shift(&cfg);
+        let x = init::kaiming_tensor(Shape::d4(1, 1, 8, 8), 1, 9);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+}

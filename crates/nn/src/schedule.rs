@@ -1,0 +1,89 @@
+//! Learning-rate schedules (paper §5: cosine decay per Algorithm 1
+//! iteration, then a final decay to zero).
+
+/// A learning-rate schedule evaluated per epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant(f32),
+    /// Cosine decay from `start` to `end` over `epochs` epochs (paper §5:
+    /// start η, end 0.2·η within each Algorithm 1 iteration; end 0 for the
+    /// final 100-epoch fine-tune).
+    Cosine {
+        /// Initial learning rate η.
+        start: f32,
+        /// Final learning rate.
+        end: f32,
+        /// Number of epochs the decay spans.
+        epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's per-iteration schedule: cosine from `eta` to `0.2·eta`.
+    pub fn paper_iteration(eta: f32, epochs: usize) -> Self {
+        LrSchedule::Cosine { start: eta, end: 0.2 * eta, epochs }
+    }
+
+    /// The paper's final fine-tune: cosine from `eta` to zero.
+    pub fn paper_final(eta: f32, epochs: usize) -> Self {
+        LrSchedule::Cosine { start: eta, end: 0.0, epochs }
+    }
+
+    /// Learning rate at `epoch` (0-based). Past the end of a cosine span
+    /// the final value is held.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::Cosine { start, end, epochs } => {
+                if epochs <= 1 {
+                    return end;
+                }
+                let t = (epoch.min(epochs - 1)) as f32 / (epochs - 1) as f32;
+                end + 0.5 * (start - end) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { start: 0.2, end: 0.04, epochs: 10 };
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at(9) - 0.04).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.04).abs() < 1e-6); // held past end
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::paper_iteration(0.05, 20);
+        let mut prev = f32::INFINITY;
+        for e in 0..20 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn paper_iteration_ends_at_20_percent() {
+        let s = LrSchedule::paper_iteration(0.2, 8);
+        assert!((s.lr_at(7) - 0.04).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.lr_at(0), s.lr_at(99));
+    }
+
+    #[test]
+    fn single_epoch_cosine_returns_end() {
+        let s = LrSchedule::Cosine { start: 1.0, end: 0.5, epochs: 1 };
+        assert_eq!(s.lr_at(0), 0.5);
+    }
+}

@@ -1,0 +1,308 @@
+//! Weight serialization: persist trained (and pruned) networks.
+//!
+//! Topology is code (the model builders are deterministic), so only the
+//! parameter values and pruning masks need to be stored. The format is a
+//! small self-describing binary: magic, parameter count, then for each
+//! parameter its length, values (f32 LE) and optional mask bitmap — in
+//! `visit_params` order, which is stable for a given topology.
+//!
+//! # Examples
+//!
+//! ```
+//! use cc_nn::models::{lenet5_shift, ModelConfig};
+//! use cc_nn::serialize::{load_weights, save_weights};
+//!
+//! let cfg = ModelConfig::tiny(1, 8, 8, 10);
+//! let mut trained = lenet5_shift(&cfg);
+//! let mut buf = Vec::new();
+//! save_weights(&mut trained, &mut buf)?;
+//!
+//! let mut fresh = lenet5_shift(&cfg); // same topology, different weights
+//! load_weights(&mut fresh, &mut buf.as_slice())?;
+//! # Ok::<(), cc_nn::serialize::SerializeError>(())
+//! ```
+
+use crate::network::Network;
+use cc_tensor::Tensor;
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"CCNNWT01";
+
+/// Errors from weight (de)serialization.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The stored parameter layout does not match the network topology.
+    TopologyMismatch {
+        /// Description of the divergence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::BadMagic => write!(f, "not a cc-nn weight stream"),
+            SerializeError::TopologyMismatch { detail } => {
+                write!(f, "weight stream does not match network topology: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes every parameter (values + masks) of `net` to `w`.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Io`] on write failure.
+pub fn save_weights<W: Write>(net: &mut Network, w: &mut W) -> Result<(), SerializeError> {
+    let mut params: Vec<(Vec<f32>, Option<Vec<f32>>)> = Vec::new();
+    net.visit_params(&mut |p| {
+        params.push((
+            p.value.as_slice().to_vec(),
+            p.mask.as_ref().map(|m| m.as_slice().to_vec()),
+        ));
+    });
+
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for (values, mask) in &params {
+        w.write_all(&(values.len() as u64).to_le_bytes())?;
+        for v in values {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        match mask {
+            Some(mask) => {
+                w.write_all(&[1u8])?;
+                // Bit-packed mask.
+                let mut byte = 0u8;
+                for (i, &m) in mask.iter().enumerate() {
+                    if m != 0.0 {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        w.write_all(&[byte])?;
+                        byte = 0;
+                    }
+                }
+                if mask.len() % 8 != 0 {
+                    w.write_all(&[byte])?;
+                }
+            }
+            None => w.write_all(&[0u8])?,
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameters into `net`, which must have the exact topology the
+/// stream was saved from.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::BadMagic`] for foreign streams and
+/// [`SerializeError::TopologyMismatch`] when counts or shapes diverge.
+pub fn load_weights<R: Read>(net: &mut Network, r: &mut R) -> Result<(), SerializeError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let count = read_u64(r)? as usize;
+
+    let mut expected = 0usize;
+    net.visit_params(&mut |_| expected += 1);
+    if expected != count {
+        return Err(SerializeError::TopologyMismatch {
+            detail: format!("stream has {count} parameters, network has {expected}"),
+        });
+    }
+
+    // Read everything first so a partial failure cannot corrupt the net.
+    let mut loaded: Vec<(Vec<f32>, Option<Vec<bool>>)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_u64(r)? as usize;
+        let mut values = vec![0f32; len];
+        for v in &mut values {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let mask = if flag[0] == 1 {
+            let bytes = len.div_ceil(8);
+            let mut raw = vec![0u8; bytes];
+            r.read_exact(&mut raw)?;
+            Some((0..len).map(|i| raw[i / 8] >> (i % 8) & 1 == 1).collect())
+        } else {
+            None
+        };
+        loaded.push((values, mask));
+    }
+
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    net.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        let (values, mask) = &loaded[idx];
+        idx += 1;
+        if values.len() != p.value.len() {
+            mismatch = Some(format!(
+                "parameter {idx} has {} values, expected {}",
+                values.len(),
+                p.value.len()
+            ));
+            return;
+        }
+        p.value.as_mut_slice().copy_from_slice(values);
+        p.velocity.as_mut_slice().fill(0.0);
+        match mask {
+            Some(bits) => {
+                let m = Tensor::from_vec(
+                    p.value.shape(),
+                    bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                );
+                p.set_mask(m);
+            }
+            None => p.clear_mask(),
+        }
+    });
+    match mismatch {
+        Some(detail) => Err(SerializeError::TopologyMismatch { detail }),
+        None => Ok(()),
+    }
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, SerializeError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{lenet5_shift, resnet20_shift, ModelConfig};
+    use cc_tensor::{init, Shape};
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let cfg = ModelConfig::tiny(1, 8, 8, 10);
+        let mut a = lenet5_shift(&cfg.with_seed(1));
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+
+        let mut b = lenet5_shift(&cfg.with_seed(999)); // different init
+        load_weights(&mut b, &mut buf.as_slice()).unwrap();
+
+        let x = init::kaiming_tensor(Shape::d4(2, 1, 8, 8), 1, 3);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn roundtrip_preserves_masks() {
+        let cfg = ModelConfig::tiny(1, 8, 8, 10);
+        let mut a = lenet5_shift(&cfg);
+        a.visit_pointwise(&mut |_, pw| {
+            let f = pw.filter_matrix();
+            let (pruned, _) = cc_tensor_prune(&f);
+            let mask = mask_of(&pruned);
+            pw.set_filter_matrix(pruned);
+            pw.weight_mut().set_mask(mask);
+        });
+        let nnz = a.nonzero_conv_weights();
+
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = lenet5_shift(&cfg.with_seed(5));
+        load_weights(&mut b, &mut buf.as_slice()).unwrap();
+
+        assert_eq!(b.nonzero_conv_weights(), nnz);
+        let mut masked = 0;
+        b.visit_pointwise(&mut |_, pw| {
+            if pw.weight().mask.is_some() {
+                masked += 1;
+            }
+        });
+        assert_eq!(masked, b.num_pointwise());
+    }
+
+    // local helpers avoiding a dev-dependency on cc-packing (dependency
+    // direction: packing depends on nn)
+    fn cc_tensor_prune(f: &cc_tensor::Matrix) -> (cc_tensor::Matrix, usize) {
+        let mut out = f.clone();
+        let mut removed = 0;
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 && *v != 0.0 {
+                *v = 0.0;
+                removed += 1;
+            }
+        }
+        (out, removed)
+    }
+
+    fn mask_of(f: &cc_tensor::Matrix) -> Tensor {
+        Tensor::from_vec(
+            Shape::d2(f.rows(), f.cols()),
+            f.as_slice().iter().map(|&v| if v != 0.0 { 1.0 } else { 0.0 }).collect(),
+        )
+    }
+
+    #[test]
+    fn wrong_topology_is_rejected() {
+        let mut a = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        match load_weights(&mut b, &mut buf.as_slice()) {
+            Err(SerializeError::TopologyMismatch { .. }) => {}
+            other => panic!("expected topology mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let buf = b"NOTAWEIGHTSTREAM".to_vec();
+        match load_weights(&mut net, &mut buf.as_slice()) {
+            Err(SerializeError::BadMagic) => {}
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut a = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        match load_weights(&mut b, &mut buf.as_slice()) {
+            Err(SerializeError::Io(_)) => {}
+            other => panic!("expected i/o error, got {other:?}"),
+        }
+    }
+}

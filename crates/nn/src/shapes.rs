@@ -1,0 +1,131 @@
+//! Static shape propagation: the geometry each pointwise layer sees.
+//!
+//! The hardware experiments need, for every pointwise layer, the filter
+//! matrix dimensions *and* the data-stream length (spatial positions per
+//! input sample, Fig. 1b's `L`). This walks the layer graph symbolically —
+//! no forward pass required.
+
+use crate::layer::LayerKind;
+use crate::network::Network;
+
+/// Geometry of one pointwise layer within a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointwiseShape {
+    /// Pointwise-layer index in execution order.
+    pub index: usize,
+    /// Input channels (filter-matrix columns before packing).
+    pub in_channels: usize,
+    /// Output channels (filter-matrix rows).
+    pub out_channels: usize,
+    /// Spatial height at the layer's input.
+    pub height: usize,
+    /// Spatial width at the layer's input.
+    pub width: usize,
+}
+
+impl PointwiseShape {
+    /// Data vectors per input sample (the stream length `L`).
+    pub fn stream_len(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+/// Walks `net` symbolically from an input of `(channels, height, width)`
+/// and returns the geometry of every pointwise layer in execution order.
+pub fn pointwise_shapes(
+    net: &Network,
+    channels: usize,
+    height: usize,
+    width: usize,
+) -> Vec<PointwiseShape> {
+    let mut out = Vec::new();
+    let mut state = (channels, height, width);
+    let mut index = 0usize;
+    for layer in net.layers() {
+        state = walk(layer, state, &mut out, &mut index);
+    }
+    out
+}
+
+fn walk(
+    layer: &LayerKind,
+    (c, h, w): (usize, usize, usize),
+    out: &mut Vec<PointwiseShape>,
+    index: &mut usize,
+) -> (usize, usize, usize) {
+    match layer {
+        LayerKind::Pointwise(pw) => {
+            debug_assert_eq!(pw.in_channels(), c, "shape walk out of sync");
+            out.push(PointwiseShape {
+                index: *index,
+                in_channels: pw.in_channels(),
+                out_channels: pw.out_channels(),
+                height: h,
+                width: w,
+            });
+            *index += 1;
+            (pw.out_channels(), h, w)
+        }
+        LayerKind::Conv3x3(conv) => (conv.out_channels(), h, w),
+        LayerKind::Shift(_) | LayerKind::BatchNorm(_) | LayerKind::Relu(_) => (c, h, w),
+        LayerKind::AvgPool(_) => (c, h / 2, w / 2),
+        LayerKind::GlobalAvgPool(_) => (c, 1, 1),
+        LayerKind::Linear(l) => (l.out_features(), 1, 1),
+        LayerKind::Residual(block) => {
+            let mut state = (c, h, w);
+            for inner in block.body() {
+                state = walk(inner, state, out, index);
+            }
+            state
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{lenet5_shift, resnet20_shift, vgg16_shift, ModelConfig};
+
+    #[test]
+    fn lenet_shapes_follow_pools() {
+        let cfg = ModelConfig::tiny(1, 16, 16, 10);
+        let net = lenet5_shift(&cfg);
+        let shapes = pointwise_shapes(&net, 1, 16, 16);
+        assert_eq!(shapes.len(), 4);
+        assert_eq!((shapes[0].height, shapes[0].width), (16, 16));
+        assert_eq!((shapes[1].height, shapes[1].width), (8, 8));
+        assert_eq!((shapes[2].height, shapes[2].width), (4, 4)); // after 2nd pool
+        assert_eq!(shapes[2].in_channels, shapes[1].out_channels);
+    }
+
+    #[test]
+    fn resnet_shapes_cover_all_layers() {
+        let cfg = ModelConfig::tiny(3, 32, 32, 10);
+        let net = resnet20_shift(&cfg);
+        let shapes = pointwise_shapes(&net, 3, 32, 32);
+        assert_eq!(shapes.len(), 19);
+        // stage transitions: stream length drops by 4× twice
+        assert_eq!(shapes[0].stream_len(), 1024);
+        assert_eq!(shapes.last().unwrap().stream_len(), 64);
+    }
+
+    #[test]
+    fn vgg_shapes_chain_channels() {
+        let cfg = ModelConfig::tiny(3, 16, 16, 10).with_width(0.1);
+        let net = vgg16_shift(&cfg);
+        let shapes = pointwise_shapes(&net, 3, 16, 16);
+        for pair in shapes.windows(2) {
+            assert_eq!(pair[1].in_channels, pair[0].out_channels);
+        }
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let cfg = ModelConfig::tiny(3, 8, 8, 10);
+        let net = resnet20_shift(&cfg);
+        let shapes = pointwise_shapes(&net, 3, 8, 8);
+        for (i, s) in shapes.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Column grouping — Algorithm 2 of the paper.
+//!
+//! Partitions the columns of a sparse filter matrix into groups of at most
+//! `α` columns such that each group meets the *limited-conflict condition*:
+//! at most `γ` conflicts per row **on average** (total conflicts ≤ γ·N).
+//! The default *dense-column-first* policy mirrors bin-packing heuristics
+//! that place large items first (§3.4).
+
+use cc_tensor::Matrix;
+
+/// Candidate-selection policy for Algorithm 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GroupingPolicy {
+    /// Paper policy: visit columns in decreasing density and add each to
+    /// the compatible group whose combined column would be densest.
+    #[default]
+    DenseColumnFirst,
+    /// Ablation baseline: visit columns in natural order and add each to
+    /// the first compatible group.
+    FirstFit,
+}
+
+/// Parameters of Algorithm 2.
+///
+/// Typical values from the paper: `α = 8`, `γ = 0.5` (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupingConfig {
+    /// Maximum number of combined columns per group (α ≥ 1).
+    pub alpha: usize,
+    /// Average conflicts allowed per row within a group (γ ≥ 0).
+    pub gamma: f64,
+    /// Candidate-selection policy.
+    pub policy: GroupingPolicy,
+}
+
+impl GroupingConfig {
+    /// Creates a configuration with the default dense-column-first policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha == 0` or `gamma < 0`.
+    pub fn new(alpha: usize, gamma: f64) -> Self {
+        assert!(alpha >= 1, "alpha must be at least 1");
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        GroupingConfig { alpha, gamma, policy: GroupingPolicy::DenseColumnFirst }
+    }
+
+    /// The paper's typical setting (α = 8, γ = 0.5).
+    pub fn paper_default() -> Self {
+        Self::new(8, 0.5)
+    }
+
+    /// Baseline with no combining at all (α = 1): every column is its own
+    /// group, equivalent to a standard sparse systolic deployment.
+    pub fn baseline() -> Self {
+        Self::new(1, 0.0)
+    }
+
+    /// Overrides the selection policy.
+    pub fn with_policy(mut self, policy: GroupingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A partition of filter-matrix columns into groups, as produced by
+/// [`group_columns`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnGroups {
+    groups: Vec<Vec<usize>>,
+    num_cols: usize,
+}
+
+impl ColumnGroups {
+    /// Builds groups from an explicit partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` is a partition of `0..num_cols` (every column
+    /// exactly once).
+    pub fn new(groups: Vec<Vec<usize>>, num_cols: usize) -> Self {
+        let mut seen = vec![false; num_cols];
+        for g in &groups {
+            for &c in g {
+                assert!(c < num_cols, "column {c} out of range");
+                assert!(!seen[c], "column {c} appears twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all columns grouped");
+        ColumnGroups { groups, num_cols }
+    }
+
+    /// The trivial partition: one group per column (α = 1 baseline).
+    pub fn singletons(num_cols: usize) -> Self {
+        ColumnGroups { groups: (0..num_cols).map(|c| vec![c]).collect(), num_cols }
+    }
+
+    /// The groups, each a list of original column indices.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of groups (columns of the packed matrix).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of columns in the original matrix.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Size of the largest group (the multiplexing degree MX cells need).
+    pub fn max_group_size(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Group index of each original column.
+    pub fn column_to_group(&self) -> Vec<usize> {
+        let mut map = vec![0usize; self.num_cols];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &c in g {
+                map[c] = gi;
+            }
+        }
+        map
+    }
+}
+
+/// Number of weights that would be pruned when combining the columns in
+/// `cols` (the group's *conflict count*): for each row, every nonzero beyond
+/// the first is a conflict.
+pub fn group_conflicts(f: &Matrix, cols: &[usize]) -> usize {
+    let mut conflicts = 0;
+    for r in 0..f.rows() {
+        let nnz = cols.iter().filter(|&&c| f.get(r, c) != 0.0).count();
+        conflicts += nnz.saturating_sub(1);
+    }
+    conflicts
+}
+
+/// Density of the combined column formed from `cols`: the fraction of rows
+/// covered by at least one nonzero.
+pub fn combined_density(f: &Matrix, cols: &[usize]) -> f64 {
+    if f.rows() == 0 {
+        return 0.0;
+    }
+    let covered = (0..f.rows())
+        .filter(|&r| cols.iter().any(|&c| f.get(r, c) != 0.0))
+        .count();
+    covered as f64 / f.rows() as f64
+}
+
+/// Algorithm 2: partitions the columns of `f` into groups meeting the α
+/// (size) and γ (limited-conflict) constraints.
+///
+/// Under [`GroupingPolicy::DenseColumnFirst`], ungrouped columns are
+/// visited in decreasing density; each is added to the *compatible* group
+/// whose combined column would have the highest density (ties broken by
+/// lower group index), or starts a new group when none is compatible.
+///
+/// # Examples
+///
+/// ```
+/// use cc_packing::group::{group_columns, GroupingConfig};
+/// use cc_tensor::Matrix;
+///
+/// // Two perfectly complementary columns pack into one group.
+/// let f = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+/// let groups = group_columns(&f, &GroupingConfig::new(8, 0.0));
+/// assert_eq!(groups.len(), 1);
+/// ```
+pub fn group_columns(f: &Matrix, cfg: &GroupingConfig) -> ColumnGroups {
+    let n_rows = f.rows();
+    let n_cols = f.cols();
+    if cfg.alpha == 1 {
+        return ColumnGroups::singletons(n_cols);
+    }
+    let conflict_budget = (cfg.gamma * n_rows as f64).floor() as usize;
+
+    // Visit order (the `pop(u)` of Algorithm 2).
+    let mut order: Vec<usize> = (0..n_cols).collect();
+    if cfg.policy == GroupingPolicy::DenseColumnFirst {
+        let dens: Vec<usize> = (0..n_cols).map(|c| f.col_nonzeros(c)).collect();
+        order.sort_by(|&a, &b| dens[b].cmp(&dens[a]).then(a.cmp(&b)));
+    }
+
+    // Per-group incremental state: covered rows (bitmap) and conflict count.
+    struct Group {
+        cols: Vec<usize>,
+        covered: Vec<bool>,
+        conflicts: usize,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+
+    for c in order {
+        let col_rows: Vec<usize> = (0..n_rows).filter(|&r| f.get(r, c) != 0.0).collect();
+        // Evaluate candidate groups.
+        let mut best: Option<(usize, f64)> = None; // (group index, resulting density)
+        for (gi, g) in groups.iter().enumerate() {
+            if g.cols.len() >= cfg.alpha {
+                continue;
+            }
+            let new_conflicts: usize =
+                col_rows.iter().filter(|&&r| g.covered[r]).count();
+            if g.conflicts + new_conflicts > conflict_budget {
+                continue;
+            }
+            let covered_now = g.covered.iter().filter(|&&b| b).count();
+            let newly = col_rows.iter().filter(|&&r| !g.covered[r]).count();
+            let density = (covered_now + newly) as f64 / n_rows.max(1) as f64;
+            match cfg.policy {
+                GroupingPolicy::DenseColumnFirst => {
+                    if best.map_or(true, |(_, d)| density > d) {
+                        best = Some((gi, density));
+                    }
+                }
+                GroupingPolicy::FirstFit => {
+                    best = Some((gi, density));
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                let g = &mut groups[gi];
+                g.conflicts += col_rows.iter().filter(|&&r| g.covered[r]).count();
+                for &r in &col_rows {
+                    g.covered[r] = true;
+                }
+                g.cols.push(c);
+            }
+            None => {
+                let mut covered = vec![false; n_rows];
+                for &r in &col_rows {
+                    covered[r] = true;
+                }
+                groups.push(Group { cols: vec![c], covered, conflicts: 0 });
+            }
+        }
+    }
+
+    let mut out: Vec<Vec<usize>> = groups
+        .into_iter()
+        .map(|mut g| {
+            g.cols.sort_unstable();
+            g.cols
+        })
+        .collect();
+    // Deterministic group order: by first member column.
+    out.sort_by_key(|g| g[0]);
+    ColumnGroups::new(out, n_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::init::sparse_matrix;
+
+    #[test]
+    fn alpha_one_gives_singletons() {
+        let f = sparse_matrix(10, 6, 0.5, 1);
+        let g = group_columns(&f, &GroupingConfig::baseline());
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.max_group_size(), 1);
+    }
+
+    #[test]
+    fn groups_partition_columns() {
+        let f = sparse_matrix(32, 40, 0.2, 2);
+        let g = group_columns(&f, &GroupingConfig::paper_default());
+        let mut all: Vec<usize> = g.groups().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alpha_limits_group_size() {
+        let f = sparse_matrix(64, 50, 0.05, 3);
+        for alpha in [1usize, 2, 4, 8] {
+            let g = group_columns(&f, &GroupingConfig::new(alpha, 1.0));
+            assert!(g.max_group_size() <= alpha, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn gamma_bounds_total_conflicts_per_group() {
+        let f = sparse_matrix(40, 60, 0.3, 4);
+        let gamma = 0.5;
+        let g = group_columns(&f, &GroupingConfig::new(8, gamma));
+        let budget = (gamma * f.rows() as f64).floor() as usize;
+        for cols in g.groups() {
+            assert!(
+                group_conflicts(&f, cols) <= budget,
+                "group {cols:?} exceeds conflict budget"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gamma_means_no_conflicts() {
+        let f = sparse_matrix(30, 30, 0.25, 5);
+        let g = group_columns(&f, &GroupingConfig::new(8, 0.0));
+        for cols in g.groups() {
+            assert_eq!(group_conflicts(&f, cols), 0);
+        }
+    }
+
+    #[test]
+    fn complementary_columns_combine_fully() {
+        // 4 columns, each dense on a distinct quarter of rows.
+        let mut f = Matrix::zeros(8, 4);
+        for c in 0..4 {
+            for r in 0..2 {
+                f.set(2 * c + r, c, 1.0);
+            }
+        }
+        let g = group_columns(&f, &GroupingConfig::new(4, 0.0));
+        assert_eq!(g.len(), 1);
+        assert!((combined_density(&f, &g.groups()[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_gamma_never_increases_group_count() {
+        let f = sparse_matrix(48, 64, 0.2, 6);
+        let mut prev = usize::MAX;
+        for gamma in [0.0, 0.1, 0.3, 0.5, 0.9] {
+            let g = group_columns(&f, &GroupingConfig::new(8, gamma));
+            assert!(g.len() <= prev, "gamma={gamma} grew groups");
+            prev = g.len();
+        }
+    }
+
+    #[test]
+    fn larger_alpha_never_increases_group_count() {
+        let f = sparse_matrix(48, 64, 0.15, 7);
+        let mut prev = usize::MAX;
+        for alpha in [1, 2, 4, 8, 16] {
+            let g = group_columns(&f, &GroupingConfig::new(alpha, 0.5));
+            assert!(g.len() <= prev, "alpha={alpha} grew groups");
+            prev = g.len();
+        }
+    }
+
+    #[test]
+    fn first_fit_policy_also_partitions() {
+        let f = sparse_matrix(32, 32, 0.2, 8);
+        let cfg = GroupingConfig::new(8, 0.5).with_policy(GroupingPolicy::FirstFit);
+        let g = group_columns(&f, &cfg);
+        let total: usize = g.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn dense_first_comparable_to_first_fit() {
+        // Both are greedy heuristics; neither dominates on group count, but
+        // the paper's dense-column-first policy should stay within a narrow
+        // band of first-fit while producing denser leading groups.
+        let mut dense_total = 0usize;
+        let mut ff_total = 0usize;
+        for seed in 0..5 {
+            let f = sparse_matrix(64, 96, 0.12, 100 + seed);
+            let d = group_columns(&f, &GroupingConfig::new(8, 0.5));
+            let ff = group_columns(
+                &f,
+                &GroupingConfig::new(8, 0.5).with_policy(GroupingPolicy::FirstFit),
+            );
+            dense_total += d.len();
+            ff_total += ff.len();
+        }
+        let ratio = dense_total as f64 / ff_total as f64;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "policies diverged: dense {dense_total} vs first-fit {ff_total}"
+        );
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_groups() {
+        let f = Matrix::zeros(0, 0);
+        let g = group_columns(&f, &GroupingConfig::paper_default());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn column_to_group_inverts_partition() {
+        let f = sparse_matrix(16, 20, 0.3, 9);
+        let g = group_columns(&f, &GroupingConfig::paper_default());
+        let map = g.column_to_group();
+        for (gi, cols) in g.groups().iter().enumerate() {
+            for &c in cols {
+                assert_eq!(map[c], gi);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn zero_alpha_panics() {
+        GroupingConfig::new(0, 0.5);
+    }
+}

@@ -1,0 +1,376 @@
+//! Algorithm 1: iterative training with column combining.
+//!
+//! ```text
+//! while ‖Ĉ‖₀ > ρ:
+//!     for each convolution layer:
+//!         1. initial-prune β% of smallest-magnitude weights
+//!         2. group columns (α, γ)                 [Algorithm 2]
+//!         3. prune conflicts within groups        [Algorithm 3]
+//!     4. retrain the network
+//!     β ← 0.9·β
+//! ```
+//!
+//! followed by a final fine-tune with the learning rate decayed to zero
+//! (paper §5: 100 epochs; configurable here).
+
+use crate::group::{group_columns, ColumnGroups, GroupingConfig, GroupingPolicy};
+use crate::metrics::{network_packing_report, PackingReport};
+use crate::pack::prune_conflicts;
+use crate::prune::{nonzero_mask, prune_smallest_fraction};
+use cc_dataset::Dataset;
+use cc_nn::schedule::LrSchedule;
+use cc_nn::train::{EpochStats, TrainConfig, Trainer};
+use cc_nn::Network;
+
+/// Configuration for [`ColumnCombiner`] (Algorithm 1's inputs).
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnCombineConfig {
+    /// α — maximum combined columns per group (paper typical: 8).
+    pub alpha: usize,
+    /// β — initial pruning fraction per iteration (paper typical: 0.20).
+    pub beta: f64,
+    /// γ — average conflicts allowed per row (paper typical: 0.5).
+    pub gamma: f64,
+    /// ρ — target number of nonzero pointwise weights (stopping criterion).
+    pub rho: usize,
+    /// Multiplicative β decay per iteration (paper: 0.9).
+    pub beta_decay: f64,
+    /// Retraining epochs per iteration.
+    pub epochs_per_iteration: usize,
+    /// Final fine-tuning epochs after the target is reached.
+    pub final_epochs: usize,
+    /// Safety bound on iterations.
+    pub max_iterations: usize,
+    /// Initial learning rate η (paper: 0.05 LeNet, 0.2 VGG/ResNet).
+    pub eta: f32,
+    /// Mini-batch size for retraining.
+    pub batch_size: usize,
+    /// RNG seed for batch shuffling.
+    pub seed: u64,
+    /// Column-grouping policy.
+    pub policy: GroupingPolicy,
+}
+
+impl Default for ColumnCombineConfig {
+    fn default() -> Self {
+        ColumnCombineConfig {
+            alpha: 8,
+            beta: 0.20,
+            gamma: 0.5,
+            rho: 0,
+            beta_decay: 0.9,
+            epochs_per_iteration: 4,
+            final_epochs: 8,
+            max_iterations: 12,
+            eta: 0.1,
+            batch_size: 32,
+            seed: 0,
+            policy: GroupingPolicy::DenseColumnFirst,
+        }
+    }
+}
+
+impl ColumnCombineConfig {
+    /// The grouping configuration implied by α/γ/policy.
+    pub fn grouping(&self) -> GroupingConfig {
+        GroupingConfig::new(self.alpha, self.gamma).with_policy(self.policy)
+    }
+}
+
+/// Statistics for one iteration of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationStats {
+    /// 0-based iteration number.
+    pub iteration: usize,
+    /// Nonzero pointwise weights before this iteration's pruning.
+    pub nonzeros_before: usize,
+    /// Weights removed by initial (magnitude) pruning.
+    pub pruned_initial: usize,
+    /// Weights removed by column-combine (conflict) pruning.
+    pub pruned_conflicts: usize,
+    /// Nonzero pointwise weights after pruning and retraining.
+    pub nonzeros_after: usize,
+    /// β used this iteration.
+    pub beta: f64,
+    /// Aggregate utilization efficiency after packing this iteration.
+    pub utilization: f64,
+    /// Test accuracy after retraining (0 when no test set given).
+    pub test_accuracy: f64,
+}
+
+/// Complete record of an Algorithm 1 run — the data behind Fig. 13a.
+#[derive(Clone, Debug, Default)]
+pub struct JointHistory {
+    /// Per-iteration summary.
+    pub iterations: Vec<IterationStats>,
+    /// Concatenated per-epoch training curve (pruning iterations followed
+    /// by the final fine-tune).
+    pub epochs: Vec<EpochStats>,
+    /// Epoch indices at which a pruning stage began (the dashed vertical
+    /// lines of Fig. 13a).
+    pub pruning_epochs: Vec<usize>,
+    /// Final test accuracy.
+    pub final_accuracy: f64,
+}
+
+/// Runs Algorithm 1 on a network.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnCombiner {
+    cfg: ColumnCombineConfig,
+}
+
+impl ColumnCombiner {
+    /// Creates a combiner.
+    pub fn new(cfg: ColumnCombineConfig) -> Self {
+        ColumnCombiner { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ColumnCombineConfig {
+        &self.cfg
+    }
+
+    /// One pruning pass over every pointwise layer (steps 1–3): initial
+    /// β-pruning, column grouping, conflict pruning, mask installation.
+    /// Returns `(groups per layer, initially pruned, conflict pruned)`.
+    pub fn prune_and_pack(
+        &self,
+        net: &mut Network,
+        beta: f64,
+    ) -> (Vec<ColumnGroups>, usize, usize) {
+        let gcfg = self.cfg.grouping();
+        let mut groups_out = Vec::with_capacity(net.num_pointwise());
+        let mut initial = 0usize;
+        let mut conflicts = 0usize;
+        net.visit_pointwise(&mut |_, pw| {
+            let f = pw.filter_matrix();
+            let (f1, n_init) = prune_smallest_fraction(&f, beta);
+            let groups = group_columns(&f1, &gcfg);
+            let (f2, n_conf) = prune_conflicts(&f1, &groups);
+            let mask = nonzero_mask(&f2);
+            pw.set_filter_matrix(f2);
+            pw.weight_mut().set_mask(mask.into_tensor());
+            initial += n_init;
+            conflicts += n_conf;
+            groups_out.push(groups);
+        });
+        (groups_out, initial, conflicts)
+    }
+
+    /// Recomputes column groups for the network's current weights without
+    /// modifying them (used for final reports).
+    pub fn group_network(&self, net: &Network) -> Vec<ColumnGroups> {
+        let gcfg = self.cfg.grouping();
+        let mut out = Vec::with_capacity(net.num_pointwise());
+        net.visit_pointwise_ref(&mut |_, pw| {
+            out.push(group_columns(&pw.filter_matrix(), &gcfg));
+        });
+        out
+    }
+
+    /// Runs the full Algorithm 1 loop plus final fine-tune. Returns the
+    /// history, the final per-layer groups and the final packing report.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        test: Option<&Dataset>,
+    ) -> (JointHistory, Vec<ColumnGroups>, PackingReport) {
+        let cfg = &self.cfg;
+        let mut history = JointHistory::default();
+        let mut beta = cfg.beta;
+        let mut iteration = 0usize;
+        let mut last_groups: Option<Vec<ColumnGroups>> = None;
+
+        while net.nonzero_conv_weights() > cfg.rho && iteration < cfg.max_iterations {
+            let nonzeros_before = net.nonzero_conv_weights();
+            history.pruning_epochs.push(history.epochs.len());
+            let (groups, pruned_initial, pruned_conflicts) = self.prune_and_pack(net, beta);
+            let report = network_packing_report(net, &groups);
+            last_groups = Some(groups);
+
+            let tc = TrainConfig {
+                epochs: cfg.epochs_per_iteration,
+                batch_size: cfg.batch_size,
+                schedule: LrSchedule::paper_iteration(cfg.eta, cfg.epochs_per_iteration),
+                seed: cfg.seed.wrapping_add(iteration as u64),
+                ..TrainConfig::default()
+            };
+            let h = Trainer::new(tc).fit(net, train, test);
+            let test_accuracy = h.final_accuracy();
+            history.epochs.extend(h.epochs);
+
+            history.iterations.push(IterationStats {
+                iteration,
+                nonzeros_before,
+                pruned_initial,
+                pruned_conflicts,
+                nonzeros_after: net.nonzero_conv_weights(),
+                beta,
+                utilization: report.utilization_efficiency(),
+                test_accuracy,
+            });
+            beta *= cfg.beta_decay;
+            iteration += 1;
+        }
+
+        // Final fine-tune: learning rate decays to zero (paper §5).
+        if cfg.final_epochs > 0 {
+            let tc = TrainConfig {
+                epochs: cfg.final_epochs,
+                batch_size: cfg.batch_size,
+                schedule: LrSchedule::paper_final(cfg.eta, cfg.final_epochs),
+                seed: cfg.seed.wrapping_add(1000),
+                ..TrainConfig::default()
+            };
+            let h = Trainer::new(tc).fit(net, train, test);
+            history.final_accuracy = h.final_accuracy();
+            history.epochs.extend(h.epochs);
+        } else {
+            history.final_accuracy =
+                history.iterations.last().map_or(0.0, |it| it.test_accuracy);
+        }
+
+        // Return the groups the network was actually pruned and retrained
+        // under (the last iteration's): re-grouping the final weights could
+        // introduce fresh conflicts whose pruning was never retrained away,
+        // which would make a packed deployment diverge from the trained
+        // model. Only when no iteration ran do we group from scratch.
+        let groups = last_groups.unwrap_or_else(|| self.group_network(net));
+        let report = network_packing_report(net, &groups);
+        (history, groups, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_dataset::SyntheticSpec;
+    use cc_nn::models::{lenet5_shift, ModelConfig};
+
+    fn small_setup() -> (Network, Dataset, Dataset) {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(128, 64).generate(3);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        (net, train, test)
+    }
+
+    #[test]
+    fn prune_and_pack_installs_masks() {
+        let (mut net, _, _) = small_setup();
+        let before = net.nonzero_conv_weights();
+        let combiner = ColumnCombiner::new(ColumnCombineConfig::default());
+        let (groups, initial, conflicts) = combiner.prune_and_pack(&mut net, 0.3);
+        assert_eq!(groups.len(), net.num_pointwise());
+        assert!(initial > 0);
+        assert_eq!(net.nonzero_conv_weights(), before - initial - conflicts);
+        // masks must pin pruned weights at zero
+        net.visit_pointwise(&mut |_, pw| {
+            assert!(pw.weight().mask.is_some());
+            assert_eq!(pw.weight().count_nonzero(), pw.weight().count_unmasked());
+        });
+    }
+
+    #[test]
+    fn run_reaches_target_nonzeros() {
+        let (mut net, train, test) = small_setup();
+        let total = net.nonzero_conv_weights();
+        let cfg = ColumnCombineConfig {
+            rho: total / 4,
+            epochs_per_iteration: 1,
+            final_epochs: 1,
+            max_iterations: 10,
+            ..ColumnCombineConfig::default()
+        };
+        let (history, groups, report) =
+            ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+        assert!(net.nonzero_conv_weights() <= total / 4, "target not reached");
+        assert!(!history.iterations.is_empty());
+        assert_eq!(groups.len(), net.num_pointwise());
+        assert!(report.utilization_efficiency() > 0.0);
+        // nonzeros must be monotone non-increasing across iterations
+        let mut prev = usize::MAX;
+        for it in &history.iterations {
+            assert!(it.nonzeros_after <= prev);
+            prev = it.nonzeros_after;
+        }
+    }
+
+    #[test]
+    fn beta_decays_each_iteration() {
+        let (mut net, train, _) = small_setup();
+        let cfg = ColumnCombineConfig {
+            rho: 0,
+            epochs_per_iteration: 0,
+            final_epochs: 0,
+            max_iterations: 3,
+            ..ColumnCombineConfig::default()
+        };
+        let (history, _, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        assert_eq!(history.iterations.len(), 3);
+        let betas: Vec<f64> = history.iterations.iter().map(|i| i.beta).collect();
+        assert!((betas[1] - betas[0] * 0.9).abs() < 1e-12);
+        assert!((betas[2] - betas[1] * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_beats_unpacked_density_after_run() {
+        // Once the network is sparse, the packed layout must hold far more
+        // nonzeros per cell than the unpacked sparse filter matrices would
+        // (this is the whole point of column combining).
+        let (mut net, train, _) = small_setup();
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 5,
+            epochs_per_iteration: 1,
+            final_epochs: 0,
+            ..ColumnCombineConfig::default()
+        };
+        let (history, _, report) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        assert!(!history.iterations.is_empty());
+        // Unpacked density of the final sparse network:
+        let mut cells = 0usize;
+        net.visit_pointwise_ref(&mut |_, pw| cells += pw.weight().len());
+        let density = net.nonzero_conv_weights() as f64 / cells as f64;
+        assert!(density < 0.35, "network should be sparse, got {density}");
+        assert!(
+            report.utilization_efficiency() > 1.8 * density,
+            "packed utilization {} should far exceed sparse density {density}",
+            report.utilization_efficiency()
+        );
+    }
+
+    #[test]
+    fn retraining_recovers_accuracy() {
+        // Accuracy after prune+retrain should beat accuracy right after
+        // pruning with no retraining.
+        let (mut net, train, test) = small_setup();
+        // Pre-train to a reasonable accuracy.
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            schedule: LrSchedule::Constant(0.1),
+            ..TrainConfig::default()
+        };
+        Trainer::new(tc).fit(&mut net, &train, None);
+        let base_acc = cc_nn::metrics::accuracy(&mut net, &test, 32);
+
+        let combiner = ColumnCombiner::new(ColumnCombineConfig::default());
+        let mut pruned_net = net.clone();
+        combiner.prune_and_pack(&mut pruned_net, 0.6);
+        let pruned_acc = cc_nn::metrics::accuracy(&mut pruned_net, &test, 32);
+
+        let tc2 = TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            schedule: LrSchedule::Constant(0.05),
+            ..TrainConfig::default()
+        };
+        Trainer::new(tc2).fit(&mut pruned_net, &train, None);
+        let retrained_acc = cc_nn::metrics::accuracy(&mut pruned_net, &test, 32);
+
+        assert!(
+            retrained_acc >= pruned_acc,
+            "retraining should recover accuracy: {pruned_acc} → {retrained_acc} (base {base_acc})"
+        );
+    }
+}

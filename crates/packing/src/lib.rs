@@ -1,0 +1,60 @@
+//! **Column combining under joint optimization** — the primary contribution
+//! of Kung, McDanel & Zhang (ASPLOS 2019), reimplemented in full.
+//!
+//! A sparse CNN's filter matrix wastes systolic cells: zero weights still
+//! occupy multiplier–accumulators. Column combining packs subsets of sparse
+//! columns into single dense columns. Within a group, when several columns
+//! have nonzeros on the same row (*conflict*), all but the largest-magnitude
+//! weight are pruned (*column-combine pruning*), and retraining recovers the
+//! accuracy. Iterating prune → pack → retrain jointly optimizes the network
+//! for **utilization efficiency** and **classification accuracy**.
+//!
+//! Crate layout, mapped to the paper:
+//!
+//! | Module | Paper |
+//! |---|---|
+//! | [`group`] | Algorithm 2 (column grouping, α/γ constraints, dense-column-first policy) |
+//! | [`pack`]  | Algorithm 3 (column-combine pruning) and the packed filter matrix |
+//! | [`prune`] | §2.4/Algorithm 1 step 1 (iterative magnitude pruning) |
+//! | [`joint`] | Algorithm 1 (iterative training with column combining) |
+//! | [`permute`] | §3.5 (row permutation for contiguous column groups) |
+//! | [`netperm`] | §3.5 applied network-wide (weights, BN stats, shift offsets) |
+//! | [`optimal`] | exact grouping by branch & bound (greedy-gap ablation) |
+//! | [`stats`] | conflict distributions (§5.3 analysis) |
+//! | [`tiling`] | §5.4 (partitioned matrix multiplication tile counts) |
+//! | [`metrics`] | §5 (packing / utilization efficiency) |
+//!
+//! # Examples
+//!
+//! Pack a random sparse filter matrix and measure utilization efficiency:
+//!
+//! ```
+//! use cc_packing::{group::{group_columns, GroupingConfig}, pack::pack_columns};
+//! use cc_tensor::init::sparse_matrix;
+//!
+//! let f = sparse_matrix(96, 94, 0.16, 7); // ~16% dense, as in Fig. 14b
+//! let cfg = GroupingConfig::new(8, 0.5);
+//! let groups = group_columns(&f, &cfg);
+//! let packed = pack_columns(&f, &groups);
+//! assert!(packed.utilization_efficiency() > 0.5);
+//! assert!(packed.num_groups() < 40); // far fewer than 94 columns
+//! ```
+
+pub mod group;
+pub mod joint;
+pub mod metrics;
+pub mod netperm;
+pub mod optimal;
+pub mod pack;
+pub mod permute;
+pub mod prune;
+pub mod stats;
+pub mod tiling;
+
+pub use group::{group_columns, ColumnGroups, GroupingConfig, GroupingPolicy};
+pub use joint::{ColumnCombineConfig, ColumnCombiner, JointHistory};
+pub use pack::{pack_columns, prune_conflicts, PackedFilterMatrix};
+pub use netperm::permute_network_for_contiguous_groups;
+pub use optimal::optimal_groups;
+pub use prune::prune_smallest_fraction;
+pub use tiling::{tiles_for, TilingReport};

@@ -1,0 +1,132 @@
+//! Packing / utilization efficiency metrics (§5).
+
+use crate::group::ColumnGroups;
+use crate::pack::PackedFilterMatrix;
+use cc_nn::Network;
+use cc_tensor::Matrix;
+
+/// Per-layer packing summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerPackingStats {
+    /// Pointwise-layer index in execution order.
+    pub layer: usize,
+    /// Rows (filters) of the filter matrix.
+    pub rows: usize,
+    /// Columns (input channels) of the filter matrix.
+    pub cols: usize,
+    /// Nonzero weights.
+    pub nonzeros: usize,
+    /// Number of combined columns after grouping.
+    pub groups: usize,
+    /// Fraction of packed cells that hold a nonzero weight.
+    pub utilization: f64,
+}
+
+/// Network-wide packing summary: the utilization-efficiency numbers plotted
+/// in Figs. 13b/13c.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PackingReport {
+    /// Per-layer statistics.
+    pub layers: Vec<LayerPackingStats>,
+}
+
+impl PackingReport {
+    /// Aggregate utilization efficiency: total nonzeros over total packed
+    /// cells across layers (the MAC-weighted average the paper reports).
+    pub fn utilization_efficiency(&self) -> f64 {
+        let cells: usize = self.layers.iter().map(|l| l.rows * l.groups).sum();
+        let nnz: usize = self.layers.iter().map(|l| l.nonzeros).sum();
+        if cells == 0 {
+            0.0
+        } else {
+            nnz as f64 / cells as f64
+        }
+    }
+
+    /// Total nonzero weights across layers.
+    pub fn total_nonzeros(&self) -> usize {
+        self.layers.iter().map(|l| l.nonzeros).sum()
+    }
+
+    /// Total combined columns across layers.
+    pub fn total_groups(&self) -> usize {
+        self.layers.iter().map(|l| l.groups).sum()
+    }
+}
+
+/// Builds a [`LayerPackingStats`] from a packed matrix.
+pub fn layer_stats(layer: usize, f: &Matrix, packed: &PackedFilterMatrix) -> LayerPackingStats {
+    LayerPackingStats {
+        layer,
+        rows: f.rows(),
+        cols: f.cols(),
+        nonzeros: packed.weights().count_nonzero(),
+        groups: packed.num_groups(),
+        utilization: packed.utilization_efficiency(),
+    }
+}
+
+/// Packs every pointwise layer of `net` with the given per-layer groups and
+/// reports utilization. `groups[i]` must correspond to pointwise layer `i`.
+///
+/// # Panics
+///
+/// Panics if `groups.len()` differs from the number of pointwise layers.
+pub fn network_packing_report(net: &Network, groups: &[ColumnGroups]) -> PackingReport {
+    assert_eq!(groups.len(), net.num_pointwise(), "one group set per pointwise layer");
+    let mut report = PackingReport::default();
+    net.visit_pointwise_ref(&mut |i, pw| {
+        let f = pw.filter_matrix();
+        let packed = crate::pack::pack_columns(&f, &groups[i]);
+        report.layers.push(layer_stats(i, &f, &packed));
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use crate::pack::pack_columns;
+    use cc_tensor::init::sparse_matrix;
+
+    #[test]
+    fn aggregate_matches_manual_ratio() {
+        let mut report = PackingReport::default();
+        report.layers.push(LayerPackingStats {
+            layer: 0,
+            rows: 10,
+            cols: 20,
+            nonzeros: 30,
+            groups: 4,
+            utilization: 0.75,
+        });
+        report.layers.push(LayerPackingStats {
+            layer: 1,
+            rows: 10,
+            cols: 10,
+            nonzeros: 10,
+            groups: 2,
+            utilization: 0.5,
+        });
+        let expect = 40.0 / (10.0 * 4.0 + 10.0 * 2.0);
+        assert!((report.utilization_efficiency() - expect).abs() < 1e-12);
+        assert_eq!(report.total_nonzeros(), 40);
+        assert_eq!(report.total_groups(), 6);
+    }
+
+    #[test]
+    fn layer_stats_consistent_with_packed() {
+        let f = sparse_matrix(32, 48, 0.2, 3);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let stats = layer_stats(0, &f, &packed);
+        assert_eq!(stats.groups, groups.len());
+        assert!((stats.utilization - packed.utilization_efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        assert_eq!(PackingReport::default().utilization_efficiency(), 0.0);
+    }
+}

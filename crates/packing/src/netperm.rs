@@ -1,0 +1,224 @@
+//! Network-level row permutation (§3.5, applied end to end).
+//!
+//! [`crate::permute`] establishes the matrix-level facts; this module
+//! applies them to a whole *sequential* network: for every consecutive
+//! pointwise pair, the producing layer's output channels are reordered so
+//! the consuming layer's column groups become contiguous index ranges —
+//! the property that lets a simple counter replace the switchbox
+//! (Fig. 4c). Reordering a channel touches everything indexed by it:
+//! the producer's filter-matrix rows (weights, masks, momentum), the
+//! following batch norm's γ/β/running statistics, the next shift layer's
+//! offsets, and the consumer's filter-matrix columns.
+//!
+//! Residual networks are rejected: a skip connection forces one channel
+//! numbering on both of its endpoints, so per-pair permutation is not
+//! generally valid there (the paper pipelines LeNet-style chains).
+
+use crate::group::ColumnGroups;
+use crate::permute::{groups_are_contiguous, permutation_from_groups, remap_groups};
+use cc_nn::layer::LayerKind;
+use cc_nn::Network;
+use std::fmt;
+
+/// Why a network could not be permuted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetPermError {
+    /// The network contains a residual block.
+    ResidualNotSupported,
+    /// The network contains a standard 3×3 convolution.
+    Conv3x3NotSupported,
+    /// `groups.len()` does not match the pointwise-layer count.
+    GroupCountMismatch {
+        /// Pointwise layers in the network.
+        expected: usize,
+        /// Group sets supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetPermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetPermError::ResidualNotSupported => {
+                write!(f, "row permutation requires a sequential network (found residual block)")
+            }
+            NetPermError::Conv3x3NotSupported => {
+                write!(f, "row permutation supports shift+pointwise networks only")
+            }
+            NetPermError::GroupCountMismatch { expected, got } => {
+                write!(f, "expected {expected} group sets, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetPermError {}
+
+/// Permutes `net` in place so that every pointwise layer's column groups
+/// become contiguous, returning the remapped groups (layer 0's groups are
+/// unchanged — input channels are fixed by the data).
+///
+/// The network function is preserved exactly up to floating-point
+/// summation order (verified by tests).
+///
+/// # Errors
+///
+/// Returns a [`NetPermError`] and leaves `net` untouched when the
+/// topology is unsupported or the group count mismatches.
+pub fn permute_network_for_contiguous_groups(
+    net: &mut Network,
+    groups: &[ColumnGroups],
+) -> Result<Vec<ColumnGroups>, NetPermError> {
+    // Validate before mutating anything.
+    for layer in net.layers() {
+        match layer {
+            LayerKind::Residual(_) => return Err(NetPermError::ResidualNotSupported),
+            LayerKind::Conv3x3(_) => return Err(NetPermError::Conv3x3NotSupported),
+            _ => {}
+        }
+    }
+    let n_pw = net.num_pointwise();
+    if groups.len() != n_pw {
+        return Err(NetPermError::GroupCountMismatch { expected: n_pw, got: groups.len() });
+    }
+
+    let layers = net.layers_mut();
+    let pw_positions: Vec<usize> = layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, LayerKind::Pointwise(_)).then_some(i))
+        .collect();
+
+    let mut out_groups: Vec<ColumnGroups> = groups.to_vec();
+    for k in 0..n_pw.saturating_sub(1) {
+        let perm = permutation_from_groups(&groups[k + 1]);
+        // Producer: permute output channels (filter rows, bias, mask).
+        if let LayerKind::Pointwise(pw) = &mut layers[pw_positions[k]] {
+            pw.permute_out_channels(&perm);
+        }
+        // Channel-indexed layers between the pair.
+        for layer in &mut layers[pw_positions[k] + 1..pw_positions[k + 1]] {
+            match layer {
+                LayerKind::BatchNorm(bn) => bn.permute_channels(&perm),
+                LayerKind::Shift(s) => s.permute_channels(&perm),
+                LayerKind::Relu(_) | LayerKind::AvgPool(_) | LayerKind::GlobalAvgPool(_) => {}
+                LayerKind::Linear(_) => unreachable!("classifier before a pointwise layer"),
+                LayerKind::Pointwise(_) | LayerKind::Conv3x3(_) | LayerKind::Residual(_) => {
+                    unreachable!("validated above")
+                }
+            }
+        }
+        // Consumer: permute input channels (filter columns, mask columns).
+        if let LayerKind::Pointwise(pw) = &mut layers[pw_positions[k + 1]] {
+            pw.permute_in_channels(&perm);
+        }
+        out_groups[k + 1] = remap_groups(&groups[k + 1], &perm);
+        debug_assert!(groups_are_contiguous(&out_groups[k + 1]));
+    }
+    Ok(out_groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use cc_nn::models::{lenet5_shift, resnet20_shift, ModelConfig};
+    use cc_tensor::{init, Shape};
+
+    fn fresh_groups(net: &Network) -> Vec<ColumnGroups> {
+        let cfg = GroupingConfig::paper_default();
+        let mut out = Vec::new();
+        net.visit_pointwise_ref(&mut |_, pw| out.push(group_columns(&pw.filter_matrix(), &cfg)));
+        out
+    }
+
+    #[test]
+    fn permutation_preserves_network_function() {
+        let cfg = ModelConfig::tiny(1, 12, 12, 10).with_width(0.5);
+        let mut net = lenet5_shift(&cfg);
+        // Sparsify so grouping is non-trivial.
+        net.visit_pointwise(&mut |_, pw| {
+            let (pruned, _) = crate::prune_smallest_fraction(&pw.filter_matrix(), 0.7);
+            pw.set_filter_matrix(pruned);
+        });
+        let groups = fresh_groups(&net);
+        let x = init::kaiming_tensor(Shape::d4(2, 1, 12, 12), 1, 5);
+        let before = net.forward(&x, false);
+
+        let remapped = permute_network_for_contiguous_groups(&mut net, &groups).unwrap();
+        let after = net.forward(&x, false);
+
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "output changed: {a} vs {b}");
+        }
+        // Every non-input layer's groups are now contiguous ranges.
+        for g in &remapped[1..] {
+            assert!(groups_are_contiguous(g));
+        }
+        // Layer 0 untouched.
+        assert_eq!(remapped[0], groups[0]);
+    }
+
+    #[test]
+    fn batchnorm_statistics_follow_channels() {
+        // Train-free check: permutation must not change eval-mode outputs,
+        // which depend on running statistics — already covered above — and
+        // nonzero counts must be preserved exactly.
+        let cfg = ModelConfig::tiny(1, 8, 8, 10);
+        let mut net = lenet5_shift(&cfg);
+        net.visit_pointwise(&mut |_, pw| {
+            let (pruned, _) = crate::prune_smallest_fraction(&pw.filter_matrix(), 0.5);
+            let mask = crate::prune::nonzero_mask(&pruned);
+            pw.set_filter_matrix(pruned);
+            pw.weight_mut().set_mask(mask.into_tensor());
+        });
+        let nnz = net.nonzero_conv_weights();
+        let groups = fresh_groups(&net);
+        permute_network_for_contiguous_groups(&mut net, &groups).unwrap();
+        assert_eq!(net.nonzero_conv_weights(), nnz);
+        net.visit_pointwise(&mut |_, pw| {
+            assert_eq!(pw.weight().count_nonzero(), pw.weight().count_unmasked());
+        });
+    }
+
+    #[test]
+    fn residual_networks_are_rejected_untouched() {
+        let cfg = ModelConfig::tiny(3, 8, 8, 10);
+        let mut net = resnet20_shift(&cfg);
+        let groups = fresh_groups(&net);
+        let x = init::kaiming_tensor(Shape::d4(1, 3, 8, 8), 3, 9);
+        let before = net.forward(&x, false);
+        let err = permute_network_for_contiguous_groups(&mut net, &groups).unwrap_err();
+        assert_eq!(err, NetPermError::ResidualNotSupported);
+        assert_eq!(net.forward(&x, false), before, "failed call must not mutate");
+    }
+
+    #[test]
+    fn group_count_mismatch_is_rejected() {
+        let cfg = ModelConfig::tiny(1, 8, 8, 10);
+        let mut net = lenet5_shift(&cfg);
+        let err = permute_network_for_contiguous_groups(&mut net, &[]).unwrap_err();
+        assert_eq!(err, NetPermError::GroupCountMismatch { expected: 4, got: 0 });
+    }
+
+    #[test]
+    fn mux_counter_condition_holds_after_permutation() {
+        // After permutation, the channels feeding each combined column of
+        // every layer are consecutive — a counter suffices (Fig. 4c).
+        let cfg = ModelConfig::tiny(1, 12, 12, 10).with_width(0.5);
+        let mut net = lenet5_shift(&cfg);
+        net.visit_pointwise(&mut |_, pw| {
+            let (pruned, _) = crate::prune_smallest_fraction(&pw.filter_matrix(), 0.8);
+            pw.set_filter_matrix(pruned);
+        });
+        let groups = fresh_groups(&net);
+        let remapped = permute_network_for_contiguous_groups(&mut net, &groups).unwrap();
+        for (li, g) in remapped.iter().enumerate().skip(1) {
+            for cols in g.groups() {
+                for pair in cols.windows(2) {
+                    assert_eq!(pair[1], pair[0] + 1, "layer {li} group {cols:?} not contiguous");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Column-combine pruning (Algorithm 3) and the packed filter matrix.
+
+use crate::group::ColumnGroups;
+use cc_tensor::Matrix;
+
+/// Algorithm 3: within each group, for every row keep only the
+/// largest-magnitude weight and zero the rest. Returns the pruned matrix
+/// (same shape as the input) and the number of weights pruned.
+///
+/// Ties are broken in favour of the earliest column in the group, matching
+/// the paper's pseudo-code (the first maximal entry encountered is kept).
+///
+/// # Examples
+///
+/// ```
+/// use cc_packing::group::ColumnGroups;
+/// use cc_packing::pack::prune_conflicts;
+/// use cc_tensor::Matrix;
+///
+/// let f = Matrix::from_rows(&[&[-3.0, 7.0, -8.0]]);
+/// let groups = ColumnGroups::new(vec![vec![0, 1, 2]], 3);
+/// let (pruned, removed) = prune_conflicts(&f, &groups);
+/// assert_eq!(removed, 2);
+/// assert_eq!(pruned.row(0), &[0.0, 0.0, -8.0]); // only the largest survives
+/// ```
+pub fn prune_conflicts(f: &Matrix, groups: &ColumnGroups) -> (Matrix, usize) {
+    assert_eq!(groups.num_cols(), f.cols(), "groups built for a different matrix");
+    let mut out = f.clone();
+    let mut removed = 0usize;
+    for cols in groups.groups() {
+        for r in 0..f.rows() {
+            // Find the largest |weight| in this row across the group.
+            let mut w = 0.0f32;
+            for &c in cols {
+                let v = f.get(r, c).abs();
+                if v > w {
+                    w = v;
+                }
+            }
+            if w == 0.0 {
+                continue;
+            }
+            let mut found = false;
+            for &c in cols {
+                let v = f.get(r, c);
+                if found || v.abs() < w {
+                    if v != 0.0 {
+                        out.set(r, c, 0.0);
+                        removed += 1;
+                    }
+                } else if v.abs() == w {
+                    found = true;
+                }
+            }
+        }
+    }
+    (out, removed)
+}
+
+/// A packed filter matrix: one combined column per group, each cell holding
+/// the surviving weight plus the original column (input channel) it reads —
+/// the data an MX cell needs (§4.2, Fig. 11c).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedFilterMatrix {
+    weights: Matrix,
+    channels: Vec<Option<usize>>, // row-major, rows × groups
+    groups: ColumnGroups,
+    original_cols: usize,
+}
+
+impl PackedFilterMatrix {
+    /// Number of rows (filters), unchanged by packing.
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of combined columns (groups).
+    pub fn num_groups(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of columns in the original unpacked matrix.
+    pub fn original_cols(&self) -> usize {
+        self.original_cols
+    }
+
+    /// The packed weight matrix (rows × groups).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The column groups this packing was built from.
+    pub fn groups(&self) -> &ColumnGroups {
+        &self.groups
+    }
+
+    /// Weight stored at `(row, group)` (zero when the cell is empty).
+    pub fn weight_at(&self, row: usize, group: usize) -> f32 {
+        self.weights.get(row, group)
+    }
+
+    /// Original column (input channel) multiplexed into `(row, group)`,
+    /// or `None` when the cell holds no weight.
+    pub fn channel_at(&self, row: usize, group: usize) -> Option<usize> {
+        self.channels[row * self.num_groups() + group]
+    }
+
+    /// Fraction of packed cells holding a nonzero weight — the paper's
+    /// *packing efficiency*, interchangeable with *utilization efficiency*
+    /// for this analysis (§5.2).
+    pub fn utilization_efficiency(&self) -> f64 {
+        let total = self.rows() * self.num_groups();
+        if total == 0 {
+            0.0
+        } else {
+            self.weights.count_nonzero() as f64 / total as f64
+        }
+    }
+
+    /// Reconstructs the sparse (unpacked) matrix, with conflicting weights
+    /// already pruned. Inverse of packing for surviving weights.
+    pub fn unpack(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), self.original_cols);
+        for r in 0..self.rows() {
+            for g in 0..self.num_groups() {
+                if let Some(c) = self.channel_at(r, g) {
+                    out.set(r, c, self.weight_at(r, g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `packed · data` exactly as the MX-cell systolic array would:
+    /// each packed cell multiplies the data row of its *original* channel.
+    /// Equal to `pruned_f · data` (validated by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has fewer rows than the original column count.
+    pub fn multiply(&self, data: &Matrix) -> Matrix {
+        assert!(
+            data.rows() >= self.original_cols,
+            "data matrix has {} rows, need {}",
+            data.rows(),
+            self.original_cols
+        );
+        let mut out = Matrix::zeros(self.rows(), data.cols());
+        for r in 0..self.rows() {
+            for g in 0..self.num_groups() {
+                if let Some(c) = self.channel_at(r, g) {
+                    let w = self.weight_at(r, g);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for j in 0..data.cols() {
+                        let cur = out.get(r, j);
+                        out.set(r, j, cur + w * data.get(c, j));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Packs `f` according to `groups`, applying column-combine pruning
+/// (Algorithm 3) in the process. Column `g` of the result is the combined
+/// column of group `g`.
+///
+/// # Panics
+///
+/// Panics if `groups` was built for a matrix with a different column count.
+pub fn pack_columns(f: &Matrix, groups: &ColumnGroups) -> PackedFilterMatrix {
+    assert_eq!(groups.num_cols(), f.cols(), "groups built for a different matrix");
+    let (pruned, _) = prune_conflicts(f, groups);
+    let n = f.rows();
+    let g_count = groups.len();
+    let mut weights = Matrix::zeros(n, g_count);
+    let mut channels = vec![None; n * g_count];
+    for (gi, cols) in groups.groups().iter().enumerate() {
+        for r in 0..n {
+            for &c in cols {
+                let v = pruned.get(r, c);
+                if v != 0.0 {
+                    weights.set(r, gi, v);
+                    channels[r * g_count + gi] = Some(c);
+                    break; // at most one survivor per row per group
+                }
+            }
+        }
+    }
+    PackedFilterMatrix { weights, channels, groups: groups.clone(), original_cols: f.cols() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use cc_tensor::init::sparse_matrix;
+    use cc_tensor::{matmul, Matrix};
+
+    #[test]
+    fn paper_figure3_example() {
+        // Blue group of Fig. 3: conflicting (-3), (7), (-8) → keep -8.
+        let f = Matrix::from_rows(&[
+            &[-3.0, 0.0, 7.0, 0.0, -8.0],
+            &[0.0, 2.0, 0.0, 0.0, 0.0],
+            &[5.0, 0.0, 0.0, -1.0, 0.0],
+        ]);
+        let groups = ColumnGroups::new(vec![vec![0, 2, 4], vec![1, 3]], 5);
+        let (pruned, removed) = prune_conflicts(&f, &groups);
+        assert_eq!(pruned.get(0, 0), 0.0);
+        assert_eq!(pruned.get(0, 2), 0.0);
+        assert_eq!(pruned.get(0, 4), -8.0);
+        // row 2: 5.0 in col 0 unique within group {0,2,4}; -1.0 unique in {1,3}
+        assert_eq!(pruned.get(2, 0), 5.0);
+        assert_eq!(pruned.get(2, 3), -1.0);
+        assert_eq!(removed, 2);
+    }
+
+    #[test]
+    fn pack_then_unpack_equals_pruned() {
+        let f = sparse_matrix(48, 64, 0.2, 11);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let (pruned, _) = prune_conflicts(&f, &groups);
+        assert_eq!(packed.unpack(), pruned);
+    }
+
+    #[test]
+    fn packed_multiply_matches_pruned_gemm() {
+        let f = sparse_matrix(32, 40, 0.25, 12);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let (pruned, _) = prune_conflicts(&f, &groups);
+        let data = sparse_matrix(40, 9, 1.0, 13);
+        let expect = matmul(&pruned, &data);
+        let got = packed.multiply(&data);
+        for (a, b) in expect.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packing_preserves_nonzeros_when_no_conflicts() {
+        let f = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[3.0, 0.0]]);
+        let groups = ColumnGroups::new(vec![vec![0, 1]], 2);
+        let packed = pack_columns(&f, &groups);
+        assert_eq!(packed.num_groups(), 1);
+        assert_eq!(packed.weights().count_nonzero(), 3);
+        assert_eq!(packed.channel_at(0, 0), Some(0));
+        assert_eq!(packed.channel_at(1, 0), Some(1));
+        assert!((packed.utilization_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_improves_with_combining() {
+        let f = sparse_matrix(64, 96, 0.15, 14);
+        let base = pack_columns(&f, &ColumnGroups::singletons(96));
+        let combined =
+            pack_columns(&f, &group_columns(&f, &GroupingConfig::paper_default()));
+        assert!(
+            combined.utilization_efficiency() > 2.0 * base.utilization_efficiency(),
+            "combining should raise utilization substantially: {} vs {}",
+            combined.utilization_efficiency(),
+            base.utilization_efficiency()
+        );
+    }
+
+    #[test]
+    fn tie_breaks_keep_exactly_one() {
+        let f = Matrix::from_rows(&[&[2.0, -2.0, 2.0]]);
+        let groups = ColumnGroups::new(vec![vec![0, 1, 2]], 3);
+        let (pruned, removed) = prune_conflicts(&f, &groups);
+        assert_eq!(removed, 2);
+        assert_eq!(pruned.row(0).iter().filter(|v| **v != 0.0).count(), 1);
+        assert_eq!(pruned.get(0, 0), 2.0); // earliest column wins
+    }
+
+    #[test]
+    fn empty_rows_stay_empty() {
+        let f = Matrix::zeros(4, 6);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        assert_eq!(packed.weights().count_nonzero(), 0);
+        assert_eq!(packed.utilization_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn singleton_groups_prune_nothing() {
+        let f = sparse_matrix(20, 10, 0.5, 15);
+        let (pruned, removed) = prune_conflicts(&f, &ColumnGroups::singletons(10));
+        assert_eq!(removed, 0);
+        assert_eq!(pruned, f);
+    }
+}

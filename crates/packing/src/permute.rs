@@ -1,0 +1,145 @@
+//! Row permutation for contiguous column groups (§3.5).
+//!
+//! The systolic array for layer `i+1` multiplexes groups of its input
+//! channels (= output channels of layer `i`). Permuting the *rows* of layer
+//! `i`'s filter matrix so that channels of the same layer-`i+1` group leave
+//! the array next to each other replaces an expensive switchbox with a
+//! simple counter (Fig. 4c). The permutation is valid because column
+//! combining of layer `i+1` is unaffected by row permutations of layer `i`.
+
+use crate::group::ColumnGroups;
+use cc_tensor::Matrix;
+
+/// Builds the row permutation implied by the next layer's column groups:
+/// output position `p` should carry original channel `perm[p]`, i.e. the
+/// groups' members concatenated in group order.
+pub fn permutation_from_groups(groups: &ColumnGroups) -> Vec<usize> {
+    groups.groups().iter().flatten().copied().collect()
+}
+
+/// Inverse permutation: `inv[original] = new position`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (new_pos, &orig) in perm.iter().enumerate() {
+        assert!(orig < perm.len(), "index {orig} out of range");
+        assert_eq!(inv[orig], usize::MAX, "duplicate index {orig}");
+        inv[orig] = new_pos;
+    }
+    inv
+}
+
+/// Permutes the rows of layer `i`'s filter matrix: output row `p` is
+/// original row `perm[p]`.
+pub fn apply_row_permutation(f: &Matrix, perm: &[usize]) -> Matrix {
+    f.permute_rows(perm)
+}
+
+/// Permutes the columns of layer `i+1`'s filter matrix to match a row
+/// permutation of layer `i`: new column `p` is original column `perm[p]`.
+pub fn apply_col_permutation(f: &Matrix, perm: &[usize]) -> Matrix {
+    f.select_cols(perm)
+}
+
+/// Rewrites `groups` in the permuted column numbering. After applying
+/// [`permutation_from_groups`]' own permutation, every group becomes a
+/// contiguous index range.
+pub fn remap_groups(groups: &ColumnGroups, perm: &[usize]) -> ColumnGroups {
+    let inv = invert_permutation(perm);
+    let remapped: Vec<Vec<usize>> = groups
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut cols: Vec<usize> = g.iter().map(|&c| inv[c]).collect();
+            cols.sort_unstable();
+            cols
+        })
+        .collect();
+    ColumnGroups::new(remapped, groups.num_cols())
+}
+
+/// `true` when every group covers a contiguous range of column indices —
+/// the property that lets a counter replace the switchbox (§3.5).
+pub fn groups_are_contiguous(groups: &ColumnGroups) -> bool {
+    groups.groups().iter().all(|g| {
+        g.windows(2).all(|w| w[1] == w[0] + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use cc_tensor::init::sparse_matrix;
+    use cc_tensor::matmul;
+
+    #[test]
+    fn permutation_concatenates_groups() {
+        let groups = ColumnGroups::new(vec![vec![2, 3], vec![0], vec![1, 4]], 5);
+        assert_eq!(permutation_from_groups(&groups), vec![2, 3, 0, 1, 4]);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let perm = vec![3, 1, 0, 2];
+        let inv = invert_permutation(&perm);
+        for (new_pos, &orig) in perm.iter().enumerate() {
+            assert_eq!(inv[orig], new_pos);
+        }
+    }
+
+    #[test]
+    fn remapped_groups_are_contiguous() {
+        let f = sparse_matrix(32, 24, 0.2, 5);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let perm = permutation_from_groups(&groups);
+        let remapped = remap_groups(&groups, &perm);
+        assert!(groups_are_contiguous(&remapped));
+    }
+
+    #[test]
+    fn network_function_is_preserved() {
+        // Layer i output y = F_i · d; layer i+1 computes F_{i+1} · y.
+        // Permuting F_i's rows and F_{i+1}'s columns consistently must not
+        // change the composition.
+        let f_i = sparse_matrix(12, 8, 0.5, 6); // 12 output channels
+        let f_next = sparse_matrix(10, 12, 0.4, 7); // consumes those 12
+        let groups = group_columns(&f_next, &GroupingConfig::paper_default());
+        let perm = permutation_from_groups(&groups);
+
+        let d = sparse_matrix(8, 5, 1.0, 8);
+        let reference = matmul(&f_next, &matmul(&f_i, &d));
+
+        let f_i_perm = apply_row_permutation(&f_i, &perm);
+        let f_next_perm = apply_col_permutation(&f_next, &perm);
+        let permuted = matmul(&f_next_perm, &matmul(&f_i_perm, &d));
+
+        for (a, b) in reference.as_slice().iter().zip(permuted.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn permuted_packing_is_equivalent(){
+        // Packing the permuted next-layer matrix with remapped groups gives
+        // the same utilization as packing the original.
+        let f_next = sparse_matrix(16, 20, 0.25, 9);
+        let groups = group_columns(&f_next, &GroupingConfig::paper_default());
+        let perm = permutation_from_groups(&groups);
+        let f_perm = apply_col_permutation(&f_next, &perm);
+        let remapped = remap_groups(&groups, &perm);
+        let p0 = crate::pack::pack_columns(&f_next, &groups);
+        let p1 = crate::pack::pack_columns(&f_perm, &remapped);
+        assert!((p0.utilization_efficiency() - p1.utilization_efficiency()).abs() < 1e-12);
+        assert_eq!(p0.num_groups(), p1.num_groups());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn invert_rejects_duplicates() {
+        invert_permutation(&[0, 0, 1]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Magnitude pruning (Algorithm 1, step 1).
+
+use cc_tensor::Matrix;
+
+/// Zeros the smallest-magnitude `fraction` of the currently-nonzero entries
+/// of `f` (the paper's *initial pruning* with factor β). Returns the pruned
+/// matrix and the number of weights removed.
+///
+/// Pruning is by rank, not threshold: exactly
+/// `floor(fraction · nnz)` weights are removed (ties broken by position),
+/// which keeps the iteration count of Algorithm 1 predictable.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= fraction <= 1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use cc_packing::prune::prune_smallest_fraction;
+/// use cc_tensor::Matrix;
+///
+/// let f = Matrix::from_rows(&[&[0.1, -5.0, 0.2, 3.0]]);
+/// let (pruned, removed) = prune_smallest_fraction(&f, 0.5);
+/// assert_eq!(removed, 2);
+/// assert_eq!(pruned.row(0), &[0.0, -5.0, 0.0, 3.0]);
+/// ```
+pub fn prune_smallest_fraction(f: &Matrix, fraction: f64) -> (Matrix, usize) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut nonzero: Vec<(usize, f32)> = f
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v != 0.0)
+        .map(|(i, v)| (i, v.abs()))
+        .collect();
+    let remove = (nonzero.len() as f64 * fraction).floor() as usize;
+    if remove == 0 {
+        return (f.clone(), 0);
+    }
+    nonzero.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut out = f.clone();
+    for (i, _) in nonzero.into_iter().take(remove) {
+        out.as_mut_slice()[i] = 0.0;
+    }
+    (out, remove)
+}
+
+/// Binary mask of the nonzero entries of `f` (1.0 where nonzero).
+pub fn nonzero_mask(f: &Matrix) -> Matrix {
+    let mut m = Matrix::zeros(f.rows(), f.cols());
+    for (dst, src) in m.as_mut_slice().iter_mut().zip(f.as_slice()) {
+        *dst = if *src != 0.0 { 1.0 } else { 0.0 };
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_tensor::init::sparse_matrix;
+
+    #[test]
+    fn removes_exact_count() {
+        let f = sparse_matrix(20, 20, 0.5, 1);
+        let nnz = f.count_nonzero();
+        let (pruned, removed) = prune_smallest_fraction(&f, 0.25);
+        assert_eq!(removed, (nnz as f64 * 0.25).floor() as usize);
+        assert_eq!(pruned.count_nonzero(), nnz - removed);
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let f = Matrix::from_rows(&[&[1.0, 10.0, -0.5, -20.0, 0.0]]);
+        let (pruned, _) = prune_smallest_fraction(&f, 0.5);
+        assert_eq!(pruned.row(0), &[0.0, 10.0, 0.0, -20.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let f = sparse_matrix(8, 8, 0.4, 2);
+        let (pruned, removed) = prune_smallest_fraction(&f, 0.0);
+        assert_eq!(removed, 0);
+        assert_eq!(pruned, f);
+    }
+
+    #[test]
+    fn full_fraction_clears_everything() {
+        let f = sparse_matrix(8, 8, 0.6, 3);
+        let (pruned, _) = prune_smallest_fraction(&f, 1.0);
+        assert_eq!(pruned.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn mask_marks_nonzeros() {
+        let f = Matrix::from_rows(&[&[0.0, 2.0], &[-1.0, 0.0]]);
+        let m = nonzero_mask(&f);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn idempotent_on_already_pruned() {
+        let f = sparse_matrix(16, 16, 0.3, 4);
+        let (once, r1) = prune_smallest_fraction(&f, 0.2);
+        let (_twice, r2) = prune_smallest_fraction(&once, 0.0);
+        assert!(r1 > 0);
+        assert_eq!(r2, 0);
+    }
+}

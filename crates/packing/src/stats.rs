@@ -1,0 +1,127 @@
+//! Conflict and sparsity statistics for grouped filter matrices —
+//! the quantities behind the paper's §5.3 analysis of the
+//! limited-conflict condition.
+
+use crate::group::{group_conflicts, ColumnGroups};
+use cc_tensor::Matrix;
+
+/// Distributional statistics of the conflicts a grouping induces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConflictStats {
+    /// Total weights that column-combine pruning would remove.
+    pub total_conflicts: usize,
+    /// Conflicts per group, aligned with the grouping's group order.
+    pub per_group: Vec<usize>,
+    /// Average conflicts per row per group (the quantity γ bounds).
+    pub avg_conflicts_per_row: f64,
+    /// Histogram of per-row conflict counts across all groups:
+    /// `row_histogram[k]` = number of (group, row) pairs with `k` conflicts.
+    pub row_histogram: Vec<usize>,
+    /// Fraction of originally nonzero weights that survive pruning.
+    pub survival_rate: f64,
+}
+
+/// Computes conflict statistics for `groups` over `f`.
+///
+/// # Panics
+///
+/// Panics if `groups` was built for a different column count.
+pub fn conflict_stats(f: &Matrix, groups: &ColumnGroups) -> ConflictStats {
+    assert_eq!(groups.num_cols(), f.cols(), "groups built for a different matrix");
+    let n = f.rows();
+    let mut per_group = Vec::with_capacity(groups.len());
+    let mut row_histogram: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+
+    for cols in groups.groups() {
+        per_group.push(group_conflicts(f, cols));
+        for r in 0..n {
+            let nnz = cols.iter().filter(|&&c| f.get(r, c) != 0.0).count();
+            let conflicts = nnz.saturating_sub(1);
+            if row_histogram.len() <= conflicts {
+                row_histogram.resize(conflicts + 1, 0);
+            }
+            row_histogram[conflicts] += 1;
+            total += conflicts;
+        }
+    }
+
+    let nnz_total = f.count_nonzero();
+    let rows_considered = (groups.len() * n).max(1);
+    ConflictStats {
+        total_conflicts: total,
+        per_group,
+        avg_conflicts_per_row: total as f64 / rows_considered as f64,
+        row_histogram,
+        survival_rate: if nnz_total == 0 {
+            1.0
+        } else {
+            (nnz_total - total) as f64 / nnz_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use cc_tensor::init::sparse_matrix;
+
+    #[test]
+    fn totals_agree_with_per_group() {
+        let f = sparse_matrix(24, 30, 0.3, 1);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let stats = conflict_stats(&f, &groups);
+        assert_eq!(stats.total_conflicts, stats.per_group.iter().sum::<usize>());
+        let hist_total: usize = stats
+            .row_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| k * count)
+            .sum();
+        assert_eq!(stats.total_conflicts, hist_total);
+    }
+
+    #[test]
+    fn gamma_bounds_measured_average() {
+        let f = sparse_matrix(32, 48, 0.25, 2);
+        for gamma in [0.1f64, 0.5, 0.9] {
+            let groups = group_columns(&f, &GroupingConfig::new(8, gamma));
+            let stats = conflict_stats(&f, &groups);
+            // Per-group average ≤ γ by construction.
+            for (g, cols) in groups.groups().iter().enumerate() {
+                let avg = stats.per_group[g] as f64 / f.rows() as f64;
+                assert!(avg <= gamma + 1e-12, "group {cols:?} avg {avg} > {gamma}");
+            }
+        }
+    }
+
+    #[test]
+    fn survival_rate_complements_conflicts() {
+        let f = sparse_matrix(16, 20, 0.4, 3);
+        let groups = group_columns(&f, &GroupingConfig::new(8, 1.0));
+        let stats = conflict_stats(&f, &groups);
+        let survived = (f.count_nonzero() as f64 * stats.survival_rate).round() as usize;
+        assert_eq!(survived, f.count_nonzero() - stats.total_conflicts);
+        let (pruned, removed) = crate::pack::prune_conflicts(&f, &groups);
+        assert_eq!(removed, stats.total_conflicts);
+        assert_eq!(pruned.count_nonzero(), survived);
+    }
+
+    #[test]
+    fn singletons_have_no_conflicts() {
+        let f = sparse_matrix(10, 8, 0.5, 4);
+        let stats = conflict_stats(&f, &ColumnGroups::singletons(8));
+        assert_eq!(stats.total_conflicts, 0);
+        assert_eq!(stats.survival_rate, 1.0);
+        assert_eq!(stats.row_histogram.iter().skip(1).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_degenerate_but_defined() {
+        let f = Matrix::zeros(4, 0);
+        let stats = conflict_stats(&f, &ColumnGroups::singletons(0));
+        assert_eq!(stats.total_conflicts, 0);
+        assert_eq!(stats.survival_rate, 1.0);
+    }
+}

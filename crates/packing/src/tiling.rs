@@ -1,0 +1,104 @@
+//! Tiling calculus for partitioned matrix multiplication (§5.4).
+//!
+//! When a filter matrix exceeds the systolic array, multiplication proceeds
+//! in passes over array-sized tiles (Fig. 14a). Column combining shrinks the
+//! column count from `M` to the number of groups, cutting the tile count —
+//! Fig. 14b's 9 → 3 reduction and Fig. 15a's per-layer series.
+
+use crate::group::ColumnGroups;
+use cc_nn::Network;
+
+/// Tiles needed to multiply an `rows × cols` filter matrix on an
+/// `array_rows × array_cols` systolic array: `⌈rows/R⌉ · ⌈cols/C⌉`.
+///
+/// # Panics
+///
+/// Panics if the array has zero dimensions.
+pub fn tiles_for(rows: usize, cols: usize, array_rows: usize, array_cols: usize) -> usize {
+    assert!(array_rows > 0 && array_cols > 0, "array dimensions must be positive");
+    rows.div_ceil(array_rows) * cols.div_ceil(array_cols)
+}
+
+/// Per-layer tile accounting for a packed network (the Fig. 15a series).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TilingReport {
+    /// Tiles per pointwise layer, in execution order.
+    pub per_layer: Vec<usize>,
+    /// Systolic array rows used for the accounting.
+    pub array_rows: usize,
+    /// Systolic array columns used for the accounting.
+    pub array_cols: usize,
+}
+
+impl TilingReport {
+    /// Total tiles across layers.
+    pub fn total(&self) -> usize {
+        self.per_layer.iter().sum()
+    }
+}
+
+/// Computes per-layer tile counts for `net`, where each pointwise layer `i`
+/// is packed into `groups[i].len()` combined columns.
+///
+/// # Panics
+///
+/// Panics if `groups.len()` differs from the number of pointwise layers.
+pub fn network_tiles(
+    net: &Network,
+    groups: &[ColumnGroups],
+    array_rows: usize,
+    array_cols: usize,
+) -> TilingReport {
+    assert_eq!(groups.len(), net.num_pointwise(), "one group set per pointwise layer");
+    let mut per_layer = Vec::with_capacity(groups.len());
+    net.visit_pointwise_ref(&mut |i, pw| {
+        per_layer.push(tiles_for(pw.out_channels(), groups[i].len(), array_rows, array_cols));
+    });
+    TilingReport { per_layer, array_rows, array_cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{group_columns, GroupingConfig};
+    use cc_tensor::init::sparse_matrix;
+
+    #[test]
+    fn exact_fit_is_one_tile() {
+        assert_eq!(tiles_for(32, 32, 32, 32), 1);
+    }
+
+    #[test]
+    fn paper_fig14_shape() {
+        // 96×94 sparse matrix on a 32×32 array → 3 row bands × 3 col bands.
+        assert_eq!(tiles_for(96, 94, 32, 32), 9);
+        // Packed to 17 combined columns → 3 row bands × 1 col band.
+        assert_eq!(tiles_for(96, 17, 32, 32), 3);
+    }
+
+    #[test]
+    fn boundary_rounding() {
+        assert_eq!(tiles_for(33, 32, 32, 32), 2);
+        assert_eq!(tiles_for(32, 33, 32, 32), 2);
+        assert_eq!(tiles_for(1, 1, 32, 32), 1);
+        assert_eq!(tiles_for(0, 10, 32, 32), 0);
+    }
+
+    #[test]
+    fn combining_reduces_tiles_on_sparse_matrix() {
+        let f = sparse_matrix(96, 94, 0.16, 21);
+        let baseline = tiles_for(f.rows(), f.cols(), 32, 32);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = tiles_for(f.rows(), groups.len(), 32, 32);
+        assert!(
+            packed * 2 <= baseline,
+            "expected ≥2× tile reduction: {baseline} → {packed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "array dimensions")]
+    fn zero_array_panics() {
+        tiles_for(10, 10, 0, 32);
+    }
+}

@@ -1,0 +1,502 @@
+//! Weight-stationary systolic array simulator (paper Figs. 1c, 9, 11).
+//!
+//! ## Cycle model
+//!
+//! The array holds an `N × M` weight tile (rows = filters, columns = input
+//! channels / combined columns). Data vectors stream bottom-to-top, one
+//! 8-bit word per 8 clocks per stream; results accumulate left-to-right.
+//! Neighbouring streams are skewed by one word time for synchronization
+//! (Fig. 9). For `L` data vectors the classic systolic schedule completes
+//! in `(L + N + M − 2)` word times, plus the drain of the last wide
+//! accumulation (`acc_bits − 8` clocks). With k-bit accumulation each word
+//! occupies a cell for k clocks, but `k/8`-way interleaving (Fig. 8c)
+//! restores one word per 8 clocks of aggregate throughput, so the word-time
+//! model holds for IL and MX cells as long as `L` is a multiple of the
+//! interleave factor (the scheduler pads otherwise — also modelled).
+//!
+//! Arithmetic is exact: every output equals the bit-serial datapath result
+//! ([`crate::mac::BitSerialMac`] is proven equivalent to wrapped
+//! two's-complement arithmetic, which the simulator uses for speed; set
+//! [`ArrayConfig::exact_bitserial`] to run the bit-level datapath itself).
+
+use crate::cell::CellKind;
+use crate::mac::BitSerialMac;
+use cc_packing::PackedFilterMatrix;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+
+/// Static configuration of a systolic array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrayConfig {
+    /// Physical rows (filters per tile).
+    pub rows: usize,
+    /// Physical columns (combined columns per tile).
+    pub cols: usize,
+    /// Accumulator width (paper: 32-bit, except §7.1.2's 16-bit LeNet).
+    pub acc: AccumWidth,
+    /// Cell flavour; the packed path always behaves as MX.
+    pub cell: CellKind,
+    /// Run the bit-level MAC datapath instead of the fast equivalent.
+    pub exact_bitserial: bool,
+}
+
+impl ArrayConfig {
+    /// A column-combining array (MX cells with mux width 8) of the given
+    /// geometry.
+    pub fn new(rows: usize, cols: usize, acc: AccumWidth) -> Self {
+        assert!(rows > 0 && cols > 0, "array must have positive dimensions");
+        ArrayConfig { rows, cols, acc, cell: CellKind::Multiplexed { mux_width: 8 }, exact_bitserial: false }
+    }
+
+    /// Overrides the cell kind.
+    pub fn with_cell(mut self, cell: CellKind) -> Self {
+        self.cell = cell;
+        self
+    }
+
+    /// Enables the exact bit-serial datapath (slow; for validation).
+    pub fn with_exact_bitserial(mut self, exact: bool) -> Self {
+        self.exact_bitserial = exact;
+        self
+    }
+}
+
+/// Cycle and operation counters from a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total clock cycles, including weight load and pipeline fill/drain.
+    pub cycles: u64,
+    /// Clock cycles spent loading weights (overlappable when tiling).
+    pub load_cycles: u64,
+    /// Useful MAC word-operations (cells holding a nonzero weight).
+    pub mac_ops: u64,
+    /// Total cell·word slots occupied (useful or not) — the denominator of
+    /// utilization efficiency.
+    pub cell_word_slots: u64,
+    /// 8-bit input words streamed into the array.
+    pub input_words: u64,
+    /// Accumulator words leaving the array.
+    pub output_words: u64,
+}
+
+impl SimStats {
+    /// Fraction of occupied cell·word slots doing useful MACs.
+    pub fn utilization(&self) -> f64 {
+        if self.cell_word_slots == 0 {
+            0.0
+        } else {
+            self.mac_ops as f64 / self.cell_word_slots as f64
+        }
+    }
+
+    /// Accumulates another run's counters (used by the tiled scheduler).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.load_cycles += other.load_cycles;
+        self.mac_ops += other.mac_ops;
+        self.cell_word_slots += other.cell_word_slots;
+        self.input_words += other.input_words;
+        self.output_words += other.output_words;
+    }
+}
+
+/// Result of one array execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRun {
+    /// Output accumulator words, row-major `rows × data_cols`.
+    pub outputs: Vec<i64>,
+    /// Cycle/operation counters.
+    pub stats: SimStats,
+}
+
+/// A packed filter matrix quantized for the array: 8-bit weights plus the
+/// original input channel each MX cell multiplexes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantPacked {
+    rows: usize,
+    groups: usize,
+    original_cols: usize,
+    weights: Vec<i8>,
+    channels: Vec<Option<usize>>,
+    params: QuantParams,
+    max_group_size: usize,
+}
+
+impl QuantPacked {
+    /// Quantizes a packed filter matrix with per-matrix calibration.
+    pub fn quantize(packed: &PackedFilterMatrix) -> Self {
+        let params = QuantParams::calibrate(packed.weights().as_slice());
+        Self::quantize_with(packed, params)
+    }
+
+    /// Quantizes with caller-supplied parameters.
+    pub fn quantize_with(packed: &PackedFilterMatrix, params: QuantParams) -> Self {
+        let (rows, groups) = (packed.rows(), packed.num_groups());
+        let mut weights = Vec::with_capacity(rows * groups);
+        let mut channels = Vec::with_capacity(rows * groups);
+        for r in 0..rows {
+            for g in 0..groups {
+                weights.push(params.quantize(packed.weight_at(r, g)));
+                channels.push(packed.channel_at(r, g));
+            }
+        }
+        QuantPacked {
+            rows,
+            groups,
+            original_cols: packed.original_cols(),
+            weights,
+            channels,
+            params,
+            max_group_size: packed.groups().max_group_size(),
+        }
+    }
+
+    /// Builds a quantized packed tile from raw parts (used by the tiled
+    /// scheduler's slicing; channel indices stay in the original numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage lengths are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        rows: usize,
+        groups: usize,
+        original_cols: usize,
+        weights: Vec<i8>,
+        channels: Vec<Option<usize>>,
+        params: QuantParams,
+        max_group_size: usize,
+    ) -> Self {
+        assert_eq!(weights.len(), rows * groups, "weights length mismatch");
+        assert_eq!(channels.len(), rows * groups, "channels length mismatch");
+        QuantPacked { rows, groups, original_cols, weights, channels, params, max_group_size }
+    }
+
+    /// Rows (filters).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Combined columns (groups).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Columns of the original unpacked matrix.
+    pub fn original_cols(&self) -> usize {
+        self.original_cols
+    }
+
+    /// Quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Largest group size (required MX mux width).
+    pub fn max_group_size(&self) -> usize {
+        self.max_group_size
+    }
+
+    /// Quantized weight at `(row, group)`.
+    pub fn weight_at(&self, r: usize, g: usize) -> i8 {
+        self.weights[r * self.groups + g]
+    }
+
+    /// Channel multiplexed at `(row, group)`.
+    pub fn channel_at(&self, r: usize, g: usize) -> Option<usize> {
+        self.channels[r * self.groups + g]
+    }
+
+    /// Number of nonzero quantized weights.
+    pub fn count_nonzero(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0).count()
+    }
+}
+
+/// The weight-stationary systolic array.
+#[derive(Clone, Copy, Debug)]
+pub struct SystolicArray {
+    cfg: ArrayConfig,
+}
+
+impl SystolicArray {
+    /// Creates an array from a configuration.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        SystolicArray { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// Word time in clocks (8: one bit per clock, 8-bit words).
+    pub const WORD_CLOCKS: u64 = 8;
+
+    /// Cycle count for a tile of `rows × cols` weights against `l` data
+    /// vectors, per the module-level model.
+    fn compute_cycles(&self, rows: usize, cols: usize, l: usize) -> u64 {
+        if l == 0 || rows == 0 || cols == 0 {
+            return 0;
+        }
+        let interleave = self.cfg.cell.interleave_factor(self.cfg.acc) as usize;
+        let l_padded = l.div_ceil(interleave) * interleave;
+        let word_times = (l_padded + rows + cols - 2) as u64;
+        word_times * Self::WORD_CLOCKS + (self.cfg.acc.bits() as u64).saturating_sub(8)
+    }
+
+    /// Cycle count for streaming a `rows × cols` weight tile into the
+    /// array (one 8-bit word per cell, columns in parallel, row-skewed).
+    fn weight_load_cycles(&self, rows: usize, cols: usize) -> u64 {
+        if rows == 0 || cols == 0 {
+            return 0;
+        }
+        ((rows + cols - 1) as u64) * Self::WORD_CLOCKS
+    }
+
+    fn mac(&self, w: i8, x: i8, acc: i64) -> i64 {
+        if self.cfg.exact_bitserial {
+            BitSerialMac::new(w, self.cfg.acc).run(x, acc).0
+        } else {
+            self.cfg.acc.wrap(acc + (w as i64) * (x as i64))
+        }
+    }
+
+    /// Multiplies an unpacked quantized weight tile by a data matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the array or dimensions are inconsistent.
+    pub fn multiply(&self, w: &QuantMatrix, d: &QuantMatrix) -> ArrayRun {
+        assert!(w.rows() <= self.cfg.rows, "weight tile rows exceed array");
+        assert!(w.cols() <= self.cfg.cols, "weight tile cols exceed array");
+        assert_eq!(w.cols(), d.rows(), "weights/data dimension mismatch");
+        let (n, m, l) = (w.rows(), w.cols(), d.cols());
+        let mut outputs = vec![0i64; n * l];
+        let mut nonzero_cells = 0u64;
+        for i in 0..n {
+            for k in 0..m {
+                let wv = w.get(i, k);
+                if wv != 0 {
+                    nonzero_cells += 1;
+                }
+                for j in 0..l {
+                    outputs[i * l + j] = self.mac(wv, d.get(k, j), outputs[i * l + j]);
+                }
+            }
+        }
+        let load_cycles = self.weight_load_cycles(n, m);
+        let stats = SimStats {
+            cycles: load_cycles + self.compute_cycles(n, m, l),
+            load_cycles,
+            mac_ops: nonzero_cells * l as u64,
+            cell_word_slots: (n * m) as u64 * l as u64,
+            input_words: (m * l) as u64,
+            output_words: (n * l) as u64,
+        };
+        ArrayRun { outputs, stats }
+    }
+
+    /// Multiplies a packed (column-combined) weight tile by a data matrix
+    /// holding the *original* channels, exactly as MX cells do: each cell
+    /// selects the data stream of the channel its weight came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed tile exceeds the array, the mux width exceeds
+    /// the cell's capability, or dimensions are inconsistent.
+    pub fn multiply_packed(&self, packed: &QuantPacked, d: &QuantMatrix) -> ArrayRun {
+        assert!(packed.rows() <= self.cfg.rows, "packed rows exceed array");
+        assert!(packed.groups() <= self.cfg.cols, "packed groups exceed array");
+        assert!(
+            d.rows() >= packed.original_cols(),
+            "data matrix missing channels: {} < {}",
+            d.rows(),
+            packed.original_cols()
+        );
+        if let CellKind::Multiplexed { mux_width } = self.cfg.cell {
+            assert!(
+                packed.max_group_size() <= mux_width,
+                "group size {} exceeds MX mux width {mux_width}",
+                packed.max_group_size()
+            );
+        }
+        let (n, g_count, l) = (packed.rows(), packed.groups(), d.cols());
+        let mut outputs = vec![0i64; n * l];
+        let mut nonzero_cells = 0u64;
+        for i in 0..n {
+            for g in 0..g_count {
+                let wv = packed.weight_at(i, g);
+                let Some(ch) = packed.channel_at(i, g) else { continue };
+                if wv == 0 {
+                    continue;
+                }
+                nonzero_cells += 1;
+                for j in 0..l {
+                    outputs[i * l + j] = self.mac(wv, d.get(ch, j), outputs[i * l + j]);
+                }
+            }
+        }
+        // Input bandwidth: every member channel of every group streams into
+        // its combined column (the MX cell takes all and selects).
+        let streamed_channels: usize =
+            packed_groups_total_width(packed);
+        let load_cycles = self.weight_load_cycles(n, g_count);
+        let stats = SimStats {
+            cycles: load_cycles + self.compute_cycles(n, g_count, l),
+            load_cycles,
+            mac_ops: nonzero_cells * l as u64,
+            cell_word_slots: (n * g_count) as u64 * l as u64,
+            input_words: (streamed_channels * l) as u64,
+            output_words: (n * l) as u64,
+        };
+        ArrayRun { outputs, stats }
+    }
+}
+
+fn packed_groups_total_width(p: &QuantPacked) -> usize {
+    // Distinct channels wired into each combined column.
+    let mut total = 0usize;
+    for g in 0..p.groups() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..p.rows() {
+            if let Some(c) = p.channel_at(r, g) {
+                seen.insert(c);
+            }
+        }
+        total += seen.len().max(1);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_packing::{group_columns, pack_columns, GroupingConfig};
+    use cc_tensor::init::sparse_matrix;
+    use cc_tensor::quant::quant_matmul;
+    use cc_tensor::Matrix;
+
+    fn quantize_pair(w: &Matrix, d: &Matrix) -> (QuantMatrix, QuantMatrix) {
+        (QuantMatrix::quantize(w), QuantMatrix::quantize(d))
+    }
+
+    #[test]
+    fn multiply_matches_reference_gemm() {
+        let w = sparse_matrix(8, 12, 0.4, 1);
+        let d = sparse_matrix(12, 7, 1.0, 2);
+        let (qw, qd) = quantize_pair(&w, &d);
+        let array = SystolicArray::new(ArrayConfig::new(16, 16, AccumWidth::Bits32));
+        let run = array.multiply(&qw, &qd);
+        assert_eq!(run.outputs, quant_matmul(&qw, &qd, AccumWidth::Bits32));
+    }
+
+    #[test]
+    fn exact_bitserial_path_agrees_with_fast_path() {
+        let w = sparse_matrix(5, 6, 0.5, 3);
+        let d = sparse_matrix(6, 4, 1.0, 4);
+        let (qw, qd) = quantize_pair(&w, &d);
+        for acc in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            let fast = SystolicArray::new(ArrayConfig::new(8, 8, acc)).multiply(&qw, &qd);
+            let exact = SystolicArray::new(
+                ArrayConfig::new(8, 8, acc).with_exact_bitserial(true),
+            )
+            .multiply(&qw, &qd);
+            assert_eq!(fast.outputs, exact.outputs, "acc={acc:?}");
+        }
+    }
+
+    #[test]
+    fn packed_multiply_matches_pruned_reference() {
+        let f = sparse_matrix(24, 30, 0.2, 5);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let params = QuantParams::calibrate(f.as_slice());
+        let qp = QuantPacked::quantize_with(&packed, params);
+
+        // Reference: quantize the pruned unpacked matrix identically.
+        let pruned = packed.unpack();
+        let q_pruned = QuantMatrix::quantize_with(&pruned, params);
+        let d = QuantMatrix::quantize(&sparse_matrix(30, 11, 1.0, 6));
+
+        let array = SystolicArray::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+        let run = array.multiply_packed(&qp, &d);
+        assert_eq!(run.outputs, quant_matmul(&q_pruned, &d, AccumWidth::Bits32));
+    }
+
+    #[test]
+    fn packed_run_uses_fewer_cell_slots() {
+        let f = sparse_matrix(32, 32, 0.15, 7);
+        let d = QuantMatrix::quantize(&sparse_matrix(32, 16, 1.0, 8));
+        let qf = QuantMatrix::quantize(&f);
+        let array = SystolicArray::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+        let unpacked = array.multiply(&qf, &d);
+
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let qp = QuantPacked::quantize(&packed);
+        let run = array.multiply_packed(&qp, &d);
+
+        assert!(run.stats.cell_word_slots < unpacked.stats.cell_word_slots / 2);
+        assert!(run.stats.utilization() > 2.0 * unpacked.stats.utilization());
+    }
+
+    #[test]
+    fn cycle_model_scales_with_stream_length() {
+        let w = QuantMatrix::quantize(&sparse_matrix(16, 16, 1.0, 9));
+        let array = SystolicArray::new(ArrayConfig::new(16, 16, AccumWidth::Bits32));
+        let d_short = QuantMatrix::quantize(&sparse_matrix(16, 8, 1.0, 10));
+        let d_long = QuantMatrix::quantize(&sparse_matrix(16, 64, 1.0, 10));
+        let short = array.multiply(&w, &d_short).stats;
+        let long = array.multiply(&w, &d_long).stats;
+        let delta = long.cycles - short.cycles;
+        // 56 extra vectors at one word (8 clocks) each
+        assert_eq!(delta, 56 * 8);
+    }
+
+    #[test]
+    fn sixteen_bit_interleave_pads_to_two() {
+        // L=1 pads to 2 with 16-bit accumulation (2-way interleave).
+        let w = QuantMatrix::quantize(&sparse_matrix(4, 4, 1.0, 11));
+        let d = QuantMatrix::quantize(&sparse_matrix(4, 1, 1.0, 12));
+        let a16 = SystolicArray::new(ArrayConfig::new(4, 4, AccumWidth::Bits16));
+        let a32 = SystolicArray::new(ArrayConfig::new(4, 4, AccumWidth::Bits32));
+        let c16 = a16.multiply(&w, &d).stats.cycles;
+        let c32 = a32.multiply(&w, &d).stats.cycles;
+        // 32-bit pads L to 4 and drains 24 extra clocks → strictly slower.
+        assert!(c32 > c16, "{c32} vs {c16}");
+    }
+
+    #[test]
+    fn load_cycles_counted_separately() {
+        let w = QuantMatrix::quantize(&sparse_matrix(8, 8, 1.0, 13));
+        let d = QuantMatrix::quantize(&sparse_matrix(8, 4, 1.0, 14));
+        let array = SystolicArray::new(ArrayConfig::new(8, 8, AccumWidth::Bits32));
+        let run = array.multiply(&w, &d);
+        assert_eq!(run.stats.load_cycles, (8 + 8 - 1) * 8);
+        assert!(run.stats.cycles > run.stats.load_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed array")]
+    fn oversized_tile_panics() {
+        let w = QuantMatrix::quantize(&sparse_matrix(40, 8, 1.0, 15));
+        let d = QuantMatrix::quantize(&sparse_matrix(8, 2, 1.0, 16));
+        SystolicArray::new(ArrayConfig::new(32, 32, AccumWidth::Bits32)).multiply(&w, &d);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux width")]
+    fn mux_width_enforced() {
+        // Build a packed matrix with a group of 4 and give the array MX
+        // cells with mux width 2.
+        let f = sparse_matrix(16, 16, 0.1, 17);
+        let groups = group_columns(&f, &GroupingConfig::new(4, 1.0));
+        let packed = pack_columns(&f, &groups);
+        assert!(packed.groups().max_group_size() > 2);
+        let qp = QuantPacked::quantize(&packed);
+        let d = QuantMatrix::quantize(&sparse_matrix(16, 2, 1.0, 18));
+        let cfg = ArrayConfig::new(32, 32, AccumWidth::Bits32)
+            .with_cell(CellKind::Multiplexed { mux_width: 2 });
+        SystolicArray::new(cfg).multiply_packed(&qp, &d);
+    }
+}

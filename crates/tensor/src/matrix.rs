@@ -1,0 +1,231 @@
+//! 2-D matrix convenience wrapper over [`Tensor`].
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// A dense row-major `f32` matrix.
+///
+/// Filter matrices in the paper are `N × (M·W·H)` matrices where `N` is the
+/// number of filters (rows) and columns correspond to input channels (for
+/// pointwise layers, `W = H = 1`, so columns are exactly input channels).
+///
+/// # Examples
+///
+/// ```
+/// use cc_tensor::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.col(1), vec![0.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    inner: Tensor,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { inner: Tensor::zeros(Shape::d2(rows, cols)) }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        Matrix { inner: Tensor::from_vec(Shape::d2(rows, cols), data) }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(r, c, data)
+    }
+
+    /// Wraps a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn from_tensor(t: Tensor) -> Self {
+        assert_eq!(t.shape().rank(), 2, "matrix requires a rank-2 tensor");
+        Matrix { inner: t }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.inner.shape().dim(0)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.inner.shape().dim(1)
+    }
+
+    /// Element `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.inner.get2(r, c)
+    }
+
+    /// Sets element `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.inner.set2(r, c, v);
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.inner.as_slice()[r * c..(r + 1) * c]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.cols();
+        &mut self.inner.as_mut_slice()[r * c..(r + 1) * c]
+    }
+
+    /// Column `c` copied into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows()).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Underlying storage (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        self.inner.as_slice()
+    }
+
+    /// Mutable underlying storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.inner.as_mut_slice()
+    }
+
+    /// Borrows the matrix as a tensor.
+    pub fn as_tensor(&self) -> &Tensor {
+        &self.inner
+    }
+
+    /// Consumes the matrix, returning the underlying tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.inner
+    }
+
+    /// Number of nonzero entries.
+    pub fn count_nonzero(&self) -> usize {
+        self.inner.count_nonzero()
+    }
+
+    /// Fraction of nonzero entries.
+    pub fn density(&self) -> f64 {
+        self.inner.density()
+    }
+
+    /// Number of nonzero entries in column `c`.
+    pub fn col_nonzeros(&self, c: usize) -> usize {
+        (0..self.rows()).filter(|&r| self.get(r, c) != 0.0).count()
+    }
+
+    /// Density (fraction nonzero) of column `c`.
+    pub fn col_density(&self, c: usize) -> f64 {
+        if self.rows() == 0 {
+            0.0
+        } else {
+            self.col_nonzeros(c) as f64 / self.rows() as f64
+        }
+    }
+
+    /// Returns a new matrix with the given rows reordered: output row `i`
+    /// is input row `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != rows()` or if an index is out of range.
+    pub fn permute_rows(&self, perm: &[usize]) -> Matrix {
+        assert_eq!(perm.len(), self.rows(), "permutation length mismatch");
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(p < self.rows(), "permutation index out of range");
+            out.row_mut(i).copy_from_slice(self.row(p));
+        }
+        out
+    }
+
+    /// Returns a new matrix keeping only the listed columns, in order.
+    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), cols.len());
+        for r in 0..self.rows() {
+            for (j, &c) in cols.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Matrix({}×{}, nnz={}, density={:.1}%)",
+            self.rows(),
+            self.cols(),
+            self.count_nonzero(),
+            self.density() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn col_density() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 3.0], &[4.0, 0.0]]);
+        assert_eq!(m.col_nonzeros(0), 3);
+        assert!((m.col_density(0) - 0.75).abs() < 1e-12);
+        assert!((m.col_density(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let p = m.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.col(0), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_cols_subsets() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = m.select_cols(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length")]
+    fn permute_rows_wrong_len_panics() {
+        Matrix::zeros(3, 1).permute_rows(&[0, 1]);
+    }
+}

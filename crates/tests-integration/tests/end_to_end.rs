@@ -1,0 +1,178 @@
+//! End-to-end integration: train → combine → pack → simulate → evaluate.
+//!
+//! These tests cross every crate boundary: a network trained by `cc-nn` is
+//! packed by `cc-packing`, executed on `cc-systolic`'s cycle-level array,
+//! and costed by `cc-hwmodel` — asserting the paper's headline qualitative
+//! claims hold through the whole stack.
+
+use cc_dataset::SyntheticSpec;
+use cc_nn::metrics::accuracy;
+use cc_nn::models::{lenet5_shift, ModelConfig};
+use cc_nn::schedule::LrSchedule;
+use cc_nn::train::{TrainConfig, Trainer};
+use cc_packing::{ColumnCombineConfig, ColumnCombiner};
+use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::quant::{quant_matmul, AccumWidth, QuantMatrix, QuantParams};
+
+fn setup() -> (cc_nn::Network, cc_dataset::Dataset, cc_dataset::Dataset) {
+    let (train, test) =
+        SyntheticSpec::mnist_like().with_size(10, 10).with_samples(384, 128).generate(7);
+    let net = lenet5_shift(&ModelConfig::tiny(1, 10, 10, 10).with_width(0.5));
+    (net, train, test)
+}
+
+#[test]
+fn joint_optimization_preserves_most_accuracy_at_high_sparsity() {
+    let (mut net, train, test) = setup();
+    // Dense pre-training.
+    let dense = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        schedule: LrSchedule::Constant(0.1),
+        ..TrainConfig::default()
+    };
+    Trainer::new(dense).fit(&mut net, &train, None);
+    let dense_acc = accuracy(&mut net, &test, 64);
+    let dense_nnz = net.nonzero_conv_weights();
+
+    // Algorithm 1 to 25% of the weights.
+    let cfg = ColumnCombineConfig {
+        rho: dense_nnz / 4,
+        epochs_per_iteration: 2,
+        final_epochs: 6,
+        eta: 0.05,
+        ..ColumnCombineConfig::default()
+    };
+    let (history, _, report) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+    assert!(net.nonzero_conv_weights() <= dense_nnz / 4, "sparsity target missed");
+    assert!(
+        report.utilization_efficiency() > 0.5,
+        "packed utilization too low: {}",
+        report.utilization_efficiency()
+    );
+    // The joint optimization must keep accuracy within a few points of the
+    // dense model (paper: ~1% drop; we allow a wider band at tiny scale).
+    assert!(
+        history.final_accuracy > dense_acc - 0.15,
+        "accuracy collapsed: dense {dense_acc:.3} vs packed {:.3}",
+        history.final_accuracy
+    );
+}
+
+#[test]
+fn packed_network_layers_execute_bit_exactly_on_the_array() {
+    let (mut net, train, test) = setup();
+    let cfg = ColumnCombineConfig {
+        rho: net.nonzero_conv_weights() / 4,
+        epochs_per_iteration: 1,
+        final_epochs: 2,
+        eta: 0.05,
+        ..ColumnCombineConfig::default()
+    };
+    let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+    // Every packed layer must compute exactly what the pruned sparse layer
+    // computes, through quantization and the tiled systolic array.
+    let sched = TiledScheduler::new(ArrayConfig::new(16, 16, AccumWidth::Bits32));
+    net.visit_pointwise_ref(&mut |i, pw| {
+        let f = pw.filter_matrix();
+        let packed = cc_packing::pack_columns(&f, &groups[i]);
+        let params = QuantParams::calibrate(f.as_slice());
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let data = QuantMatrix::quantize(&cc_tensor::init::sparse_matrix(
+            f.cols(),
+            17,
+            1.0,
+            i as u64,
+        ));
+        let run = sched.run_packed(&qp, &data);
+        let reference = quant_matmul(
+            &QuantMatrix::quantize_with(&packed.unpack(), params),
+            &data,
+            AccumWidth::Bits32,
+        );
+        assert_eq!(run.outputs, reference, "layer {i} diverged on the array");
+    });
+}
+
+#[test]
+fn packing_reduces_tiles_cycles_and_energy_for_the_whole_network() {
+    let (mut net, train, test) = setup();
+    let cfg = ColumnCombineConfig {
+        rho: net.nonzero_conv_weights() / 5,
+        epochs_per_iteration: 1,
+        final_epochs: 2,
+        eta: 0.05,
+        ..ColumnCombineConfig::default()
+    };
+    let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+
+    let array = ArrayConfig::new(16, 16, AccumWidth::Bits32);
+    let sched = TiledScheduler::new(array);
+    let design = cc_hwmodel::AsicDesign::paper_32x32();
+
+    let mut base = cc_systolic::array::SimStats::default();
+    let mut packed = cc_systolic::array::SimStats::default();
+    let (mut base_tiles, mut packed_tiles) = (0usize, 0usize);
+    let (mut base_weights, mut packed_weights) = (0u64, 0u64);
+
+    net.visit_pointwise_ref(&mut |i, pw| {
+        let f = pw.filter_matrix();
+        let params = QuantParams::calibrate(f.as_slice());
+        let data = QuantMatrix::quantize(&cc_tensor::init::sparse_matrix(
+            f.cols(),
+            25,
+            1.0,
+            100 + i as u64,
+        ));
+        let u = sched.run_unpacked(&QuantMatrix::quantize_with(&f, params), &data);
+        base_tiles += u.tiles;
+        base_weights += (f.rows() * f.cols()) as u64;
+        base.merge(&u.stats);
+
+        let p = cc_packing::pack_columns(&f, &groups[i]);
+        let qp = QuantPacked::quantize_with(&p, params);
+        let r = sched.run_packed(&qp, &data);
+        packed_tiles += r.tiles;
+        packed_weights += (qp.rows() * qp.groups()) as u64;
+        packed.merge(&r.stats);
+    });
+
+    assert!(packed_tiles < base_tiles, "tiles: {packed_tiles} !< {base_tiles}");
+    assert!(packed.cycles < base.cycles, "cycles did not drop");
+
+    let e_base = design.evaluate(&base, base_weights, 1).energy_per_sample_j;
+    let e_packed = design.evaluate(&packed, packed_weights, 1).energy_per_sample_j;
+    assert!(
+        e_packed < e_base / 1.5,
+        "energy should drop substantially: {e_base:.3e} -> {e_packed:.3e}"
+    );
+}
+
+#[test]
+fn row_permutation_keeps_network_predictions() {
+    // Permuting layer i's output channels and layer i+1's input channels
+    // consistently must not change network outputs. We exercise this on
+    // the LeNet F5→F6 pointwise pair (both operate at the same spatial
+    // resolution with no shift/pool in between in matrix form).
+    use cc_packing::permute::{apply_col_permutation, apply_row_permutation, permutation_from_groups};
+    use cc_packing::{group_columns, GroupingConfig};
+    use cc_tensor::{matmul, Matrix};
+
+    let f_i = cc_tensor::init::sparse_matrix(24, 12, 0.4, 5);
+    let f_next = cc_tensor::init::sparse_matrix(10, 24, 0.3, 6);
+    let groups = group_columns(&f_next, &GroupingConfig::paper_default());
+    let perm = permutation_from_groups(&groups);
+
+    let data = cc_tensor::init::sparse_matrix(12, 30, 1.0, 7);
+    let before: Matrix = matmul(&f_next, &matmul(&f_i, &data));
+    let after = matmul(
+        &apply_col_permutation(&f_next, &perm),
+        &matmul(&apply_row_permutation(&f_i, &perm), &data),
+    );
+    for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+}

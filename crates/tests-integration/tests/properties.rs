@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the core packing and arithmetic
+//! invariants.
+
+use cc_packing::group::{combined_density, group_conflicts};
+use cc_packing::{group_columns, pack_columns, prune_conflicts, GroupingConfig};
+use cc_systolic::array::{ArrayConfig, QuantPacked, SystolicArray};
+use cc_systolic::mac::BitSerialMac;
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{quant_matmul, AccumWidth, QuantMatrix, QuantParams};
+use cc_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix with bounded dimensions.
+fn sparse_matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..40, 1usize..48, 0.0f64..0.6, any::<u64>())
+        .prop_map(|(rows, cols, density, seed)| sparse_matrix(rows, cols, density, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grouping_always_partitions_columns(
+        f in sparse_matrix_strategy(),
+        alpha in 1usize..12,
+        gamma in 0.0f64..1.0,
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::new(alpha, gamma));
+        let mut seen = vec![false; f.cols()];
+        for g in groups.groups() {
+            prop_assert!(g.len() <= alpha);
+            for &c in g {
+                prop_assert!(!seen[c], "column {c} in two groups");
+                seen[c] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "column missing from partition");
+    }
+
+    #[test]
+    fn conflict_budget_always_respected(
+        f in sparse_matrix_strategy(),
+        alpha in 2usize..10,
+        gamma in 0.0f64..1.0,
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::new(alpha, gamma));
+        let budget = (gamma * f.rows() as f64).floor() as usize;
+        for g in groups.groups() {
+            prop_assert!(group_conflicts(&f, g) <= budget);
+        }
+    }
+
+    #[test]
+    fn group_prune_keeps_at_most_one_weight_per_row_per_group(
+        f in sparse_matrix_strategy(),
+        alpha in 2usize..10,
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::new(alpha, 1.0));
+        let (pruned, removed) = prune_conflicts(&f, &groups);
+        let mut check_removed = 0usize;
+        for g in groups.groups() {
+            for r in 0..f.rows() {
+                let survivors = g.iter().filter(|&&c| pruned.get(r, c) != 0.0).count();
+                prop_assert!(survivors <= 1);
+                let original = g.iter().filter(|&&c| f.get(r, c) != 0.0).count();
+                check_removed += original - survivors;
+                // The survivor must carry the maximum magnitude of the row.
+                if survivors == 1 {
+                    let kept = g.iter().find(|&&c| pruned.get(r, c) != 0.0).unwrap();
+                    let max = g.iter().map(|&c| f.get(r, c).abs()).fold(0.0f32, f32::max);
+                    prop_assert!((pruned.get(r, *kept).abs() - max).abs() < 1e-12);
+                }
+            }
+        }
+        prop_assert_eq!(removed, check_removed);
+    }
+
+    #[test]
+    fn packing_preserves_surviving_weights(f in sparse_matrix_strategy()) {
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let (pruned, _) = prune_conflicts(&f, &groups);
+        let density = pruned.density();
+        prop_assert_eq!(packed.unpack(), pruned);
+        // Utilization is never worse than the pruned matrix's density.
+        prop_assert!(packed.utilization_efficiency() + 1e-12 >= density);
+    }
+
+    #[test]
+    fn packed_density_never_exceeds_one(
+        f in sparse_matrix_strategy(),
+        alpha in 1usize..10,
+        gamma in 0.0f64..1.0,
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::new(alpha, gamma));
+        let packed = pack_columns(&f, &groups);
+        prop_assert!(packed.utilization_efficiency() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn bit_serial_mac_equals_wrapped_arithmetic(
+        x in any::<i8>(),
+        w in any::<i8>(),
+        y in -100_000i64..100_000,
+    ) {
+        for width in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            let y_in = width.wrap(y);
+            let (got, _) = BitSerialMac::new(w, width).run(x, y_in);
+            prop_assert_eq!(got, width.wrap(y_in + x as i64 * w as i64));
+        }
+    }
+
+    #[test]
+    fn array_multiply_always_matches_reference(
+        f in sparse_matrix_strategy(),
+        l in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let qw = QuantMatrix::quantize(&f);
+        let qd = QuantMatrix::quantize(&sparse_matrix(f.cols(), l, 1.0, seed));
+        let array = SystolicArray::new(ArrayConfig::new(64, 64, AccumWidth::Bits32));
+        let run = array.multiply(&qw, &qd);
+        prop_assert_eq!(run.outputs, quant_matmul(&qw, &qd, AccumWidth::Bits32));
+    }
+
+    #[test]
+    fn packed_array_matches_pruned_reference(
+        f in sparse_matrix_strategy(),
+        l in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let params = QuantParams::calibrate(f.as_slice());
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let q_pruned = QuantMatrix::quantize_with(&packed.unpack(), params);
+        let qd = QuantMatrix::quantize(&sparse_matrix(f.cols(), l, 1.0, seed));
+        let array = SystolicArray::new(ArrayConfig::new(64, 64, AccumWidth::Bits32));
+        let run = array.multiply_packed(&qp, &qd);
+        prop_assert_eq!(run.outputs, quant_matmul(&q_pruned, &qd, AccumWidth::Bits32));
+    }
+
+    #[test]
+    fn combined_density_bounds(
+        f in sparse_matrix_strategy(),
+    ) {
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        for g in groups.groups() {
+            let d = combined_density(&f, g);
+            prop_assert!((0.0..=1.0).contains(&d));
+            // Combined density at least any member column's density.
+            for &c in g {
+                prop_assert!(d + 1e-12 >= f.col_density(c));
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step(
+        vals in prop::collection::vec(-10.0f32..10.0, 1..64),
+    ) {
+        let params = QuantParams::calibrate(&vals);
+        for &v in &vals {
+            let err = (params.dequantize(params.quantize(v)) - v).abs();
+            prop_assert!(err <= params.scale() / 2.0 + 1e-5);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Second property suite: system-level invariants across training,
+//! pipelining, wavefront dataflow, tiling and serialization.
+
+use cc_nn::layer::LayerKind;
+use cc_nn::layers::{Linear, PointwiseConv, Relu, Shift};
+use cc_nn::models::{lenet5_shift, ModelConfig};
+use cc_nn::serialize::{load_weights, save_weights};
+use cc_nn::Network;
+use cc_packing::permute::{groups_are_contiguous, permutation_from_groups, remap_groups};
+use cc_packing::{group_columns, tiles_for, GroupingConfig};
+use cc_systolic::pipeline::{pipeline_latency, pipeline_throughput_cycles, LayerShape};
+use cc_systolic::wavefront;
+use cc_tensor::init::{kaiming_tensor, sparse_matrix};
+use cc_tensor::quant::{quant_matmul, AccumWidth, QuantMatrix};
+use cc_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tiny_net(in_ch: usize, hidden: usize, classes: usize, seed: u64) -> Network {
+    Network::new(
+        "prop",
+        vec![
+            LayerKind::Shift(Shift::new(in_ch)),
+            LayerKind::Pointwise(PointwiseConv::new(in_ch, hidden, false, seed)),
+            LayerKind::Relu(Relu::new()),
+            LayerKind::Linear(Linear::new(hidden * 9, classes, seed ^ 1)),
+        ],
+        classes,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn network_gradients_match_finite_difference(
+        in_ch in 1usize..4,
+        hidden in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut net = tiny_net(in_ch, hidden, 3, seed);
+        let x = kaiming_tensor(Shape::d4(1, in_ch, 3, 3), in_ch, seed ^ 7);
+        let y = net.forward(&x, true);
+        net.zero_grad();
+        net.backward(&Tensor::full(y.shape(), 1.0));
+
+        // Verify the global directional derivative: a small step along the
+        // negative gradient must reduce the scalar loss L = sum(logits).
+        let mut analytic: Vec<f32> = Vec::new();
+        net.visit_params(&mut |p| analytic.extend_from_slice(p.grad.as_slice()));
+        let loss = |net: &mut Network| net.forward(&x, false).sum();
+        let before = loss(&mut net);
+        let grad_norm_sq: f32 = analytic.iter().map(|g| g * g).sum();
+        prop_assume!(grad_norm_sq > 1e-12);
+        let step_size = 1e-3 / grad_norm_sq.sqrt();
+        let mut gi = 0usize;
+        net.visit_params(&mut |p| {
+            for i in 0..p.len() {
+                p.value[i] -= step_size * analytic[gi];
+                gi += 1;
+            }
+        });
+        let after = loss(&mut net);
+        prop_assert!(
+            after < before + 1e-4,
+            "descent step increased loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn pipelining_never_hurts_latency(
+        n_layers in 1usize..10,
+        rows in 1usize..64,
+        cols in 1usize..64,
+        len in 1usize..512,
+        port in 1u64..16,
+    ) {
+        let layers: Vec<LayerShape> =
+            (0..n_layers).map(|_| LayerShape::new(rows, cols, len)).collect();
+        let r = pipeline_latency(&layers, port);
+        prop_assert!(r.pipelined_cycles <= r.sequential_cycles);
+        // Steady-state frame period never exceeds single-frame latency.
+        let period = pipeline_throughput_cycles(&layers, port);
+        prop_assert!(period <= r.pipelined_cycles);
+    }
+
+    #[test]
+    fn wavefront_matches_reference_on_random_shapes(
+        n in 1usize..10,
+        m in 1usize..10,
+        l in 1usize..10,
+        density in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let w = QuantMatrix::quantize(&sparse_matrix(n, m, density, seed));
+        let d = QuantMatrix::quantize(&sparse_matrix(m, l, 1.0, seed ^ 0xF00));
+        let run = wavefront::simulate(&w, &d, AccumWidth::Bits32);
+        prop_assert_eq!(run.outputs, quant_matmul(&w, &d, AccumWidth::Bits32));
+        prop_assert_eq!(run.word_times as usize, l + n + m - 2);
+    }
+
+    #[test]
+    fn tiles_monotone_in_matrix_size(
+        rows in 1usize..300,
+        cols in 1usize..300,
+        ar in 1usize..64,
+        ac in 1usize..64,
+    ) {
+        let t = tiles_for(rows, cols, ar, ac);
+        prop_assert!(t >= 1);
+        prop_assert!(t <= tiles_for(rows + ar, cols, ar, ac));
+        prop_assert!(t <= tiles_for(rows, cols + ac, ar, ac));
+        // Covered area is at least the matrix.
+        prop_assert!(t * ar * ac >= rows * cols);
+    }
+
+    #[test]
+    fn remapped_groups_always_contiguous(
+        rows in 2usize..32,
+        cols in 2usize..32,
+        density in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let f = sparse_matrix(rows, cols, density, seed);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let perm = permutation_from_groups(&groups);
+        let remapped = remap_groups(&groups, &perm);
+        prop_assert!(groups_are_contiguous(&remapped));
+    }
+
+    #[test]
+    fn serialization_roundtrips_any_width(
+        width_pct in 10u32..120,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ModelConfig::new(1, 8, 8, 10)
+            .with_width(width_pct as f32 / 100.0)
+            .with_seed(seed);
+        let mut a = lenet5_shift(&cfg);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = lenet5_shift(&cfg.with_seed(seed ^ 0xDEAD));
+        load_weights(&mut b, &mut buf.as_slice()).unwrap();
+        let x = kaiming_tensor(Shape::d4(1, 1, 8, 8), 1, 3);
+        prop_assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+}

@@ -1,0 +1,77 @@
+//! Standard vs shift convolution (paper Fig. 2, §2.3): the motivation for
+//! building the CNNs out of shift + pointwise layers. Trains both LeNet-5
+//! variants on the same data and compares accuracy, parameter count and
+//! MAC operations.
+//!
+//! ```text
+//! cargo run --release -p cc-examples --bin conv_variants
+//! ```
+
+use cc_dataset::SyntheticSpec;
+use cc_nn::metrics::accuracy;
+use cc_nn::models::{lenet5_shift, lenet5_standard, ModelConfig};
+use cc_nn::schedule::LrSchedule;
+use cc_nn::train::{TrainConfig, Trainer};
+use cc_nn::LayerKind;
+
+fn conv_macs(net: &cc_nn::Network, mut h: usize, mut w: usize) -> usize {
+    // Count multiply–accumulates in convolutional layers (per sample).
+    let mut macs = 0usize;
+    for layer in net.layers() {
+        match layer {
+            LayerKind::Conv3x3(c) => macs += 9 * c.in_channels() * c.out_channels() * h * w,
+            LayerKind::Pointwise(p) => macs += p.in_channels() * p.out_channels() * h * w,
+            LayerKind::AvgPool(_) => {
+                h /= 2;
+                w /= 2;
+            }
+            LayerKind::GlobalAvgPool(_) => {
+                h = 1;
+                w = 1;
+            }
+            _ => {}
+        }
+    }
+    macs
+}
+
+fn main() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .with_size(12, 12)
+        .with_samples(512, 256)
+        .generate(4);
+    let cfg = ModelConfig::new(1, 12, 12, 10).with_width(0.5);
+    let tc = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        schedule: LrSchedule::Constant(0.05),
+        ..TrainConfig::default()
+    };
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>10}",
+        "variant", "params", "conv MACs", "accuracy", "time_s"
+    );
+    for (name, mut net) in [
+        ("standard 3x3", lenet5_standard(&cfg)),
+        ("shift+pointwise", lenet5_shift(&cfg)),
+    ] {
+        let start = std::time::Instant::now();
+        Trainer::new(tc).fit(&mut net, &train, None);
+        let acc = accuracy(&mut net, &test, 64);
+        let macs = conv_macs(&net, 12, 12);
+        println!(
+            "{:<18} {:>10} {:>12} {:>9.1}% {:>10.1}",
+            name,
+            net.num_params(),
+            macs,
+            acc * 100.0,
+            start.elapsed().as_secs_f32()
+        );
+    }
+    println!(
+        "\nshift convolution trades ~9x fewer conv weights and MACs for a small\n\
+         accuracy cost — and its pointwise filter matrices are exactly what\n\
+         column combining packs (paper Fig. 2, Sections 2.3 and 3)."
+    );
+}

@@ -1,0 +1,79 @@
+//! Deploy a column-combined network as the paper's integer systolic
+//! system (Fig. 6): 8-bit activations/weights, 32-bit accumulation, batch
+//! norm folded into the requantization stage, every pointwise layer
+//! executed on the simulated MX-cell array.
+//!
+//! ```text
+//! cargo run --release -p cc-examples --bin deploy_quantized
+//! ```
+
+use cc_dataset::SyntheticSpec;
+use cc_deploy::DeployedNetwork;
+use cc_nn::metrics::accuracy;
+use cc_nn::models::{lenet5_shift, ModelConfig};
+use cc_nn::schedule::LrSchedule;
+use cc_nn::train::{TrainConfig, Trainer};
+use cc_packing::{ColumnCombineConfig, ColumnCombiner};
+
+fn main() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .with_size(12, 12)
+        .with_samples(768, 256)
+        .generate(9);
+
+    // Train dense, then jointly optimize with column combining.
+    let mut net = lenet5_shift(&ModelConfig::new(1, 12, 12, 10).with_width(0.5));
+    let pre = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        schedule: LrSchedule::Constant(0.1),
+        ..TrainConfig::default()
+    };
+    Trainer::new(pre).fit(&mut net, &train, None);
+    let cfg = ColumnCombineConfig {
+        rho: net.nonzero_conv_weights() / 4,
+        epochs_per_iteration: 2,
+        final_epochs: 6,
+        eta: 0.05,
+        ..ColumnCombineConfig::default()
+    };
+    let (_, groups, report) = ColumnCombiner::new(cfg).run(&mut net, &train, Some(&test));
+    let float_acc = accuracy(&mut net, &test, 64);
+
+    // Lower to the integer pipeline and evaluate on the same test set.
+    let deployed = DeployedNetwork::build(&net, &groups, &train);
+    let int_acc = deployed.accuracy(&test);
+
+    println!("column-combined LeNet-5-Shift ({} nonzero weights)", net.nonzero_conv_weights());
+    println!("  utilization efficiency:      {:.1}%", report.utilization_efficiency() * 100.0);
+    println!("  float (fp32) accuracy:       {:.1}%", float_acc * 100.0);
+    println!("  deployed (int8/32) accuracy: {:.1}%", int_acc * 100.0);
+    println!(
+        "  quantization cost:           {:+.1} points",
+        (int_acc - float_acc) * 100.0
+    );
+    println!("\nper-stage pipeline:");
+    for (i, layer) in deployed.layers().iter().enumerate() {
+        let desc = match layer {
+            cc_deploy::DeployedLayer::Shift { shifts } => {
+                format!("shift block ({} channels)", shifts.len())
+            }
+            cc_deploy::DeployedLayer::PackedConv { weights, relu, .. } => format!(
+                "packed conv {}x{} on MX array{}",
+                weights.rows(),
+                weights.groups(),
+                if *relu { " + ReLU + requantize" } else { " + requantize" }
+            ),
+            cc_deploy::DeployedLayer::AvgPool => "2x2 average pool".into(),
+            cc_deploy::DeployedLayer::GlobalAvgPool => "global average pool".into(),
+            cc_deploy::DeployedLayer::Relu => "ReLU block".into(),
+            cc_deploy::DeployedLayer::Residual { body, .. } => {
+                format!("residual block ({} stages)", body.len())
+            }
+            cc_deploy::DeployedLayer::Linear { weights, .. } => {
+                format!("classifier {}x{}", weights.rows(), weights.cols())
+            }
+        };
+        println!("  stage {i:>2}: {desc}");
+    }
+}
