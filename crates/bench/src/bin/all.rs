@@ -4,9 +4,11 @@
 use cc_bench::experiments as exp;
 use cc_bench::scale::Scale;
 
+type Experiment = Box<dyn Fn(&Scale) -> Vec<cc_bench::report::Table>>;
+
 fn main() {
     let scale = Scale::from_env();
-    let suite: Vec<(&str, Box<dyn Fn(&Scale) -> Vec<cc_bench::report::Table>>)> = vec![
+    let suite: Vec<(&str, Experiment)> = vec![
         ("fig13a", Box::new(exp::fig13a::run)),
         ("fig13b", Box::new(exp::fig13bc::run_alpha)),
         ("fig13c", Box::new(exp::fig13bc::run_gamma)),

@@ -99,7 +99,7 @@ impl AsicDesign {
         AsicReport {
             energy_comp_pj: e_comp_pj,
             energy_mem_pj: e_mem_pj,
-            energy_per_sample_j: energy_per_sample_j,
+            energy_per_sample_j,
             throughput_fps: throughput,
             area_mm2: area,
             area_eff_fps_per_mm2: throughput / area,

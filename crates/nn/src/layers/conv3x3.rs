@@ -194,7 +194,7 @@ mod tests {
                             for kx in 0..3i64 {
                                 let sy = oy + ky - 1;
                                 let sx = ox + kx - 1;
-                                if sy < 0 || sy >= 4 || sx < 0 || sx >= 4 {
+                                if !(0..4).contains(&sy) || !(0..4).contains(&sx) {
                                     continue;
                                 }
                                 s += f.get(n, m * 9 + (ky * 3 + kx) as usize)

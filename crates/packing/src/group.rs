@@ -217,7 +217,7 @@ pub fn group_columns(f: &Matrix, cfg: &GroupingConfig) -> ColumnGroups {
             let density = (covered_now + newly) as f64 / n_rows.max(1) as f64;
             match cfg.policy {
                 GroupingPolicy::DenseColumnFirst => {
-                    if best.map_or(true, |(_, d)| density > d) {
+                    if best.is_none_or(|(_, d)| density > d) {
                         best = Some((gi, density));
                     }
                 }

@@ -129,4 +129,78 @@ mod tests {
     fn empty_report_is_zero() {
         assert_eq!(PackingReport::default().utilization_efficiency(), 0.0);
     }
+
+    #[test]
+    fn utilization_bounded_across_density_and_config_sweep() {
+        // Packed utilization is a cell-occupancy fraction: always in (0, 1]
+        // for a matrix with at least one nonzero, never below the pruned
+        // matrix's density (packing only shrinks the cell count).
+        for (seed, density) in [(1u64, 0.02), (2, 0.16), (3, 0.5), (4, 0.95)] {
+            for cfg in [
+                GroupingConfig::baseline(),
+                GroupingConfig::paper_default(),
+                GroupingConfig::new(2, 0.1),
+                GroupingConfig::new(16, 0.9),
+            ] {
+                let f = sparse_matrix(40, 56, density, seed);
+                let groups = group_columns(&f, &cfg);
+                let packed = pack_columns(&f, &groups);
+                let stats = layer_stats(0, &f, &packed);
+                assert!(stats.utilization > 0.0, "density {density}: zero utilization");
+                assert!(stats.utilization <= 1.0 + 1e-12, "density {density}: utilization > 1");
+                assert!(
+                    stats.utilization + 1e-12 >= packed.unpack().density(),
+                    "density {density}: packing made occupancy worse than pruned density"
+                );
+                assert_eq!(stats.nonzeros, packed.unpack().count_nonzero());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_utilization_is_between_layer_extremes() {
+        // The MAC-weighted aggregate can never leave the [min, max] envelope
+        // of the per-layer utilizations it averages.
+        let mut report = PackingReport::default();
+        for (i, (seed, density)) in [(5u64, 0.1), (6, 0.3), (7, 0.6)].iter().enumerate() {
+            let f = sparse_matrix(24, 32, *density, *seed);
+            let groups = group_columns(&f, &GroupingConfig::paper_default());
+            report.layers.push(layer_stats(i, &f, &pack_columns(&f, &groups)));
+        }
+        let agg = report.utilization_efficiency();
+        let lo = report.layers.iter().map(|l| l.utilization).fold(f64::INFINITY, f64::min);
+        let hi = report.layers.iter().map(|l| l.utilization).fold(0.0, f64::max);
+        assert!(agg >= lo - 1e-12 && agg <= hi + 1e-12, "{lo} <= {agg} <= {hi} violated");
+    }
+
+    #[test]
+    fn network_report_covers_every_pointwise_layer() {
+        use cc_nn::models::{lenet5_shift, ModelConfig};
+
+        let net = lenet5_shift(&ModelConfig::tiny(1, 10, 10, 10));
+        let mut groups = Vec::new();
+        net.visit_pointwise_ref(&mut |_, pw| {
+            groups.push(group_columns(&pw.filter_matrix(), &GroupingConfig::paper_default()));
+        });
+        let report = network_packing_report(&net, &groups);
+        assert_eq!(report.layers.len(), net.num_pointwise());
+        for (i, layer) in report.layers.iter().enumerate() {
+            assert_eq!(layer.layer, i);
+            assert!(layer.groups >= 1 && layer.groups <= layer.cols);
+            assert!(layer.utilization > 0.0 && layer.utilization <= 1.0 + 1e-12);
+        }
+        // Aggregate agrees with recomputing the ratio from the raw fields.
+        let cells: usize = report.layers.iter().map(|l| l.rows * l.groups).sum();
+        let expect = report.total_nonzeros() as f64 / cells as f64;
+        assert!((report.utilization_efficiency() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one group set per pointwise layer")]
+    fn network_report_rejects_mismatched_group_count() {
+        use cc_nn::models::{lenet5_shift, ModelConfig};
+
+        let net = lenet5_shift(&ModelConfig::tiny(1, 10, 10, 10));
+        let _ = network_packing_report(&net, &[]);
+    }
 }

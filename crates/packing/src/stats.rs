@@ -124,4 +124,56 @@ mod tests {
         assert_eq!(stats.total_conflicts, 0);
         assert_eq!(stats.survival_rate, 1.0);
     }
+
+    #[test]
+    fn conflict_invariants_hold_across_grouping_configs() {
+        // Structural invariants any grouping must satisfy: one entry per
+        // group, per-group conflicts within the γ·rows budget, totals
+        // bounded by the nonzero count, and a consistent average.
+        let f = sparse_matrix(28, 36, 0.35, 5);
+        for (alpha, gamma) in [(2usize, 0.0f64), (4, 0.25), (8, 0.5), (12, 1.0)] {
+            let groups = group_columns(&f, &GroupingConfig::new(alpha, gamma));
+            let stats = conflict_stats(&f, &groups);
+            assert_eq!(stats.per_group.len(), groups.len());
+            let budget = (gamma * f.rows() as f64).floor() as usize;
+            for (g, &conflicts) in stats.per_group.iter().enumerate() {
+                assert!(
+                    conflicts <= budget,
+                    "alpha={alpha} gamma={gamma}: group {g} has {conflicts} > budget {budget}"
+                );
+            }
+            assert!(stats.total_conflicts <= f.count_nonzero());
+            assert!((0.0..=1.0).contains(&stats.survival_rate));
+            let expect_avg = stats.total_conflicts as f64 / (groups.len() * f.rows()) as f64;
+            assert!((stats.avg_conflicts_per_row - expect_avg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_group_row_pair_once() {
+        let f = sparse_matrix(20, 44, 0.3, 6);
+        for cfg in [GroupingConfig::new(3, 0.2), GroupingConfig::paper_default()] {
+            let groups = group_columns(&f, &cfg);
+            let stats = conflict_stats(&f, &groups);
+            // Each (group, row) pair lands in exactly one histogram bucket.
+            assert_eq!(stats.row_histogram.iter().sum::<usize>(), groups.len() * f.rows());
+            // A row can conflict at most (group size - 1) times.
+            let max_bucket = stats.row_histogram.len().saturating_sub(1);
+            assert!(max_bucket < groups.max_group_size().max(1));
+        }
+    }
+
+    #[test]
+    fn pruning_removes_exactly_the_counted_conflicts_across_configs() {
+        // `prune_conflicts` and `conflict_stats` are independent code paths;
+        // they must agree on every configuration, not just the default.
+        let f = sparse_matrix(26, 30, 0.45, 7);
+        for (alpha, gamma) in [(2usize, 0.1f64), (6, 0.4), (10, 1.0)] {
+            let groups = group_columns(&f, &GroupingConfig::new(alpha, gamma));
+            let stats = conflict_stats(&f, &groups);
+            let (pruned, removed) = crate::pack::prune_conflicts(&f, &groups);
+            assert_eq!(removed, stats.total_conflicts, "alpha={alpha} gamma={gamma}");
+            assert_eq!(pruned.count_nonzero(), f.count_nonzero() - stats.total_conflicts);
+        }
+    }
 }

@@ -60,7 +60,7 @@ impl BitSerialMac {
         let acc_bits = self.acc_width.bits();
 
         // --- White logic: X · |W| by shift-add over the 8 weight bits. ---
-        let w_mag = (self.weight as i32).unsigned_abs() as u32; // |W|, fits 8 bits
+        let w_mag = (self.weight as i32).unsigned_abs(); // |W|, fits 8 bits
         let x_val = x as i32 as i64; // sign-extended input
         let mut product: i64 = 0;
         for bit in 0..Self::WORD_BITS {

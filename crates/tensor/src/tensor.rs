@@ -219,7 +219,7 @@ mod tests {
     fn rank4_indexing_matches_row_major() {
         let mut t = Tensor::zeros(Shape::d4(2, 3, 4, 5));
         t.set4(1, 2, 3, 4, 9.0);
-        assert_eq!(t.as_slice()[1 * 60 + 2 * 20 + 3 * 5 + 4], 9.0);
+        assert_eq!(t.as_slice()[60 + 2 * 20 + 3 * 5 + 4], 9.0);
         assert_eq!(t.get4(1, 2, 3, 4), 9.0);
     }
 

@@ -1,0 +1,111 @@
+//! Golden test: the cycle-level systolic simulator and the tiled scheduler
+//! must be *bit-for-bit* identical to a plain i64 reference GEMM written
+//! directly in this file — deliberately independent of
+//! `cc_tensor::quant::quant_matmul`, so a bug shared by the simulator and
+//! the crate's own reference cannot hide here.
+//!
+//! Matrix sizes are chosen so a 32-bit accumulator can never wrap
+//! (`k ≤ 256` ⇒ `|acc| ≤ 256 · 127² < 2³¹`), which the test asserts; plain
+//! i64 accumulation is then exactly the hardware semantics.
+
+use cc_packing::{group_columns, pack_columns, GroupingConfig};
+use cc_systolic::array::{ArrayConfig, QuantPacked, SystolicArray};
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+
+/// Schoolbook i64 GEMM over the raw i8 words: out[i,j] = Σ_k a[i,k]·b[k,j].
+fn reference_gemm_i64(a: &QuantMatrix, b: &QuantMatrix) -> Vec<i64> {
+    assert_eq!(a.cols(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for kk in 0..k {
+                acc += a.get(i, kk) as i64 * b.get(kk, j) as i64;
+            }
+            assert!(
+                AccumWidth::Bits32.fits(acc),
+                "test sizes must not wrap a 32-bit accumulator (got {acc})"
+            );
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Deterministic pseudo-random (weight, data) pair at the given shape.
+fn random_pair(n: usize, m: usize, l: usize, density: f64, seed: u64) -> (QuantMatrix, QuantMatrix) {
+    let w = QuantMatrix::quantize(&sparse_matrix(n, m, density, seed));
+    let d = QuantMatrix::quantize(&sparse_matrix(m, l, 1.0, seed ^ 0xD47A));
+    (w, d)
+}
+
+#[test]
+fn systolic_array_multiply_is_bit_exact_vs_plain_i64_gemm() {
+    let array = SystolicArray::new(ArrayConfig::new(64, 64, AccumWidth::Bits32));
+    for (seed, (n, m, l, density)) in [
+        (11u64, (1usize, 1usize, 1usize, 1.0)),
+        (12, (7, 5, 3, 0.5)),
+        (13, (33, 47, 9, 0.16)),
+        (14, (64, 64, 17, 0.3)),
+        (15, (40, 64, 24, 0.05)),
+    ] {
+        let (w, d) = random_pair(n, m, l, density, seed);
+        let run = array.multiply(&w, &d);
+        assert_eq!(
+            run.outputs,
+            reference_gemm_i64(&w, &d),
+            "seed {seed}: array.multiply diverged from plain i64 GEMM at {n}x{m}x{l}"
+        );
+    }
+}
+
+#[test]
+fn tiled_scheduler_unpacked_is_bit_exact_vs_plain_i64_gemm() {
+    // Shapes straddle the 32×32 array so row bands, column bands and ragged
+    // edge tiles are all exercised.
+    let sched = TiledScheduler::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+    for (seed, (n, m, l, density)) in [
+        (21u64, (96usize, 94usize, 20usize, 0.16)),
+        (22, (31, 33, 7, 0.4)),
+        (23, (65, 128, 11, 0.1)),
+        (24, (128, 96, 33, 0.25)),
+    ] {
+        let (w, d) = random_pair(n, m, l, density, seed);
+        let run = sched.run_unpacked(&w, &d);
+        assert_eq!(
+            run.outputs,
+            reference_gemm_i64(&w, &d),
+            "seed {seed}: run_unpacked diverged from plain i64 GEMM at {n}x{m}x{l}"
+        );
+    }
+}
+
+#[test]
+fn tiled_scheduler_packed_is_bit_exact_vs_plain_i64_gemm_on_pruned_weights() {
+    // Column combining prunes conflicts, so the golden model is the plain
+    // GEMM over the packed matrix's own unpacked (pruned) weights.
+    let sched = TiledScheduler::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+    for (seed, (n, m, l, density)) in [
+        (31u64, (96usize, 94usize, 20usize, 0.16)),
+        (32, (48, 65, 9, 0.3)),
+        (33, (80, 120, 15, 0.08)),
+    ] {
+        let f = sparse_matrix(n, m, density, seed);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let params = QuantParams::calibrate(f.as_slice());
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let q_pruned = QuantMatrix::quantize_with(&packed.unpack(), params);
+        let d = QuantMatrix::quantize(&sparse_matrix(m, l, 1.0, seed ^ 0xBEEF));
+
+        let run = sched.run_packed(&qp, &d);
+        assert_eq!(
+            run.outputs,
+            reference_gemm_i64(&q_pruned, &d),
+            "seed {seed}: run_packed diverged from plain i64 GEMM at {n}x{m}x{l}"
+        );
+    }
+}

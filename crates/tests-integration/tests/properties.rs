@@ -17,7 +17,8 @@ fn sparse_matrix_strategy() -> impl Strategy<Value = Matrix> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Cases and RNG stream are pinned so CI failures replay exactly.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0xA5_1305_0001))]
 
     #[test]
     fn grouping_always_partitions_columns(

@@ -29,7 +29,8 @@ fn tiny_net(in_ch: usize, hidden: usize, classes: usize, seed: u64) -> Network {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Cases and RNG stream are pinned so CI failures replay exactly.
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0xA5_1305_0002))]
 
     #[test]
     fn network_gradients_match_finite_difference(

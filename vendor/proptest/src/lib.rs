@@ -1,0 +1,421 @@
+//! Minimal offline stub of the `proptest` crate.
+//!
+//! Implements the slice of the proptest API used by this workspace's
+//! property suites: the [`Strategy`] trait (numeric ranges, tuples,
+//! `prop_map`, [`collection::vec`], [`any`]), the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//! - No shrinking. A failing case panics immediately and prints the case
+//!   index plus the RNG seed, which is enough to replay deterministically.
+//! - The RNG seed defaults to a fixed constant (and can be pinned
+//!   explicitly with [`ProptestConfig::with_rng_seed`]), so suites are
+//!   fully deterministic run-to-run — there is no OS-entropy mode at all.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic RNG driving all value generation (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub rng_seed: u64,
+    /// Maximum global rejects (`prop_assume!` failures) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, rng_seed: 0x5EED_CA5E_0000_0001, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+
+    /// Pin the RNG stream for this suite (determinism is the default; this
+    /// makes the chosen seed explicit and independent of stub defaults).
+    pub fn with_rng_seed(self, rng_seed: u64) -> Self {
+        ProptestConfig { rng_seed, ..self }
+    }
+}
+
+/// Error type for a single test case; `Reject` skips the case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Reject(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Value-generation strategy, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies are usable behind shared references (upstream parity).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Rounding to the target precision can land exactly on
+                // `end`; resample to honor the half-open contract.
+                for _ in 0..4 {
+                    let v = (self.start as f64
+                        + rng.unit_f64() * (self.end as f64 - self.start as f64)) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+                self.start
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A / 0);
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property function for `config.cases` cases. Called by the
+/// expansion of [`proptest!`]; not part of the public proptest API.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rng = TestRng::new(config.rng_seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng))) {
+            Err(payload) => {
+                // Surface what a shrinker would: which case failed and the
+                // seed that replays the whole stream deterministically.
+                eprintln!(
+                    "proptest `{name}`: failed at case index {passed} \
+                     ({rejected} rejects so far), rng_seed {:#x}",
+                    config.rng_seed
+                );
+                std::panic::resume_unwind(payload);
+            }
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejects \
+                         ({rejected}) after {passed} passing cases; last: {why}"
+                    );
+                }
+                // Ensure progress even if the case consumed no randomness.
+                let _ = rng.next_u64();
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    /// `prop::collection::vec(..)` paths resolve through this alias.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert! failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq! failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne! failed: {} == {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Wrapped(usize);
+
+    fn wrapped_strategy() -> impl Strategy<Value = Wrapped> {
+        (1usize..10).prop_map(Wrapped)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32).with_rng_seed(77))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, f in -1.5f64..1.5, b in any::<i8>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn map_and_tuples(w in wrapped_strategy(), (a, b) in (0u32..5, 0u32..5)) {
+            prop_assert!(w.0 >= 1 && w.0 < 10);
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0i64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(1234);
+        let mut b = TestRng::new(1234);
+        let s = (0usize..100, -1.0f32..1.0);
+        for _ in 0..16 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+
+    use crate::TestRng;
+}
