@@ -1,0 +1,42 @@
+//! Micro-benchmark for prepared-tile reuse: `run_packed` re-slices the
+//! weight matrix into array tiles on every call, while `prepare_packed`
+//! once + `run_prepared` per call hoists that setup out of the inference
+//! path — the pattern `cc-deploy` now uses for every deployed layer and
+//! `cc-serve` workers hit on every batch.
+
+use cc_packing::{group_columns, pack_columns, GroupingConfig};
+use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_systolic::tiled::TiledScheduler;
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_prepared_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_reuse_128x120");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    let f = sparse_matrix(128, 120, 0.16, 1);
+    let params = QuantParams::calibrate(f.as_slice());
+    let groups = group_columns(&f, &GroupingConfig::paper_default());
+    let qp = QuantPacked::quantize_with(&pack_columns(&f, &groups), params);
+    let sched = TiledScheduler::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+    let prepared = sched.prepare_packed(&qp);
+    // A skinny data matrix keeps the multiply small, so per-call tile
+    // slicing is a visible fraction of the run — the serving hot path
+    // (one small image through a deep pipeline) looks exactly like this.
+    let data = QuantMatrix::quantize(&sparse_matrix(120, 16, 1.0, 2));
+
+    g.bench_function("slice_per_call", |b| {
+        b.iter(|| sched.run_packed(black_box(&qp), black_box(&data)))
+    });
+    g.bench_function("prepared_reuse", |b| {
+        b.iter(|| sched.run_prepared(black_box(&prepared), black_box(&data)))
+    });
+    g.bench_function("prepare_only", |b| b.iter(|| sched.prepare_packed(black_box(&qp))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_prepared_reuse);
+criterion_main!(benches);

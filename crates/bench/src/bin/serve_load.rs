@@ -1,0 +1,10 @@
+//! Serving load generator: closed- and open-loop traffic through
+//! `cc-serve`, sweeping workers × batch size for packed vs unpacked
+//! deployments. Run with `--release`; set `CC_SCALE=full` for a longer
+//! run. Writes `results/bench_serve.json` alongside the CSVs.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::serve_load::run(&scale);
+    cc_bench::emit("serve_load", &tables);
+}

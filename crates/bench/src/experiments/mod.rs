@@ -11,6 +11,7 @@ pub mod fig15a;
 pub mod fig15b;
 pub mod fig16;
 pub mod sec72;
+pub mod serve_load;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -2,7 +2,7 @@
 //! pointwise layer, folds batch norm into per-channel scale/bias, and
 //! calibrates activation scales on sample data.
 
-use crate::engine::{run_layer, DeployedLayer, StageOutput};
+use crate::engine::{run_layer_batch, BatchOutput, DeployedLayer};
 use crate::qmap::QMap;
 use cc_dataset::Dataset;
 use cc_nn::layer::LayerKind;
@@ -10,16 +10,28 @@ use cc_nn::layers::AvgPool2;
 use cc_nn::Network;
 use cc_packing::{pack_columns, ColumnGroups};
 use cc_systolic::array::{ArrayConfig, QuantPacked};
+use cc_systolic::tiled::TiledScheduler;
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 use cc_tensor::{Matrix, Shape, Tensor};
+use std::sync::Arc;
 
 /// A column-combined network lowered to the integer pipeline of the
 /// paper's systolic system (Fig. 6).
+///
+/// The built pipeline is immutable and lives behind an [`Arc`], so cloning
+/// is a pointer bump and a clone can be handed to every serving worker
+/// without duplicating weights (the `cc-serve` registry relies on this).
 #[derive(Clone, Debug)]
 pub struct DeployedNetwork {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
     layers: Vec<DeployedLayer>,
     input_scale: f32,
-    array: ArrayConfig,
+    input_shape: (usize, usize, usize),
+    sched: TiledScheduler,
     classes: usize,
 }
 
@@ -62,21 +74,44 @@ impl DeployedNetwork {
         }
         let input_scale = scale_of(&batch);
 
+        let sched = TiledScheduler::new(array);
         let mut float_net = net.clone();
-        let mut ctx = BuildCtx { groups, pw_index: 0 };
+        let mut ctx = BuildCtx { groups, pw_index: 0, sched };
         let (layers, _) = build_sequence(float_net.layers_mut(), batch, &mut ctx);
 
-        DeployedNetwork { layers, input_scale, array, classes: net.num_classes() }
+        DeployedNetwork {
+            inner: Arc::new(Inner {
+                layers,
+                input_scale,
+                input_shape: (c, h, w),
+                sched,
+                classes: net.num_classes(),
+            }),
+        }
+    }
+
+    /// The `(C, H, W)` image shape the pipeline expects (taken from the
+    /// calibration data). Serving admission control validates requests
+    /// against this before they reach a worker.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.inner.input_shape
     }
 
     /// The deployed stages.
     pub fn layers(&self) -> &[DeployedLayer] {
-        &self.layers
+        &self.inner.layers
     }
 
     /// The calibrated input activation scale.
     pub fn input_scale(&self) -> f32 {
-        self.input_scale
+        self.inner.input_scale
+    }
+
+    /// The tiled scheduler this network was prepared for. Serving workers
+    /// copy it once and pass it to [`DeployedNetwork::run_batch_with`]
+    /// instead of constructing a scheduler per call.
+    pub fn scheduler(&self) -> TiledScheduler {
+        self.inner.sched
     }
 
     /// Runs integer inference on one `(C, H, W)` image, returning logits.
@@ -85,11 +120,35 @@ impl DeployedNetwork {
     ///
     /// Panics if the pipeline does not end in a classifier head.
     pub fn logits(&self, image: &Tensor) -> Vec<f32> {
-        let mut map = QMap::quantize(image, self.input_scale);
-        for layer in &self.layers {
-            match run_layer(layer, &map, self.array) {
-                StageOutput::Map(m) => map = m,
-                StageOutput::Logits(l) => return l,
+        self.run_batch(std::slice::from_ref(image)).pop().expect("batch of one")
+    }
+
+    /// Runs integer inference on a batch of same-shape images, returning
+    /// per-image logits. The batch shares every layer's weight-tile loads
+    /// on the simulated array, and the results are bit-identical to
+    /// calling [`DeployedNetwork::logits`] per image.
+    pub fn run_batch(&self, images: &[Tensor]) -> Vec<Vec<f32>> {
+        let sched = self.inner.sched;
+        self.run_batch_with(&sched, images)
+    }
+
+    /// [`DeployedNetwork::run_batch`] with a caller-owned scheduler (one
+    /// per serving worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's array configuration differs from the one
+    /// the network was built for, or the pipeline lacks a classifier head.
+    pub fn run_batch_with(&self, sched: &TiledScheduler, images: &[Tensor]) -> Vec<Vec<f32>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let mut maps: Vec<QMap> =
+            images.iter().map(|im| QMap::quantize(im, self.inner.input_scale)).collect();
+        for layer in &self.inner.layers {
+            match run_layer_batch(layer, &maps, sched) {
+                BatchOutput::Maps(m) => maps = m,
+                BatchOutput::Logits(l) => return l,
             }
         }
         panic!("deployed network has no classifier head");
@@ -119,13 +178,25 @@ impl DeployedNetwork {
 
     /// Number of output classes.
     pub fn num_classes(&self) -> usize {
-        self.classes
+        self.inner.classes
     }
 }
 
 struct BuildCtx<'a> {
     groups: &'a [ColumnGroups],
     pw_index: usize,
+    sched: TiledScheduler,
+}
+
+/// Singleton (one column per group) groups for every pointwise layer of
+/// `net`: deploys the network *without* column combining, i.e. the paper's
+/// unpacked baseline. Useful for packed-vs-unpacked serving comparisons.
+pub fn identity_groups(net: &Network) -> Vec<ColumnGroups> {
+    let mut groups = Vec::new();
+    net.visit_pointwise_ref(&mut |_, pw| {
+        groups.push(ColumnGroups::singletons(pw.in_channels()));
+    });
+    groups
 }
 
 /// Calibrated activation scale: the 99.9th percentile of magnitudes maps
@@ -199,7 +270,7 @@ fn build_sequence(
 
                 let out_scale = scale_of(&act);
                 out.push(DeployedLayer::PackedConv {
-                    weights,
+                    tiles: ctx.sched.prepare_packed(&weights),
                     weight_scale: weight_params.scale(),
                     channel_scale,
                     channel_bias,
@@ -364,6 +435,73 @@ mod tests {
         assert_eq!(logits.len(), 10);
         assert!(logits.iter().all(|v| v.is_finite()));
         assert_eq!(deployed.num_classes(), 10);
+    }
+
+    /// Compile-time guarantee that the engine types can be shared across
+    /// serving threads: a registry hands `Arc`s of these to every worker.
+    #[test]
+    fn engine_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeployedNetwork>();
+        assert_send_sync::<DeployedLayer>();
+        assert_send_sync::<QMap>();
+        assert_send_sync::<TiledScheduler>();
+        assert_send_sync::<QuantPacked>();
+        assert_send_sync::<cc_systolic::tiled::PreparedPacked>();
+        assert_send_sync::<cc_systolic::array::ArrayConfig>();
+    }
+
+    #[test]
+    fn clone_shares_pipeline_storage() {
+        let (train, _) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(32, 8).generate(7);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let cloned = deployed.clone();
+        assert!(Arc::ptr_eq(&deployed.inner, &cloned.inner), "clone must be an Arc bump");
+    }
+
+    #[test]
+    fn batch_inference_is_bit_identical_to_serial() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(64, 12).generate(8);
+        let mut net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 2,
+            epochs_per_iteration: 1,
+            final_epochs: 0,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let batched = deployed.run_batch(&images);
+        assert_eq!(batched.len(), images.len());
+        for (i, logits) in batched.iter().enumerate() {
+            assert_eq!(logits, &deployed.logits(&images[i]), "image {i} diverged in batch");
+        }
+        assert!(deployed.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_inference_on_residual_network_is_bit_identical() {
+        let (train, test) =
+            SyntheticSpec::cifar_like().with_size(8, 8).with_samples(48, 6).generate(9);
+        let mut net = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 2,
+            epochs_per_iteration: 1,
+            final_epochs: 0,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        for (i, logits) in deployed.run_batch(&images).iter().enumerate() {
+            assert_eq!(logits, &deployed.logits(&images[i]), "image {i} diverged in batch");
+        }
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! The deployed integer inference engine: one enum variant per hardware
 //! block of the paper's Fig. 6 system.
+//!
+//! Every stage executes either on one image or on a whole batch
+//! ([`run_layer_batch`]). Batching concatenates the images' spatial
+//! positions into one wide data matrix for the systolic array, so a batch
+//! of `B` maps shares each layer's weight loads — and because the array is
+//! exact integer arithmetic per output column, batched results are
+//! bit-identical to running the images one at a time.
 
 use crate::qmap::QMap;
-use cc_systolic::array::{ArrayConfig, QuantPacked};
-use cc_systolic::tiled::TiledScheduler;
+use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 
 /// One stage of the deployed pipeline.
@@ -18,8 +24,10 @@ pub enum DeployedLayer {
     /// folded into per-channel scale/bias and the ReLU + quantizer blocks
     /// fused behind it (§4.4).
     PackedConv {
-        /// Quantized packed weights with mux channels.
-        weights: QuantPacked,
+        /// Quantized packed weights (with mux channels), pre-sliced into
+        /// array tiles once at build time — the per-inference path only
+        /// runs them (see [`TiledScheduler::prepare_packed`]).
+        tiles: PreparedPacked,
         /// Weight quantization step.
         weight_scale: f32,
         /// Folded per-output-channel scale (γ/σ of the trained BN).
@@ -60,37 +68,69 @@ pub enum DeployedLayer {
     },
 }
 
-/// Executes one stage. `PackedConv` runs on the tiled systolic simulator;
-/// everything else is the corresponding peripheral block.
-pub fn run_layer(layer: &DeployedLayer, input: &QMap, array: ArrayConfig) -> StageOutput {
+/// Executes one stage on one image. `PackedConv` runs on the tiled
+/// systolic simulator; everything else is the corresponding peripheral
+/// block.
+pub fn run_layer(layer: &DeployedLayer, input: &QMap, sched: &TiledScheduler) -> StageOutput {
+    match run_layer_batch(layer, std::slice::from_ref(input), sched) {
+        BatchOutput::Maps(mut m) => StageOutput::Map(m.pop().expect("batch of one")),
+        BatchOutput::Logits(mut l) => StageOutput::Logits(l.pop().expect("batch of one")),
+    }
+}
+
+/// Executes one stage on a batch of same-shape images. `PackedConv`
+/// concatenates all images' positions into one data matrix so the batch
+/// shares each weight tile load; results are bit-identical to running the
+/// images individually.
+///
+/// # Panics
+///
+/// Panics on an empty batch or if the maps disagree in shape or scale.
+pub fn run_layer_batch(
+    layer: &DeployedLayer,
+    inputs: &[QMap],
+    sched: &TiledScheduler,
+) -> BatchOutput {
+    assert!(!inputs.is_empty(), "empty batch");
     match layer {
-        DeployedLayer::Shift { shifts } => StageOutput::Map(run_shift(shifts, input)),
+        DeployedLayer::Shift { shifts } => {
+            BatchOutput::Maps(inputs.iter().map(|m| run_shift(shifts, m)).collect())
+        }
         DeployedLayer::PackedConv {
-            weights,
+            tiles,
             weight_scale,
             channel_scale,
             channel_bias,
             relu,
             out_scale,
-        } => StageOutput::Map(run_packed_conv(
-            weights,
+        } => BatchOutput::Maps(run_packed_conv_batch(
+            tiles,
             *weight_scale,
             channel_scale,
             channel_bias,
             *relu,
             *out_scale,
-            input,
-            array,
+            inputs,
+            sched,
         )),
-        DeployedLayer::AvgPool => StageOutput::Map(run_avgpool(input)),
-        DeployedLayer::GlobalAvgPool => StageOutput::Map(run_global_pool(input)),
-        DeployedLayer::Relu => StageOutput::Map(run_relu(input)),
+        DeployedLayer::AvgPool => BatchOutput::Maps(inputs.iter().map(run_avgpool).collect()),
+        DeployedLayer::GlobalAvgPool => {
+            BatchOutput::Maps(inputs.iter().map(run_global_pool).collect())
+        }
+        DeployedLayer::Relu => BatchOutput::Maps(inputs.iter().map(run_relu).collect()),
         DeployedLayer::Residual { body, downsample, out_channels, out_scale } => {
-            StageOutput::Map(run_residual(body, *downsample, *out_channels, *out_scale, input, array))
+            BatchOutput::Maps(run_residual_batch(
+                body,
+                *downsample,
+                *out_channels,
+                *out_scale,
+                inputs,
+                sched,
+            ))
         }
-        DeployedLayer::Linear { weights, weight_scale, bias } => {
-            StageOutput::Logits(run_linear(weights, *weight_scale, bias, input))
-        }
+        DeployedLayer::Linear { weights, weight_scale, bias } => BatchOutput::Logits(
+            inputs.iter().map(|m| run_linear(weights, *weight_scale, bias, m)).collect(),
+        ),
     }
 }
 
@@ -101,6 +141,15 @@ pub enum StageOutput {
     Map(QMap),
     /// Real-valued class logits.
     Logits(Vec<f32>),
+}
+
+/// Result of a batched stage: per-image maps or per-image logits.
+#[derive(Clone, Debug)]
+pub enum BatchOutput {
+    /// Intermediate quantized feature maps, one per image.
+    Maps(Vec<QMap>),
+    /// Real-valued class logits, one vector per image.
+    Logits(Vec<Vec<f32>>),
 }
 
 fn run_shift(shifts: &[(i8, i8)], input: &QMap) -> QMap {
@@ -128,41 +177,62 @@ fn run_shift(shifts: &[(i8, i8)], input: &QMap) -> QMap {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_packed_conv(
-    weights: &QuantPacked,
+fn run_packed_conv_batch(
+    tiles: &PreparedPacked,
     weight_scale: f32,
     channel_scale: &[f32],
     channel_bias: &[f32],
     relu: bool,
     out_scale: f32,
-    input: &QMap,
-    array: ArrayConfig,
-) -> QMap {
-    let (h, w) = (input.height(), input.width());
+    inputs: &[QMap],
+    sched: &TiledScheduler,
+) -> Vec<QMap> {
+    let first = &inputs[0];
+    let (c, h, w) = (first.channels(), first.height(), first.width());
     let l = h * w;
-    // Data matrix: channels × positions, already quantized.
-    let data = QuantMatrix::from_raw(
-        input.channels(),
-        l,
-        input.as_slice().to_vec(),
-        QuantParams::from_max_abs(input.scale() * 127.0),
-    );
-    let run = TiledScheduler::new(array).run_packed(weights, &data);
+    let b = inputs.len();
+    let bl = b * l;
+    for m in inputs {
+        assert_eq!(
+            (m.channels(), m.height(), m.width()),
+            (c, h, w),
+            "batched maps must share a shape"
+        );
+        assert_eq!(m.scale(), first.scale(), "batched maps must share a scale");
+    }
 
-    let n = weights.rows();
-    let acc_scale = weight_scale * input.scale();
-    let mut out = vec![0i8; n * l];
-    for ni in 0..n {
-        for p in 0..l {
-            let acc = run.outputs[ni * l + p] as f32 * acc_scale;
-            let mut real = channel_scale[ni] * acc + channel_bias[ni];
-            if relu && real < 0.0 {
-                real = 0.0;
-            }
-            out[ni * l + p] = (real / out_scale).round().clamp(-127.0, 127.0) as i8;
+    // Data matrix: channels × (batch · positions) — image `bi` owns the
+    // column band `bi*l..(bi+1)*l`, so each output column (and thus each
+    // per-image result) is untouched by its batch neighbours.
+    let mut data = vec![0i8; c * bl];
+    for (bi, m) in inputs.iter().enumerate() {
+        for k in 0..c {
+            data[k * bl + bi * l..k * bl + (bi + 1) * l]
+                .copy_from_slice(&m.as_slice()[k * l..(k + 1) * l]);
         }
     }
-    QMap::from_raw(out, n, h, w, out_scale)
+    let data =
+        QuantMatrix::from_raw(c, bl, data, QuantParams::from_max_abs(first.scale() * 127.0));
+    let run = sched.run_prepared(tiles, &data);
+
+    let n = tiles.rows();
+    let acc_scale = weight_scale * first.scale();
+    (0..b)
+        .map(|bi| {
+            let mut out = vec![0i8; n * l];
+            for ni in 0..n {
+                for p in 0..l {
+                    let acc = run.outputs[ni * bl + bi * l + p] as f32 * acc_scale;
+                    let mut real = channel_scale[ni] * acc + channel_bias[ni];
+                    if relu && real < 0.0 {
+                        real = 0.0;
+                    }
+                    out[ni * l + p] = (real / out_scale).round().clamp(-127.0, 127.0) as i8;
+                }
+            }
+            QMap::from_raw(out, n, h, w, out_scale)
+        })
+        .collect()
 }
 
 fn run_avgpool(input: &QMap) -> QMap {
@@ -207,44 +277,51 @@ fn run_relu(input: &QMap) -> QMap {
     QMap::from_raw(out, input.channels(), input.height(), input.width(), input.scale())
 }
 
-fn run_residual(
+fn run_residual_batch(
     body: &[DeployedLayer],
     downsample: bool,
     out_channels: usize,
     out_scale: f32,
-    input: &QMap,
-    array: ArrayConfig,
-) -> QMap {
-    // Body path.
-    let mut h = input.clone();
+    inputs: &[QMap],
+    sched: &TiledScheduler,
+) -> Vec<QMap> {
+    // Body path, batched through every stage.
+    let mut hs: Vec<QMap> = inputs.to_vec();
     for stage in body {
-        match run_layer(stage, &h, array) {
-            StageOutput::Map(m) => h = m,
-            StageOutput::Logits(_) => panic!("classifier inside residual body"),
+        match run_layer_batch(stage, &hs, sched) {
+            BatchOutput::Maps(m) => hs = m,
+            BatchOutput::Logits(_) => panic!("classifier inside residual body"),
         }
     }
-    // Shortcut path.
-    let shortcut = if downsample {
-        let pooled = run_avgpool(input);
-        pad_channels(&pooled, out_channels)
-    } else {
-        input.clone()
-    };
-    assert_eq!(h.channels(), shortcut.channels(), "residual channel mismatch");
-    assert_eq!(h.plane(), shortcut.plane(), "residual plane mismatch");
-
-    // Integer add with per-path rescale into the calibrated output scale.
-    let (sb, ss) = (h.scale(), shortcut.scale());
-    let out: Vec<i8> = h
-        .as_slice()
+    inputs
         .iter()
-        .zip(shortcut.as_slice())
-        .map(|(&b, &s)| {
-            let real = b as f32 * sb + s as f32 * ss;
-            (real / out_scale).round().clamp(-127.0, 127.0) as i8
+        .zip(hs)
+        .map(|(input, h)| {
+            // Shortcut path.
+            let shortcut = if downsample {
+                let pooled = run_avgpool(input);
+                pad_channels(&pooled, out_channels)
+            } else {
+                input.clone()
+            };
+            assert_eq!(h.channels(), shortcut.channels(), "residual channel mismatch");
+            assert_eq!(h.plane(), shortcut.plane(), "residual plane mismatch");
+
+            // Integer add with per-path rescale into the calibrated output
+            // scale.
+            let (sb, ss) = (h.scale(), shortcut.scale());
+            let out: Vec<i8> = h
+                .as_slice()
+                .iter()
+                .zip(shortcut.as_slice())
+                .map(|(&b, &s)| {
+                    let real = b as f32 * sb + s as f32 * ss;
+                    (real / out_scale).round().clamp(-127.0, 127.0) as i8
+                })
+                .collect();
+            QMap::from_raw(out, h.channels(), h.height(), h.width(), out_scale)
         })
-        .collect();
-    QMap::from_raw(out, h.channels(), h.height(), h.width(), out_scale)
+        .collect()
 }
 
 fn pad_channels(input: &QMap, out_channels: usize) -> QMap {

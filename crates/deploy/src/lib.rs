@@ -45,6 +45,6 @@ pub mod builder;
 pub mod engine;
 pub mod qmap;
 
-pub use builder::DeployedNetwork;
+pub use builder::{identity_groups, DeployedNetwork};
 pub use engine::DeployedLayer;
 pub use qmap::QMap;

@@ -1,0 +1,149 @@
+//! The dynamic batcher: coalesces queued requests that share a batch key
+//! (same model) into one batch, up to a maximum size or a deadline —
+//! whichever comes first.
+//!
+//! The batcher is generic over the queued item and its key so the policy
+//! is testable without spinning up a server: seed a batch with the oldest
+//! pending item, absorb every same-key item already waiting, then keep the
+//! ingress window open until the batch fills or the deadline passes.
+//! Items with a different key are stashed, preserving arrival order, and
+//! seed later batches.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Deadline/size-bounded coalescing over an mpsc ingress channel.
+#[derive(Debug)]
+pub struct Batcher<T, K, F>
+where
+    K: Eq,
+    F: Fn(&T) -> K,
+{
+    ingress: Receiver<T>,
+    stash: VecDeque<T>,
+    max_batch: usize,
+    deadline: Duration,
+    key_of: F,
+}
+
+impl<T, K, F> Batcher<T, K, F>
+where
+    K: Eq,
+    F: Fn(&T) -> K,
+{
+    /// Creates a batcher reading from `ingress`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(ingress: Receiver<T>, max_batch: usize, deadline: Duration, key_of: F) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        Batcher { ingress, stash: VecDeque::new(), max_batch, deadline, key_of }
+    }
+
+    /// Blocks for the next batch of same-key items, or `None` once the
+    /// ingress channel is closed and the stash is drained.
+    pub fn next_batch(&mut self) -> Option<Vec<T>> {
+        // Seed with the oldest pending item: the stash front predates
+        // anything still in the channel.
+        let first = match self.stash.pop_front() {
+            Some(item) => item,
+            None => self.ingress.recv().ok()?,
+        };
+        let key = (self.key_of)(&first);
+        let mut batch = vec![first];
+
+        // Absorb same-key items already stashed, oldest first.
+        let mut i = 0;
+        while batch.len() < self.max_batch && i < self.stash.len() {
+            if (self.key_of)(&self.stash[i]) == key {
+                batch.push(self.stash.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+
+        // Keep the window open until the batch fills or the deadline hits.
+        let deadline = Instant::now() + self.deadline;
+        while batch.len() < self.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.ingress.recv_timeout(deadline - now) {
+                Ok(item) if (self.key_of)(&item) == key => batch.push(item),
+                Ok(item) => self.stash.push_back(item),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    type TestBatcher = Batcher<(u32, u32), u32, fn(&(u32, u32)) -> u32>;
+
+    fn batcher(rx: Receiver<(u32, u32)>, max_batch: usize, deadline: Duration) -> TestBatcher {
+        Batcher::new(rx, max_batch, deadline, |item| item.0)
+    }
+
+    #[test]
+    fn coalesces_up_to_max_batch() {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            tx.send((1, i)).unwrap();
+        }
+        drop(tx);
+        let mut b = batcher(rx, 4, Duration::from_millis(1));
+        assert_eq!(b.next_batch().unwrap().len(), 4);
+        assert_eq!(b.next_batch().unwrap().len(), 4);
+        assert_eq!(b.next_batch().unwrap().len(), 2);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn separates_keys_and_preserves_arrival_order() {
+        let (tx, rx) = mpsc::channel();
+        for (k, i) in [(1, 0), (2, 1), (1, 2), (2, 3), (2, 4)] {
+            tx.send((k, i)).unwrap();
+        }
+        drop(tx);
+        let mut b = batcher(rx, 8, Duration::from_millis(1));
+        assert_eq!(b.next_batch().unwrap(), vec![(1, 0), (1, 2)]);
+        assert_eq!(b.next_batch().unwrap(), vec![(2, 1), (2, 3), (2, 4)]);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn deadline_releases_partial_batch() {
+        let (tx, rx) = mpsc::channel();
+        tx.send((1, 0)).unwrap();
+        let mut b = batcher(rx, 64, Duration::from_millis(5));
+        let start = Instant::now();
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 1, "deadline must release an unfilled batch");
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        drop(tx);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn late_arrivals_join_open_window() {
+        let (tx, rx) = mpsc::channel();
+        tx.send((7, 0)).unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            tx.send((7, 1)).unwrap();
+            tx.send((7, 2)).unwrap();
+        });
+        let mut b = batcher(rx, 3, Duration::from_millis(500));
+        let batch = b.next_batch().unwrap();
+        handle.join().unwrap();
+        assert_eq!(batch, vec![(7, 0), (7, 1), (7, 2)]);
+    }
+}

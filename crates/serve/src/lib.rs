@@ -1,0 +1,74 @@
+//! `cc-serve`: a concurrent, batched inference-serving runtime over the
+//! deployed integer systolic pipeline.
+//!
+//! The rest of the workspace trains, packs (column combining), quantizes,
+//! and simulates one request at a time; this crate multiplexes a deployed
+//! array across many concurrent requests, the way a real accelerator
+//! deployment amortizes its silicon:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────────┐
+//!  clients ──▶ submit ──▶ bounded queue ──▶ dynamic batcher ──▶ worker pool
+//!                 │shed on full          (max size | deadline)   │ one tiled
+//!                 ▼                        per-model batches     │ scheduler each
+//!             telemetry ◀── latency/occupancy/depth ◀────────────┘
+//!                 │                 ▲
+//!                 ▼                 │ Arc<DeployedNetwork>, shared immutably
+//!             snapshot          model registry (pack + quantize once)
+//! ```
+//!
+//! - **Registry** ([`ModelRegistry`]): named, prepacked
+//!   [`cc_deploy::DeployedNetwork`]s; building packs and calibrates once,
+//!   and every worker shares the result immutably (`Arc` internals).
+//! - **Dynamic batcher** ([`batcher::Batcher`]): coalesces queued
+//!   requests for the same model until the batch fills or a deadline
+//!   passes; a batch runs as one wide matrix on the simulated array, so
+//!   the whole batch shares each layer's weight-tile loads — and stays
+//!   bit-identical to serial execution (the array is exact integer
+//!   arithmetic per output column).
+//! - **Worker pool**: each worker owns its tiled-scheduler instance and
+//!   pulls batches over a rendezvous channel.
+//! - **Admission control**: a bounded queue with shed-on-full semantics
+//!   ([`SubmitError::QueueFull`]) gives end-to-end backpressure.
+//! - **Telemetry** ([`TelemetrySnapshot`]): p50/p95/p99 latency from a
+//!   log-linear histogram, throughput, batch occupancy, queue depth.
+//!
+//! Std-only: threads and channels, no async runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use cc_dataset::SyntheticSpec;
+//! use cc_deploy::{identity_groups, DeployedNetwork};
+//! use cc_nn::models::{lenet5_shift, ModelConfig};
+//! use cc_serve::{ModelRegistry, ServeConfig, Server};
+//!
+//! let (train, test) = SyntheticSpec::mnist_like()
+//!     .with_size(8, 8)
+//!     .with_samples(32, 8)
+//!     .generate(0);
+//! let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+//! let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+//!
+//! let registry = ModelRegistry::new().with_model("lenet", deployed);
+//! let server = Server::start(registry, ServeConfig::default().with_workers(2));
+//!
+//! let tickets: Vec<_> = (0..test.len())
+//!     .map(|i| server.submit("lenet", test.image(i).clone()).expect("admitted"))
+//!     .collect();
+//! for ticket in tickets {
+//!     let response = ticket.wait().expect("served");
+//!     assert_eq!(response.logits.len(), 10);
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 8);
+//! ```
+
+pub mod batcher;
+pub mod registry;
+pub mod server;
+pub mod telemetry;
+
+pub use registry::ModelRegistry;
+pub use server::{Response, ServeConfig, Server, SubmitError, Ticket};
+pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot};

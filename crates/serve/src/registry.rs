@@ -1,0 +1,90 @@
+//! The model registry: named, prepacked [`DeployedNetwork`]s, built once
+//! (pack + quantize + calibrate) and shared immutably by every worker.
+//!
+//! `DeployedNetwork` is `Arc`-backed, so a registry lookup hands out a
+//! pointer bump, never a weight copy.
+
+use cc_deploy::DeployedNetwork;
+use std::collections::HashMap;
+
+/// An immutable-after-start map from model name to deployed pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, DeployedNetwork>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a model under `name`.
+    pub fn register(&mut self, name: impl Into<String>, net: DeployedNetwork) -> &mut Self {
+        self.models.insert(name.into(), net);
+        self
+    }
+
+    /// Builder-style [`ModelRegistry::register`].
+    #[must_use]
+    pub fn with_model(mut self, name: impl Into<String>, net: DeployedNetwork) -> Self {
+        self.register(name, net);
+        self
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&DeployedNetwork> {
+        self.models.get(name)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.models.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_dataset::SyntheticSpec;
+    use cc_deploy::identity_groups;
+    use cc_nn::models::{lenet5_shift, ModelConfig};
+
+    fn tiny_net() -> DeployedNetwork {
+        let (train, _) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(16, 4).generate(3);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        DeployedNetwork::build(&net, &identity_groups(&net), &train)
+    }
+
+    #[test]
+    fn register_lookup_and_names() {
+        let net = tiny_net();
+        let reg = ModelRegistry::new()
+            .with_model("lenet", net.clone())
+            .with_model("alias", net);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("lenet"));
+        assert!(!reg.contains("missing"));
+        assert_eq!(reg.names(), vec!["alias", "lenet"]);
+        assert_eq!(reg.get("lenet").unwrap().input_shape(), (1, 8, 8));
+        assert!(reg.get("missing").is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! The serving runtime: admission control → dynamic batcher → worker
+//! pool, glued together with std threads and channels.
+//!
+//! ```text
+//!  submit() ──try_send──▶ [bounded ingress] ──▶ batcher ──▶ [rendezvous] ──▶ worker 0..W
+//!     │ full?                                    │ coalesce                    │ run_batch_with
+//!     ▼ shed                                     ▼ per model                   ▼ reply channel
+//! ```
+//!
+//! Backpressure is end-to-end: workers pull batches over a rendezvous
+//! channel, so when every worker is busy the batcher blocks, the bounded
+//! ingress queue fills, and [`Server::submit`] sheds with
+//! [`SubmitError::QueueFull`] instead of buffering without bound.
+
+use crate::batcher::Batcher;
+use crate::registry::ModelRegistry;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use cc_deploy::DeployedNetwork;
+use cc_tensor::Tensor;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads, each driving its own tiled-scheduler instance.
+    pub workers: usize,
+    /// Largest batch the dynamic batcher will coalesce.
+    pub max_batch: usize,
+    /// How long the batcher holds an unfilled batch open for stragglers.
+    pub batch_deadline: Duration,
+    /// Admitted-but-undispatched requests allowed before shedding.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            batch_deadline: Duration::from_millis(1),
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the maximum batch size.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides the batching deadline.
+    #[must_use]
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = deadline;
+        self
+    }
+
+    /// Overrides the admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// Why [`Server::submit`] rejected a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No model with that name is registered.
+    UnknownModel(String),
+    /// The image shape does not match the model's expected input.
+    InvalidShape {
+        /// What the model expects.
+        expected: (usize, usize, usize),
+        /// What the request carried.
+        got: Vec<usize>,
+    },
+    /// Admission control shed the request: the queue is full.
+    QueueFull,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            SubmitError::InvalidShape { expected, got } => {
+                write!(f, "image shape {got:?} does not match model input {expected:?}")
+            }
+            SubmitError::QueueFull => write!(f, "queue full, request shed"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A served inference result.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Real-valued class logits.
+    pub logits: Vec<f32>,
+    /// Argmax class.
+    pub class: usize,
+    /// End-to-end latency, submit to completion.
+    pub latency: Duration,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// A pending response; resolves when a worker finishes the request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives. `None` only if the server was
+    /// torn down before the request completed.
+    pub fn wait(self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Request {
+    model: String,
+    net: DeployedNetwork,
+    image: Tensor,
+    submitted: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A concurrent batched inference server over a [`ModelRegistry`].
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    telemetry: Arc<Telemetry>,
+    queue_capacity: usize,
+    ingress: Option<SyncSender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher and worker threads over a finished registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty or the config has zero workers,
+    /// batch size, or queue capacity.
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Self {
+        assert!(!registry.is_empty(), "cannot serve an empty registry");
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
+
+        let registry = Arc::new(registry);
+        let telemetry = Arc::new(Telemetry::new());
+        let (ingress_tx, ingress_rx) = mpsc::sync_channel::<Request>(cfg.queue_capacity);
+        // Rendezvous hand-off: the batcher blocks until a worker is free,
+        // which is what pushes overload back to admission control.
+        let (work_tx, work_rx) = mpsc::sync_channel::<Vec<Request>>(0);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let batcher_telemetry = Arc::clone(&telemetry);
+        let batcher = std::thread::Builder::new()
+            .name("cc-serve-batcher".into())
+            .spawn(move || {
+                let mut batcher = Batcher::new(
+                    ingress_rx,
+                    cfg.max_batch,
+                    cfg.batch_deadline,
+                    |r: &Request| r.model.clone(),
+                );
+                while let Some(batch) = batcher.next_batch() {
+                    batcher_telemetry.on_dispatch(batch.len());
+                    if work_tx.send(batch).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn batcher");
+
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let work_rx = Arc::clone(&work_rx);
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::Builder::new()
+                    .name(format!("cc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&work_rx, &telemetry))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Server {
+            registry,
+            telemetry,
+            queue_capacity: cfg.queue_capacity,
+            ingress: Some(ingress_tx),
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Submits one image for inference on `model`, returning a [`Ticket`]
+    /// to wait on — or shedding immediately when the queue is full.
+    pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket, SubmitError> {
+        let net = self
+            .registry
+            .get(model)
+            .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        let expected = net.input_shape();
+        let shape = image.shape();
+        let got: Vec<usize> = (0..shape.rank()).map(|i| shape.dim(i)).collect();
+        if got != [expected.0, expected.1, expected.2] {
+            return Err(SubmitError::InvalidShape { expected, got });
+        }
+        // The gauge also covers requests the batcher has pulled into its
+        // coalescing window but not yet dispatched.
+        if self.telemetry.queue_depth() >= self.queue_capacity {
+            self.telemetry.on_shed();
+            return Err(SubmitError::QueueFull);
+        }
+        let ingress = self.ingress.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let (reply, rx) = mpsc::channel();
+        let request = Request {
+            model: model.to_string(),
+            net: net.clone(),
+            image,
+            submitted: Instant::now(),
+            reply,
+        };
+        match ingress.try_send(request) {
+            Ok(()) => {
+                self.telemetry.on_admit();
+                Ok(Ticket { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.telemetry.on_shed();
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Drains the queue, stops every thread, and returns the final
+    /// telemetry. All outstanding tickets resolve before this returns.
+    pub fn shutdown(mut self) -> TelemetrySnapshot {
+        self.stop();
+        self.telemetry.snapshot()
+    }
+
+    fn stop(&mut self) {
+        // Closing ingress lets the batcher drain its stash and exit; the
+        // batcher owns the work sender, so workers then exit too.
+        self.ingress = None;
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>, telemetry: &Arc<Telemetry>) {
+    loop {
+        let batch = {
+            let guard = work_rx.lock().expect("work queue poisoned");
+            guard.recv()
+        };
+        let Ok(batch) = batch else { break };
+        let size = batch.len();
+        let net = batch[0].net.clone();
+        // The scheduler is a stateless copy of the network's array config;
+        // the expensive per-call setup it used to imply (weight-tile
+        // slicing) is prepacked inside the network's layers.
+        let sched = net.scheduler();
+
+        let mut images = Vec::with_capacity(size);
+        let mut meta = Vec::with_capacity(size);
+        for request in batch {
+            images.push(request.image);
+            meta.push((request.submitted, request.reply));
+        }
+        let logits_batch = net.run_batch_with(&sched, &images);
+
+        for ((submitted, reply), logits) in meta.into_iter().zip(logits_batch) {
+            let latency = submitted.elapsed();
+            telemetry.on_complete(latency);
+            let class = argmax(&logits);
+            // A dropped ticket just means the client stopped waiting.
+            let _ = reply.send(Response { logits, class, latency, batch_size: size });
+        }
+    }
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

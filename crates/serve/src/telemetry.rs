@@ -1,0 +1,315 @@
+//! Serving telemetry: lock-free counters plus a log-linear latency
+//! histogram, summarized on demand into a [`TelemetrySnapshot`].
+//!
+//! The histogram uses power-of-two groups with 16 linear sub-buckets per
+//! group (the HDR-histogram layout), so percentile estimates carry at most
+//! ~6% relative error at any latency scale while the whole structure stays
+//! a fixed 8 KiB — no allocation on the record path beyond one mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Linear sub-buckets per power-of-two group.
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Group 0 covers values `< 16`; groups 1..=60 cover the rest of `u64`.
+const GROUPS: usize = 61;
+const BUCKETS: usize = GROUPS * SUB_BUCKETS;
+
+/// Fixed-size log-linear histogram of latencies in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, sum_nanos: 0 }
+    }
+
+    fn index(nanos: u64) -> usize {
+        if nanos < SUB_BUCKETS as u64 {
+            nanos as usize
+        } else {
+            let msb = 63 - nanos.leading_zeros() as usize;
+            let shift = msb - SUB_BITS as usize;
+            let group = msb - SUB_BITS as usize + 1;
+            let sub = ((nanos >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+            group * SUB_BUCKETS + sub
+        }
+    }
+
+    /// Midpoint of a bucket's value range.
+    fn bucket_value(idx: usize) -> u64 {
+        let group = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if group == 0 {
+            sub
+        } else {
+            let shift = (group - 1) as u32;
+            ((SUB_BUCKETS as u64 + sub) << shift) + (1u64 << shift) / 2
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::index(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        self.sum_nanos
+            .checked_div(self.total)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` (bucket-midpoint estimate,
+    /// monotone in `q`), or zero when empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Duration::from_nanos(Self::bucket_value(idx));
+            }
+        }
+        Duration::from_nanos(Self::bucket_value(BUCKETS - 1))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared serving metrics, updated by the submit path, the batcher, and
+/// every worker.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    /// Requests handed to workers. Queue depth is derived as
+    /// `submitted - dispatched` (saturating): the batcher can observe and
+    /// dispatch a request before the submitting thread bumps `submitted`,
+    /// and a derived gauge turns that race into a transient under-count
+    /// instead of an unsigned wrap.
+    dispatched: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl Telemetry {
+    /// Fresh telemetry; the throughput clock starts now.
+    pub fn new() -> Self {
+        Telemetry {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// Requests currently admitted but not yet handed to a worker.
+    pub fn queue_depth(&self) -> usize {
+        let submitted = self.submitted.load(Ordering::Acquire);
+        let dispatched = self.dispatched.load(Ordering::Acquire);
+        submitted.saturating_sub(dispatched) as usize
+    }
+
+    /// A request was admitted into the queue.
+    pub(crate) fn on_admit(&self) {
+        self.submitted.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A request was shed by admission control.
+    pub(crate) fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The batcher handed `n` coalesced requests to a worker.
+    pub(crate) fn on_dispatch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.dispatched.fetch_add(n as u64, Ordering::AcqRel);
+    }
+
+    /// A worker finished one request with the given end-to-end latency.
+    pub(crate) fn on_complete(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().expect("latency histogram poisoned").record(latency);
+    }
+
+    /// A consistent point-in-time summary.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let hist = self.latency.lock().expect("latency histogram poisoned").clone();
+        let elapsed = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        TelemetrySnapshot {
+            elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            batches,
+            mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            throughput_rps: if elapsed.is_zero() {
+                0.0
+            } else {
+                completed as f64 / elapsed.as_secs_f64()
+            },
+            mean_latency: hist.mean(),
+            p50: hist.percentile(0.50),
+            p95: hist.percentile(0.95),
+            p99: hist.percentile(0.99),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time serving metrics.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Time since the server (telemetry) started.
+    pub elapsed: Duration,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Requests admitted but not yet handed to a worker.
+    pub queue_depth: usize,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_occupancy: f64,
+    /// Completed requests per wall-clock second since start.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency of completed requests.
+    pub mean_latency: Duration,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_close() {
+        let mut h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        let (p50, p95, p99) = (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+        // Log-linear buckets bound relative error by one sub-bucket (~6%).
+        let err = |d: Duration, exact_us: f64| {
+            (d.as_secs_f64() * 1e6 - exact_us).abs() / exact_us
+        };
+        assert!(err(p50, 500.0) < 0.07, "p50 off: {p50:?}");
+        assert!(err(p95, 950.0) < 0.07, "p95 off: {p95:?}");
+        assert!(err(p99, 990.0) < 0.07, "p99 off: {p99:?}");
+        assert!(err(h.mean(), 500.5) < 0.01);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.0), Duration::ZERO);
+        let p99 = h.percentile(0.99);
+        let hour = Duration::from_secs(3600).as_secs_f64();
+        assert!((p99.as_secs_f64() - hour).abs() / hour < 0.07);
+    }
+
+    #[test]
+    fn bucket_index_and_value_agree() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 65_535, 1 << 40, u64::MAX / 2] {
+            let idx = LatencyHistogram::index(v);
+            let mid = LatencyHistogram::bucket_value(idx);
+            if v < 16 {
+                assert_eq!(mid, v);
+            } else {
+                let rel = (mid as f64 - v as f64).abs() / v as f64;
+                assert!(rel < 0.07, "value {v} → bucket mid {mid} ({rel:.3} off)");
+            }
+        }
+    }
+
+    /// The batcher can dispatch a request before the submitting thread
+    /// records the admit; the depth gauge must under-count transiently,
+    /// not wrap.
+    #[test]
+    fn dispatch_before_admit_does_not_wrap_queue_depth() {
+        let t = Telemetry::new();
+        t.on_dispatch(1);
+        assert_eq!(t.queue_depth(), 0, "depth must saturate, not wrap");
+        t.on_admit();
+        assert_eq!(t.queue_depth(), 0, "late admit balances the early dispatch");
+        t.on_admit();
+        assert_eq!(t.queue_depth(), 1);
+    }
+
+    #[test]
+    fn counters_flow_into_snapshot() {
+        let t = Telemetry::new();
+        t.on_shed();
+        for _ in 0..6 {
+            t.on_admit();
+        }
+        t.on_dispatch(4);
+        t.on_dispatch(2);
+        for i in 1..=6 {
+            t.on_complete(Duration::from_millis(i));
+        }
+        let s = t.snapshot();
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 6);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_occupancy - 3.0).abs() < 1e-9);
+        assert!(s.throughput_rps > 0.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+}

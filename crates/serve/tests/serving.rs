@@ -1,0 +1,181 @@
+//! Integration tests for the serving runtime: concurrent batched serving
+//! must be bit-identical to serial inference, telemetry must be coherent,
+//! and admission control must shed rather than buffer without bound.
+
+use cc_dataset::{Dataset, SyntheticSpec};
+use cc_deploy::{identity_groups, DeployedNetwork};
+use cc_nn::models::{lenet5_shift, ModelConfig};
+use cc_packing::{ColumnCombineConfig, ColumnCombiner};
+use cc_serve::{ModelRegistry, ServeConfig, Server, SubmitError};
+use cc_tensor::Tensor;
+use std::time::Duration;
+
+/// A small column-combined LeNet deployed end to end (trained for one
+/// iteration — serving correctness does not need accuracy).
+fn combined_lenet(seed: u64) -> (DeployedNetwork, Dataset) {
+    let (train, test) =
+        SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 16).generate(seed);
+    let mut net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+    let cfg = ColumnCombineConfig {
+        rho: net.nonzero_conv_weights() / 2,
+        epochs_per_iteration: 1,
+        final_epochs: 0,
+        ..ColumnCombineConfig::default()
+    };
+    let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+    (DeployedNetwork::build(&net, &groups, &train), test)
+}
+
+/// An untrained but larger deployment whose per-request cost is high
+/// enough to keep workers busy while a burst arrives.
+fn slow_lenet() -> (DeployedNetwork, Dataset) {
+    let (train, test) =
+        SyntheticSpec::mnist_like().with_size(16, 16).with_samples(16, 8).generate(11);
+    let net = lenet5_shift(&ModelConfig::new(1, 16, 16, 10));
+    (DeployedNetwork::build(&net, &identity_groups(&net), &train), test)
+}
+
+/// Tentpole acceptance: 4 workers serving 256+ queued requests with
+/// dynamic batching, bit-identical to serial execution, with coherent
+/// telemetry.
+#[test]
+fn four_workers_256_requests_bit_identical_with_telemetry() {
+    let (deployed, test) = combined_lenet(42);
+    let images: Vec<Tensor> = (0..256).map(|i| test.image(i % test.len()).clone()).collect();
+    let serial: Vec<Vec<f32>> = images.iter().map(|im| deployed.logits(im)).collect();
+
+    let registry = ModelRegistry::new().with_model("lenet", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(4)
+            .with_max_batch(8)
+            .with_batch_deadline(Duration::from_millis(2))
+            .with_queue_capacity(512),
+    );
+
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|im| server.submit("lenet", im.clone()).expect("capacity 512 admits all"))
+        .collect();
+
+    let mut batch_sizes = Vec::new();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().expect("request served");
+        assert_eq!(
+            response.logits, serial[i],
+            "request {i} served concurrently diverged from serial inference"
+        );
+        assert!(response.latency > Duration::ZERO);
+        batch_sizes.push(response.batch_size);
+    }
+    assert!(
+        batch_sizes.iter().any(|&b| b > 1),
+        "a 256-request burst over 4 workers must coalesce some batches"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 256);
+    assert_eq!(stats.completed, 256);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.batches > 0 && stats.batches < 256, "batches: {}", stats.batches);
+    assert!(
+        stats.mean_batch_occupancy > 1.0,
+        "burst occupancy should exceed 1: {}",
+        stats.mean_batch_occupancy
+    );
+    assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99, "percentiles must be ordered");
+    assert!(stats.p99 > Duration::ZERO);
+    assert!(stats.throughput_rps > 0.0);
+}
+
+#[test]
+fn two_models_are_batched_separately_and_served_correctly() {
+    let (a, test_a) = combined_lenet(7);
+    let (b, test_b) = combined_lenet(8);
+    let expect_a = a.logits(test_a.image(0));
+    let expect_b = b.logits(test_b.image(0));
+
+    let registry = ModelRegistry::new().with_model("a", a).with_model("b", b);
+    let server = Server::start(registry, ServeConfig::default().with_workers(2));
+
+    let tickets: Vec<_> = (0..32)
+        .map(|i| {
+            if i % 2 == 0 {
+                ("a", server.submit("a", test_a.image(0).clone()).unwrap())
+            } else {
+                ("b", server.submit("b", test_b.image(0).clone()).unwrap())
+            }
+        })
+        .collect();
+    for (model, ticket) in tickets {
+        let response = ticket.wait().expect("served");
+        let expected = if model == "a" { &expect_a } else { &expect_b };
+        assert_eq!(&response.logits, expected, "model {model} served wrong logits");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 32);
+}
+
+#[test]
+fn admission_control_rejects_bad_requests_and_sheds_under_overload() {
+    let (deployed, test) = slow_lenet();
+    let good = test.image(0).clone();
+    let registry = ModelRegistry::new().with_model("lenet", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_batch_deadline(Duration::ZERO)
+            .with_queue_capacity(2),
+    );
+
+    // Unknown model.
+    assert!(matches!(
+        server.submit("nope", good.clone()),
+        Err(SubmitError::UnknownModel(_))
+    ));
+    // Wrong input shape.
+    let wrong = Tensor::zeros(cc_tensor::Shape::d3(1, 4, 4));
+    assert!(matches!(
+        server.submit("lenet", wrong),
+        Err(SubmitError::InvalidShape { expected: (1, 16, 16), .. })
+    ));
+
+    // Overload: a burst far beyond queue capacity with one slow worker
+    // must shed rather than buffer.
+    let mut tickets = Vec::new();
+    let mut sheds = 0u64;
+    for _ in 0..64 {
+        match server.submit("lenet", good.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QueueFull) => sheds += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(sheds > 0, "64-burst into capacity-2 queue must shed");
+    let accepted = tickets.len() as u64;
+    for ticket in tickets {
+        assert!(ticket.wait().is_some(), "accepted requests must still be served");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.shed, sheds);
+    assert_eq!(stats.submitted, accepted);
+}
+
+#[test]
+fn shutdown_resolves_outstanding_tickets() {
+    let (deployed, test) = combined_lenet(9);
+    let registry = ModelRegistry::new().with_model("m", deployed);
+    let server = Server::start(registry, ServeConfig::default().with_workers(2));
+    let tickets: Vec<_> =
+        (0..32).map(|i| server.submit("m", test.image(i % test.len()).clone()).unwrap()).collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 32);
+    for ticket in tickets {
+        assert!(ticket.wait().is_some(), "shutdown must drain, not drop, pending work");
+    }
+}

@@ -76,33 +76,105 @@ impl TiledScheduler {
     /// Multiplies a packed (column-combined) weight matrix by `d`, which
     /// carries the *original* channels.
     ///
+    /// Slices the weight matrix into array-sized tiles on every call; when
+    /// the same weights run against many data matrices (deployed
+    /// inference, serving), use [`TiledScheduler::prepare_packed`] once and
+    /// [`TiledScheduler::run_prepared`] per call instead.
+    ///
     /// # Panics
     ///
     /// Panics if `d` lacks channels the packing references.
     pub fn run_packed(&self, p: &QuantPacked, d: &QuantMatrix) -> TiledRun {
-        assert!(d.rows() >= p.original_cols(), "data matrix missing channels");
-        let array = SystolicArray::new(self.cfg);
-        let (n, g, l) = (p.rows(), p.groups(), d.cols());
-        let mut outputs = vec![0i64; n * l];
-        let mut stats = SimStats::default();
-        let mut tiles = 0usize;
-        let mut tile_cycles: Vec<(u64, u64)> = Vec::new();
+        self.run_prepared(&self.prepare_packed(p), d)
+    }
 
+    /// Pre-slices a packed weight matrix into this scheduler's tiles so
+    /// repeated runs skip the per-call slicing (weight-stationary reuse:
+    /// a deployed layer's tiles never change between inferences).
+    pub fn prepare_packed(&self, p: &QuantPacked) -> PreparedPacked {
+        let (n, g) = (p.rows(), p.groups());
+        let mut tiles = Vec::new();
         for r0 in (0..n).step_by(self.cfg.rows.max(1)) {
             let r1 = (r0 + self.cfg.rows).min(n);
             for g0 in (0..g).step_by(self.cfg.cols.max(1)) {
                 let g1 = (g0 + self.cfg.cols).min(g);
-                let tile = slice_packed(p, r0, r1, g0, g1);
-                let run = array.multiply_packed(&tile, d);
-                accumulate(&mut outputs, &run.outputs, r0, r1, l, self.cfg);
-                tile_cycles.push((run.stats.load_cycles, run.stats.cycles - run.stats.load_cycles));
-                merge_ops(&mut stats, &run.stats);
-                tiles += 1;
+                tiles.push(PreparedTile { r0, r1, weights: slice_packed(p, r0, r1, g0, g1) });
             }
+        }
+        PreparedPacked { rows: n, groups: g, original_cols: p.original_cols(), cfg: self.cfg, tiles }
+    }
+
+    /// Multiplies pre-sliced packed tiles by `d`. Bit-identical to
+    /// [`TiledScheduler::run_packed`] on the matrix the tiles came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiles were prepared for a different array
+    /// configuration or `d` lacks channels the packing references.
+    pub fn run_prepared(&self, p: &PreparedPacked, d: &QuantMatrix) -> TiledRun {
+        assert_eq!(p.cfg, self.cfg, "tiles prepared for a different array");
+        assert!(d.rows() >= p.original_cols, "data matrix missing channels");
+        let array = SystolicArray::new(self.cfg);
+        let l = d.cols();
+        let mut outputs = vec![0i64; p.rows * l];
+        let mut stats = SimStats::default();
+        let mut tile_cycles: Vec<(u64, u64)> = Vec::with_capacity(p.tiles.len());
+
+        for tile in &p.tiles {
+            let run = array.multiply_packed(&tile.weights, d);
+            accumulate(&mut outputs, &run.outputs, tile.r0, tile.r1, l, self.cfg);
+            tile_cycles.push((run.stats.load_cycles, run.stats.cycles - run.stats.load_cycles));
+            merge_ops(&mut stats, &run.stats);
         }
         stats.cycles = overlapped_cycles(&tile_cycles);
         stats.load_cycles = tile_cycles.iter().map(|t| t.0).sum();
-        TiledRun { outputs, stats, tiles }
+        TiledRun { outputs, stats, tiles: p.tiles.len() }
+    }
+}
+
+/// A packed weight matrix pre-sliced into array-sized tiles by
+/// [`TiledScheduler::prepare_packed`]; build once per deployed layer, run
+/// many times.
+#[derive(Clone, Debug)]
+pub struct PreparedPacked {
+    rows: usize,
+    groups: usize,
+    original_cols: usize,
+    cfg: ArrayConfig,
+    tiles: Vec<PreparedTile>,
+}
+
+#[derive(Clone, Debug)]
+struct PreparedTile {
+    r0: usize,
+    r1: usize,
+    weights: QuantPacked,
+}
+
+impl PreparedPacked {
+    /// Output rows (filters) of the full matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Combined columns (groups) of the full matrix.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Columns of the original unpacked matrix.
+    pub fn original_cols(&self) -> usize {
+        self.original_cols
+    }
+
+    /// Number of pre-sliced tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The array configuration the tiles were sliced for.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
     }
 }
 
@@ -217,6 +289,40 @@ mod tests {
             unpacked_run.tiles
         );
         assert!(run.stats.cycles < unpacked_run.stats.cycles);
+    }
+
+    #[test]
+    fn prepared_tiles_match_per_call_slicing() {
+        let f = sparse_matrix(96, 94, 0.16, 11);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let packed = pack_columns(&f, &groups);
+        let qp = QuantPacked::quantize(&packed);
+        let sched = TiledScheduler::new(cfg32());
+        let prepared = sched.prepare_packed(&qp);
+
+        for seed in [12u64, 13, 14] {
+            let d = QuantMatrix::quantize(&sparse_matrix(94, 20, 1.0, seed));
+            let fresh = sched.run_packed(&qp, &d);
+            let reused = sched.run_prepared(&prepared, &d);
+            assert_eq!(fresh, reused, "prepared run must be bit-identical");
+        }
+        assert_eq!(prepared.num_tiles(), sched.run_packed(&qp, &QuantMatrix::quantize(&sparse_matrix(94, 4, 1.0, 15))).tiles);
+        assert_eq!(prepared.rows(), 96);
+        assert_eq!(prepared.original_cols(), 94);
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared for a different array")]
+    fn prepared_tiles_reject_foreign_config() {
+        let f = sparse_matrix(40, 40, 0.3, 16);
+        let qp = QuantPacked::quantize(&pack_columns(
+            &f,
+            &group_columns(&f, &GroupingConfig::paper_default()),
+        ));
+        let prepared = TiledScheduler::new(cfg32()).prepare_packed(&qp);
+        let other = TiledScheduler::new(ArrayConfig::new(16, 16, AccumWidth::Bits32));
+        let d = QuantMatrix::quantize(&sparse_matrix(40, 4, 1.0, 17));
+        other.run_prepared(&prepared, &d);
     }
 
     #[test]

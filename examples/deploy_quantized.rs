@@ -58,10 +58,10 @@ fn main() {
             cc_deploy::DeployedLayer::Shift { shifts } => {
                 format!("shift block ({} channels)", shifts.len())
             }
-            cc_deploy::DeployedLayer::PackedConv { weights, relu, .. } => format!(
+            cc_deploy::DeployedLayer::PackedConv { tiles, relu, .. } => format!(
                 "packed conv {}x{} on MX array{}",
-                weights.rows(),
-                weights.groups(),
+                tiles.rows(),
+                tiles.groups(),
                 if *relu { " + ReLU + requantize" } else { " + requantize" }
             ),
             cc_deploy::DeployedLayer::AvgPool => "2x2 average pool".into(),
