@@ -24,6 +24,8 @@ struct Measurement {
     model: &'static str,
     workers: usize,
     max_batch: usize,
+    /// Per-worker pipeline stages (1 = serial execution).
+    stages: usize,
     requests: usize,
     offered_rps: Option<f64>,
     stats: TelemetrySnapshot,
@@ -35,6 +37,7 @@ impl Measurement {
             ("model", JsonValue::from(self.model)),
             ("workers", JsonValue::from(self.workers)),
             ("max_batch", JsonValue::from(self.max_batch)),
+            ("stages", JsonValue::from(self.stages)),
             ("requests", JsonValue::from(self.requests)),
             ("completed", JsonValue::from(self.stats.completed)),
             ("shed", JsonValue::from(self.stats.shed)),
@@ -46,7 +49,7 @@ impl Measurement {
             ("mean_latency_us", JsonValue::from(self.stats.mean_latency.as_secs_f64() * 1e6)),
         ];
         if let Some(rate) = self.offered_rps {
-            pairs.insert(4, ("offered_rps", JsonValue::from(rate)));
+            pairs.push(("offered_rps", JsonValue::from(rate)));
         }
         JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
@@ -80,29 +83,33 @@ fn build_networks(scale: &Scale) -> (DeployedNetwork, DeployedNetwork, Dataset) 
     (packed, unpacked, test)
 }
 
-fn server_for(net: &DeployedNetwork, workers: usize, max_batch: usize) -> Server {
+fn server_for(net: &DeployedNetwork, workers: usize, max_batch: usize, stages: usize) -> Server {
     Server::start(
         ModelRegistry::new().with_model("m", net.clone()),
         ServeConfig::default()
             .with_workers(workers)
             .with_max_batch(max_batch)
             .with_batch_deadline(Duration::from_millis(1))
-            .with_queue_capacity(128),
+            .with_queue_capacity(128)
+            .with_pipeline_stages(stages),
     )
 }
 
 /// Closed loop: `clients` threads submit-and-wait until `total` requests
 /// complete; retried submissions make shedding invisible to the client, so
-/// the snapshot measures saturation throughput.
+/// the snapshot measures saturation throughput. The client count is the
+/// offered concurrency — configs being compared must use the same value,
+/// or the comparison measures load, not the server.
 pub(crate) fn closed_loop(
     net: &DeployedNetwork,
     test: &Dataset,
     workers: usize,
     max_batch: usize,
+    stages: usize,
+    clients: usize,
     total: usize,
 ) -> TelemetrySnapshot {
-    let server = server_for(net, workers, max_batch);
-    let clients = (workers * max_batch).clamp(2, 16);
+    let server = server_for(net, workers, max_batch, stages);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..clients {
@@ -140,7 +147,7 @@ fn open_loop(
     offered_rps: f64,
     total: usize,
 ) -> TelemetrySnapshot {
-    let server = server_for(net, workers, max_batch);
+    let server = server_for(net, workers, max_batch, 1);
     let interval = Duration::from_secs_f64(1.0 / offered_rps);
     let mut tickets = Vec::new();
     let mut due = Instant::now();
@@ -177,7 +184,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     for &workers in &[1usize, 2, 4] {
         for &max_batch in &[1usize, 8] {
             for (model, net) in [("packed", &packed), ("unpacked", &unpacked)] {
-                let stats = closed_loop(net, &test, workers, max_batch, requests);
+                let clients = (workers * max_batch).clamp(2, 16);
+                let stats = closed_loop(net, &test, workers, max_batch, 1, clients, requests);
                 closed.push_row(vec![
                     model.into(),
                     workers.to_string(),
@@ -193,6 +201,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     model,
                     workers,
                     max_batch,
+                    stages: 1,
                     requests,
                     offered_rps: None,
                     stats,
@@ -200,6 +209,72 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             }
         }
     }
+
+    // Stage-pipelined sweep: the same packed deployment with each worker
+    // split into K cost-balanced layer stages, streaming batches through
+    // the stages (the serving analogue of the array's inter-layer
+    // wavefront). stages = 1 rows are the serial baseline at identical
+    // worker/batch settings.
+    let mut pipelined = Table::new(
+        "Serving: stage-pipelined sweep (packed, stages x workers x max_batch)",
+        &[
+            "stages", "workers", "max_batch", "requests", "throughput_rps", "occupancy",
+            "p50_us", "p99_us",
+        ],
+    );
+    let mut pipeline_measurements = Vec::new();
+    let swept_stages = [1usize, 2, 3];
+    let deepest = *swept_stages.iter().max().expect("non-empty sweep");
+    for &stages in &swept_stages {
+        for &workers in &[1usize, 2] {
+            for &max_batch in &[4usize, 8] {
+                // Every row of a (workers, max_batch) group offers the
+                // same concurrency — sized to saturate the deepest
+                // pipeline — so a throughput delta is attributable to the
+                // stage count, not to unequal load. Best-of-two per row
+                // (identical methodology for every row) damps scheduler
+                // noise.
+                let clients = (workers * max_batch * deepest).clamp(2, 16 * deepest);
+                let stats = (0..2)
+                    .map(|_| {
+                        closed_loop(&packed, &test, workers, max_batch, stages, clients, requests)
+                    })
+                    .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+                    .expect("two runs");
+                pipelined.push_row(vec![
+                    stages.to_string(),
+                    workers.to_string(),
+                    max_batch.to_string(),
+                    requests.to_string(),
+                    fnum(stats.throughput_rps, 1),
+                    fnum(stats.mean_batch_occupancy, 2),
+                    fnum(stats.p50.as_secs_f64() * 1e6, 0),
+                    fnum(stats.p99.as_secs_f64() * 1e6, 0),
+                ]);
+                pipeline_measurements.push(Measurement {
+                    model: "packed",
+                    workers,
+                    max_batch,
+                    stages,
+                    requests,
+                    offered_rps: None,
+                    stats,
+                });
+            }
+        }
+    }
+    // Best multi-stage speedup over the serial baseline at matching
+    // worker/batch settings — the headline the pipeline exists for.
+    let pipeline_speedup_best = pipeline_measurements
+        .iter()
+        .filter(|m| m.stages > 1)
+        .filter_map(|m| {
+            pipeline_measurements
+                .iter()
+                .find(|b| b.stages == 1 && b.workers == m.workers && b.max_batch == m.max_batch)
+                .map(|b| m.stats.throughput_rps / b.stats.throughput_rps.max(1e-9))
+        })
+        .fold(0.0f64, f64::max);
 
     // Open loop at half and 1.5x the packed saturation throughput of the
     // default config: uncongested tail latency vs overload shedding.
@@ -229,6 +304,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             model: "packed",
             workers: 4,
             max_batch: 8,
+            stages: 1,
             requests: requests.min(256),
             offered_rps: Some(offered),
             stats,
@@ -243,6 +319,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             JsonValue::Arr(measurements.iter().map(Measurement::as_json).collect()),
         ),
         (
+            "pipeline",
+            JsonValue::Arr(pipeline_measurements.iter().map(Measurement::as_json).collect()),
+        ),
+        ("pipeline_speedup_best", JsonValue::from(pipeline_speedup_best)),
+        (
             "open_loop",
             JsonValue::Arr(open_measurements.iter().map(Measurement::as_json).collect()),
         ),
@@ -251,7 +332,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         eprintln!("warning: could not write results/bench_serve.json: {e}");
     }
 
-    vec![closed, open]
+    vec![closed, pipelined, open]
 }
 
 #[cfg(test)]
@@ -280,15 +361,22 @@ mod tests {
             ..Scale::quick()
         };
         let (packed, unpacked, test) = build_networks(&scale);
-        let packed_stats = closed_loop(&packed, &test, 2, 8, 48);
-        let unpacked_stats = closed_loop(&unpacked, &test, 2, 8, 48);
-        assert_eq!(packed_stats.completed, 48);
-        assert_eq!(unpacked_stats.completed, 48);
+        // Best of two runs per deployment: one run's wall clock on a busy
+        // CI box carries enough scheduler noise to flip a true ordering.
+        let best = |net: &DeployedNetwork| {
+            (0..2)
+                .map(|_| {
+                    let stats = closed_loop(net, &test, 2, 8, 1, 16, 48);
+                    assert_eq!(stats.completed, 48);
+                    stats.throughput_rps
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let packed_rps = best(&packed);
+        let unpacked_rps = best(&unpacked);
         assert!(
-            packed_stats.throughput_rps > unpacked_stats.throughput_rps,
-            "packed serving should beat unpacked: {:.1} vs {:.1} rps",
-            packed_stats.throughput_rps,
-            unpacked_stats.throughput_rps
+            packed_rps > unpacked_rps,
+            "packed serving should beat unpacked: {packed_rps:.1} vs {unpacked_rps:.1} rps"
         );
     }
 }

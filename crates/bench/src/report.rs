@@ -56,7 +56,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        // `saturating_sub` keeps a zero-column table (title-only) from
+        // underflowing the separator width.
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -251,6 +253,17 @@ mod tests {
         let r = t.render();
         assert!(r.contains("demo"));
         assert!(r.contains("longheader"));
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panicking() {
+        let mut t = Table::new("empty", &[]);
+        t.push_row(vec![]);
+        let r = t.render();
+        assert!(r.contains("== empty =="), "title must still render: {r:?}");
+        let mut no_rows = Table::new("headerless", &[]);
+        no_rows.rows.clear();
+        assert!(no_rows.render().contains("headerless"));
     }
 
     #[test]

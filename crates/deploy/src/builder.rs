@@ -102,6 +102,74 @@ impl DeployedNetwork {
         &self.inner.layers
     }
 
+    /// Number of top-level deployed stages (residual blocks count as one).
+    pub fn num_layers(&self) -> usize {
+        self.inner.layers.len()
+    }
+
+    /// An identity token for the *built pipeline*: clones of one build
+    /// share it, separate builds differ (it is the `Arc` pointer of the
+    /// shared internals). The serving batcher keys batches on this rather
+    /// than the model name, so two networks that ever coexist under one
+    /// name — e.g. across a registry hot-swap — can never co-batch.
+    pub fn identity(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Estimated execution cost of each top-level layer (see
+    /// [`crate::engine::layer_cost`]), walking activation shapes from the
+    /// calibrated input shape. Pipelined serving partitions layers into
+    /// stages of roughly equal summed cost.
+    pub fn layer_costs(&self) -> Vec<u64> {
+        let mut shape = self.inner.input_shape;
+        self.inner
+            .layers
+            .iter()
+            .map(|layer| {
+                let (cost, next) = crate::engine::layer_cost(layer, shape);
+                shape = next;
+                cost
+            })
+            .collect()
+    }
+
+    /// Quantizes a batch of images into the pipeline's input activations —
+    /// the entry point of staged execution ([`DeployedNetwork::run_stage`]).
+    pub fn quantize_batch(&self, images: &[Tensor]) -> Vec<QMap> {
+        images.iter().map(|im| QMap::quantize(im, self.inner.input_scale)).collect()
+    }
+
+    /// Executes the contiguous layer range `range` on a batch of
+    /// activations, returning the activations flowing into layer
+    /// `range.end` (or logits if the range covers the classifier head).
+    ///
+    /// Running `0..num_layers()` over [`DeployedNetwork::quantize_batch`]
+    /// output is exactly [`DeployedNetwork::run_batch_with`] — the serial
+    /// path is implemented on top of this, so pipelined execution that
+    /// splits the range across stages is bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or starts after the classifier
+    /// head already produced logits (`data` is `Logits` with layers left).
+    pub fn run_stage(
+        &self,
+        range: std::ops::Range<usize>,
+        data: BatchOutput,
+        sched: &TiledScheduler,
+    ) -> BatchOutput {
+        assert!(range.end <= self.inner.layers.len(), "stage range out of bounds");
+        let mut data = data;
+        for layer in &self.inner.layers[range] {
+            let maps = match data {
+                BatchOutput::Maps(m) => m,
+                BatchOutput::Logits(_) => panic!("layers scheduled after the classifier head"),
+            };
+            data = run_layer_batch(layer, &maps, sched);
+        }
+        data
+    }
+
     /// The calibrated input activation scale.
     pub fn input_scale(&self) -> f32 {
         self.inner.input_scale
@@ -143,15 +211,11 @@ impl DeployedNetwork {
         if images.is_empty() {
             return Vec::new();
         }
-        let mut maps: Vec<QMap> =
-            images.iter().map(|im| QMap::quantize(im, self.inner.input_scale)).collect();
-        for layer in &self.inner.layers {
-            match run_layer_batch(layer, &maps, sched) {
-                BatchOutput::Maps(m) => maps = m,
-                BatchOutput::Logits(l) => return l,
-            }
+        let input = BatchOutput::Maps(self.quantize_batch(images));
+        match self.run_stage(0..self.inner.layers.len(), input, sched) {
+            BatchOutput::Logits(l) => l,
+            BatchOutput::Maps(_) => panic!("deployed network has no classifier head"),
         }
-        panic!("deployed network has no classifier head");
     }
 
     /// Predicted class for one image.
@@ -502,6 +566,75 @@ mod tests {
         for (i, logits) in deployed.run_batch(&images).iter().enumerate() {
             assert_eq!(logits, &deployed.logits(&images[i]), "image {i} diverged in batch");
         }
+    }
+
+    #[test]
+    fn staged_execution_matches_serial_at_every_split() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 6).generate(12);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let serial = deployed.run_batch(&images);
+        let sched = deployed.scheduler();
+        let n = deployed.num_layers();
+        assert!(n >= 2, "lenet should deploy to multiple stages");
+
+        // Every contiguous two-way split must reproduce the serial logits
+        // bit for bit.
+        for split in 0..=n {
+            let mid = deployed.run_stage(
+                0..split,
+                BatchOutput::Maps(deployed.quantize_batch(&images)),
+                &sched,
+            );
+            let out = deployed.run_stage(split..n, mid, &sched);
+            match out {
+                BatchOutput::Logits(l) => assert_eq!(l, serial, "split at {split} diverged"),
+                BatchOutput::Maps(_) => panic!("full range must end in logits"),
+            }
+        }
+    }
+
+    #[test]
+    fn layer_costs_cover_every_layer_and_rank_convs_heaviest() {
+        let (train, _) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(32, 8).generate(13);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let costs = deployed.layer_costs();
+        assert_eq!(costs.len(), deployed.num_layers());
+        assert!(costs.iter().all(|&c| c > 0), "every layer must carry nonzero cost");
+        // The packed convolutions dominate the peripheral blocks.
+        let max_conv = deployed
+            .layers()
+            .iter()
+            .zip(&costs)
+            .filter(|(l, _)| matches!(l, DeployedLayer::PackedConv { .. }))
+            .map(|(_, &c)| c)
+            .max()
+            .expect("lenet has packed convs");
+        let max_relu = deployed
+            .layers()
+            .iter()
+            .zip(&costs)
+            .filter(|(l, _)| matches!(l, DeployedLayer::Relu))
+            .map(|(_, &c)| c)
+            .max();
+        if let Some(relu) = max_relu {
+            assert!(max_conv > relu, "conv cost {max_conv} should exceed relu cost {relu}");
+        }
+    }
+
+    #[test]
+    fn identity_is_shared_by_clones_and_distinct_across_builds() {
+        let (train, _) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(32, 8).generate(14);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let a = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let b = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        assert_eq!(a.identity(), a.clone().identity(), "clones share the pipeline");
+        assert_ne!(a.identity(), b.identity(), "separate builds are distinct pipelines");
     }
 
     #[test]

@@ -134,6 +134,46 @@ pub fn run_layer_batch(
     }
 }
 
+/// Estimated execution cost of one deployed layer on a `(C, H, W)` input,
+/// plus the output shape it produces. The cost is a unitless work proxy
+/// (weight-load volume plus MAC volume for array layers, element traffic
+/// for peripheral blocks) used to partition layers into balanced pipeline
+/// stages; it does not need to be cycle-accurate, only rank the layers.
+pub fn layer_cost(
+    layer: &DeployedLayer,
+    shape: (usize, usize, usize),
+) -> (u64, (usize, usize, usize)) {
+    let (c, h, w) = shape;
+    let plane = (h * w) as u64;
+    match layer {
+        DeployedLayer::Shift { shifts } => (shifts.len() as u64 * plane, (shifts.len(), h, w)),
+        DeployedLayer::PackedConv { tiles, .. } => {
+            // One weight pass plus a MAC per weight slot per position.
+            let cost = tiles.load_words() * (plane + 1);
+            (cost, (tiles.rows(), h, w))
+        }
+        DeployedLayer::AvgPool => (c as u64 * plane, (c, h / 2, w / 2)),
+        DeployedLayer::GlobalAvgPool => (c as u64 * plane, (c, 1, 1)),
+        DeployedLayer::Relu => (c as u64 * plane, (c, h, w)),
+        DeployedLayer::Residual { body, downsample, out_channels, .. } => {
+            let mut cost = 0u64;
+            let mut body_shape = shape;
+            for stage in body {
+                let (stage_cost, next) = layer_cost(stage, body_shape);
+                cost += stage_cost;
+                body_shape = next;
+            }
+            // Shortcut traffic plus the requantizing add.
+            let (oh, ow) = if *downsample { (h / 2, w / 2) } else { (h, w) };
+            cost += 2 * *out_channels as u64 * (oh * ow) as u64;
+            (cost, (*out_channels, oh, ow))
+        }
+        DeployedLayer::Linear { weights, .. } => {
+            ((weights.rows() * weights.cols()) as u64, (weights.rows(), 1, 1))
+        }
+    }
+}
+
 /// Result of a stage: another feature map, or the final logits.
 #[derive(Clone, Debug)]
 pub enum StageOutput {

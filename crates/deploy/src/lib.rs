@@ -46,5 +46,5 @@ pub mod engine;
 pub mod qmap;
 
 pub use builder::{identity_groups, DeployedNetwork};
-pub use engine::DeployedLayer;
+pub use engine::{layer_cost, BatchOutput, DeployedLayer};
 pub use qmap::QMap;

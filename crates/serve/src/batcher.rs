@@ -1,45 +1,63 @@
 //! The dynamic batcher: coalesces queued requests that share a batch key
-//! (same model) into one batch, up to a maximum size or a deadline —
-//! whichever comes first.
+//! (same deployed pipeline) into one batch, up to a maximum size or a
+//! deadline — whichever comes first.
 //!
-//! The batcher is generic over the queued item and its key so the policy
-//! is testable without spinning up a server: seed a batch with the oldest
-//! pending item, absorb every same-key item already waiting, then keep the
-//! ingress window open until the batch fills or the deadline passes.
-//! Items with a different key are stashed, preserving arrival order, and
-//! seed later batches.
+//! The batcher is generic over the queued item, its key, and its enqueue
+//! timestamp so the policy is testable without spinning up a server: seed
+//! a batch with the oldest pending item, absorb every same-key item
+//! already waiting (stash and channel), then keep the ingress window open
+//! until the batch fills or the deadline passes. Items with a different
+//! key are stashed, preserving arrival order, and seed later batches.
+//!
+//! The coalescing deadline is anchored at the *seed item's enqueue time*,
+//! not at window-open: the seed is the oldest member of its batch, so no
+//! request is ever held longer than one full deadline past its enqueue —
+//! a request that already waited in the stash (behind other keys) gets
+//! only the remainder of its window, or releases immediately if the
+//! window already passed.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
 
 /// Deadline/size-bounded coalescing over an mpsc ingress channel.
 #[derive(Debug)]
-pub struct Batcher<T, K, F>
+pub struct Batcher<T, K, F, G>
 where
     K: Eq,
     F: Fn(&T) -> K,
+    G: Fn(&T) -> Instant,
 {
     ingress: Receiver<T>,
     stash: VecDeque<T>,
     max_batch: usize,
     deadline: Duration,
     key_of: F,
+    enqueued_at: G,
 }
 
-impl<T, K, F> Batcher<T, K, F>
+impl<T, K, F, G> Batcher<T, K, F, G>
 where
     K: Eq,
     F: Fn(&T) -> K,
+    G: Fn(&T) -> Instant,
 {
-    /// Creates a batcher reading from `ingress`.
+    /// Creates a batcher reading from `ingress`. `key_of` decides which
+    /// items may share a batch; `enqueued_at` reports when an item entered
+    /// the system, anchoring its batch's coalescing deadline.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is zero.
-    pub fn new(ingress: Receiver<T>, max_batch: usize, deadline: Duration, key_of: F) -> Self {
+    pub fn new(
+        ingress: Receiver<T>,
+        max_batch: usize,
+        deadline: Duration,
+        key_of: F,
+        enqueued_at: G,
+    ) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
-        Batcher { ingress, stash: VecDeque::new(), max_batch, deadline, key_of }
+        Batcher { ingress, stash: VecDeque::new(), max_batch, deadline, key_of, enqueued_at }
     }
 
     /// Blocks for the next batch of same-key items, or `None` once the
@@ -52,6 +70,9 @@ where
             None => self.ingress.recv().ok()?,
         };
         let key = (self.key_of)(&first);
+        // The seed is the batch's oldest member, so anchoring the window
+        // at its enqueue time bounds every member's hold to one deadline.
+        let window_closes = (self.enqueued_at)(&first) + self.deadline;
         let mut batch = vec![first];
 
         // Absorb same-key items already stashed, oldest first.
@@ -64,17 +85,31 @@ where
             }
         }
 
-        // Keep the window open until the batch fills or the deadline hits.
-        let deadline = Instant::now() + self.deadline;
+        // Absorb items already sitting in the channel without consuming
+        // any of the deadline window: work that has arrived should never
+        // wait on the clock.
         while batch.len() < self.max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match self.ingress.recv_timeout(deadline - now) {
+            match self.ingress.try_recv() {
                 Ok(item) if (self.key_of)(&item) == key => batch.push(item),
                 Ok(item) => self.stash.push_back(item),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Keep the window open for stragglers until the batch fills or the
+        // seed's deadline hits (possibly already past).
+        while batch.len() < self.max_batch {
+            let now = Instant::now();
+            if now >= window_closes {
+                break;
+            }
+            match self.ingress.recv_timeout(window_closes - now) {
+                Ok(item) if (self.key_of)(&item) == key => batch.push(item),
+                Ok(item) => self.stash.push_back(item),
+                // A timeout may fire marginally early; loop back and let
+                // the clock check decide whether the window really closed.
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         Some(batch)
@@ -86,17 +121,33 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
 
-    type TestBatcher = Batcher<(u32, u32), u32, fn(&(u32, u32)) -> u32>;
+    /// A test item: batch key, payload id, enqueue timestamp.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Item {
+        key: u32,
+        id: u32,
+        at: Instant,
+    }
 
-    fn batcher(rx: Receiver<(u32, u32)>, max_batch: usize, deadline: Duration) -> TestBatcher {
-        Batcher::new(rx, max_batch, deadline, |item| item.0)
+    fn item(key: u32, id: u32) -> Item {
+        Item { key, id, at: Instant::now() }
+    }
+
+    type TestBatcher = Batcher<Item, u32, fn(&Item) -> u32, fn(&Item) -> Instant>;
+
+    fn batcher(rx: Receiver<Item>, max_batch: usize, deadline: Duration) -> TestBatcher {
+        Batcher::new(rx, max_batch, deadline, |i| i.key, |i| i.at)
+    }
+
+    fn ids(batch: &[Item]) -> Vec<u32> {
+        batch.iter().map(|i| i.id).collect()
     }
 
     #[test]
     fn coalesces_up_to_max_batch() {
         let (tx, rx) = mpsc::channel();
         for i in 0..10 {
-            tx.send((1, i)).unwrap();
+            tx.send(item(1, i)).unwrap();
         }
         drop(tx);
         let mut b = batcher(rx, 4, Duration::from_millis(1));
@@ -110,24 +161,27 @@ mod tests {
     fn separates_keys_and_preserves_arrival_order() {
         let (tx, rx) = mpsc::channel();
         for (k, i) in [(1, 0), (2, 1), (1, 2), (2, 3), (2, 4)] {
-            tx.send((k, i)).unwrap();
+            tx.send(item(k, i)).unwrap();
         }
         drop(tx);
         let mut b = batcher(rx, 8, Duration::from_millis(1));
-        assert_eq!(b.next_batch().unwrap(), vec![(1, 0), (1, 2)]);
-        assert_eq!(b.next_batch().unwrap(), vec![(2, 1), (2, 3), (2, 4)]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 2]);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 3, 4]);
         assert!(b.next_batch().is_none());
     }
 
     #[test]
     fn deadline_releases_partial_batch() {
-        let (tx, rx) = mpsc::channel();
-        tx.send((1, 0)).unwrap();
-        let mut b = batcher(rx, 64, Duration::from_millis(5));
+        let deadline = Duration::from_millis(100);
         let start = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        tx.send(item(1, 0)).unwrap();
+        let mut b = batcher(rx, 64, deadline);
         let batch = b.next_batch().unwrap();
         assert_eq!(batch.len(), 1, "deadline must release an unfilled batch");
-        assert!(start.elapsed() >= Duration::from_millis(5));
+        // The window is anchored at the item's enqueue time, which is
+        // after `start`; generous slack keeps slow machines green.
+        assert!(start.elapsed() >= deadline, "window closed early: {:?}", start.elapsed());
         drop(tx);
         assert!(b.next_batch().is_none());
     }
@@ -135,15 +189,54 @@ mod tests {
     #[test]
     fn late_arrivals_join_open_window() {
         let (tx, rx) = mpsc::channel();
-        tx.send((7, 0)).unwrap();
+        tx.send(item(7, 0)).unwrap();
         let handle = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(2));
-            tx.send((7, 1)).unwrap();
-            tx.send((7, 2)).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(item(7, 1)).unwrap();
+            tx.send(item(7, 2)).unwrap();
         });
-        let mut b = batcher(rx, 3, Duration::from_millis(500));
+        // A filled batch releases immediately, so the generous deadline
+        // only bounds the worst case on a stalled machine.
+        let mut b = batcher(rx, 3, Duration::from_secs(5));
         let batch = b.next_batch().unwrap();
         handle.join().unwrap();
-        assert_eq!(batch, vec![(7, 0), (7, 1), (7, 2)]);
+        assert_eq!(ids(&batch), vec![0, 1, 2]);
+    }
+
+    /// Regression: a request that waited in the stash must not pay its
+    /// stash wait *plus* a fresh full deadline — worst-case hold is one
+    /// deadline from enqueue (plus the time the previous batch's key held
+    /// the window, which the anchor absorbs).
+    #[test]
+    fn stash_wait_counts_against_the_deadline() {
+        let deadline = Duration::from_millis(150);
+        let (tx, rx) = mpsc::channel();
+        let enqueue = Instant::now();
+        tx.send(item(1, 0)).unwrap();
+        tx.send(item(2, 1)).unwrap();
+        let mut b = batcher(rx, 64, deadline);
+
+        // First batch seeds key 1 and stashes the key-2 item, holding the
+        // window open the full deadline.
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0]);
+        assert!(enqueue.elapsed() >= deadline);
+
+        // The stashed key-2 item's window (anchored at its enqueue) has
+        // already closed, so it must release immediately — with the old
+        // window-open anchor it would wait a second full deadline.
+        let reseed = Instant::now();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1]);
+        let second_wait = reseed.elapsed();
+        assert!(
+            second_wait < deadline / 2,
+            "stashed item paid a fresh deadline: {second_wait:?}"
+        );
+        let total_hold = enqueue.elapsed();
+        assert!(
+            total_hold < deadline * 2,
+            "worst-case hold must stay near one deadline: {total_hold:?}"
+        );
+        drop(tx);
+        assert!(b.next_batch().is_none());
     }
 }

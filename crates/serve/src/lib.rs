@@ -28,6 +28,13 @@
 //!   arithmetic per output column).
 //! - **Worker pool**: each worker owns its tiled-scheduler instance and
 //!   pulls batches over a rendezvous channel.
+//! - **Stage pipelining** ([`PipelineExecutor`],
+//!   [`ServeConfig::pipeline_stages`]): at K ≥ 2 each worker splits the
+//!   deployed layers into K cost-balanced contiguous stages on their own
+//!   threads and streams successive batches through them — stage i runs
+//!   batch n while stage i+1 finishes batch n−1, the serving analogue of
+//!   the systolic array's inter-layer wavefront — while staying
+//!   bit-identical to serial execution.
 //! - **Admission control**: a bounded queue with shed-on-full semantics
 //!   ([`SubmitError::QueueFull`]) gives end-to-end backpressure.
 //! - **Telemetry** ([`TelemetrySnapshot`]): p50/p95/p99 latency from a
@@ -65,10 +72,12 @@
 //! ```
 
 pub mod batcher;
+pub mod pipeline;
 pub mod registry;
 pub mod server;
 pub mod telemetry;
 
+pub use pipeline::{partition_stages, PipelineExecutor};
 pub use registry::ModelRegistry;
 pub use server::{Response, ServeConfig, Server, SubmitError, Ticket};
 pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot};

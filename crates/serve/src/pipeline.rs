@@ -1,0 +1,294 @@
+//! Stage-pipelined execution of a deployed network: the serving analogue
+//! of `cc-systolic`'s inter-layer wavefront.
+//!
+//! The layers of a [`DeployedNetwork`] are partitioned into K contiguous
+//! stages of roughly equal estimated cost; each stage runs on its own
+//! thread, connected to the next by a bounded channel. Successive batches
+//! stream through the stages — stage i executes batch n while stage i+1
+//! executes batch n−1 — so all K threads stay busy once the pipe fills,
+//! instead of one worker walking every layer while the rest of the
+//! machine idles.
+//!
+//! ```text
+//!  submit ──▶ [stage 0: layers 0..a] ──▶ [stage 1: a..b] ──▶ … ──▶ sink
+//!   batch n        batch n−1                batch n−2            replies
+//! ```
+//!
+//! Stage boundaries hand over the same [`BatchOutput`] activations the
+//! serial path threads through [`DeployedNetwork::run_stage`], so the
+//! pipelined result is bit-identical to serial
+//! [`DeployedNetwork::run_batch`] by construction. The channels are
+//! bounded (the in-flight cap), so a stalled stage backpressures
+//! [`PipelineExecutor::submit`] rather than buffering without bound, and
+//! dropping the executor closes the input and drains every in-flight
+//! batch through the sink before the stage threads exit.
+
+use cc_deploy::{BatchOutput, DeployedNetwork};
+use cc_tensor::Tensor;
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Partitions `costs` into at most `stages` contiguous ranges minimizing
+/// the maximum per-range cost sum (balanced pipeline stages). Returns
+/// `min(stages, costs.len())` non-empty ranges covering `0..costs.len()`.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty or `stages` is zero.
+pub fn partition_stages(costs: &[u64], stages: usize) -> Vec<Range<usize>> {
+    assert!(!costs.is_empty(), "cannot partition zero layers");
+    assert!(stages > 0, "need at least one stage");
+    let n = costs.len();
+    let k = stages.min(n);
+
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let span = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // dp[j][i]: minimal max-stage cost splitting layers 0..i into j stages
+    // (layer counts are small, so the O(k·n²) table is negligible).
+    let width = n + 1;
+    let mut dp = vec![u64::MAX; (k + 1) * width];
+    let mut cut = vec![0usize; (k + 1) * width];
+    dp[0] = 0;
+    for j in 1..=k {
+        for i in j..=n {
+            for t in (j - 1)..i {
+                let prev = dp[(j - 1) * width + t];
+                if prev == u64::MAX {
+                    continue;
+                }
+                let cand = prev.max(span(t, i));
+                if cand < dp[j * width + i] {
+                    dp[j * width + i] = cand;
+                    cut[j * width + i] = t;
+                }
+            }
+        }
+    }
+
+    let mut ranges = vec![0..0; k];
+    let mut end = n;
+    for j in (1..=k).rev() {
+        let start = cut[j * width + end];
+        ranges[j - 1] = start..end;
+        end = start;
+    }
+    ranges
+}
+
+struct Job<T> {
+    data: BatchOutput,
+    tag: T,
+}
+
+/// One stage's plumbing: its inbox plus its forward edge (`None` for the
+/// final stage, which owns the sink instead).
+type StageEdges<T> = (Receiver<Job<T>>, Option<SyncSender<Job<T>>>);
+
+/// Runs batches through a [`DeployedNetwork`] split into pipeline stages,
+/// one thread per stage. `T` is an opaque per-batch tag carried alongside
+/// the activations (the server threads reply handles through it); the
+/// `sink` runs on the final stage's thread with each batch's output.
+#[derive(Debug)]
+pub struct PipelineExecutor<T: Send + 'static> {
+    net: DeployedNetwork,
+    input: Option<SyncSender<Job<T>>>,
+    threads: Vec<JoinHandle<()>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl<T: Send + 'static> PipelineExecutor<T> {
+    /// Spawns `stages` stage threads (clamped to the network's layer
+    /// count) over cost-balanced layer ranges. Each inter-stage channel
+    /// buffers at most `queue_depth` batches beyond the one executing, so
+    /// total in-flight work is capped at roughly
+    /// `stages × (queue_depth + 1)` batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new<F>(net: DeployedNetwork, stages: usize, queue_depth: usize, sink: F) -> Self
+    where
+        F: FnMut(BatchOutput, T) + Send + 'static,
+    {
+        let ranges = partition_stages(&net.layer_costs(), stages);
+        let k = ranges.len();
+
+        // Build the channel chain first: plumbing[s] is stage s's edges.
+        let (input_tx, input_rx) = mpsc::sync_channel::<Job<T>>(queue_depth);
+        let mut plumbing: Vec<StageEdges<T>> = Vec::new();
+        let mut inbox = input_rx;
+        for _ in 0..k - 1 {
+            let (tx, rx) = mpsc::sync_channel::<Job<T>>(queue_depth);
+            plumbing.push((std::mem::replace(&mut inbox, rx), Some(tx)));
+        }
+        plumbing.push((inbox, None));
+
+        let mut sink = Some(sink);
+        let threads = ranges
+            .iter()
+            .cloned()
+            .zip(plumbing)
+            .enumerate()
+            .map(|(s, (range, (rx, tx)))| {
+                let stage_net = net.clone();
+                let mut stage_sink = if s == k - 1 { sink.take() } else { None };
+                std::thread::Builder::new()
+                    .name(format!("cc-serve-stage-{s}"))
+                    .spawn(move || {
+                        let sched = stage_net.scheduler();
+                        while let Ok(job) = rx.recv() {
+                            let data = stage_net.run_stage(range.clone(), job.data, &sched);
+                            if let Some(tx) = &tx {
+                                // The next stage hung up only on teardown.
+                                if tx.send(Job { data, tag: job.tag }).is_err() {
+                                    break;
+                                }
+                            } else if let Some(sink) = &mut stage_sink {
+                                sink(data, job.tag);
+                            }
+                        }
+                    })
+                    .expect("spawn pipeline stage")
+            })
+            .collect();
+
+        PipelineExecutor { net, input: Some(input_tx), threads, ranges }
+    }
+
+    /// The cost-balanced layer range each stage executes.
+    pub fn stage_ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of stage threads (the requested count clamped to the layer
+    /// count).
+    pub fn num_stages(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The network this pipeline executes.
+    pub fn network(&self) -> &DeployedNetwork {
+        &self.net
+    }
+
+    /// Feeds one batch of images into the pipeline and returns without
+    /// waiting for it to finish; the `sink` sees the result once the batch
+    /// leaves the last stage. Blocks only when the in-flight cap is
+    /// reached — that is the pipeline's backpressure edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage thread died (it panicked on malformed input).
+    pub fn submit(&self, images: &[Tensor], tag: T) {
+        let data = BatchOutput::Maps(self.net.quantize_batch(images));
+        self.submit_activations(data, tag);
+    }
+
+    /// [`PipelineExecutor::submit`] for callers that already hold
+    /// quantized activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage thread died.
+    pub fn submit_activations(&self, data: BatchOutput, tag: T) {
+        let input = self.input.as_ref().expect("pipeline already drained");
+        input.send(Job { data, tag }).expect("pipeline stage died");
+    }
+
+    /// Closes the input and blocks until every in-flight batch has flowed
+    /// through the sink and all stage threads have exited. Dropping the
+    /// executor does the same; this form just makes the drain explicit.
+    pub fn drain(self) {}
+}
+
+impl<T: Send + 'static> Drop for PipelineExecutor<T> {
+    fn drop(&mut self) {
+        // Closing the input cascades: stage 0's recv fails, it drops its
+        // forward sender, and so on down the pipe — after each stage
+        // finishes the batches already in flight.
+        self.input = None;
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_dataset::SyntheticSpec;
+    use cc_deploy::identity_groups;
+    use cc_nn::models::{lenet5_shift, ModelConfig};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn partition_covers_contiguously_and_clamps() {
+        let costs = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        for k in 1..=10 {
+            let ranges = partition_stages(&costs, k);
+            assert_eq!(ranges.len(), k.min(costs.len()));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, costs.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()), "no stage may be empty");
+        }
+    }
+
+    #[test]
+    fn partition_minimizes_max_stage_cost() {
+        // [10,1,1,10] in two stages: the only split with max 11 is 2|2.
+        let ranges = partition_stages(&[10, 1, 1, 10], 2);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+        // Uniform costs split evenly.
+        assert_eq!(partition_stages(&[5, 5, 5, 5], 2), vec![0..2, 2..4]);
+        // A dominant layer gets a stage to itself.
+        let ranges = partition_stages(&[1, 100, 1], 3);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn pipeline_matches_serial_and_preserves_batch_order() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 12).generate(19);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+
+        // Four batches of three images each, tagged with their index.
+        let batches: Vec<Vec<cc_tensor::Tensor>> = (0..4)
+            .map(|b| (0..3).map(|i| test.image((b * 3 + i) % test.len()).clone()).collect())
+            .collect();
+        let serial: Vec<Vec<Vec<f32>>> = batches.iter().map(|b| deployed.run_batch(b)).collect();
+
+        type TaggedLogits = Vec<(usize, Vec<Vec<f32>>)>;
+        let results: Arc<Mutex<TaggedLogits>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = Arc::clone(&results);
+        let pipe = PipelineExecutor::new(deployed.clone(), 3, 1, move |out, tag: usize| {
+            let logits = match out {
+                BatchOutput::Logits(l) => l,
+                BatchOutput::Maps(_) => panic!("pipeline must end at the classifier head"),
+            };
+            sink_results.lock().unwrap().push((tag, logits));
+        });
+        assert!(pipe.num_stages() >= 2, "lenet must support a multi-stage pipeline");
+        assert_eq!(pipe.stage_ranges().last().unwrap().end, deployed.num_layers());
+
+        for (b, images) in batches.iter().enumerate() {
+            pipe.submit(images, b);
+        }
+        pipe.drain();
+
+        let results = results.lock().unwrap();
+        assert_eq!(results.len(), batches.len(), "drain must flush every in-flight batch");
+        for (i, (tag, logits)) in results.iter().enumerate() {
+            assert_eq!(*tag, i, "a single pipeline must preserve batch order");
+            assert_eq!(logits, &serial[*tag], "batch {tag} diverged from serial run_batch");
+        }
+    }
+}

@@ -3,19 +3,24 @@
 //!
 //! ```text
 //!  submit() ──try_send──▶ [bounded ingress] ──▶ batcher ──▶ [rendezvous] ──▶ worker 0..W
-//!     │ full?                                    │ coalesce                    │ run_batch_with
-//!     ▼ shed                                     ▼ per model                   ▼ reply channel
+//!     │ full?                                    │ coalesce                    │ run_batch_with,
+//!     ▼ shed                                     ▼ per pipeline                │ or K-stage pipeline
+//!                                                                             ▼ reply channel
 //! ```
 //!
 //! Backpressure is end-to-end: workers pull batches over a rendezvous
 //! channel, so when every worker is busy the batcher blocks, the bounded
 //! ingress queue fills, and [`Server::submit`] sheds with
-//! [`SubmitError::QueueFull`] instead of buffering without bound.
+//! [`SubmitError::QueueFull`] instead of buffering without bound. With
+//! [`ServeConfig::pipeline_stages`] ≥ 2 a worker feeds a bounded
+//! [`PipelineExecutor`] instead of executing inline; the bounded stage
+//! channels keep the same backpressure chain intact.
 
 use crate::batcher::Batcher;
+use crate::pipeline::PipelineExecutor;
 use crate::registry::ModelRegistry;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
-use cc_deploy::DeployedNetwork;
+use cc_deploy::{BatchOutput, DeployedNetwork};
 use cc_tensor::Tensor;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -34,6 +39,13 @@ pub struct ServeConfig {
     pub batch_deadline: Duration,
     /// Admitted-but-undispatched requests allowed before shedding.
     pub queue_capacity: usize,
+    /// Contiguous layer stages each worker splits execution into. At 1
+    /// (the default) a worker runs whole batches serially; at K ≥ 2 each
+    /// worker becomes a K-thread pipeline that streams successive batches
+    /// through cost-balanced layer ranges (stage i on batch n while stage
+    /// i+1 finishes batch n−1) — bit-identical to the serial path. Values
+    /// beyond the model's layer count are clamped.
+    pub pipeline_stages: usize,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +55,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             batch_deadline: Duration::from_millis(1),
             queue_capacity: 256,
+            pipeline_stages: 1,
         }
     }
 }
@@ -73,6 +86,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-worker pipeline stage count.
+    #[must_use]
+    pub fn with_pipeline_stages(mut self, stages: usize) -> Self {
+        self.pipeline_stages = stages;
         self
     }
 }
@@ -143,7 +163,6 @@ impl Ticket {
 }
 
 struct Request {
-    model: String,
     net: DeployedNetwork,
     image: Tensor,
     submitted: Instant,
@@ -173,6 +192,7 @@ impl Server {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(cfg.pipeline_stages > 0, "pipeline_stages must be at least 1");
 
         let registry = Arc::new(registry);
         let telemetry = Arc::new(Telemetry::new());
@@ -186,11 +206,19 @@ impl Server {
         let batcher = std::thread::Builder::new()
             .name("cc-serve-batcher".into())
             .spawn(move || {
+                // Batches are keyed on *network identity*, not model name:
+                // a name can point at different pipelines over time (e.g.
+                // across a registry hot-swap), and requests that captured
+                // different networks must never share a batch — the worker
+                // runs the whole batch on one network. The coalescing
+                // window is anchored at the seed request's submit time so
+                // a request never pays stash wait plus a fresh deadline.
                 let mut batcher = Batcher::new(
                     ingress_rx,
                     cfg.max_batch,
                     cfg.batch_deadline,
-                    |r: &Request| r.model.clone(),
+                    |r: &Request| r.net.identity(),
+                    |r: &Request| r.submitted,
                 );
                 while let Some(batch) = batcher.next_batch() {
                     batcher_telemetry.on_dispatch(batch.len());
@@ -205,9 +233,10 @@ impl Server {
             .map(|i| {
                 let work_rx = Arc::clone(&work_rx);
                 let telemetry = Arc::clone(&telemetry);
+                let stages = cfg.pipeline_stages;
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &telemetry))
+                    .spawn(move || worker_loop(&work_rx, &telemetry, stages))
                     .expect("spawn worker")
             })
             .collect();
@@ -243,13 +272,8 @@ impl Server {
         }
         let ingress = self.ingress.as_ref().ok_or(SubmitError::ShuttingDown)?;
         let (reply, rx) = mpsc::channel();
-        let request = Request {
-            model: model.to_string(),
-            net: net.clone(),
-            image,
-            submitted: Instant::now(),
-            reply,
-        };
+        let request =
+            Request { net: net.clone(), image, submitted: Instant::now(), reply };
         match ingress.try_send(request) {
             Ok(()) => {
                 self.telemetry.on_admit();
@@ -299,7 +323,19 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>, telemetry: &Arc<Telemetry>) {
+/// Per-request completion state a batch carries to the reply point.
+type BatchMeta = Vec<(Instant, mpsc::Sender<Response>)>;
+
+fn worker_loop(
+    work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
+    telemetry: &Arc<Telemetry>,
+    stages: usize,
+) {
+    // Pipelines are per network identity, built lazily on the first batch
+    // for that pipeline (registries hold few models, so a linear scan
+    // beats a map). Dropping this at loop exit drains every in-flight
+    // batch before the worker thread ends — shutdown resolves tickets.
+    let mut pipelines: Vec<(usize, PipelineExecutor<BatchMeta>)> = Vec::new();
     loop {
         let batch = {
             let guard = work_rx.lock().expect("work queue poisoned");
@@ -308,34 +344,123 @@ fn worker_loop(work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>, telemetry: &Arc<Tel
         let Ok(batch) = batch else { break };
         let size = batch.len();
         let net = batch[0].net.clone();
-        // The scheduler is a stateless copy of the network's array config;
-        // the expensive per-call setup it used to imply (weight-tile
-        // slicing) is prepacked inside the network's layers.
-        let sched = net.scheduler();
+        assert!(
+            batch.iter().all(|r| r.net.identity() == net.identity()),
+            "batcher must never co-batch requests for distinct deployed pipelines"
+        );
 
         let mut images = Vec::with_capacity(size);
-        let mut meta = Vec::with_capacity(size);
+        let mut meta: BatchMeta = Vec::with_capacity(size);
         for request in batch {
             images.push(request.image);
             meta.push((request.submitted, request.reply));
         }
-        let logits_batch = net.run_batch_with(&sched, &images);
 
-        for ((submitted, reply), logits) in meta.into_iter().zip(logits_batch) {
-            let latency = submitted.elapsed();
-            telemetry.on_complete(latency);
-            let class = argmax(&logits);
-            // A dropped ticket just means the client stopped waiting.
-            let _ = reply.send(Response { logits, class, latency, batch_size: size });
+        if stages <= 1 {
+            // Serial path: the scheduler is a stateless copy of the
+            // network's array config; the expensive per-call setup it used
+            // to imply (weight-tile slicing) is prepacked in the layers.
+            let sched = net.scheduler();
+            let logits_batch = net.run_batch_with(&sched, &images);
+            complete_batch(telemetry, meta, logits_batch);
+            continue;
         }
+
+        // Pipelined path: hand the batch to this worker's stage pipeline
+        // for the network and immediately pull the next batch, so stage 0
+        // of batch n overlaps the later stages of batch n−1. `submit`
+        // blocks only at the in-flight cap, which keeps backpressure
+        // flowing to admission control.
+        let pipe = pipeline_for(&mut pipelines, &net, stages, telemetry);
+        pipe.submit(&images, meta);
     }
 }
 
+/// Pipelines a single worker keeps warm at once. Each cached pipeline
+/// pins its stage threads and a network reference, so the cache is
+/// LRU-bounded: when a registry entry is replaced (hot-swap) or a worker
+/// rotates across many models, stale pipelines are drained and dropped
+/// instead of accumulating threads for the life of the worker.
+const MAX_WORKER_PIPELINES: usize = 4;
+
+/// Finds or lazily creates this worker's pipeline for `net`. The cache is
+/// kept in LRU order (most recently used last).
+fn pipeline_for<'a>(
+    pipelines: &'a mut Vec<(usize, PipelineExecutor<BatchMeta>)>,
+    net: &DeployedNetwork,
+    stages: usize,
+    telemetry: &Arc<Telemetry>,
+) -> &'a PipelineExecutor<BatchMeta> {
+    let id = net.identity();
+    if let Some(idx) = pipelines.iter().position(|(pid, _)| *pid == id) {
+        // Move-to-back marks it most recently used.
+        let entry = pipelines.remove(idx);
+        pipelines.push(entry);
+    } else {
+        if pipelines.len() >= MAX_WORKER_PIPELINES {
+            // Evicting drains the pipeline: its in-flight batches resolve
+            // their tickets before the stage threads exit.
+            let (_, oldest) = pipelines.remove(0);
+            oldest.drain();
+        }
+        let sink_telemetry = Arc::clone(telemetry);
+        let pipe = PipelineExecutor::new(net.clone(), stages, 1, move |out, meta: BatchMeta| {
+            let logits_batch = match out {
+                BatchOutput::Logits(l) => l,
+                BatchOutput::Maps(_) => {
+                    panic!("deployed pipeline must end at the classifier head")
+                }
+            };
+            complete_batch(&sink_telemetry, meta, logits_batch);
+        });
+        pipelines.push((id, pipe));
+    }
+    &pipelines.last().expect("cache is non-empty").1
+}
+
+/// Resolves one finished batch: telemetry, argmax, replies.
+fn complete_batch(telemetry: &Telemetry, meta: BatchMeta, logits_batch: Vec<Vec<f32>>) {
+    let size = meta.len();
+    for ((submitted, reply), logits) in meta.into_iter().zip(logits_batch) {
+        let latency = submitted.elapsed();
+        telemetry.on_complete(latency);
+        let class = argmax(&logits);
+        // A dropped ticket just means the client stopped waiting.
+        let _ = reply.send(Response { logits, class, latency, batch_size: size });
+    }
+}
+
+/// Index of the largest logit, ordering NaN below every real value: a NaN
+/// produced anywhere upstream must yield a well-defined class, not panic
+/// the worker thread that every other in-flight request depends on.
 fn argmax(logits: &[f32]) -> usize {
+    let key = |v: f32| if v.is_nan() { f32::NEG_INFINITY } else { v };
     logits
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .max_by(|a, b| key(*a.1).total_cmp(&key(*b.1)))
         .map(|(i, _)| i)
         .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest_finite() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0]), 1);
+        assert_eq!(argmax(&[-5.0, -1.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_orders_nan_smallest_instead_of_panicking() {
+        assert_eq!(argmax(&[1.0, f32::NAN, 3.0]), 2);
+        assert_eq!(argmax(&[f32::NAN, 2.0]), 1);
+        assert_eq!(argmax(&[f32::NAN, f32::NEG_INFINITY, 2.0]), 2);
+        // All-NaN: any valid index, and above all no panic.
+        let idx = argmax(&[f32::NAN, f32::NAN, f32::NAN]);
+        assert!(idx < 3);
+    }
 }

@@ -6,9 +6,11 @@ use cc_dataset::{Dataset, SyntheticSpec};
 use cc_deploy::{identity_groups, DeployedNetwork};
 use cc_nn::models::{lenet5_shift, ModelConfig};
 use cc_packing::{ColumnCombineConfig, ColumnCombiner};
+use cc_serve::batcher::Batcher;
 use cc_serve::{ModelRegistry, ServeConfig, Server, SubmitError};
 use cc_tensor::Tensor;
-use std::time::Duration;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// A small column-combined LeNet deployed end to end (trained for one
 /// iteration — serving correctness does not need accuracy).
@@ -24,6 +26,15 @@ fn combined_lenet(seed: u64) -> (DeployedNetwork, Dataset) {
     };
     let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
     (DeployedNetwork::build(&net, &groups, &train), test)
+}
+
+/// An untrained, uncombined deployment — the cheapest way to mint a
+/// distinct pipeline identity.
+fn tiny(seed: u64) -> DeployedNetwork {
+    let (train, _) =
+        SyntheticSpec::mnist_like().with_size(8, 8).with_samples(16, 4).generate(seed);
+    let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+    DeployedNetwork::build(&net, &identity_groups(&net), &train)
 }
 
 /// An untrained but larger deployment whose per-request cost is high
@@ -164,6 +175,137 @@ fn admission_control_rejects_bad_requests_and_sheds_under_overload() {
     assert_eq!(stats.completed, accepted);
     assert_eq!(stats.shed, sheds);
     assert_eq!(stats.submitted, accepted);
+}
+
+/// Tentpole acceptance: stage-pipelined execution (K ≥ 2) must serve the
+/// exact logits the serial `run_batch` path produces, under concurrent
+/// batched load, and still drain cleanly at shutdown.
+#[test]
+fn pipelined_serving_is_bit_identical_to_serial() {
+    let (deployed, test) = combined_lenet(13);
+    let images: Vec<Tensor> = (0..96).map(|i| test.image(i % test.len()).clone()).collect();
+    let serial: Vec<Vec<f32>> = images.iter().map(|im| deployed.logits(im)).collect();
+    assert!(deployed.num_layers() >= 3, "need enough layers for a 3-stage pipeline");
+
+    let registry = ModelRegistry::new().with_model("lenet", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_batch_deadline(Duration::from_millis(2))
+            .with_queue_capacity(256)
+            .with_pipeline_stages(3),
+    );
+
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|im| server.submit("lenet", im.clone()).expect("capacity admits the burst"))
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().expect("request served");
+        assert_eq!(
+            response.logits, serial[i],
+            "request {i} served through the stage pipeline diverged from serial inference"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 96);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+}
+
+/// A pipeline deeper than the layer count must clamp, not die: the extreme
+/// configuration still serves every request bit-identically.
+#[test]
+fn oversized_stage_count_clamps_to_layer_count() {
+    let (deployed, test) = combined_lenet(14);
+    let expect = deployed.logits(test.image(0));
+    let layers = deployed.num_layers();
+    let registry = ModelRegistry::new().with_model("m", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default().with_workers(1).with_pipeline_stages(layers + 16),
+    );
+    let tickets: Vec<_> =
+        (0..8).map(|_| server.submit("m", test.image(0).clone()).unwrap()).collect();
+    for ticket in tickets {
+        assert_eq!(ticket.wait().expect("served").logits, expect);
+    }
+    assert_eq!(server.shutdown().completed, 8);
+}
+
+/// Regression for the co-batching bug: workers run a whole batch on the
+/// first request's network, so the batcher must key on *network identity*
+/// (the `Arc` pointer), never on model name alone — two distinct deployed
+/// pipelines that coexist under one name (e.g. across a registry
+/// hot-swap) may not share a batch.
+#[test]
+fn two_networks_under_one_name_never_co_batch() {
+    let a = tiny(1);
+    let b = tiny(2);
+    assert_ne!(a.identity(), b.identity());
+
+    // The server's exact batch key: network identity, with the model name
+    // carried only as payload.
+    let (tx, rx) = mpsc::channel();
+    let now = Instant::now();
+    for net in [&a, &b, &a] {
+        tx.send(("model", net.clone(), now)).unwrap();
+    }
+    drop(tx);
+    let mut batcher = Batcher::new(
+        rx,
+        8,
+        Duration::from_millis(1),
+        |r: &(&str, DeployedNetwork, Instant)| r.1.identity(),
+        |r: &(&str, DeployedNetwork, Instant)| r.2,
+    );
+
+    let first = batcher.next_batch().expect("first batch");
+    assert_eq!(first.len(), 2, "both requests for pipeline A coalesce");
+    assert!(first.iter().all(|r| r.1.identity() == a.identity()));
+    let second = batcher.next_batch().expect("second batch");
+    assert_eq!(second.len(), 1, "pipeline B must ride alone");
+    assert_eq!(second[0].1.identity(), b.identity());
+    assert!(batcher.next_batch().is_none());
+}
+
+/// A pipelined worker keeps an LRU-bounded cache of per-network stage
+/// pipelines; rotating across more models than the cache holds must
+/// evict-and-drain stale pipelines without losing or mis-serving a single
+/// request.
+#[test]
+fn pipelined_worker_evicts_stale_pipelines_without_dropping_requests() {
+    let nets: Vec<DeployedNetwork> = (21..27).map(tiny).collect();
+    let (_, probe) = SyntheticSpec::mnist_like().with_size(8, 8).with_samples(4, 2).generate(3);
+    let image = probe.image(0).clone();
+    let expected: Vec<Vec<f32>> = nets.iter().map(|n| n.logits(&image)).collect();
+
+    let mut registry = ModelRegistry::new();
+    for (i, n) in nets.iter().enumerate() {
+        registry.register(format!("m{i}"), n.clone());
+    }
+    let server = Server::start(
+        registry,
+        ServeConfig::default().with_workers(1).with_pipeline_stages(2),
+    );
+
+    // Two sequential round-robin passes: the second revisits pipelines the
+    // first pass evicted (6 models > the worker's cache bound).
+    let mut served = 0u64;
+    for _ in 0..2 {
+        for (i, expect) in expected.iter().enumerate() {
+            let ticket = server.submit(&format!("m{i}"), image.clone()).expect("admitted");
+            let response = ticket.wait().expect("served across eviction");
+            assert_eq!(&response.logits, expect, "model m{i} served wrong logits");
+            served += 1;
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, served);
+    assert_eq!(stats.shed, 0);
 }
 
 #[test]

@@ -172,6 +172,14 @@ impl PreparedPacked {
         self.tiles.len()
     }
 
+    /// Total weight words loaded across all tiles per run — the
+    /// weight-stationary load volume of one pass over the matrix. Stage
+    /// partitioning for pipelined serving uses this as a per-layer cost
+    /// proxy (`cc-deploy`'s layer cost model).
+    pub fn load_words(&self) -> u64 {
+        self.tiles.iter().map(|t| (t.r1 - t.r0) as u64 * t.weights.groups() as u64).sum()
+    }
+
     /// The array configuration the tiles were sliced for.
     pub fn config(&self) -> &ArrayConfig {
         &self.cfg
@@ -309,6 +317,9 @@ mod tests {
         assert_eq!(prepared.num_tiles(), sched.run_packed(&qp, &QuantMatrix::quantize(&sparse_matrix(94, 4, 1.0, 15))).tiles);
         assert_eq!(prepared.rows(), 96);
         assert_eq!(prepared.original_cols(), 94);
+        // Tiles cover the packed matrix exactly once, so the load volume is
+        // the full matrix's weight-slot count.
+        assert_eq!(prepared.load_words(), (prepared.rows() * prepared.groups()) as u64);
     }
 
     #[test]
