@@ -1,0 +1,10 @@
+//! Kernel benchmark: seed indexed packed path vs the prepared op-list
+//! kernel (with and without a reused scratch), whole-model scratch
+//! inference, and a single-worker serving sample. Run with `--release`;
+//! writes `results/bench_kernel.json` alongside the CSVs.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::kernel_bench::run(&scale);
+    cc_bench::emit("kernel_bench", &tables);
+}

@@ -10,6 +10,7 @@ pub mod fig14b;
 pub mod fig15a;
 pub mod fig15b;
 pub mod fig16;
+pub mod kernel_bench;
 pub mod sec72;
 pub mod serve_load;
 pub mod table1;

@@ -339,11 +339,23 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    /// The headline claim the load generator exists to demonstrate:
-    /// packed (column-combined) networks serve measurably more traffic
-    /// than the same network unpacked, at equal worker count.
+    /// The headline claims the load generator exists to demonstrate.
+    ///
+    /// The seed asserted packed serving beats unpacked on *host wall
+    /// clock* — true then only because the indexed kernel spent host time
+    /// on every occupied array cell, zeros included. The op-list kernel
+    /// sweeps nonzero weights only for both deployments, so host time now
+    /// tracks MAC count and the wall-clock gap collapses to packing's
+    /// conflict-pruned weights and fewer tiles (small, noise-prone). The
+    /// paper's claim lives where the hardware lives: packed must cost
+    /// strictly fewer *simulated cycles*, and serving it must not be
+    /// meaningfully slower in wall clock.
     #[test]
     fn packed_serving_outperforms_unpacked() {
+        use cc_deploy::DeployedLayer;
+        use cc_systolic::RunScratch;
+        use cc_tensor::quant::{QuantMatrix, QuantParams};
+
         // A wall-clock comparison only has a trustworthy margin with
         // optimized code; debug-profile timing skew could flip it. CI runs
         // this test again in a release step.
@@ -351,6 +363,7 @@ mod tests {
             eprintln!("skipping wall-clock serving comparison in debug build");
             return;
         }
+        let _exclusive = crate::perf_gate_lock();
         // Full-width network on 16x16 images so the packed-vs-unpacked
         // conv cost dominates per-request overheads.
         let scale = Scale {
@@ -361,10 +374,40 @@ mod tests {
             ..Scale::quick()
         };
         let (packed, unpacked, test) = build_networks(&scale);
-        // Best of two runs per deployment: one run's wall clock on a busy
-        // CI box carries enough scheduler noise to flip a true ordering.
+
+        // Simulated hardware: summed array cycles of every conv layer,
+        // packed vs unpacked, at a common stream length. This is the
+        // column-combining win — fewer occupied columns, fewer tiles.
+        let sim_cycles = |net: &DeployedNetwork| {
+            let sched = net.scheduler();
+            let mut scratch = RunScratch::new();
+            let mut total = 0u64;
+            for layer in net.layers() {
+                if let DeployedLayer::PackedConv { tiles, .. } = layer {
+                    let d = QuantMatrix::from_raw(
+                        tiles.original_cols(),
+                        16,
+                        vec![1i8; tiles.original_cols() * 16],
+                        QuantParams::from_max_abs(1.0),
+                    );
+                    total += sched.run_prepared_with(tiles, &d, &mut scratch).cycles;
+                }
+            }
+            total
+        };
+        let packed_cycles = sim_cycles(&packed);
+        let unpacked_cycles = sim_cycles(&unpacked);
+        assert!(
+            packed_cycles < unpacked_cycles,
+            "packed deployment must cost fewer simulated cycles: {packed_cycles} vs {unpacked_cycles}"
+        );
+
+        // Host wall clock: best of three runs per deployment (scheduler
+        // noise on a busy CI box exceeds the thin MAC-count margin), and a
+        // no-regression bound rather than strict dominance — packed must
+        // serve at least ~90% of unpacked throughput.
         let best = |net: &DeployedNetwork| {
-            (0..2)
+            (0..3)
                 .map(|_| {
                     let stats = closed_loop(net, &test, 2, 8, 1, 16, 48);
                     assert_eq!(stats.completed, 48);
@@ -375,8 +418,8 @@ mod tests {
         let packed_rps = best(&packed);
         let unpacked_rps = best(&unpacked);
         assert!(
-            packed_rps > unpacked_rps,
-            "packed serving should beat unpacked: {packed_rps:.1} vs {unpacked_rps:.1} rps"
+            packed_rps > 0.9 * unpacked_rps,
+            "packed serving fell behind unpacked wall clock: {packed_rps:.1} vs {unpacked_rps:.1} rps"
         );
     }
 }

@@ -20,6 +20,16 @@ pub mod experiments;
 
 use report::Table;
 
+/// Serializes the wall-clock perf gates (`kernel_gate`, `packed_serving`):
+/// the test harness runs tests concurrently, and two timing loops sharing
+/// the machine's cores would skew each other's measurements into false
+/// failures. Each gate holds this lock while it measures.
+#[cfg(test)]
+pub(crate) fn perf_gate_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Prints each table and writes it to `results/<name>_<index>.csv`.
 pub fn emit(name: &str, tables: &[Table]) {
     for (i, t) in tables.iter().enumerate() {

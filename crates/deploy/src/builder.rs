@@ -2,8 +2,9 @@
 //! pointwise layer, folds batch norm into per-channel scale/bias, and
 //! calibrates activation scales on sample data.
 
-use crate::engine::{run_layer_batch, BatchOutput, DeployedLayer};
+use crate::engine::{run_layer_batch_scratch, BatchOutput, DeployedLayer};
 use crate::qmap::QMap;
+use crate::scratch::ActivationScratch;
 use cc_dataset::Dataset;
 use cc_nn::layer::LayerKind;
 use cc_nn::layers::AvgPool2;
@@ -139,6 +140,24 @@ impl DeployedNetwork {
         images.iter().map(|im| QMap::quantize(im, self.inner.input_scale)).collect()
     }
 
+    /// [`DeployedNetwork::quantize_batch`] into pooled buffers from a
+    /// caller-owned scratch.
+    pub fn quantize_batch_scratch(
+        &self,
+        images: &[Tensor],
+        scratch: &mut ActivationScratch,
+    ) -> Vec<QMap> {
+        images
+            .iter()
+            .map(|im| {
+                // Capacity-only: quantize_into fills by extend, so a
+                // zero-fill here would be pure waste.
+                let storage = scratch.bufs.take_with_capacity(im.as_slice().len());
+                QMap::quantize_into(im, self.inner.input_scale, storage)
+            })
+            .collect()
+    }
+
     /// Executes the contiguous layer range `range` on a batch of
     /// activations, returning the activations flowing into layer
     /// `range.end` (or logits if the range covers the classifier head).
@@ -158,6 +177,27 @@ impl DeployedNetwork {
         data: BatchOutput,
         sched: &TiledScheduler,
     ) -> BatchOutput {
+        self.run_stage_scratch(range, data, sched, &mut ActivationScratch::new())
+    }
+
+    /// [`DeployedNetwork::run_stage`] with a caller-owned
+    /// [`ActivationScratch`]: every layer's output buffers come from the
+    /// scratch pool and each layer's inputs are recycled into it the
+    /// moment the layer has consumed them (ping-pong), so a warm scratch
+    /// makes staged execution allocation-free. Bit-identical to
+    /// [`DeployedNetwork::run_stage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or starts after the classifier
+    /// head already produced logits (`data` is `Logits` with layers left).
+    pub fn run_stage_scratch(
+        &self,
+        range: std::ops::Range<usize>,
+        data: BatchOutput,
+        sched: &TiledScheduler,
+        scratch: &mut ActivationScratch,
+    ) -> BatchOutput {
         assert!(range.end <= self.inner.layers.len(), "stage range out of bounds");
         let mut data = data;
         for layer in &self.inner.layers[range] {
@@ -165,7 +205,10 @@ impl DeployedNetwork {
                 BatchOutput::Maps(m) => m,
                 BatchOutput::Logits(_) => panic!("layers scheduled after the classifier head"),
             };
-            data = run_layer_batch(layer, &maps, sched);
+            data = run_layer_batch_scratch(layer, &maps, sched, scratch);
+            for consumed in maps {
+                scratch.recycle_map(consumed);
+            }
         }
         data
     }
@@ -208,11 +251,31 @@ impl DeployedNetwork {
     /// Panics if the scheduler's array configuration differs from the one
     /// the network was built for, or the pipeline lacks a classifier head.
     pub fn run_batch_with(&self, sched: &TiledScheduler, images: &[Tensor]) -> Vec<Vec<f32>> {
+        self.run_batch_scratch(sched, images, &mut ActivationScratch::new())
+    }
+
+    /// [`DeployedNetwork::run_batch_with`] with a caller-owned
+    /// [`ActivationScratch`] — the serving hot path. Quantization, every
+    /// layer's activations, and the systolic output planes all draw from
+    /// the scratch, so a warm scratch makes whole-network inference free
+    /// of steady-state allocations (only the returned logits are fresh).
+    /// Bit-identical to [`DeployedNetwork::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's array configuration differs from the one
+    /// the network was built for, or the pipeline lacks a classifier head.
+    pub fn run_batch_scratch(
+        &self,
+        sched: &TiledScheduler,
+        images: &[Tensor],
+        scratch: &mut ActivationScratch,
+    ) -> Vec<Vec<f32>> {
         if images.is_empty() {
             return Vec::new();
         }
-        let input = BatchOutput::Maps(self.quantize_batch(images));
-        match self.run_stage(0..self.inner.layers.len(), input, sched) {
+        let input = BatchOutput::Maps(self.quantize_batch_scratch(images, scratch));
+        match self.run_stage_scratch(0..self.inner.layers.len(), input, sched, scratch) {
             BatchOutput::Logits(l) => l,
             BatchOutput::Maps(_) => panic!("deployed network has no classifier head"),
         }
@@ -594,6 +657,69 @@ mod tests {
                 BatchOutput::Maps(_) => panic!("full range must end in logits"),
             }
         }
+    }
+
+    /// The scratch path must be bit-identical to the allocating path on
+    /// both plain and residual networks.
+    #[test]
+    fn scratch_inference_is_bit_identical() {
+        let (train, test) =
+            SyntheticSpec::cifar_like().with_size(8, 8).with_samples(48, 6).generate(23);
+        let mut net = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        let cfg = ColumnCombineConfig {
+            rho: net.nonzero_conv_weights() / 2,
+            epochs_per_iteration: 1,
+            final_epochs: 0,
+            ..ColumnCombineConfig::default()
+        };
+        let (_, groups, _) = ColumnCombiner::new(cfg).run(&mut net, &train, None);
+        let deployed = DeployedNetwork::build(&net, &groups, &train);
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let serial = deployed.run_batch(&images);
+        let sched = deployed.scheduler();
+        let mut scratch = ActivationScratch::new();
+        for round in 0..3 {
+            assert_eq!(
+                deployed.run_batch_scratch(&sched, &images, &mut scratch),
+                serial,
+                "scratch round {round} diverged"
+            );
+        }
+    }
+
+    /// The acceptance invariant of the scratch path: once warm, inference
+    /// performs zero steady-state activation allocations — the pool serves
+    /// every buffer request.
+    #[test]
+    fn warm_scratch_performs_zero_steady_state_allocations() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 8).generate(24);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let images: Vec<Tensor> = (0..4).map(|i| test.image(i).clone()).collect();
+        let sched = deployed.scheduler();
+        let mut scratch = ActivationScratch::new();
+
+        // Warm-up: the pool learns the inference's buffer-size profile.
+        for _ in 0..2 {
+            deployed.run_batch_scratch(&sched, &images, &mut scratch);
+        }
+        let warm_allocations = scratch.buffer_allocations();
+        let warm_reuses = scratch.buffer_reuses();
+        assert!(warm_allocations > 0, "warm-up must have populated the pool");
+
+        for round in 0..5 {
+            deployed.run_batch_scratch(&sched, &images, &mut scratch);
+            assert_eq!(
+                scratch.buffer_allocations(),
+                warm_allocations,
+                "steady-state inference allocated a buffer on round {round}"
+            );
+        }
+        assert!(
+            scratch.buffer_reuses() > warm_reuses,
+            "steady-state inference must be served from the pool"
+        );
     }
 
     #[test]

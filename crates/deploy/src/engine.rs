@@ -9,6 +9,7 @@
 //! bit-identical to running the images one at a time.
 
 use crate::qmap::QMap;
+use crate::scratch::{ActivationScratch, BufPool};
 use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 
@@ -91,11 +92,28 @@ pub fn run_layer_batch(
     inputs: &[QMap],
     sched: &TiledScheduler,
 ) -> BatchOutput {
+    run_layer_batch_scratch(layer, inputs, sched, &mut ActivationScratch::new())
+}
+
+/// [`run_layer_batch`] drawing every output buffer (and the systolic
+/// output plane) from a caller-owned [`ActivationScratch`] — the serving
+/// hot path, which performs no steady-state allocation once the scratch
+/// is warm. Bit-identical to [`run_layer_batch`].
+///
+/// # Panics
+///
+/// Panics on an empty batch or if the maps disagree in shape or scale.
+pub fn run_layer_batch_scratch(
+    layer: &DeployedLayer,
+    inputs: &[QMap],
+    sched: &TiledScheduler,
+    scratch: &mut ActivationScratch,
+) -> BatchOutput {
     assert!(!inputs.is_empty(), "empty batch");
     match layer {
-        DeployedLayer::Shift { shifts } => {
-            BatchOutput::Maps(inputs.iter().map(|m| run_shift(shifts, m)).collect())
-        }
+        DeployedLayer::Shift { shifts } => BatchOutput::Maps(
+            inputs.iter().map(|m| run_shift(shifts, m, &mut scratch.bufs)).collect(),
+        ),
         DeployedLayer::PackedConv {
             tiles,
             weight_scale,
@@ -112,12 +130,17 @@ pub fn run_layer_batch(
             *out_scale,
             inputs,
             sched,
+            scratch,
         )),
-        DeployedLayer::AvgPool => BatchOutput::Maps(inputs.iter().map(run_avgpool).collect()),
-        DeployedLayer::GlobalAvgPool => {
-            BatchOutput::Maps(inputs.iter().map(run_global_pool).collect())
-        }
-        DeployedLayer::Relu => BatchOutput::Maps(inputs.iter().map(run_relu).collect()),
+        DeployedLayer::AvgPool => BatchOutput::Maps(
+            inputs.iter().map(|m| run_avgpool(m, &mut scratch.bufs)).collect(),
+        ),
+        DeployedLayer::GlobalAvgPool => BatchOutput::Maps(
+            inputs.iter().map(|m| run_global_pool(m, &mut scratch.bufs)).collect(),
+        ),
+        DeployedLayer::Relu => BatchOutput::Maps(
+            inputs.iter().map(|m| run_relu(m, &mut scratch.bufs)).collect(),
+        ),
         DeployedLayer::Residual { body, downsample, out_channels, out_scale } => {
             BatchOutput::Maps(run_residual_batch(
                 body,
@@ -126,6 +149,7 @@ pub fn run_layer_batch(
                 *out_scale,
                 inputs,
                 sched,
+                scratch,
             ))
         }
         DeployedLayer::Linear { weights, weight_scale, bias } => BatchOutput::Logits(
@@ -192,10 +216,10 @@ pub enum BatchOutput {
     Logits(Vec<Vec<f32>>),
 }
 
-fn run_shift(shifts: &[(i8, i8)], input: &QMap) -> QMap {
+fn run_shift(shifts: &[(i8, i8)], input: &QMap, pool: &mut BufPool) -> QMap {
     assert_eq!(shifts.len(), input.channels(), "shift channel mismatch");
     let (c, h, w) = (input.channels(), input.height(), input.width());
-    let mut out = vec![0i8; c * h * w];
+    let mut out = pool.take_zeroed(c * h * w);
     for ci in 0..c {
         let (dy, dx) = shifts[ci];
         for y in 0..h as i64 {
@@ -226,6 +250,7 @@ fn run_packed_conv_batch(
     out_scale: f32,
     inputs: &[QMap],
     sched: &TiledScheduler,
+    scratch: &mut ActivationScratch,
 ) -> Vec<QMap> {
     let first = &inputs[0];
     let (c, h, w) = (first.channels(), first.height(), first.width());
@@ -243,31 +268,35 @@ fn run_packed_conv_batch(
 
     // Data matrix: channels × (batch · positions) — image `bi` owns the
     // column band `bi*l..(bi+1)*l`, so each output column (and thus each
-    // per-image result) is untouched by its batch neighbours.
-    let mut data = vec![0i8; c * bl];
-    for (bi, m) in inputs.iter().enumerate() {
-        for k in 0..c {
-            data[k * bl + bi * l..k * bl + (bi + 1) * l]
-                .copy_from_slice(&m.as_slice()[k * l..(k + 1) * l]);
+    // per-image result) is untouched by its batch neighbours. Filled
+    // channel-major so the writes are one sequential append (no zero-fill
+    // needed).
+    let mut data = scratch.bufs.take_with_capacity(c * bl);
+    for k in 0..c {
+        for m in inputs {
+            data.extend_from_slice(&m.as_slice()[k * l..(k + 1) * l]);
         }
     }
     let data =
         QuantMatrix::from_raw(c, bl, data, QuantParams::from_max_abs(first.scale() * 127.0));
-    let run = sched.run_prepared(tiles, &data);
+    sched.run_prepared_with(tiles, &data, &mut scratch.run);
+    scratch.bufs.recycle(data.into_raw());
 
     let n = tiles.rows();
     let acc_scale = weight_scale * first.scale();
+    let ActivationScratch { run, bufs } = scratch;
+    let outputs = run.outputs();
     (0..b)
         .map(|bi| {
-            let mut out = vec![0i8; n * l];
+            let mut out = bufs.take_with_capacity(n * l);
             for ni in 0..n {
                 for p in 0..l {
-                    let acc = run.outputs[ni * bl + bi * l + p] as f32 * acc_scale;
+                    let acc = outputs[ni * bl + bi * l + p] as f32 * acc_scale;
                     let mut real = channel_scale[ni] * acc + channel_bias[ni];
                     if relu && real < 0.0 {
                         real = 0.0;
                     }
-                    out[ni * l + p] = (real / out_scale).round().clamp(-127.0, 127.0) as i8;
+                    out.push((real / out_scale).round().clamp(-127.0, 127.0) as i8);
                 }
             }
             QMap::from_raw(out, n, h, w, out_scale)
@@ -275,10 +304,10 @@ fn run_packed_conv_batch(
         .collect()
 }
 
-fn run_avgpool(input: &QMap) -> QMap {
+fn run_avgpool(input: &QMap, pool: &mut BufPool) -> QMap {
     let (c, h, w) = (input.channels(), input.height(), input.width());
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = vec![0i8; c * oh * ow];
+    let mut out = pool.take_zeroed(c * oh * ow);
     for ci in 0..c {
         for y in 0..oh {
             for x in 0..ow {
@@ -295,10 +324,10 @@ fn run_avgpool(input: &QMap) -> QMap {
     QMap::from_raw(out, c, oh, ow, input.scale())
 }
 
-fn run_global_pool(input: &QMap) -> QMap {
+fn run_global_pool(input: &QMap, pool: &mut BufPool) -> QMap {
     let (c, h, w) = (input.channels(), input.height(), input.width());
     let plane = (h * w) as i32;
-    let mut out = vec![0i8; c];
+    let mut out = pool.take_zeroed(c);
     for ci in 0..c {
         let mut s = 0i32;
         for y in 0..h {
@@ -312,8 +341,9 @@ fn run_global_pool(input: &QMap) -> QMap {
     QMap::from_raw(out, c, 1, 1, input.scale())
 }
 
-fn run_relu(input: &QMap) -> QMap {
-    let out = input.as_slice().iter().map(|&q| q.max(0)).collect();
+fn run_relu(input: &QMap, pool: &mut BufPool) -> QMap {
+    let mut out = pool.take_with_capacity(input.as_slice().len());
+    out.extend(input.as_slice().iter().map(|&q| q.max(0)));
     QMap::from_raw(out, input.channels(), input.height(), input.width(), input.scale())
 }
 
@@ -324,54 +354,71 @@ fn run_residual_batch(
     out_scale: f32,
     inputs: &[QMap],
     sched: &TiledScheduler,
+    scratch: &mut ActivationScratch,
 ) -> Vec<QMap> {
-    // Body path, batched through every stage.
-    let mut hs: Vec<QMap> = inputs.to_vec();
+    // Body path, batched through every stage. The first stage reads the
+    // (borrowed) block inputs directly; intermediate activations are
+    // recycled as soon as the following stage has consumed them.
+    let mut hs: Option<Vec<QMap>> = None;
     for stage in body {
-        match run_layer_batch(stage, &hs, sched) {
-            BatchOutput::Maps(m) => hs = m,
+        let src: &[QMap] = hs.as_deref().unwrap_or(inputs);
+        let next = match run_layer_batch_scratch(stage, src, sched, scratch) {
+            BatchOutput::Maps(m) => m,
             BatchOutput::Logits(_) => panic!("classifier inside residual body"),
+        };
+        if let Some(consumed) = hs.replace(next) {
+            for m in consumed {
+                scratch.bufs.recycle(m.into_raw());
+            }
         }
     }
+    let hs = hs.unwrap_or_else(|| inputs.to_vec());
     inputs
         .iter()
         .zip(hs)
         .map(|(input, h)| {
-            // Shortcut path.
+            // Shortcut path: a pooled-and-padded copy when downsampling,
+            // otherwise the block input itself (no copy).
             let shortcut = if downsample {
-                let pooled = run_avgpool(input);
-                pad_channels(&pooled, out_channels)
+                let pooled = run_avgpool(input, &mut scratch.bufs);
+                Some(pad_channels(pooled, out_channels, &mut scratch.bufs))
             } else {
-                input.clone()
+                None
             };
-            assert_eq!(h.channels(), shortcut.channels(), "residual channel mismatch");
-            assert_eq!(h.plane(), shortcut.plane(), "residual plane mismatch");
+            let shortcut_ref = shortcut.as_ref().unwrap_or(input);
+            assert_eq!(h.channels(), shortcut_ref.channels(), "residual channel mismatch");
+            assert_eq!(h.plane(), shortcut_ref.plane(), "residual plane mismatch");
 
             // Integer add with per-path rescale into the calibrated output
             // scale.
-            let (sb, ss) = (h.scale(), shortcut.scale());
-            let out: Vec<i8> = h
-                .as_slice()
-                .iter()
-                .zip(shortcut.as_slice())
-                .map(|(&b, &s)| {
-                    let real = b as f32 * sb + s as f32 * ss;
-                    (real / out_scale).round().clamp(-127.0, 127.0) as i8
-                })
-                .collect();
-            QMap::from_raw(out, h.channels(), h.height(), h.width(), out_scale)
+            let (sb, ss) = (h.scale(), shortcut_ref.scale());
+            let mut out = scratch.bufs.take_with_capacity(h.as_slice().len());
+            out.extend(h.as_slice().iter().zip(shortcut_ref.as_slice()).map(|(&b, &s)| {
+                let real = b as f32 * sb + s as f32 * ss;
+                (real / out_scale).round().clamp(-127.0, 127.0) as i8
+            }));
+            let merged = QMap::from_raw(out, h.channels(), h.height(), h.width(), out_scale);
+            if let Some(sc) = shortcut {
+                scratch.bufs.recycle(sc.into_raw());
+            }
+            scratch.bufs.recycle(h.into_raw());
+            merged
         })
         .collect()
 }
 
-fn pad_channels(input: &QMap, out_channels: usize) -> QMap {
+/// Zero-pads a map to `out_channels`, drawing the padded buffer from the
+/// pool and recycling the input's (no-op when the widths already match).
+fn pad_channels(input: QMap, out_channels: usize, pool: &mut BufPool) -> QMap {
     if input.channels() == out_channels {
-        return input.clone();
+        return input;
     }
     let (c, h, w) = (input.channels(), input.height(), input.width());
-    let mut out = vec![0i8; out_channels * h * w];
+    let mut out = pool.take_zeroed(out_channels * h * w);
     out[..c * h * w].copy_from_slice(input.as_slice());
-    QMap::from_raw(out, out_channels, h, w, input.scale())
+    let scale = input.scale();
+    pool.recycle(input.into_raw());
+    QMap::from_raw(out, out_channels, h, w, scale)
 }
 
 fn run_linear(weights: &QuantMatrix, weight_scale: f32, bias: &[f32], input: &QMap) -> Vec<f32> {
@@ -404,7 +451,7 @@ mod tests {
     #[test]
     fn shift_moves_quantized_pixels() {
         let m = map_from(&[0.0, 1.0, 0.0, 0.0], 1, 2, 2);
-        let out = run_shift(&[(1, 0)], &m);
+        let out = run_shift(&[(1, 0)], &m, &mut BufPool::default());
         assert_eq!(out.get(0, 1, 1), m.get(0, 0, 1));
         assert_eq!(out.get(0, 0, 1), 0);
     }
@@ -412,7 +459,7 @@ mod tests {
     #[test]
     fn avgpool_rounds_integer_mean() {
         let m = QMap::from_raw(vec![1, 2, 3, 5], 1, 2, 2, 1.0);
-        let out = run_avgpool(&m);
+        let out = run_avgpool(&m, &mut BufPool::default());
         // (1+2+3+5)/4 = 2.75 → 3 with round-half-away
         assert_eq!(out.get(0, 0, 0), 3);
     }
@@ -420,21 +467,21 @@ mod tests {
     #[test]
     fn avgpool_negative_rounding_symmetric() {
         let m = QMap::from_raw(vec![-1, -2, -3, -5], 1, 2, 2, 1.0);
-        let out = run_avgpool(&m);
+        let out = run_avgpool(&m, &mut BufPool::default());
         assert_eq!(out.get(0, 0, 0), -3);
     }
 
     #[test]
     fn relu_zeroes_negatives() {
         let m = QMap::from_raw(vec![-3, 4], 2, 1, 1, 0.5);
-        let out = run_relu(&m);
+        let out = run_relu(&m, &mut BufPool::default());
         assert_eq!(out.as_slice(), &[0, 4]);
     }
 
     #[test]
     fn global_pool_averages() {
         let m = QMap::from_raw(vec![4, 4, 4, 8], 1, 2, 2, 1.0);
-        let out = run_global_pool(&m);
+        let out = run_global_pool(&m, &mut BufPool::default());
         assert_eq!(out.get(0, 0, 0), 5);
         assert_eq!(out.plane(), 1);
     }
@@ -450,9 +497,13 @@ mod tests {
     }
 
     #[test]
-    fn pad_channels_zero_fills() {
+    fn pad_channels_zero_fills_and_recycles() {
+        let mut pool = BufPool::default();
         let m = QMap::from_raw(vec![7], 1, 1, 1, 1.0);
-        let out = pad_channels(&m, 3);
+        let out = pad_channels(m, 3, &mut pool);
         assert_eq!(out.as_slice(), &[7, 0, 0]);
+        // The consumed input buffer landed back in the pool.
+        assert_eq!(pool.take_zeroed(1).capacity(), 1);
+        assert_eq!(pool.reuses(), 1);
     }
 }

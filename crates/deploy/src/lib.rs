@@ -44,7 +44,9 @@
 pub mod builder;
 pub mod engine;
 pub mod qmap;
+pub mod scratch;
 
 pub use builder::{identity_groups, DeployedNetwork};
 pub use engine::{layer_cost, BatchOutput, DeployedLayer};
 pub use qmap::QMap;
+pub use scratch::ActivationScratch;

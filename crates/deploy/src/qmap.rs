@@ -22,16 +22,34 @@ impl QMap {
     ///
     /// Panics if the tensor is not rank 3 or the scale is not positive.
     pub fn quantize(x: &Tensor, scale: f32) -> Self {
+        Self::quantize_into(x, scale, Vec::new())
+    }
+
+    /// [`QMap::quantize`] into caller-provided storage (recycled from an
+    /// [`crate::ActivationScratch`]); the buffer is cleared and refilled,
+    /// reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the scale is not positive.
+    pub fn quantize_into(x: &Tensor, scale: f32, mut storage: Vec<i8>) -> Self {
         assert_eq!(x.shape().rank(), 3, "QMap expects a (C,H,W) tensor");
         assert!(scale > 0.0, "scale must be positive");
         let params = QuantParams::from_max_abs(scale * 127.0);
+        storage.clear();
+        storage.extend(x.as_slice().iter().map(|&v| params.quantize(v)));
         QMap {
-            data: x.as_slice().iter().map(|&v| params.quantize(v)).collect(),
+            data: storage,
             channels: x.shape().dim(0),
             height: x.shape().dim(1),
             width: x.shape().dim(2),
             scale,
         }
+    }
+
+    /// Consumes the map, returning its storage for reuse.
+    pub fn into_raw(self) -> Vec<i8> {
+        self.data
     }
 
     /// Builds a map from raw quantized storage.

@@ -23,7 +23,7 @@
 //! dropping the executor closes the input and drains every in-flight
 //! batch through the sink before the stage threads exit.
 
-use cc_deploy::{BatchOutput, DeployedNetwork};
+use cc_deploy::{ActivationScratch, BatchOutput, DeployedNetwork};
 use cc_tensor::Tensor;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -141,8 +141,21 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                     .name(format!("cc-serve-stage-{s}"))
                     .spawn(move || {
                         let sched = stage_net.scheduler();
+                        // Stage-lifetime scratch. Unlike a serial worker's
+                        // (fully closed-loop, zero steady-state allocs),
+                        // a stage's output buffers migrate downstream and
+                        // only upstream-sized ones come back, so stages
+                        // still allocate when their outputs outsize their
+                        // inputs — the pool's size-aware eviction keeps
+                        // the useful sizes resident.
+                        let mut scratch = ActivationScratch::new();
                         while let Ok(job) = rx.recv() {
-                            let data = stage_net.run_stage(range.clone(), job.data, &sched);
+                            let data = stage_net.run_stage_scratch(
+                                range.clone(),
+                                job.data,
+                                &sched,
+                                &mut scratch,
+                            );
                             if let Some(tx) = &tx {
                                 // The next stage hung up only on teardown.
                                 if tx.send(Job { data, tag: job.tag }).is_err() {

@@ -20,7 +20,7 @@ use crate::batcher::Batcher;
 use crate::pipeline::PipelineExecutor;
 use crate::registry::ModelRegistry;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
-use cc_deploy::{BatchOutput, DeployedNetwork};
+use cc_deploy::{ActivationScratch, BatchOutput, DeployedNetwork};
 use cc_tensor::Tensor;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -336,6 +336,9 @@ fn worker_loop(
     // beats a map). Dropping this at loop exit drains every in-flight
     // batch before the worker thread ends — shutdown resolves tickets.
     let mut pipelines: Vec<(usize, PipelineExecutor<BatchMeta>)> = Vec::new();
+    // One activation scratch for the worker's lifetime: after the first
+    // batch of a given shape, serial inference allocates nothing.
+    let mut scratch = ActivationScratch::new();
     loop {
         let batch = {
             let guard = work_rx.lock().expect("work queue poisoned");
@@ -359,9 +362,11 @@ fn worker_loop(
         if stages <= 1 {
             // Serial path: the scheduler is a stateless copy of the
             // network's array config; the expensive per-call setup it used
-            // to imply (weight-tile slicing) is prepacked in the layers.
+            // to imply (weight-tile slicing) is prepacked in the layers,
+            // and the worker-lifetime scratch supplies every activation
+            // buffer and systolic output plane.
             let sched = net.scheduler();
-            let logits_batch = net.run_batch_with(&sched, &images);
+            let logits_batch = net.run_batch_scratch(&sched, &images, &mut scratch);
             complete_batch(telemetry, meta, logits_batch);
             continue;
         }

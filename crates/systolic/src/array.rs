@@ -92,6 +92,14 @@ impl SimStats {
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
         self.load_cycles += other.load_cycles;
+        self.merge_ops(other);
+    }
+
+    /// Accumulates only the operation counters (`mac_ops`,
+    /// `cell_word_slots`, `input_words`, `output_words`), leaving the cycle
+    /// counters alone. The tiled scheduler uses this when per-tile cycles
+    /// overlap (weight load under compute) and must be folded separately.
+    pub fn merge_ops(&mut self, other: &SimStats) {
         self.mac_ops += other.mac_ops;
         self.cell_word_slots += other.cell_word_slots;
         self.input_words += other.input_words;
@@ -233,8 +241,10 @@ impl SystolicArray {
     pub const WORD_CLOCKS: u64 = 8;
 
     /// Cycle count for a tile of `rows × cols` weights against `l` data
-    /// vectors, per the module-level model.
-    fn compute_cycles(&self, rows: usize, cols: usize, l: usize) -> u64 {
+    /// vectors, per the module-level model. (Shared with the tiled
+    /// scheduler's prepared kernel, which assembles stats without running
+    /// per-tile simulations.)
+    pub(crate) fn compute_cycles(&self, rows: usize, cols: usize, l: usize) -> u64 {
         if l == 0 || rows == 0 || cols == 0 {
             return 0;
         }
@@ -246,7 +256,7 @@ impl SystolicArray {
 
     /// Cycle count for streaming a `rows × cols` weight tile into the
     /// array (one 8-bit word per cell, columns in parallel, row-skewed).
-    fn weight_load_cycles(&self, rows: usize, cols: usize) -> u64 {
+    pub(crate) fn weight_load_cycles(&self, rows: usize, cols: usize) -> u64 {
         if rows == 0 || cols == 0 {
             return 0;
         }
@@ -354,11 +364,24 @@ impl SystolicArray {
 }
 
 fn packed_groups_total_width(p: &QuantPacked) -> usize {
-    // Distinct channels wired into each combined column.
+    packed_slice_stream_width(p, 0..p.rows(), 0..p.groups())
+}
+
+/// Distinct channels wired into each combined column of the
+/// `rows × groups` slice of `p` (an empty group still occupies one
+/// stream). This is the input-bandwidth model behind
+/// [`SimStats::input_words`]; the tiled scheduler's prepare step counts
+/// per-tile slices with the same helper so the prepared path's stats stay
+/// bit-identical to the per-call simulation.
+pub(crate) fn packed_slice_stream_width(
+    p: &QuantPacked,
+    rows: std::ops::Range<usize>,
+    groups: std::ops::Range<usize>,
+) -> usize {
     let mut total = 0usize;
-    for g in 0..p.groups() {
+    for g in groups {
         let mut seen = std::collections::BTreeSet::new();
-        for r in 0..p.rows() {
+        for r in rows.clone() {
             if let Some(c) = p.channel_at(r, g) {
                 seen.insert(c);
             }
@@ -378,6 +401,28 @@ mod tests {
 
     fn quantize_pair(w: &Matrix, d: &Matrix) -> (QuantMatrix, QuantMatrix) {
         (QuantMatrix::quantize(w), QuantMatrix::quantize(d))
+    }
+
+    #[test]
+    fn merge_adds_cycles_on_top_of_merge_ops() {
+        let a = SimStats {
+            cycles: 10,
+            load_cycles: 4,
+            mac_ops: 7,
+            cell_word_slots: 20,
+            input_words: 5,
+            output_words: 3,
+        };
+        let mut ops_only = SimStats::default();
+        ops_only.merge_ops(&a);
+        assert_eq!(
+            ops_only,
+            SimStats { cycles: 0, load_cycles: 0, ..a },
+            "merge_ops must not touch cycle counters"
+        );
+        let mut full = SimStats::default();
+        full.merge(&a);
+        assert_eq!(full, a, "merge must add cycles plus the op counters");
     }
 
     #[test]

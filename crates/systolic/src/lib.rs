@@ -46,4 +46,4 @@ pub mod wavefront;
 pub use array::{ArrayConfig, ArrayRun, SimStats, SystolicArray};
 pub use cell::CellKind;
 pub use pipeline::{pipeline_latency, LayerShape, PipelineReport};
-pub use tiled::{TiledRun, TiledScheduler};
+pub use tiled::{PreparedPacked, RunScratch, TiledRun, TiledScheduler};

@@ -8,9 +8,28 @@
 //! the paper — the next tile's weight load overlaps the current tile's
 //! compute ("every systolic cell is busy all the time"), so a tile
 //! contributes `max(compute, next load)` cycles.
+//!
+//! ## The prepared fast path
+//!
+//! Deployed inference runs the *same* weights against a stream of data
+//! matrices, so everything derivable from the weights alone is hoisted to
+//! [`TiledScheduler::prepare_packed`]: each tile is lowered to a per-row
+//! **op list** of `(channel, weight)` pairs with zero weights dropped, and
+//! the tile's static counters (weight-load cycles, nonzero cells, occupied
+//! cell slots, streamed input channels) are precomputed. A call to
+//! [`TiledScheduler::run_prepared_with`] is then a branch-free sweep of
+//! slice iterators — MACs against native-width accumulator lanes, the
+//! `exact_bitserial` dispatch hoisted out of the inner loop — that writes
+//! into a caller-owned [`RunScratch`] and assembles [`SimStats`] by
+//! O(tiles) addition, with zero allocations once the scratch has warmed
+//! up. The original per-call path survives as
+//! [`TiledScheduler::run_packed_reference`], the bit-exactness baseline
+//! for tests and benchmarks.
 
 use crate::array::{ArrayConfig, QuantPacked, SimStats, SystolicArray};
-use cc_tensor::quant::QuantMatrix;
+use crate::cell::CellKind;
+use crate::mac::BitSerialMac;
+use cc_tensor::quant::{AccumWidth, QuantMatrix};
 
 /// Result of a tiled execution.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,7 +72,9 @@ impl TiledScheduler {
         let mut outputs = vec![0i64; n * l];
         let mut stats = SimStats::default();
         let mut tiles = 0usize;
-        let mut tile_cycles: Vec<(u64, u64)> = Vec::new(); // (load, compute)
+        let expected_tiles =
+            n.div_ceil(self.cfg.rows.max(1)) * m.div_ceil(self.cfg.cols.max(1));
+        let mut tile_cycles: Vec<(u64, u64)> = Vec::with_capacity(expected_tiles); // (load, compute)
 
         for r0 in (0..n).step_by(self.cfg.rows.max(1)) {
             let r1 = (r0 + self.cfg.rows).min(n);
@@ -64,7 +85,7 @@ impl TiledScheduler {
                 let run = array.multiply(&wt, &dt);
                 accumulate(&mut outputs, &run.outputs, r0, r1, l, self.cfg);
                 tile_cycles.push((run.stats.load_cycles, run.stats.cycles - run.stats.load_cycles));
-                merge_ops(&mut stats, &run.stats);
+                stats.merge_ops(&run.stats);
                 tiles += 1;
             }
         }
@@ -76,10 +97,11 @@ impl TiledScheduler {
     /// Multiplies a packed (column-combined) weight matrix by `d`, which
     /// carries the *original* channels.
     ///
-    /// Slices the weight matrix into array-sized tiles on every call; when
-    /// the same weights run against many data matrices (deployed
-    /// inference, serving), use [`TiledScheduler::prepare_packed`] once and
-    /// [`TiledScheduler::run_prepared`] per call instead.
+    /// Prepares the weight matrix on every call; when the same weights run
+    /// against many data matrices (deployed inference, serving), use
+    /// [`TiledScheduler::prepare_packed`] once and
+    /// [`TiledScheduler::run_prepared`] (or the allocation-free
+    /// [`TiledScheduler::run_prepared_with`]) per call instead.
     ///
     /// # Panics
     ///
@@ -88,51 +110,185 @@ impl TiledScheduler {
         self.run_prepared(&self.prepare_packed(p), d)
     }
 
-    /// Pre-slices a packed weight matrix into this scheduler's tiles so
-    /// repeated runs skip the per-call slicing (weight-stationary reuse:
-    /// a deployed layer's tiles never change between inferences).
-    pub fn prepare_packed(&self, p: &QuantPacked) -> PreparedPacked {
-        let (n, g) = (p.rows(), p.groups());
-        let mut tiles = Vec::new();
+    /// The seed per-call path: slices the packed matrix into array tiles
+    /// and runs each through the indexed [`SystolicArray::multiply_packed`]
+    /// simulation. Bit-identical to [`TiledScheduler::run_prepared`] on
+    /// the same matrix — kept as the ground-truth baseline the prepared
+    /// op-list kernel is validated (and benchmarked) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` lacks channels the packing references.
+    pub fn run_packed_reference(&self, p: &QuantPacked, d: &QuantMatrix) -> TiledRun {
+        let array = SystolicArray::new(self.cfg);
+        let (n, g, l) = (p.rows(), p.groups(), d.cols());
+        let mut outputs = vec![0i64; n * l];
+        let mut stats = SimStats::default();
+        let mut tiles = 0usize;
+        let expected_tiles =
+            n.div_ceil(self.cfg.rows.max(1)) * g.div_ceil(self.cfg.cols.max(1));
+        let mut tile_cycles: Vec<(u64, u64)> = Vec::with_capacity(expected_tiles);
+
         for r0 in (0..n).step_by(self.cfg.rows.max(1)) {
             let r1 = (r0 + self.cfg.rows).min(n);
             for g0 in (0..g).step_by(self.cfg.cols.max(1)) {
                 let g1 = (g0 + self.cfg.cols).min(g);
-                tiles.push(PreparedTile { r0, r1, weights: slice_packed(p, r0, r1, g0, g1) });
+                let wt = slice_packed(p, r0, r1, g0, g1);
+                let run = array.multiply_packed(&wt, d);
+                accumulate(&mut outputs, &run.outputs, r0, r1, l, self.cfg);
+                tile_cycles.push((run.stats.load_cycles, run.stats.cycles - run.stats.load_cycles));
+                stats.merge_ops(&run.stats);
+                tiles += 1;
             }
         }
-        PreparedPacked { rows: n, groups: g, original_cols: p.original_cols(), cfg: self.cfg, tiles }
+        stats.cycles = overlapped_cycles(&tile_cycles);
+        stats.load_cycles = tile_cycles.iter().map(|t| t.0).sum();
+        TiledRun { outputs, stats, tiles }
     }
 
-    /// Multiplies pre-sliced packed tiles by `d`. Bit-identical to
+    /// Lowers a packed weight matrix into this scheduler's prepared form:
+    /// array-sized tiles, each reduced to per-row `(channel, weight)` op
+    /// lists (zero weights dropped) plus precomputed static counters, so
+    /// repeated runs do no per-call slicing, branching on empty cells, or
+    /// stats recounting (weight-stationary reuse: a deployed layer's tiles
+    /// never change between inferences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packing's largest group exceeds the array's MX mux
+    /// width (the same condition [`SystolicArray::multiply_packed`]
+    /// enforces per call).
+    pub fn prepare_packed(&self, p: &QuantPacked) -> PreparedPacked {
+        if let CellKind::Multiplexed { mux_width } = self.cfg.cell {
+            assert!(
+                p.max_group_size() <= mux_width,
+                "group size {} exceeds MX mux width {mux_width}",
+                p.max_group_size()
+            );
+        }
+        let array = SystolicArray::new(self.cfg);
+        let (n, g) = (p.rows(), p.groups());
+        let mut tiles = Vec::new();
+        let mut static_stats = PreparedStatics::default();
+        for r0 in (0..n).step_by(self.cfg.rows.max(1)) {
+            let r1 = (r0 + self.cfg.rows).min(n);
+            for g0 in (0..g).step_by(self.cfg.cols.max(1)) {
+                let g1 = (g0 + self.cfg.cols).min(g);
+                let tile = PreparedTile::lower(p, &array, r0, r1, g0, g1);
+                static_stats.load_cycles += tile.load_cycles;
+                static_stats.nonzero_cells += tile.ops.len() as u64;
+                static_stats.cell_slots += (tile.rows * tile.groups) as u64;
+                static_stats.streamed_channels += tile.streamed_channels;
+                static_stats.output_rows += tile.rows as u64;
+                tiles.push(tile);
+            }
+        }
+        PreparedPacked {
+            rows: n,
+            groups: g,
+            original_cols: p.original_cols(),
+            cfg: self.cfg,
+            tiles,
+            statics: static_stats,
+        }
+    }
+
+    /// Multiplies pre-lowered packed tiles by `d`. Bit-identical to
     /// [`TiledScheduler::run_packed`] on the matrix the tiles came from.
+    ///
+    /// Allocates a fresh result; the serving hot path should hold a
+    /// [`RunScratch`] and call [`TiledScheduler::run_prepared_with`].
     ///
     /// # Panics
     ///
     /// Panics if the tiles were prepared for a different array
     /// configuration or `d` lacks channels the packing references.
     pub fn run_prepared(&self, p: &PreparedPacked, d: &QuantMatrix) -> TiledRun {
+        let mut scratch = RunScratch::new();
+        let stats = self.run_prepared_with(p, d, &mut scratch);
+        TiledRun { outputs: scratch.take_outputs(), stats, tiles: p.tiles.len() }
+    }
+
+    /// The allocation-free kernel: multiplies pre-lowered packed tiles by
+    /// `d`, leaving the output accumulators in `scratch` (read them via
+    /// [`RunScratch::outputs`]) and returning the run's [`SimStats`].
+    /// Reusing one scratch across calls performs zero steady-state heap
+    /// allocations. Bit-identical to [`TiledScheduler::run_packed`] /
+    /// [`TiledScheduler::run_packed_reference`], including stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiles were prepared for a different array
+    /// configuration or `d` lacks channels the packing references.
+    pub fn run_prepared_with(
+        &self,
+        p: &PreparedPacked,
+        d: &QuantMatrix,
+        scratch: &mut RunScratch,
+    ) -> SimStats {
         assert_eq!(p.cfg, self.cfg, "tiles prepared for a different array");
         assert!(d.rows() >= p.original_cols, "data matrix missing channels");
-        let array = SystolicArray::new(self.cfg);
         let l = d.cols();
-        let mut outputs = vec![0i64; p.rows * l];
-        let mut stats = SimStats::default();
-        let mut tile_cycles: Vec<(u64, u64)> = Vec::with_capacity(p.tiles.len());
+        let data = d.as_slice();
 
-        for tile in &p.tiles {
-            let run = array.multiply_packed(&tile.weights, d);
-            accumulate(&mut outputs, &run.outputs, tile.r0, tile.r1, l, self.cfg);
-            tile_cycles.push((run.stats.load_cycles, run.stats.cycles - run.stats.load_cycles));
-            merge_ops(&mut stats, &run.stats);
+        // The exact-bitserial dispatch happens once per run, not once per
+        // MAC; the fast path further specializes to the accumulator's
+        // native lane width so per-MAC wrapping is free.
+        if self.cfg.exact_bitserial {
+            run_tiles_exact(p, data, l, self.cfg.acc, &mut scratch.out);
+        } else {
+            match self.cfg.acc {
+                AccumWidth::Bits32 => {
+                    run_tiles_lanes::<i32>(p, data, l, &mut scratch.lane32, &mut scratch.out)
+                }
+                AccumWidth::Bits16 => {
+                    run_tiles_lanes::<i16>(p, data, l, &mut scratch.lane16, &mut scratch.out)
+                }
+            }
         }
-        stats.cycles = overlapped_cycles(&tile_cycles);
-        stats.load_cycles = tile_cycles.iter().map(|t| t.0).sum();
-        TiledRun { outputs, stats, tiles: p.tiles.len() }
+
+        // Stats are O(tiles) arithmetic over the prepared statics — no
+        // per-cell recounting.
+        let array = SystolicArray::new(self.cfg);
+        let mut cycles = p.tiles.first().map_or(0, |t| t.load_cycles);
+        for (i, tile) in p.tiles.iter().enumerate() {
+            let compute = array.compute_cycles(tile.rows, tile.groups, l);
+            let next_load = p.tiles.get(i + 1).map_or(0, |t| t.load_cycles);
+            cycles += compute.max(next_load);
+        }
+        let l = l as u64;
+        SimStats {
+            cycles,
+            load_cycles: p.statics.load_cycles,
+            mac_ops: p.statics.nonzero_cells * l,
+            cell_word_slots: p.statics.cell_slots * l,
+            input_words: p.statics.streamed_channels * l,
+            output_words: p.statics.output_rows * l,
+        }
     }
 }
 
-/// A packed weight matrix pre-sliced into array-sized tiles by
+/// One MX cell's work in the prepared op list: the original input channel
+/// it multiplexes and its stationary weight. Cells with zero weights (or
+/// no assigned channel) are dropped at prepare time.
+#[derive(Clone, Copy, Debug)]
+struct TileOp {
+    channel: u32,
+    weight: i8,
+}
+
+/// Counters derivable from the weights alone, summed over all tiles; the
+/// per-run [`SimStats`] is these times the stream length.
+#[derive(Clone, Copy, Debug, Default)]
+struct PreparedStatics {
+    load_cycles: u64,
+    nonzero_cells: u64,
+    cell_slots: u64,
+    streamed_channels: u64,
+    output_rows: u64,
+}
+
+/// A packed weight matrix pre-lowered into array-sized op-list tiles by
 /// [`TiledScheduler::prepare_packed`]; build once per deployed layer, run
 /// many times.
 #[derive(Clone, Debug)]
@@ -142,13 +298,66 @@ pub struct PreparedPacked {
     original_cols: usize,
     cfg: ArrayConfig,
     tiles: Vec<PreparedTile>,
+    statics: PreparedStatics,
 }
 
 #[derive(Clone, Debug)]
 struct PreparedTile {
+    /// First global output row this tile contributes to.
     r0: usize,
-    r1: usize,
-    weights: QuantPacked,
+    /// Tile height (output rows).
+    rows: usize,
+    /// Tile width (combined columns) — cycle model only; the op list has
+    /// already collapsed the empty cells away.
+    groups: usize,
+    /// Concatenated per-row op lists; row `i` owns
+    /// `ops[row_starts[i]..row_starts[i + 1]]`.
+    ops: Vec<TileOp>,
+    row_starts: Vec<u32>,
+    /// Static weight-load cost of this tile.
+    load_cycles: u64,
+    /// Distinct channels wired into this tile's combined columns.
+    streamed_channels: u64,
+}
+
+impl PreparedTile {
+    /// Lowers the `(r0..r1) × (g0..g1)` slice of `p` to an op-list tile.
+    fn lower(
+        p: &QuantPacked,
+        array: &SystolicArray,
+        r0: usize,
+        r1: usize,
+        g0: usize,
+        g1: usize,
+    ) -> Self {
+        let mut ops = Vec::new();
+        let mut row_starts = Vec::with_capacity(r1 - r0 + 1);
+        row_starts.push(0u32);
+        for r in r0..r1 {
+            for g in g0..g1 {
+                if let Some(ch) = p.channel_at(r, g) {
+                    let weight = p.weight_at(r, g);
+                    if weight != 0 {
+                        ops.push(TileOp { channel: ch as u32, weight });
+                    }
+                }
+            }
+            row_starts.push(ops.len() as u32);
+        }
+        // Input bandwidth: every member channel of every group streams
+        // into its combined column (the MX cell takes all and selects).
+        let streamed_channels =
+            crate::array::packed_slice_stream_width(p, r0..r1, g0..g1) as u64;
+        PreparedTile {
+            r0,
+            rows: r1 - r0,
+            groups: g1 - g0,
+            ops,
+            row_starts,
+            load_cycles: array.weight_load_cycles(r1 - r0, g1 - g0),
+            streamed_channels,
+        }
+    }
 }
 
 impl PreparedPacked {
@@ -167,7 +376,7 @@ impl PreparedPacked {
         self.original_cols
     }
 
-    /// Number of pre-sliced tiles.
+    /// Number of pre-lowered tiles.
     pub fn num_tiles(&self) -> usize {
         self.tiles.len()
     }
@@ -177,12 +386,144 @@ impl PreparedPacked {
     /// partitioning for pipelined serving uses this as a per-layer cost
     /// proxy (`cc-deploy`'s layer cost model).
     pub fn load_words(&self) -> u64 {
-        self.tiles.iter().map(|t| (t.r1 - t.r0) as u64 * t.weights.groups() as u64).sum()
+        self.tiles.iter().map(|t| (t.rows * t.groups) as u64).sum()
     }
 
-    /// The array configuration the tiles were sliced for.
+    /// Nonzero weight cells across all tiles — the op-list length the
+    /// per-inference kernel actually sweeps.
+    pub fn nonzero_cells(&self) -> u64 {
+        self.statics.nonzero_cells
+    }
+
+    /// The array configuration the tiles were lowered for.
     pub fn config(&self) -> &ArrayConfig {
         &self.cfg
+    }
+}
+
+/// Reusable output storage for [`TiledScheduler::run_prepared_with`]: the
+/// `i64` accumulator plane handed back to callers plus the native-width
+/// lane planes the fast kernels accumulate in. Hold one per worker (or per
+/// pipeline stage) and reuse it across inferences — after the first call
+/// at a given size, runs perform no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct RunScratch {
+    out: Vec<i64>,
+    lane32: Vec<i32>,
+    lane16: Vec<i16>,
+}
+
+impl RunScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Output accumulator words of the last run, row-major
+    /// `weight_rows × data_cols`.
+    pub fn outputs(&self) -> &[i64] {
+        &self.out
+    }
+
+    /// Moves the last run's outputs out of the scratch (leaving it empty
+    /// but with its lane capacity intact).
+    pub fn take_outputs(&mut self) -> Vec<i64> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// A native accumulator lane: wrapping add of an `i8 × i8` product is
+/// bit-identical to the simulator's per-MAC `AccumWidth::wrap` because the
+/// running value always fits the lane and the product never wraps
+/// (|w·x| ≤ 2¹⁴ < 2¹⁵ − 1).
+trait Lane: Copy {
+    const ZERO: Self;
+    fn mac(self, w: i8, x: i8) -> Self;
+    fn widen(self) -> i64;
+}
+
+impl Lane for i32 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn mac(self, w: i8, x: i8) -> Self {
+        self.wrapping_add(w as i32 * x as i32)
+    }
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        self as i64
+    }
+}
+
+impl Lane for i16 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn mac(self, w: i8, x: i8) -> Self {
+        self.wrapping_add(w as i16 * x as i16)
+    }
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        self as i64
+    }
+}
+
+/// The fast kernel: sweeps every tile's op list, accumulating into
+/// native-width lanes with slice iterators (no bounds checks in the inner
+/// loop), then widens into the caller's `i64` plane. Column-band partial
+/// sums accumulate directly in the lanes — per-MAC wrapping commutes with
+/// the tile-boundary wrap of the reference path (modular addition is
+/// associative), so the result is bit-identical.
+fn run_tiles_lanes<L: Lane>(
+    p: &PreparedPacked,
+    data: &[i8],
+    l: usize,
+    plane: &mut Vec<L>,
+    out: &mut Vec<i64>,
+) {
+    plane.clear();
+    plane.resize(p.rows * l, L::ZERO);
+    for tile in &p.tiles {
+        for local in 0..tile.rows {
+            let ops =
+                &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
+            if ops.is_empty() {
+                continue;
+            }
+            let start = (tile.r0 + local) * l;
+            let row = &mut plane[start..start + l];
+            for op in ops {
+                let stream = &data[op.channel as usize * l..op.channel as usize * l + l];
+                for (acc, &x) in row.iter_mut().zip(stream) {
+                    *acc = acc.mac(op.weight, x);
+                }
+            }
+        }
+    }
+    out.clear();
+    out.extend(plane.iter().map(|&v| v.widen()));
+}
+
+/// The validation kernel: identical sweep, but every MAC runs the
+/// bit-level datapath ([`BitSerialMac`]) on the `i64` plane.
+fn run_tiles_exact(p: &PreparedPacked, data: &[i8], l: usize, acc: AccumWidth, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(p.rows * l, 0);
+    for tile in &p.tiles {
+        for local in 0..tile.rows {
+            let ops =
+                &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
+            if ops.is_empty() {
+                continue;
+            }
+            let start = (tile.r0 + local) * l;
+            let row = &mut out[start..start + l];
+            for op in ops {
+                let mac = BitSerialMac::new(op.weight, acc);
+                let stream = &data[op.channel as usize * l..op.channel as usize * l + l];
+                for (y, &x) in row.iter_mut().zip(stream) {
+                    *y = mac.run(x, *y).0;
+                }
+            }
+        }
     }
 }
 
@@ -200,13 +541,6 @@ fn overlapped_cycles(tiles: &[(u64, u64)]) -> u64 {
         total += compute.max(next_load);
     }
     total
-}
-
-fn merge_ops(stats: &mut SimStats, other: &SimStats) {
-    stats.mac_ops += other.mac_ops;
-    stats.cell_word_slots += other.cell_word_slots;
-    stats.input_words += other.input_words;
-    stats.output_words += other.output_words;
 }
 
 fn accumulate(
@@ -266,6 +600,12 @@ mod tests {
         ArrayConfig::new(32, 32, AccumWidth::Bits32)
     }
 
+    fn packed_fixture(rows: usize, cols: usize, density: f64, seed: u64) -> QuantPacked {
+        let f = sparse_matrix(rows, cols, density, seed);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        QuantPacked::quantize(&pack_columns(&f, &groups))
+    }
+
     #[test]
     fn tiled_unpacked_matches_reference() {
         let w = QuantMatrix::quantize(&sparse_matrix(96, 94, 0.16, 1));
@@ -301,20 +641,20 @@ mod tests {
 
     #[test]
     fn prepared_tiles_match_per_call_slicing() {
-        let f = sparse_matrix(96, 94, 0.16, 11);
-        let groups = group_columns(&f, &GroupingConfig::paper_default());
-        let packed = pack_columns(&f, &groups);
-        let qp = QuantPacked::quantize(&packed);
+        let qp = packed_fixture(96, 94, 0.16, 11);
         let sched = TiledScheduler::new(cfg32());
         let prepared = sched.prepare_packed(&qp);
 
         for seed in [12u64, 13, 14] {
             let d = QuantMatrix::quantize(&sparse_matrix(94, 20, 1.0, seed));
-            let fresh = sched.run_packed(&qp, &d);
+            let fresh = sched.run_packed_reference(&qp, &d);
             let reused = sched.run_prepared(&prepared, &d);
             assert_eq!(fresh, reused, "prepared run must be bit-identical");
         }
-        assert_eq!(prepared.num_tiles(), sched.run_packed(&qp, &QuantMatrix::quantize(&sparse_matrix(94, 4, 1.0, 15))).tiles);
+        assert_eq!(
+            prepared.num_tiles(),
+            sched.run_packed(&qp, &QuantMatrix::quantize(&sparse_matrix(94, 4, 1.0, 15))).tiles
+        );
         assert_eq!(prepared.rows(), 96);
         assert_eq!(prepared.original_cols(), 94);
         // Tiles cover the packed matrix exactly once, so the load volume is
@@ -322,18 +662,81 @@ mod tests {
         assert_eq!(prepared.load_words(), (prepared.rows() * prepared.groups()) as u64);
     }
 
+    /// The allocation-free kernel must be bit-identical (outputs *and*
+    /// stats) to the seed indexed path across accumulator widths, cell
+    /// kinds, and the exact-bitserial datapath — with one scratch reused
+    /// across every call.
+    #[test]
+    fn scratch_kernel_is_bit_identical_across_configs() {
+        let qp = packed_fixture(70, 66, 0.2, 21);
+        let mut scratch = RunScratch::new();
+        for acc in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            for cell in [CellKind::Interleaved, CellKind::Multiplexed { mux_width: 8 }] {
+                for exact in [false, true] {
+                    let cfg = ArrayConfig { rows: 24, cols: 24, acc, cell, exact_bitserial: exact };
+                    let sched = TiledScheduler::new(cfg);
+                    let prepared = sched.prepare_packed(&qp);
+                    for seed in [31u64, 32] {
+                        let d = QuantMatrix::quantize(&sparse_matrix(66, 9, 1.0, seed));
+                        let reference = sched.run_packed_reference(&qp, &d);
+                        let stats = sched.run_prepared_with(&prepared, &d, &mut scratch);
+                        assert_eq!(
+                            scratch.outputs(),
+                            &reference.outputs[..],
+                            "outputs diverged: acc {acc:?} cell {cell:?} exact {exact}"
+                        );
+                        assert_eq!(
+                            stats, reference.stats,
+                            "stats diverged: acc {acc:?} cell {cell:?} exact {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_statics_count_the_op_list() {
+        let qp = packed_fixture(40, 40, 0.3, 23);
+        let prepared = TiledScheduler::new(cfg32()).prepare_packed(&qp);
+        assert_eq!(prepared.nonzero_cells(), qp.count_nonzero() as u64);
+    }
+
+    #[test]
+    fn scratch_take_outputs_leaves_reusable_scratch() {
+        let qp = packed_fixture(20, 18, 0.4, 25);
+        let sched = TiledScheduler::new(cfg32());
+        let prepared = sched.prepare_packed(&qp);
+        let d = QuantMatrix::quantize(&sparse_matrix(18, 5, 1.0, 26));
+        let mut scratch = RunScratch::new();
+        sched.run_prepared_with(&prepared, &d, &mut scratch);
+        let first = scratch.take_outputs();
+        assert_eq!(first.len(), 20 * 5);
+        sched.run_prepared_with(&prepared, &d, &mut scratch);
+        assert_eq!(scratch.outputs(), &first[..], "reused scratch must reproduce the run");
+    }
+
     #[test]
     #[should_panic(expected = "prepared for a different array")]
     fn prepared_tiles_reject_foreign_config() {
-        let f = sparse_matrix(40, 40, 0.3, 16);
-        let qp = QuantPacked::quantize(&pack_columns(
-            &f,
-            &group_columns(&f, &GroupingConfig::paper_default()),
-        ));
+        let qp = packed_fixture(40, 40, 0.3, 16);
         let prepared = TiledScheduler::new(cfg32()).prepare_packed(&qp);
         let other = TiledScheduler::new(ArrayConfig::new(16, 16, AccumWidth::Bits32));
         let d = QuantMatrix::quantize(&sparse_matrix(40, 4, 1.0, 17));
         other.run_prepared(&prepared, &d);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux width")]
+    fn prepare_rejects_oversized_groups() {
+        let f = sparse_matrix(16, 16, 0.1, 27);
+        let groups = group_columns(&f, &GroupingConfig::new(4, 1.0));
+        let packed = pack_columns(&f, &groups);
+        assert!(packed.groups().max_group_size() > 2);
+        let qp = QuantPacked::quantize(&packed);
+        let cfg = ArrayConfig::new(32, 32, AccumWidth::Bits32)
+            .with_cell(CellKind::Multiplexed { mux_width: 2 });
+        TiledScheduler::new(cfg).prepare_packed(&qp);
     }
 
     #[test]
@@ -370,5 +773,25 @@ mod tests {
         let run = TiledScheduler::new(cfg).run_unpacked(&w, &d);
         assert_eq!(run.outputs, quant_matmul(&w, &d, AccumWidth::Bits16));
         assert_eq!(run.tiles, 4);
+    }
+
+    /// Same overflow pressure on the packed path: 16-bit lanes must wrap
+    /// exactly like the reference simulation across column-band tiles.
+    #[test]
+    fn packed_sixteen_bit_wrap_is_bit_identical() {
+        let f = sparse_matrix(6, 72, 0.9, 29);
+        let groups = group_columns(&f, &GroupingConfig::paper_default());
+        let qp = QuantPacked::quantize_with(
+            &pack_columns(&f, &groups),
+            QuantParams::from_max_abs(1.0),
+        );
+        let d = QuantMatrix::quantize_with(
+            &sparse_matrix(72, 5, 1.0, 30),
+            QuantParams::from_max_abs(1.0),
+        );
+        let sched = TiledScheduler::new(ArrayConfig::new(6, 16, AccumWidth::Bits16));
+        let reference = sched.run_packed_reference(&qp, &d);
+        let prepared = sched.prepare_packed(&qp);
+        assert_eq!(sched.run_prepared(&prepared, &d), reference);
     }
 }

@@ -32,14 +32,15 @@ impl AccumWidth {
 
     /// Wraps `v` to this width's two's-complement range, mirroring what a
     /// fixed-width bit-serial adder chain computes.
+    ///
+    /// Truncate-and-sign-extend is exactly `v mod 2^bits` recentred to
+    /// `[-2^(bits-1), 2^(bits-1))`, and compiles to a single register move —
+    /// this sits in the per-MAC path of the systolic kernels.
+    #[inline]
     pub fn wrap(self, v: i64) -> i64 {
-        let b = self.bits();
-        let m = 1i64 << b;
-        let r = v.rem_euclid(m);
-        if r >= m / 2 {
-            r - m
-        } else {
-            r
+        match self {
+            AccumWidth::Bits16 => v as i16 as i64,
+            AccumWidth::Bits32 => v as i32 as i64,
         }
     }
 
@@ -166,6 +167,14 @@ impl QuantMatrix {
         &self.data
     }
 
+    /// Consumes the matrix, returning its row-major storage. Lets callers
+    /// that staged data through a [`QuantMatrix`] (e.g. the deployed
+    /// engine's batched data matrices) recycle the buffer instead of
+    /// dropping it.
+    pub fn into_raw(self) -> Vec<i8> {
+        self.data
+    }
+
     /// Dequantizes back to a float matrix.
     pub fn to_matrix(&self) -> Matrix {
         Matrix::from_vec(
@@ -223,6 +232,30 @@ mod tests {
         assert_eq!(AccumWidth::Bits32.wrap(1 << 31), -(1i64 << 31));
         assert!(AccumWidth::Bits32.fits(i32::MAX as i64));
         assert!(!AccumWidth::Bits16.fits(40000));
+    }
+
+    /// The cast-based `wrap` must equal the definitional centred-modulus
+    /// form on values well past both accumulator ranges.
+    #[test]
+    fn wrap_matches_centred_modulus_reference() {
+        let reference = |width: AccumWidth, v: i64| {
+            let m = 1i64 << width.bits();
+            let r = v.rem_euclid(m);
+            if r >= m / 2 {
+                r - m
+            } else {
+                r
+            }
+        };
+        for width in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            let half = 1i64 << (width.bits() - 1);
+            for &base in &[0i64, half - 2, half, -half, 3 * half, i64::MAX / 2, i64::MIN / 2] {
+                for d in -3..=3 {
+                    let v = base.wrapping_add(d);
+                    assert_eq!(width.wrap(v), reference(width, v), "width {width:?} v {v}");
+                }
+            }
+        }
     }
 
     #[test]
