@@ -238,6 +238,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         1,
         4,
         1,
+        1,
         4,
         serving_requests,
     );

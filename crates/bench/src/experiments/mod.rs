@@ -13,6 +13,7 @@ pub mod fig16;
 pub mod kernel_bench;
 pub mod sec72;
 pub mod serve_load;
+pub mod shard_bench;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -47,6 +47,14 @@ impl Measurement {
             ("p95_us", JsonValue::from(self.stats.p95.as_secs_f64() * 1e6)),
             ("p99_us", JsonValue::from(self.stats.p99.as_secs_f64() * 1e6)),
             ("mean_latency_us", JsonValue::from(self.stats.mean_latency.as_secs_f64() * 1e6)),
+            (
+                "stage_busy",
+                JsonValue::Arr(self.stats.stage_busy.iter().map(|&f| JsonValue::from(f)).collect()),
+            ),
+            (
+                "shard_busy",
+                JsonValue::Arr(self.stats.shard_busy.iter().map(|&f| JsonValue::from(f)).collect()),
+            ),
         ];
         if let Some(rate) = self.offered_rps {
             pairs.push(("offered_rps", JsonValue::from(rate)));
@@ -83,7 +91,13 @@ fn build_networks(scale: &Scale) -> (DeployedNetwork, DeployedNetwork, Dataset) 
     (packed, unpacked, test)
 }
 
-fn server_for(net: &DeployedNetwork, workers: usize, max_batch: usize, stages: usize) -> Server {
+fn server_for(
+    net: &DeployedNetwork,
+    workers: usize,
+    max_batch: usize,
+    stages: usize,
+    shards: usize,
+) -> Server {
     Server::start(
         ModelRegistry::new().with_model("m", net.clone()),
         ServeConfig::default()
@@ -91,7 +105,8 @@ fn server_for(net: &DeployedNetwork, workers: usize, max_batch: usize, stages: u
             .with_max_batch(max_batch)
             .with_batch_deadline(Duration::from_millis(1))
             .with_queue_capacity(128)
-            .with_pipeline_stages(stages),
+            .with_pipeline_stages(stages)
+            .with_shards(shards),
     )
 }
 
@@ -100,16 +115,18 @@ fn server_for(net: &DeployedNetwork, workers: usize, max_batch: usize, stages: u
 /// the snapshot measures saturation throughput. The client count is the
 /// offered concurrency — configs being compared must use the same value,
 /// or the comparison measures load, not the server.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn closed_loop(
     net: &DeployedNetwork,
     test: &Dataset,
     workers: usize,
     max_batch: usize,
     stages: usize,
+    shards: usize,
     clients: usize,
     total: usize,
 ) -> TelemetrySnapshot {
-    let server = server_for(net, workers, max_batch, stages);
+    let server = server_for(net, workers, max_batch, stages, shards);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..clients {
@@ -147,7 +164,7 @@ fn open_loop(
     offered_rps: f64,
     total: usize,
 ) -> TelemetrySnapshot {
-    let server = server_for(net, workers, max_batch, 1);
+    let server = server_for(net, workers, max_batch, 1, 1);
     let interval = Duration::from_secs_f64(1.0 / offered_rps);
     let mut tickets = Vec::new();
     let mut due = Instant::now();
@@ -185,7 +202,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         for &max_batch in &[1usize, 8] {
             for (model, net) in [("packed", &packed), ("unpacked", &unpacked)] {
                 let clients = (workers * max_batch).clamp(2, 16);
-                let stats = closed_loop(net, &test, workers, max_batch, 1, clients, requests);
+                let stats = closed_loop(net, &test, workers, max_batch, 1, 1, clients, requests);
                 closed.push_row(vec![
                     model.into(),
                     workers.to_string(),
@@ -237,7 +254,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 let clients = (workers * max_batch * deepest).clamp(2, 16 * deepest);
                 let stats = (0..2)
                     .map(|_| {
-                        closed_loop(&packed, &test, workers, max_batch, stages, clients, requests)
+                        closed_loop(&packed, &test, workers, max_batch, stages, 1, clients, requests)
                     })
                     .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
                     .expect("two runs");
@@ -409,7 +426,7 @@ mod tests {
         let best = |net: &DeployedNetwork| {
             (0..3)
                 .map(|_| {
-                    let stats = closed_loop(net, &test, 2, 8, 1, 16, 48);
+                    let stats = closed_loop(net, &test, 2, 8, 1, 1, 16, 48);
                     assert_eq!(stats.completed, 48);
                     stats.throughput_rps
                 })

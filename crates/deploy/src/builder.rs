@@ -2,9 +2,10 @@
 //! pointwise layer, folds batch norm into per-channel scale/bias, and
 //! calibrates activation scales on sample data.
 
-use crate::engine::{run_layer_batch_scratch, BatchOutput, DeployedLayer};
+use crate::engine::{run_layer_batch_banded, BatchOutput, DeployedLayer};
 use crate::qmap::QMap;
 use crate::scratch::ActivationScratch;
+use crate::shard::BandSet;
 use cc_dataset::Dataset;
 use cc_nn::layer::LayerKind;
 use cc_nn::layers::AvgPool2;
@@ -147,15 +148,14 @@ impl DeployedNetwork {
         images: &[Tensor],
         scratch: &mut ActivationScratch,
     ) -> Vec<QMap> {
-        images
-            .iter()
-            .map(|im| {
-                // Capacity-only: quantize_into fills by extend, so a
-                // zero-fill here would be pure waste.
-                let storage = scratch.bufs.take_with_capacity(im.as_slice().len());
-                QMap::quantize_into(im, self.inner.input_scale, storage)
-            })
-            .collect()
+        let mut out = scratch.shells.take(images.len());
+        out.extend(images.iter().map(|im| {
+            // Capacity-only: quantize_into fills by extend, so a
+            // zero-fill here would be pure waste.
+            let storage = scratch.bufs.take_with_capacity(im.as_slice().len());
+            QMap::quantize_into(im, self.inner.input_scale, storage)
+        }));
+        out
     }
 
     /// Executes the contiguous layer range `range` on a batch of
@@ -198,6 +198,39 @@ impl DeployedNetwork {
         sched: &TiledScheduler,
         scratch: &mut ActivationScratch,
     ) -> BatchOutput {
+        self.run_stage_inner(range, data, sched, scratch, None)
+    }
+
+    /// [`DeployedNetwork::run_stage_scratch`] over a row-band shard set:
+    /// every packed conv in the range scatters across `bands`' simulated
+    /// arrays and gathers by row concatenation — bit-identical to the
+    /// serial path (see [`crate::ShardedNetwork`] for the planned API on
+    /// top of this). Pipelined serving composes stages × shards by giving
+    /// each stage its own set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or starts after the classifier
+    /// head already produced logits.
+    pub fn run_stage_banded(
+        &self,
+        range: std::ops::Range<usize>,
+        data: BatchOutput,
+        sched: &TiledScheduler,
+        scratch: &mut ActivationScratch,
+        bands: &mut BandSet,
+    ) -> BatchOutput {
+        self.run_stage_inner(range, data, sched, scratch, Some(bands))
+    }
+
+    fn run_stage_inner(
+        &self,
+        range: std::ops::Range<usize>,
+        data: BatchOutput,
+        sched: &TiledScheduler,
+        scratch: &mut ActivationScratch,
+        mut bands: Option<&mut BandSet>,
+    ) -> BatchOutput {
         assert!(range.end <= self.inner.layers.len(), "stage range out of bounds");
         let mut data = data;
         for layer in &self.inner.layers[range] {
@@ -205,10 +238,8 @@ impl DeployedNetwork {
                 BatchOutput::Maps(m) => m,
                 BatchOutput::Logits(_) => panic!("layers scheduled after the classifier head"),
             };
-            data = run_layer_batch_scratch(layer, &maps, sched, scratch);
-            for consumed in maps {
-                scratch.recycle_map(consumed);
-            }
+            data = run_layer_batch_banded(layer, &maps, sched, scratch, bands.as_deref_mut());
+            scratch.recycle_batch(maps);
         }
         data
     }
@@ -276,6 +307,33 @@ impl DeployedNetwork {
         }
         let input = BatchOutput::Maps(self.quantize_batch_scratch(images, scratch));
         match self.run_stage_scratch(0..self.inner.layers.len(), input, sched, scratch) {
+            BatchOutput::Logits(l) => l,
+            BatchOutput::Maps(_) => panic!("deployed network has no classifier head"),
+        }
+    }
+
+    /// [`DeployedNetwork::run_batch_scratch`] over a row-band shard set:
+    /// whole-network inference with every packed conv scattered across
+    /// `bands`' simulated arrays. Bit-identical to
+    /// [`DeployedNetwork::run_batch`]; `bands` accumulates per-shard cycle
+    /// and busy accounting for the caller to read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's array configuration differs from the one
+    /// the network was built for, or the pipeline lacks a classifier head.
+    pub fn run_batch_banded(
+        &self,
+        sched: &TiledScheduler,
+        images: &[Tensor],
+        scratch: &mut ActivationScratch,
+        bands: &mut BandSet,
+    ) -> Vec<Vec<f32>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let input = BatchOutput::Maps(self.quantize_batch_scratch(images, scratch));
+        match self.run_stage_banded(0..self.inner.layers.len(), input, sched, scratch, bands) {
             BatchOutput::Logits(l) => l,
             BatchOutput::Maps(_) => panic!("deployed network has no classifier head"),
         }
@@ -705,8 +763,10 @@ mod tests {
             deployed.run_batch_scratch(&sched, &images, &mut scratch);
         }
         let warm_allocations = scratch.buffer_allocations();
+        let warm_shells = scratch.shell_allocations();
         let warm_reuses = scratch.buffer_reuses();
         assert!(warm_allocations > 0, "warm-up must have populated the pool");
+        assert!(warm_shells > 0, "warm-up must have populated the shell arena");
 
         for round in 0..5 {
             deployed.run_batch_scratch(&sched, &images, &mut scratch);
@@ -715,11 +775,17 @@ mod tests {
                 warm_allocations,
                 "steady-state inference allocated a buffer on round {round}"
             );
+            assert_eq!(
+                scratch.shell_allocations(),
+                warm_shells,
+                "steady-state inference allocated a batch shell on round {round}"
+            );
         }
         assert!(
             scratch.buffer_reuses() > warm_reuses,
             "steady-state inference must be served from the pool"
         );
+        assert!(scratch.shell_reuses() > 0, "shell arena must serve the hot path");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::qmap::QMap;
 use crate::scratch::{ActivationScratch, BufPool};
+use crate::shard::BandSet;
 use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 
@@ -109,11 +110,35 @@ pub fn run_layer_batch_scratch(
     sched: &TiledScheduler,
     scratch: &mut ActivationScratch,
 ) -> BatchOutput {
+    run_layer_batch_banded(layer, inputs, sched, scratch, None)
+}
+
+/// [`run_layer_batch_scratch`] with an optional row-band shard set: when
+/// `bands` carries more than one shard, every `PackedConv` scatters its
+/// prepared tiles across the set's simulated arrays (one thread and one
+/// kernel scratch each) and gathers the band outputs by row concatenation —
+/// bit-identical to the unsharded path by construction, since quantization
+/// stats are precomputed per output channel. With `None` (or a one-shard
+/// set) this *is* the serial path. Batch containers and activations come
+/// from (and are recycled into) `scratch`'s pools either way.
+///
+/// # Panics
+///
+/// Panics on an empty batch or if the maps disagree in shape or scale.
+pub fn run_layer_batch_banded(
+    layer: &DeployedLayer,
+    inputs: &[QMap],
+    sched: &TiledScheduler,
+    scratch: &mut ActivationScratch,
+    bands: Option<&mut BandSet>,
+) -> BatchOutput {
     assert!(!inputs.is_empty(), "empty batch");
     match layer {
-        DeployedLayer::Shift { shifts } => BatchOutput::Maps(
-            inputs.iter().map(|m| run_shift(shifts, m, &mut scratch.bufs)).collect(),
-        ),
+        DeployedLayer::Shift { shifts } => {
+            let mut out = scratch.shells.take(inputs.len());
+            out.extend(inputs.iter().map(|m| run_shift(shifts, m, &mut scratch.bufs)));
+            BatchOutput::Maps(out)
+        }
         DeployedLayer::PackedConv {
             tiles,
             weight_scale,
@@ -131,16 +156,23 @@ pub fn run_layer_batch_scratch(
             inputs,
             sched,
             scratch,
+            bands,
         )),
-        DeployedLayer::AvgPool => BatchOutput::Maps(
-            inputs.iter().map(|m| run_avgpool(m, &mut scratch.bufs)).collect(),
-        ),
-        DeployedLayer::GlobalAvgPool => BatchOutput::Maps(
-            inputs.iter().map(|m| run_global_pool(m, &mut scratch.bufs)).collect(),
-        ),
-        DeployedLayer::Relu => BatchOutput::Maps(
-            inputs.iter().map(|m| run_relu(m, &mut scratch.bufs)).collect(),
-        ),
+        DeployedLayer::AvgPool => {
+            let mut out = scratch.shells.take(inputs.len());
+            out.extend(inputs.iter().map(|m| run_avgpool(m, &mut scratch.bufs)));
+            BatchOutput::Maps(out)
+        }
+        DeployedLayer::GlobalAvgPool => {
+            let mut out = scratch.shells.take(inputs.len());
+            out.extend(inputs.iter().map(|m| run_global_pool(m, &mut scratch.bufs)));
+            BatchOutput::Maps(out)
+        }
+        DeployedLayer::Relu => {
+            let mut out = scratch.shells.take(inputs.len());
+            out.extend(inputs.iter().map(|m| run_relu(m, &mut scratch.bufs)));
+            BatchOutput::Maps(out)
+        }
         DeployedLayer::Residual { body, downsample, out_channels, out_scale } => {
             BatchOutput::Maps(run_residual_batch(
                 body,
@@ -150,6 +182,7 @@ pub fn run_layer_batch_scratch(
                 inputs,
                 sched,
                 scratch,
+                bands,
             ))
         }
         DeployedLayer::Linear { weights, weight_scale, bias } => BatchOutput::Logits(
@@ -251,6 +284,7 @@ fn run_packed_conv_batch(
     inputs: &[QMap],
     sched: &TiledScheduler,
     scratch: &mut ActivationScratch,
+    bands: Option<&mut BandSet>,
 ) -> Vec<QMap> {
     let first = &inputs[0];
     let (c, h, w) = (first.channels(), first.height(), first.width());
@@ -279,29 +313,37 @@ fn run_packed_conv_batch(
     }
     let data =
         QuantMatrix::from_raw(c, bl, data, QuantParams::from_max_abs(first.scale() * 127.0));
-    sched.run_prepared_with(tiles, &data, &mut scratch.run);
+    // Scatter/gather across the shard set when one is supplied; the
+    // gathered plane in `scratch.run` is bit-identical either way.
+    match bands {
+        Some(set) if set.shards() > 1 => set.run_conv(sched, tiles, &data, &mut scratch.run),
+        Some(set) => set.run_conv_serial(sched, tiles, &data, &mut scratch.run),
+        None => {
+            sched.run_prepared_with(tiles, &data, &mut scratch.run);
+        }
+    }
     scratch.bufs.recycle(data.into_raw());
 
     let n = tiles.rows();
     let acc_scale = weight_scale * first.scale();
-    let ActivationScratch { run, bufs } = scratch;
+    let ActivationScratch { run, bufs, shells } = scratch;
     let outputs = run.outputs();
-    (0..b)
-        .map(|bi| {
-            let mut out = bufs.take_with_capacity(n * l);
-            for ni in 0..n {
-                for p in 0..l {
-                    let acc = outputs[ni * bl + bi * l + p] as f32 * acc_scale;
-                    let mut real = channel_scale[ni] * acc + channel_bias[ni];
-                    if relu && real < 0.0 {
-                        real = 0.0;
-                    }
-                    out.push((real / out_scale).round().clamp(-127.0, 127.0) as i8);
+    let mut batch = shells.take(b);
+    batch.extend((0..b).map(|bi| {
+        let mut out = bufs.take_with_capacity(n * l);
+        for ni in 0..n {
+            for p in 0..l {
+                let acc = outputs[ni * bl + bi * l + p] as f32 * acc_scale;
+                let mut real = channel_scale[ni] * acc + channel_bias[ni];
+                if relu && real < 0.0 {
+                    real = 0.0;
                 }
+                out.push((real / out_scale).round().clamp(-127.0, 127.0) as i8);
             }
-            QMap::from_raw(out, n, h, w, out_scale)
-        })
-        .collect()
+        }
+        QMap::from_raw(out, n, h, w, out_scale)
+    }));
+    batch
 }
 
 fn run_avgpool(input: &QMap, pool: &mut BufPool) -> QMap {
@@ -347,6 +389,7 @@ fn run_relu(input: &QMap, pool: &mut BufPool) -> QMap {
     QMap::from_raw(out, input.channels(), input.height(), input.width(), input.scale())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_residual_batch(
     body: &[DeployedLayer],
     downsample: bool,
@@ -355,6 +398,7 @@ fn run_residual_batch(
     inputs: &[QMap],
     sched: &TiledScheduler,
     scratch: &mut ActivationScratch,
+    mut bands: Option<&mut BandSet>,
 ) -> Vec<QMap> {
     // Body path, batched through every stage. The first stage reads the
     // (borrowed) block inputs directly; intermediate activations are
@@ -362,20 +406,20 @@ fn run_residual_batch(
     let mut hs: Option<Vec<QMap>> = None;
     for stage in body {
         let src: &[QMap] = hs.as_deref().unwrap_or(inputs);
-        let next = match run_layer_batch_scratch(stage, src, sched, scratch) {
+        let next = match run_layer_batch_banded(stage, src, sched, scratch, bands.as_deref_mut())
+        {
             BatchOutput::Maps(m) => m,
             BatchOutput::Logits(_) => panic!("classifier inside residual body"),
         };
         if let Some(consumed) = hs.replace(next) {
-            for m in consumed {
-                scratch.bufs.recycle(m.into_raw());
-            }
+            scratch.recycle_batch(consumed);
         }
     }
-    let hs = hs.unwrap_or_else(|| inputs.to_vec());
-    inputs
+    let mut hs = hs.unwrap_or_else(|| inputs.to_vec());
+    let mut merged_batch = scratch.shells.take(inputs.len());
+    merged_batch.extend(inputs
         .iter()
-        .zip(hs)
+        .zip(hs.drain(..))
         .map(|(input, h)| {
             // Shortcut path: a pooled-and-padded copy when downsampling,
             // otherwise the block input itself (no copy).
@@ -403,8 +447,9 @@ fn run_residual_batch(
             }
             scratch.bufs.recycle(h.into_raw());
             merged
-        })
-        .collect()
+        }));
+    scratch.shells.recycle(hs);
+    merged_batch
 }
 
 /// Zero-pads a map to `out_channels`, drawing the padded buffer from the

@@ -45,8 +45,10 @@ pub mod builder;
 pub mod engine;
 pub mod qmap;
 pub mod scratch;
+pub mod shard;
 
 pub use builder::{identity_groups, DeployedNetwork};
 pub use engine::{layer_cost, BatchOutput, DeployedLayer};
 pub use qmap::QMap;
 pub use scratch::ActivationScratch;
+pub use shard::{BandSet, ShardMode, ShardScratch, ShardStats, ShardedNetwork};

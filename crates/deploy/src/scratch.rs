@@ -103,6 +103,51 @@ impl BufPool {
     }
 }
 
+/// Free `Vec<QMap>` shells a pool retains. Shells are a few machine words
+/// each; a handful covers the deepest batch pipeline.
+const MAX_FREE_SHELLS: usize = 16;
+
+/// An arena of empty `Vec<QMap>` shells: the per-layer batch containers
+/// the engine used to allocate fresh every layer. Shells are taken empty,
+/// filled with one layer's output maps, drained when the next layer has
+/// consumed them (their map storage goes back to [`BufPool`]), and the
+/// emptied shell returns here — closing the last per-layer steady-state
+/// allocation of the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct ShellPool {
+    free: Vec<Vec<QMap>>,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl ShellPool {
+    /// Returns an empty shell with at least `cap` slots of capacity.
+    pub(crate) fn take(&mut self, cap: usize) -> Vec<QMap> {
+        match self.free.iter().position(|s| s.capacity() >= cap) {
+            Some(i) => {
+                self.reuses += 1;
+                self.free.swap_remove(i)
+            }
+            None => {
+                self.allocations += 1;
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Returns a *drained* shell to the pool. A shell that still holds
+    /// maps would strand their buffers outside the [`BufPool`], so a
+    /// non-empty shell is cleared (dropping its maps) rather than pooled
+    /// with contents.
+    pub(crate) fn recycle(&mut self, mut shell: Vec<QMap>) {
+        debug_assert!(shell.is_empty(), "recycle drained shells, not full ones");
+        shell.clear();
+        if self.free.len() < MAX_FREE_SHELLS {
+            self.free.push(shell);
+        }
+    }
+}
+
 /// Caller-owned scratch for allocation-free inference: hold one per
 /// serving worker (or pipeline stage) and pass it to
 /// [`crate::DeployedNetwork::run_batch_scratch`] /
@@ -113,6 +158,8 @@ pub struct ActivationScratch {
     pub(crate) run: RunScratch,
     /// Recycled activation storage.
     pub(crate) bufs: BufPool,
+    /// Recycled per-layer `Vec<QMap>` shells.
+    pub(crate) shells: ShellPool,
 }
 
 impl ActivationScratch {
@@ -135,9 +182,30 @@ impl ActivationScratch {
         self.bufs.reuses
     }
 
+    /// `Vec<QMap>` shells created because the arena had none (shell
+    /// misses). Flat across inferences once the scratch is warm, same as
+    /// [`ActivationScratch::buffer_allocations`].
+    pub fn shell_allocations(&self) -> u64 {
+        self.shells.allocations
+    }
+
+    /// `Vec<QMap>` shells served from the arena (shell hits).
+    pub fn shell_reuses(&self) -> u64 {
+        self.shells.reuses
+    }
+
     /// Returns a consumed feature map's storage to the pool.
     pub fn recycle_map(&mut self, map: QMap) {
         self.bufs.recycle(map.into_raw());
+    }
+
+    /// Drains a consumed batch container: every map's storage returns to
+    /// the buffer pool and the emptied shell returns to the arena.
+    pub fn recycle_batch(&mut self, mut maps: Vec<QMap>) {
+        for map in maps.drain(..) {
+            self.bufs.recycle(map.into_raw());
+        }
+        self.shells.recycle(maps);
     }
 }
 
@@ -198,6 +266,39 @@ mod tests {
         // A smaller newcomer is the one dropped.
         pool.recycle(Vec::with_capacity(1));
         assert!(pool.free.iter().all(|b| b.capacity() > 1));
+    }
+
+    #[test]
+    fn shell_arena_reuses_and_bounds_growth() {
+        let mut pool = ShellPool::default();
+        let shell = pool.take(4);
+        assert!(shell.capacity() >= 4);
+        assert_eq!((pool.allocations, pool.reuses), (1, 0));
+        pool.recycle(shell);
+        let again = pool.take(2);
+        assert!(again.capacity() >= 4, "arena must hand back the pooled shell");
+        assert_eq!((pool.allocations, pool.reuses), (1, 1));
+        pool.recycle(again);
+        for _ in 0..(2 * MAX_FREE_SHELLS) {
+            pool.recycle(Vec::new());
+        }
+        assert!(pool.free.len() <= MAX_FREE_SHELLS, "shell arena growth must be bounded");
+    }
+
+    #[test]
+    fn recycle_batch_returns_maps_and_shell() {
+        let mut scratch = ActivationScratch::new();
+        let mut batch = scratch.shells.take(2);
+        batch.push(QMap::from_raw(vec![1, 2], 2, 1, 1, 1.0));
+        batch.push(QMap::from_raw(vec![3, 4], 2, 1, 1, 1.0));
+        scratch.recycle_batch(batch);
+        // Both map buffers landed in the buffer pool...
+        assert_eq!(scratch.bufs.take_zeroed(2).capacity(), 2);
+        assert_eq!(scratch.buffer_reuses(), 1);
+        // ...and the shell landed back in the arena.
+        assert_eq!(scratch.shell_reuses(), 0);
+        scratch.shells.take(1);
+        assert_eq!(scratch.shell_reuses(), 1);
     }
 
     #[test]

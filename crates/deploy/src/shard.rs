@@ -1,0 +1,569 @@
+//! Multi-array sharding: carving one [`DeployedNetwork`] across several
+//! simulated systolic arrays and serving the pieces concurrently.
+//!
+//! Two shard geometries, mirroring how real multi-array accelerators
+//! scale out:
+//!
+//! * **Layer shards** ([`ShardMode::Layers`]): contiguous layer ranges on
+//!   different arrays (the min-max DP over the layer cost model —
+//!   generalizing `cc-serve`'s stage partitioning). One batch flows
+//!   through the shards in sequence; throughput comes from pipelining
+//!   successive batches, so the steady-state makespan is the bottleneck
+//!   shard.
+//! * **Row-band shards** ([`ShardMode::RowBands`]): every packed conv
+//!   layer's output rows split across arrays, each array owning a
+//!   contiguous band of the layer's prepared tiles
+//!   ([`cc_systolic::RowBand`]). The bands of one layer run concurrently
+//!   (scoped threads, one kernel scratch each) and the gather is pure row
+//!   concatenation — bit-identical to the unsharded kernel by
+//!   construction, because per-channel quantization stats are precomputed.
+//!
+//! Either way the shards share one prepared op list (the
+//! [`DeployedNetwork`]'s `Arc` internals); nothing is re-prepared per
+//! shard. [`ShardStats`] reports both the *merged* counters — bit-identical
+//! to the unsharded run's, cycles included (the gather substitutes the
+//! sequential-equivalent cycle count) — and the concurrent *makespan*,
+//! which is what shrinks as shards are added.
+
+use crate::builder::DeployedNetwork;
+use crate::engine::BatchOutput;
+use crate::scratch::ActivationScratch;
+use cc_systolic::partition::partition_min_max;
+use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
+use cc_systolic::{RowBand, RunScratch, SimStats};
+use cc_tensor::quant::QuantMatrix;
+use cc_tensor::Tensor;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Cached shard plans a [`BandSet`] retains (one per conv layer it has
+/// seen; bounded so a set rotating across many models cannot grow without
+/// limit).
+const MAX_CACHED_PLANS: usize = 32;
+
+/// Cache key for a prepared matrix's shard plan. The pointer identifies
+/// the layer (the prepared op list lives behind the network's `Arc`, so
+/// it is stable while any executor holds the network); the shape *and
+/// array-geometry* fields make a stale entry after address reuse
+/// *harmless* rather than relying on the pointer alone — the tile grid
+/// depends only on (rows, groups, array rows, array cols), so a plan
+/// matching all of them is still a structurally valid banding of the new
+/// matrix (worst case: transiently suboptimal balance, never wrong rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PlanKey {
+    ptr: usize,
+    rows: usize,
+    groups: usize,
+    tiles: usize,
+    array_rows: usize,
+    array_cols: usize,
+}
+
+impl PlanKey {
+    fn of(tiles: &PreparedPacked) -> Self {
+        PlanKey {
+            ptr: tiles as *const PreparedPacked as usize,
+            rows: tiles.rows(),
+            groups: tiles.groups(),
+            tiles: tiles.num_tiles(),
+            array_rows: tiles.config().rows,
+            array_cols: tiles.config().cols,
+        }
+    }
+}
+
+/// How a network is carved across simulated arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Contiguous layer ranges, one per array.
+    Layers,
+    /// Each packed conv's output rows banded across the arrays.
+    RowBands,
+}
+
+/// The row-band shard environment one executor owns: per-shard kernel
+/// scratches (long-lived — shard `i ≥ 1` reuses `aux[i-1]` across every
+/// layer and batch), per-shard busy/cycle accounting, and the merged
+/// counters of everything run since the last reset. Hold one per serving
+/// worker or pipeline stage and pass it to
+/// [`DeployedNetwork::run_batch_banded`] /
+/// [`DeployedNetwork::run_stage_banded`].
+#[derive(Debug)]
+pub struct BandSet {
+    shards: usize,
+    aux: Vec<RunScratch>,
+    call_stats: Vec<SimStats>,
+    shard_totals: Vec<SimStats>,
+    merged: SimStats,
+    busy_nanos: Vec<u64>,
+    /// LRU shard-plan cache (most recently used last): the plan depends
+    /// only on the static (prepared matrix, shard count) pair, so the
+    /// per-conv partitioning DP runs once per layer, not once per batch.
+    plans: Vec<(PlanKey, Vec<RowBand>)>,
+}
+
+impl BandSet {
+    /// A shard set of `shards` simulated arrays (1 = the serial path with
+    /// stats accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        BandSet {
+            shards,
+            aux: (1..shards).map(|_| RunScratch::new()).collect(),
+            call_stats: Vec::new(),
+            shard_totals: vec![SimStats::default(); shards],
+            merged: SimStats::default(),
+            busy_nanos: vec![0; shards],
+            plans: Vec::new(),
+        }
+    }
+
+    /// Number of simulated arrays in the set.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Merged counters of every conv run since the last
+    /// [`BandSet::reset_stats`] — bit-identical to what the unsharded
+    /// serial run would have reported (work counters sum exactly across
+    /// bands; cycles use the sequential equivalent).
+    pub fn merged_stats(&self) -> SimStats {
+        self.merged
+    }
+
+    /// Per-shard accumulated counters since the last reset; a shard's
+    /// `cycles` is the time its array spent, so the set's makespan is the
+    /// maximum over shards.
+    pub fn shard_stats(&self) -> &[SimStats] {
+        &self.shard_totals
+    }
+
+    /// The shard totals folded as concurrently running arrays
+    /// ([`SimStats::merge_concurrent`]): work counters summed, `cycles` =
+    /// the set's makespan.
+    pub fn concurrent_stats(&self) -> SimStats {
+        let mut folded = SimStats::default();
+        for s in &self.shard_totals {
+            folded.merge_concurrent(s);
+        }
+        folded
+    }
+
+    /// The concurrent makespan in simulated cycles: the busiest shard's
+    /// accumulated cycle count since the last reset.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.concurrent_stats().cycles
+    }
+
+    /// Host nanoseconds each shard has spent in the kernel since the last
+    /// [`BandSet::reset_busy`] (occupancy telemetry).
+    pub fn busy_nanos(&self) -> &[u64] {
+        &self.busy_nanos
+    }
+
+    /// Zeroes the per-shard and merged counters.
+    pub fn reset_stats(&mut self) {
+        self.shard_totals.iter_mut().for_each(|s| *s = SimStats::default());
+        self.merged = SimStats::default();
+    }
+
+    /// Zeroes the per-shard busy clocks.
+    pub fn reset_busy(&mut self) {
+        self.busy_nanos.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Scatters one prepared conv across the set's arrays and gathers the
+    /// band outputs into `primary`'s plane (row concatenation — the plane
+    /// ends bit-identical to `run_prepared_with`).
+    pub(crate) fn run_conv(
+        &mut self,
+        sched: &TiledScheduler,
+        tiles: &PreparedPacked,
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+    ) {
+        let idx = self.plan_index(tiles);
+        let plan = &self.plans[idx].1;
+        let mut call_stats = std::mem::take(&mut self.call_stats);
+        call_stats.clear();
+        call_stats.resize(plan.len(), SimStats::default());
+        sched.run_bands_with(
+            tiles,
+            plan,
+            d,
+            primary,
+            &mut self.aux,
+            &mut call_stats,
+            &mut self.busy_nanos,
+        );
+        // A one-band plan's stats already carry the sequential cycle
+        // count; only a real scatter needs the equivalent recomputed.
+        let seq_cycles = if call_stats.len() == 1 {
+            call_stats[0].cycles
+        } else {
+            tiles.sequential_cycles(d.cols())
+        };
+        self.record(&call_stats, seq_cycles);
+        self.call_stats = call_stats;
+    }
+
+    /// The one-array path with the same stats accounting (shard 0 runs the
+    /// whole matrix).
+    pub(crate) fn run_conv_serial(
+        &mut self,
+        sched: &TiledScheduler,
+        tiles: &PreparedPacked,
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+    ) {
+        let t0 = Instant::now();
+        let stats = sched.run_prepared_with(tiles, d, primary);
+        self.busy_nanos[0] += t0.elapsed().as_nanos() as u64;
+        // run_prepared_with's cycles *are* the sequential count.
+        self.record(std::slice::from_ref(&stats), stats.cycles);
+    }
+
+    /// Index of `tiles`' cached shard plan, computing and inserting it on
+    /// a miss (LRU order, most recently used last, bounded).
+    fn plan_index(&mut self, tiles: &PreparedPacked) -> usize {
+        let key = PlanKey::of(tiles);
+        if let Some(i) = self.plans.iter().position(|(k, _)| *k == key) {
+            let entry = self.plans.remove(i);
+            self.plans.push(entry);
+        } else {
+            if self.plans.len() >= MAX_CACHED_PLANS {
+                self.plans.remove(0);
+            }
+            self.plans.push((key, tiles.partition_row_bands(self.shards)));
+        }
+        self.plans.len() - 1
+    }
+
+    /// Folds one conv's per-band stats into the running totals: each band
+    /// into its shard (cycles add — an array runs its bands of successive
+    /// layers back to back) and the merged view gets the exact work sum
+    /// plus `seq_cycles`, the sequential-equivalent cycle count.
+    fn record(&mut self, per_band: &[SimStats], seq_cycles: u64) {
+        let mut seq = SimStats::default();
+        for (i, s) in per_band.iter().enumerate() {
+            self.shard_totals[i].merge(s);
+            seq.load_cycles += s.load_cycles;
+            seq.merge_ops(s);
+        }
+        seq.cycles = seq_cycles;
+        self.merged.merge(&seq);
+    }
+}
+
+/// Reusable execution state for one [`ShardedNetwork`]: one activation
+/// scratch per layer shard (row-band plans use one) plus the shared
+/// [`BandSet`]. Hold one per long-lived executor and reuse it across
+/// batches — warm, a sharded run performs no steady-state allocation
+/// beyond the returned logits.
+#[derive(Debug)]
+pub struct ShardScratch {
+    acts: Vec<ActivationScratch>,
+    bands: BandSet,
+}
+
+impl ShardScratch {
+    /// Scratch sized for `sharded`'s plan.
+    pub fn for_network(sharded: &ShardedNetwork) -> Self {
+        match sharded.mode {
+            ShardMode::Layers => ShardScratch {
+                acts: (0..sharded.layer_ranges.len().max(1))
+                    .map(|_| ActivationScratch::new())
+                    .collect(),
+                bands: BandSet::new(1),
+            },
+            ShardMode::RowBands => ShardScratch {
+                acts: vec![ActivationScratch::new()],
+                bands: BandSet::new(sharded.shards),
+            },
+        }
+    }
+}
+
+/// Merged and per-shard counters from one sharded batch.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Per-shard array counters: shard `i`'s `cycles` is the simulated
+    /// time its array was committed for the batch.
+    pub per_shard: Vec<SimStats>,
+    /// The work merged back together — bit-identical to the unsharded
+    /// run's conv totals (cycles are the sequential equivalent).
+    pub merged: SimStats,
+    /// Simulated-cycle makespan: the busiest shard. This is what sharding
+    /// shrinks; `merged.cycles / makespan_cycles` is the parallel speedup
+    /// the shard plan buys on simulated hardware.
+    pub makespan_cycles: u64,
+}
+
+/// A [`DeployedNetwork`] carved into shards. The network itself is shared
+/// (`Arc` internals — cloning a `DeployedNetwork` into a plan duplicates
+/// nothing), so shards reuse one prepared op list; the plan only records
+/// *how* execution scatters.
+#[derive(Clone, Debug)]
+pub struct ShardedNetwork {
+    net: DeployedNetwork,
+    mode: ShardMode,
+    shards: usize,
+    layer_ranges: Vec<Range<usize>>,
+}
+
+impl ShardedNetwork {
+    /// Plans `shards` shards of `net` in the given mode. Layer mode clamps
+    /// to the layer count (each range non-empty); row-band mode keeps the
+    /// requested width — a conv with fewer tile row-groups than shards
+    /// simply fans out as far as it can.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(net: DeployedNetwork, mode: ShardMode, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let (shards, layer_ranges) = match mode {
+            ShardMode::Layers => {
+                let ranges = partition_min_max(&net.layer_costs(), shards);
+                (ranges.len(), ranges)
+            }
+            ShardMode::RowBands => (shards, Vec::new()),
+        };
+        ShardedNetwork { net, mode, shards, layer_ranges }
+    }
+
+    /// The underlying deployed pipeline.
+    pub fn network(&self) -> &DeployedNetwork {
+        &self.net
+    }
+
+    /// The shard geometry.
+    pub fn mode(&self) -> ShardMode {
+        self.mode
+    }
+
+    /// Effective shard count (layer mode clamps to the layer count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Layer mode's cost-balanced ranges (empty in row-band mode).
+    pub fn layer_ranges(&self) -> &[Range<usize>] {
+        &self.layer_ranges
+    }
+
+    /// Runs a batch through the shard plan, allocating fresh scratch.
+    /// Bit-identical to [`DeployedNetwork::run_batch`].
+    pub fn run_batch(&self, images: &[Tensor]) -> Vec<Vec<f32>> {
+        self.run_batch_stats(images, &mut ShardScratch::for_network(self)).0
+    }
+
+    /// [`ShardedNetwork::run_batch`] with reusable scratch, also returning
+    /// the batch's [`ShardStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different plan shape or the
+    /// pipeline lacks a classifier head.
+    pub fn run_batch_stats(
+        &self,
+        images: &[Tensor],
+        scratch: &mut ShardScratch,
+    ) -> (Vec<Vec<f32>>, ShardStats) {
+        let sched = self.net.scheduler();
+        match self.mode {
+            ShardMode::RowBands => {
+                assert_eq!(scratch.bands.shards(), self.shards, "scratch from another plan");
+                scratch.bands.reset_stats();
+                let logits = self.net.run_batch_banded(
+                    &sched,
+                    images,
+                    &mut scratch.acts[0],
+                    &mut scratch.bands,
+                );
+                let per_shard = scratch.bands.shard_stats().to_vec();
+                let stats = ShardStats {
+                    makespan_cycles: scratch.bands.makespan_cycles(),
+                    merged: scratch.bands.merged_stats(),
+                    per_shard,
+                };
+                (logits, stats)
+            }
+            ShardMode::Layers => {
+                assert_eq!(scratch.acts.len(), self.layer_ranges.len(), "scratch from another plan");
+                if images.is_empty() {
+                    return (
+                        Vec::new(),
+                        ShardStats {
+                            per_shard: vec![SimStats::default(); self.shards],
+                            merged: SimStats::default(),
+                            makespan_cycles: 0,
+                        },
+                    );
+                }
+                let mut data = BatchOutput::Maps(
+                    self.net.quantize_batch_scratch(images, &mut scratch.acts[0]),
+                );
+                let mut per_shard = Vec::with_capacity(self.layer_ranges.len());
+                let mut merged = SimStats::default();
+                for (i, range) in self.layer_ranges.iter().enumerate() {
+                    scratch.bands.reset_stats();
+                    data = self.net.run_stage_banded(
+                        range.clone(),
+                        data,
+                        &sched,
+                        &mut scratch.acts[i],
+                        &mut scratch.bands,
+                    );
+                    let shard = scratch.bands.merged_stats();
+                    merged.merge(&shard);
+                    per_shard.push(shard);
+                }
+                let logits = match data {
+                    BatchOutput::Logits(l) => l,
+                    BatchOutput::Maps(_) => panic!("deployed network has no classifier head"),
+                };
+                // Layer shards also run side by side in steady state
+                // (batches pipeline through them), so the makespan is the
+                // same concurrent fold.
+                let mut concurrent = SimStats::default();
+                for s in &per_shard {
+                    concurrent.merge_concurrent(s);
+                }
+                let makespan_cycles = concurrent.cycles;
+                (logits, ShardStats { per_shard, merged, makespan_cycles })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::identity_groups;
+    use cc_dataset::SyntheticSpec;
+    use cc_nn::models::{lenet5_shift, resnet20_shift, ModelConfig};
+    use cc_systolic::array::ArrayConfig;
+    use cc_tensor::quant::AccumWidth;
+
+    fn small_array() -> ArrayConfig {
+        // A deliberately small array so even tiny test networks span
+        // several tile row-groups per conv (rows ≥ 4 bands).
+        ArrayConfig::new(4, 8, AccumWidth::Bits32)
+    }
+
+    fn lenet_fixture() -> (DeployedNetwork, Vec<Tensor>) {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 6).generate(51);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed =
+            DeployedNetwork::build_with_array(&net, &identity_groups(&net), &train, small_array());
+        let images = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        (deployed, images)
+    }
+
+    #[test]
+    fn sharded_lenet_matches_unsharded_in_both_modes() {
+        let (deployed, images) = lenet_fixture();
+        let serial = deployed.run_batch(&images);
+        let mut merged_reference: Option<SimStats> = None;
+        for mode in [ShardMode::Layers, ShardMode::RowBands] {
+            for shards in 1..=4 {
+                let plan = ShardedNetwork::new(deployed.clone(), mode, shards);
+                let mut scratch = ShardScratch::for_network(&plan);
+                let (logits, stats) = plan.run_batch_stats(&images, &mut scratch);
+                assert_eq!(logits, serial, "{mode:?} at {shards} shards diverged");
+                // The merged counters are plan-invariant: every geometry
+                // reassembles the same unsharded work, cycles included.
+                match &merged_reference {
+                    None => merged_reference = Some(stats.merged),
+                    Some(reference) => assert_eq!(
+                        &stats.merged, reference,
+                        "{mode:?} at {shards} shards merged stats diverged"
+                    ),
+                }
+                assert!(
+                    stats.makespan_cycles <= stats.merged.cycles,
+                    "makespan cannot exceed the sequential run"
+                );
+                assert!(stats.makespan_cycles > 0, "conv work must land somewhere");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_resnet_handles_residual_bodies() {
+        let (train, test) =
+            SyntheticSpec::cifar_like().with_size(8, 8).with_samples(48, 4).generate(52);
+        let net = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        let deployed =
+            DeployedNetwork::build_with_array(&net, &identity_groups(&net), &train, small_array());
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let serial = deployed.run_batch(&images);
+        for mode in [ShardMode::Layers, ShardMode::RowBands] {
+            let plan = ShardedNetwork::new(deployed.clone(), mode, 3);
+            assert_eq!(plan.run_batch(&images), serial, "{mode:?} diverged on residuals");
+        }
+    }
+
+    #[test]
+    fn row_band_makespan_shrinks_with_shards() {
+        let (deployed, images) = lenet_fixture();
+        let makespan = |shards| {
+            let plan = ShardedNetwork::new(deployed.clone(), ShardMode::RowBands, shards);
+            let mut scratch = ShardScratch::for_network(&plan);
+            plan.run_batch_stats(&images, &mut scratch).1.makespan_cycles
+        };
+        let m1 = makespan(1);
+        let m4 = makespan(4);
+        assert!(
+            m4 < m1,
+            "four arrays must beat one on simulated cycles: {m4} vs {m1}"
+        );
+    }
+
+    #[test]
+    fn layer_mode_clamps_and_reports_ranges() {
+        let (deployed, _) = lenet_fixture();
+        let plan = ShardedNetwork::new(deployed.clone(), ShardMode::Layers, 100);
+        assert_eq!(plan.shards(), deployed.num_layers());
+        assert_eq!(plan.layer_ranges().len(), plan.shards());
+        assert_eq!(plan.layer_ranges().last().unwrap().end, deployed.num_layers());
+    }
+
+    #[test]
+    fn sharded_scratch_reuse_is_stable_and_warm() {
+        let (deployed, images) = lenet_fixture();
+        let plan = ShardedNetwork::new(deployed.clone(), ShardMode::RowBands, 3);
+        let mut scratch = ShardScratch::for_network(&plan);
+        let (first, _) = plan.run_batch_stats(&images, &mut scratch);
+        // Warm-up round two, then assert the pools stop growing.
+        plan.run_batch_stats(&images, &mut scratch);
+        let warm_bufs = scratch.acts[0].buffer_allocations();
+        let warm_shells = scratch.acts[0].shell_allocations();
+        for round in 0..3 {
+            let (logits, _) = plan.run_batch_stats(&images, &mut scratch);
+            assert_eq!(logits, first, "scratch reuse diverged on round {round}");
+        }
+        assert_eq!(
+            scratch.acts[0].buffer_allocations(),
+            warm_bufs,
+            "steady-state sharded run allocated activation buffers"
+        );
+        assert_eq!(
+            scratch.acts[0].shell_allocations(),
+            warm_shells,
+            "steady-state sharded run allocated batch shells"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        BandSet::new(0);
+    }
+}

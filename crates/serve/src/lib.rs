@@ -35,10 +35,18 @@
 //!   batch n while stage i+1 finishes batch n−1, the serving analogue of
 //!   the systolic array's inter-layer wavefront — while staying
 //!   bit-identical to serial execution.
+//! - **Multi-array sharding** ([`ServeConfig::shards`]): every executor
+//!   (worker, or pipeline stage) owns a [`cc_deploy::BandSet`] of N
+//!   simulated arrays and scatters each packed conv's row bands across
+//!   them, gathering by row concatenation — bit-identical to serial
+//!   execution and composing with `pipeline_stages` into a stages ×
+//!   shards grid. `pipeline_stages = 0` picks the depth per model from
+//!   its layer cost profile ([`auto_stages`]).
 //! - **Admission control**: a bounded queue with shed-on-full semantics
 //!   ([`SubmitError::QueueFull`]) gives end-to-end backpressure.
 //! - **Telemetry** ([`TelemetrySnapshot`]): p50/p95/p99 latency from a
-//!   log-linear histogram, throughput, batch occupancy, queue depth.
+//!   log-linear histogram, throughput, batch occupancy, queue depth, and
+//!   per-stage/per-shard busy fractions.
 //!
 //! Std-only: threads and channels, no async runtime.
 //!
@@ -77,7 +85,7 @@ pub mod registry;
 pub mod server;
 pub mod telemetry;
 
-pub use pipeline::{partition_stages, PipelineExecutor};
+pub use pipeline::{auto_stage_cap, auto_stages, partition_stages, PipelineExecutor};
 pub use registry::ModelRegistry;
 pub use server::{Response, ServeConfig, Server, SubmitError, Ticket};
-pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot};
+pub use telemetry::{LatencyHistogram, Occupancy, Telemetry, TelemetrySnapshot};

@@ -23,61 +23,60 @@
 //! dropping the executor closes the input and drains every in-flight
 //! batch through the sink before the stage threads exit.
 
-use cc_deploy::{ActivationScratch, BatchOutput, DeployedNetwork};
+use crate::telemetry::Telemetry;
+use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
+use cc_systolic::{partition_bottleneck, partition_min_max};
 use cc_tensor::Tensor;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Partitions `costs` into at most `stages` contiguous ranges minimizing
 /// the maximum per-range cost sum (balanced pipeline stages). Returns
 /// `min(stages, costs.len())` non-empty ranges covering `0..costs.len()`.
+/// (The DP itself lives in [`cc_systolic::partition`]; layer-shard
+/// planning in `cc-deploy` uses the same one.)
 ///
 /// # Panics
 ///
 /// Panics if `costs` is empty or `stages` is zero.
 pub fn partition_stages(costs: &[u64], stages: usize) -> Vec<Range<usize>> {
     assert!(!costs.is_empty(), "cannot partition zero layers");
-    assert!(stages > 0, "need at least one stage");
-    let n = costs.len();
-    let k = stages.min(n);
+    partition_min_max(costs, stages)
+}
 
-    let mut prefix = vec![0u64; n + 1];
-    for (i, &c) in costs.iter().enumerate() {
-        prefix[i + 1] = prefix[i] + c;
-    }
-    let span = |a: usize, b: usize| prefix[b] - prefix[a];
-
-    // dp[j][i]: minimal max-stage cost splitting layers 0..i into j stages
-    // (layer counts are small, so the O(k·n²) table is negligible).
-    let width = n + 1;
-    let mut dp = vec![u64::MAX; (k + 1) * width];
-    let mut cut = vec![0usize; (k + 1) * width];
-    dp[0] = 0;
-    for j in 1..=k {
-        for i in j..=n {
-            for t in (j - 1)..i {
-                let prev = dp[(j - 1) * width + t];
-                if prev == u64::MAX {
-                    continue;
-                }
-                let cand = prev.max(span(t, i));
-                if cand < dp[j * width + i] {
-                    dp[j * width + i] = cand;
-                    cut[j * width + i] = t;
-                }
-            }
+/// Picks a pipeline depth from a layer cost model
+/// ([`crate::ServeConfig::pipeline_stages`]` = 0`): deepen while each
+/// extra stage still cuts the bottleneck stage cost by ≥ 15% — past that
+/// point another stage thread buys mostly hand-off overhead — capping at
+/// `max_stages`.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty or `max_stages` is zero.
+pub fn auto_stages(costs: &[u64], max_stages: usize) -> usize {
+    assert!(!costs.is_empty(), "cannot plan zero layers");
+    assert!(max_stages > 0, "need at least one stage");
+    let max_k = max_stages.min(costs.len());
+    let mut best = 1;
+    let mut bottleneck = costs.iter().sum::<u64>();
+    for k in 2..=max_k {
+        let b = partition_bottleneck(costs, &partition_min_max(costs, k));
+        if (b as f64) > 0.85 * bottleneck as f64 {
+            break;
         }
+        best = k;
+        bottleneck = b;
     }
+    best
+}
 
-    let mut ranges = vec![0..0; k];
-    let mut end = n;
-    for j in (1..=k).rev() {
-        let start = cut[j * width + end];
-        ranges[j - 1] = start..end;
-        end = start;
-    }
-    ranges
+/// Stage cap for the auto depth: the machine's parallelism, clamped so an
+/// auto pipeline never out-threads a small box.
+pub fn auto_stage_cap() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 4)
 }
 
 struct Job<T> {
@@ -115,6 +114,31 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     where
         F: FnMut(BatchOutput, T) + Send + 'static,
     {
+        Self::new_sharded(net, stages, queue_depth, 1, None, sink)
+    }
+
+    /// [`PipelineExecutor::new`] with a row-band shard width and optional
+    /// occupancy telemetry: each stage thread owns a
+    /// [`cc_deploy::BandSet`] of `shards` simulated arrays and scatters
+    /// every packed conv in its layer range across them (the stages ×
+    /// shards grid). When `telemetry` is set, each stage reports its
+    /// busy time and its shards' kernel time after every batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` or `shards` is zero.
+    pub fn new_sharded<F>(
+        net: DeployedNetwork,
+        stages: usize,
+        queue_depth: usize,
+        shards: usize,
+        telemetry: Option<Arc<Telemetry>>,
+        sink: F,
+    ) -> Self
+    where
+        F: FnMut(BatchOutput, T) + Send + 'static,
+    {
+        assert!(shards > 0, "need at least one shard");
         let ranges = partition_stages(&net.layer_costs(), stages);
         let k = ranges.len();
 
@@ -136,6 +160,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
             .enumerate()
             .map(|(s, (range, (rx, tx)))| {
                 let stage_net = net.clone();
+                let stage_telemetry = telemetry.clone();
                 let mut stage_sink = if s == k - 1 { sink.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("cc-serve-stage-{s}"))
@@ -149,13 +174,22 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                         // inputs — the pool's size-aware eviction keeps
                         // the useful sizes resident.
                         let mut scratch = ActivationScratch::new();
+                        // Stage-lifetime shard set: the long-lived kernel
+                        // scratches the stage's convs scatter across.
+                        let mut bands = BandSet::new(shards);
                         while let Ok(job) = rx.recv() {
-                            let data = stage_net.run_stage_scratch(
+                            let started = Instant::now();
+                            let data = stage_net.run_stage_banded(
                                 range.clone(),
                                 job.data,
                                 &sched,
                                 &mut scratch,
+                                &mut bands,
                             );
+                            if let Some(t) = &stage_telemetry {
+                                t.on_stage_busy(s, started.elapsed());
+                                t.drain_shard_busy(&mut bands);
+                            }
                             if let Some(tx) = &tx {
                                 // The next stage hung up only on teardown.
                                 if tx.send(Job { data, tag: job.tag }).is_err() {
@@ -264,6 +298,68 @@ mod tests {
         // A dominant layer gets a stage to itself.
         let ranges = partition_stages(&[1, 100, 1], 3);
         assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn auto_stages_deepens_only_while_the_bottleneck_shrinks() {
+        // Four equal layers, cap 2: the second stage halves the
+        // bottleneck, so auto takes it.
+        assert_eq!(auto_stages(&[10, 10, 10, 10], 2), 2);
+        // One dominant layer: extra stages cannot beat it.
+        assert_eq!(auto_stages(&[100, 1, 1, 1], 4), 1);
+        // Cap respected even when deeper would keep helping.
+        assert_eq!(auto_stages(&[10, 10, 10, 10, 10, 10, 10, 10], 2), 2);
+        // A single layer can only ever be one stage.
+        assert_eq!(auto_stages(&[42], 4), 1);
+    }
+
+    #[test]
+    fn auto_stages_monotone_bottleneck_invariant() {
+        let costs = [7u64, 3, 9, 2, 8, 1, 6, 4];
+        let k = auto_stages(&costs, 4);
+        assert!((1..=4).contains(&k));
+        // The chosen depth's bottleneck must not exceed the serial cost.
+        let b = cc_systolic::partition_bottleneck(&costs, &partition_stages(&costs, k));
+        assert!(b <= costs.iter().sum());
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_serial() {
+        let (train, test) =
+            SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 9).generate(20);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed = DeployedNetwork::build(&net, &identity_groups(&net), &train);
+        let images: Vec<cc_tensor::Tensor> =
+            (0..9).map(|i| test.image(i % test.len()).clone()).collect();
+        let serial = deployed.run_batch(&images);
+
+        let results: Arc<Mutex<Vec<Vec<Vec<f32>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = Arc::clone(&results);
+        let telemetry = Arc::new(crate::telemetry::Telemetry::new());
+        let pipe = PipelineExecutor::new_sharded(
+            deployed.clone(),
+            2,
+            1,
+            3,
+            Some(Arc::clone(&telemetry)),
+            move |out, _tag: usize| {
+                let logits = match out {
+                    BatchOutput::Logits(l) => l,
+                    BatchOutput::Maps(_) => panic!("pipeline must end at the classifier head"),
+                };
+                sink_results.lock().unwrap().push(logits);
+            },
+        );
+        for _ in 0..3 {
+            pipe.submit(&images, 0);
+        }
+        pipe.drain();
+        for run in results.lock().unwrap().iter() {
+            assert_eq!(run, &serial, "stages × shards grid diverged from serial");
+        }
+        let snap = telemetry.snapshot();
+        assert!(!snap.stage_busy.is_empty(), "stages must report occupancy");
+        assert!(!snap.shard_busy.is_empty(), "shard lanes must report occupancy");
     }
 
     #[test]

@@ -17,10 +17,10 @@
 //! channels keep the same backpressure chain intact.
 
 use crate::batcher::Batcher;
-use crate::pipeline::PipelineExecutor;
+use crate::pipeline::{auto_stage_cap, auto_stages, PipelineExecutor};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
-use cc_deploy::{ActivationScratch, BatchOutput, DeployedNetwork};
+use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
 use cc_tensor::Tensor;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -44,8 +44,18 @@ pub struct ServeConfig {
     /// worker becomes a K-thread pipeline that streams successive batches
     /// through cost-balanced layer ranges (stage i on batch n while stage
     /// i+1 finishes batch n−1) — bit-identical to the serial path. Values
-    /// beyond the model's layer count are clamped.
+    /// beyond the model's layer count are clamped. **0 means auto**: each
+    /// worker picks the depth per model from its layer cost model via the
+    /// min-max DP ([`crate::pipeline::auto_stages`]), capped by the
+    /// machine's parallelism.
     pub pipeline_stages: usize,
+    /// Simulated arrays each executor (worker, or pipeline stage) scatters
+    /// packed-conv row bands across ([`cc_deploy::BandSet`]). At 1 (the
+    /// default) convs run on a single array exactly as before; at N ≥ 2
+    /// every conv's prepared tiles fan out over N arrays and gather by row
+    /// concatenation — bit-identical to serial execution. Composes with
+    /// `pipeline_stages` into a stages × shards executor grid.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +66,7 @@ impl Default for ServeConfig {
             batch_deadline: Duration::from_millis(1),
             queue_capacity: 256,
             pipeline_stages: 1,
+            shards: 1,
         }
     }
 }
@@ -89,10 +100,18 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the per-worker pipeline stage count.
+    /// Overrides the per-worker pipeline stage count (0 = auto from the
+    /// model's layer cost profile).
     #[must_use]
     pub fn with_pipeline_stages(mut self, stages: usize) -> Self {
         self.pipeline_stages = stages;
+        self
+    }
+
+    /// Overrides the per-executor row-band shard width.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -192,7 +211,7 @@ impl Server {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
-        assert!(cfg.pipeline_stages > 0, "pipeline_stages must be at least 1");
+        assert!(cfg.shards > 0, "shards must be at least 1");
 
         let registry = Arc::new(registry);
         let telemetry = Arc::new(Telemetry::new());
@@ -234,9 +253,10 @@ impl Server {
                 let work_rx = Arc::clone(&work_rx);
                 let telemetry = Arc::clone(&telemetry);
                 let stages = cfg.pipeline_stages;
+                let shards = cfg.shards;
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &telemetry, stages))
+                    .spawn(move || worker_loop(&work_rx, &telemetry, stages, shards))
                     .expect("spawn worker")
             })
             .collect();
@@ -330,15 +350,22 @@ fn worker_loop(
     work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
     telemetry: &Arc<Telemetry>,
     stages: usize,
+    shards: usize,
 ) {
     // Pipelines are per network identity, built lazily on the first batch
     // for that pipeline (registries hold few models, so a linear scan
     // beats a map). Dropping this at loop exit drains every in-flight
     // batch before the worker thread ends — shutdown resolves tickets.
     let mut pipelines: Vec<(usize, PipelineExecutor<BatchMeta>)> = Vec::new();
+    // Stage counts resolved per network when the config says auto
+    // (stages == 0) — tiny cache beside the pipeline cache.
+    let mut resolved: Vec<(usize, usize)> = Vec::new();
     // One activation scratch for the worker's lifetime: after the first
     // batch of a given shape, serial inference allocates nothing.
     let mut scratch = ActivationScratch::new();
+    // The worker's long-lived shard set for serial execution (pipelined
+    // execution gives each stage its own inside the executor).
+    let mut bands = BandSet::new(shards);
     loop {
         let batch = {
             let guard = work_rx.lock().expect("work queue poisoned");
@@ -359,14 +386,44 @@ fn worker_loop(
             meta.push((request.submitted, request.reply));
         }
 
-        if stages <= 1 {
+        // 0 = auto: depth from the network's layer cost profile, resolved
+        // once per network per worker. Bounded like the pipeline cache so
+        // a worker rotating across many models (or hot-swaps) neither
+        // grows the cache without limit nor trusts an address from a
+        // long-dropped network.
+        let net_stages = match resolved.iter().position(|(id, _)| *id == net.identity()) {
+            Some(idx) => {
+                let entry = resolved.remove(idx);
+                let s = entry.1;
+                resolved.push(entry);
+                s
+            }
+            None => {
+                let s = if stages == 0 {
+                    auto_stages(&net.layer_costs(), auto_stage_cap())
+                } else {
+                    stages
+                };
+                if resolved.len() >= MAX_WORKER_PIPELINES {
+                    resolved.remove(0);
+                }
+                resolved.push((net.identity(), s));
+                s
+            }
+        };
+
+        if net_stages <= 1 {
             // Serial path: the scheduler is a stateless copy of the
             // network's array config; the expensive per-call setup it used
             // to imply (weight-tile slicing) is prepacked in the layers,
             // and the worker-lifetime scratch supplies every activation
-            // buffer and systolic output plane.
+            // buffer, systolic output plane, and shard-lane kernel
+            // scratch.
             let sched = net.scheduler();
-            let logits_batch = net.run_batch_scratch(&sched, &images, &mut scratch);
+            let started = Instant::now();
+            let logits_batch = net.run_batch_banded(&sched, &images, &mut scratch, &mut bands);
+            telemetry.on_stage_busy(0, started.elapsed());
+            telemetry.drain_shard_busy(&mut bands);
             complete_batch(telemetry, meta, logits_batch);
             continue;
         }
@@ -376,7 +433,7 @@ fn worker_loop(
         // of batch n overlaps the later stages of batch n−1. `submit`
         // blocks only at the in-flight cap, which keeps backpressure
         // flowing to admission control.
-        let pipe = pipeline_for(&mut pipelines, &net, stages, telemetry);
+        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, telemetry);
         pipe.submit(&images, meta);
     }
 }
@@ -394,6 +451,7 @@ fn pipeline_for<'a>(
     pipelines: &'a mut Vec<(usize, PipelineExecutor<BatchMeta>)>,
     net: &DeployedNetwork,
     stages: usize,
+    shards: usize,
     telemetry: &Arc<Telemetry>,
 ) -> &'a PipelineExecutor<BatchMeta> {
     let id = net.identity();
@@ -409,15 +467,22 @@ fn pipeline_for<'a>(
             oldest.drain();
         }
         let sink_telemetry = Arc::clone(telemetry);
-        let pipe = PipelineExecutor::new(net.clone(), stages, 1, move |out, meta: BatchMeta| {
-            let logits_batch = match out {
-                BatchOutput::Logits(l) => l,
-                BatchOutput::Maps(_) => {
-                    panic!("deployed pipeline must end at the classifier head")
-                }
-            };
-            complete_batch(&sink_telemetry, meta, logits_batch);
-        });
+        let pipe = PipelineExecutor::new_sharded(
+            net.clone(),
+            stages,
+            1,
+            shards,
+            Some(Arc::clone(telemetry)),
+            move |out, meta: BatchMeta| {
+                let logits_batch = match out {
+                    BatchOutput::Logits(l) => l,
+                    BatchOutput::Maps(_) => {
+                        panic!("deployed pipeline must end at the classifier head")
+                    }
+                };
+                complete_batch(&sink_telemetry, meta, logits_batch);
+            },
+        );
         pipelines.push((id, pipe));
     }
     &pipelines.last().expect("cache is non-empty").1

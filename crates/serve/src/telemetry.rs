@@ -6,9 +6,51 @@
 //! ~6% relative error at any latency scale while the whole structure stays
 //! a fixed 8 KiB — no allocation on the record path beyond one mutex.
 
+use cc_deploy::BandSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Pipeline-stage / shard slots tracked by the occupancy gauges. Sized
+/// generously past any sane `pipeline_stages`/`shards` setting; indices
+/// beyond it are silently dropped rather than grown under concurrency.
+const OCCUPANCY_SLOTS: usize = 16;
+
+/// Lock-free busy-time accounting per executor slot (pipeline stage or
+/// shard lane): workers add the nanoseconds a slot spent executing, the
+/// snapshot divides by wall-clock elapsed into a busy fraction. With
+/// several workers feeding one slot index the fraction aggregates across
+/// them, so it can exceed 1.0 — it reads as "how many executors' worth of
+/// work this slot absorbed".
+#[derive(Debug)]
+pub struct Occupancy {
+    busy: Vec<AtomicU64>,
+}
+
+impl Occupancy {
+    fn new() -> Self {
+        Occupancy { busy: (0..OCCUPANCY_SLOTS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Adds busy time to a slot (out-of-range indices are dropped).
+    pub fn record(&self, slot: usize, busy: Duration) {
+        if let Some(b) = self.busy.get(slot) {
+            b.fetch_add(busy.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Busy fractions per slot over `elapsed`, trimmed after the last
+    /// slot that ever recorded work.
+    fn fractions(&self, elapsed: Duration) -> Vec<f64> {
+        let nanos = elapsed.as_nanos().max(1) as f64;
+        let mut out: Vec<f64> =
+            self.busy.iter().map(|b| b.load(Ordering::Relaxed) as f64 / nanos).collect();
+        while out.last().is_some_and(|&f| f == 0.0) {
+            out.pop();
+        }
+        out
+    }
+}
 
 /// Linear sub-buckets per power-of-two group.
 const SUB_BITS: u32 = 4;
@@ -116,6 +158,11 @@ pub struct Telemetry {
     /// instead of an unsigned wrap.
     dispatched: AtomicU64,
     latency: Mutex<LatencyHistogram>,
+    /// Busy time per pipeline stage (stage 0 doubles as the serial
+    /// worker's execution slot).
+    stage_busy: Occupancy,
+    /// Busy kernel time per row-band shard lane.
+    shard_busy: Occupancy,
 }
 
 impl Telemetry {
@@ -130,7 +177,26 @@ impl Telemetry {
             batched_requests: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
+            stage_busy: Occupancy::new(),
+            shard_busy: Occupancy::new(),
         }
+    }
+
+    /// A pipeline stage (or serial worker, as stage 0) finished `busy` of
+    /// execution.
+    pub(crate) fn on_stage_busy(&self, stage: usize, busy: Duration) {
+        self.stage_busy.record(stage, busy);
+    }
+
+    /// Moves a shard set's accumulated per-lane kernel time into the
+    /// shard occupancy gauges and clears the set's clocks.
+    pub(crate) fn drain_shard_busy(&self, bands: &mut BandSet) {
+        for (lane, &nanos) in bands.busy_nanos().iter().enumerate() {
+            if nanos > 0 {
+                self.shard_busy.record(lane, Duration::from_nanos(nanos));
+            }
+        }
+        bands.reset_busy();
     }
 
     /// Requests currently admitted but not yet handed to a worker.
@@ -187,6 +253,8 @@ impl Telemetry {
             p50: hist.percentile(0.50),
             p95: hist.percentile(0.95),
             p99: hist.percentile(0.99),
+            stage_busy: self.stage_busy.fractions(elapsed),
+            shard_busy: self.shard_busy.fractions(elapsed),
         }
     }
 }
@@ -224,6 +292,11 @@ pub struct TelemetrySnapshot {
     pub p95: Duration,
     /// 99th-percentile end-to-end latency.
     pub p99: Duration,
+    /// Busy fraction per pipeline stage (aggregated across workers; can
+    /// exceed 1.0 — see [`Occupancy`]). Empty until a stage reports.
+    pub stage_busy: Vec<f64>,
+    /// Busy kernel fraction per row-band shard lane.
+    pub shard_busy: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -288,6 +361,24 @@ mod tests {
         assert_eq!(t.queue_depth(), 0, "late admit balances the early dispatch");
         t.on_admit();
         assert_eq!(t.queue_depth(), 1);
+    }
+
+    #[test]
+    fn occupancy_fractions_aggregate_and_trim() {
+        let t = Telemetry::new();
+        t.on_stage_busy(0, Duration::from_millis(5));
+        t.on_stage_busy(2, Duration::from_millis(10));
+        let mut bands = BandSet::new(2);
+        t.drain_shard_busy(&mut bands); // all-zero lanes record nothing
+        let s = t.snapshot();
+        assert_eq!(s.stage_busy.len(), 3, "fractions trim after the last active slot");
+        assert!(s.stage_busy[0] > 0.0);
+        assert_eq!(s.stage_busy[1], 0.0);
+        assert!(s.stage_busy[2] > s.stage_busy[0], "10ms slot outweighs 5ms slot");
+        assert!(s.shard_busy.is_empty(), "idle shard lanes stay trimmed");
+        // Out-of-range slots are dropped, not grown.
+        t.on_stage_busy(usize::MAX, Duration::from_millis(1));
+        assert!(t.snapshot().stage_busy.len() <= OCCUPANCY_SLOTS);
     }
 
     #[test]

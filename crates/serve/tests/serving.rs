@@ -101,6 +101,63 @@ fn four_workers_256_requests_bit_identical_with_telemetry() {
     assert!(stats.throughput_rps > 0.0);
 }
 
+/// The scatter/gather scheduler: serving with a shard pool (and an auto
+/// pipeline depth) must stay bit-identical to serial inference and must
+/// surface per-stage and per-shard occupancy.
+#[test]
+fn sharded_serving_is_bit_identical_with_occupancy_telemetry() {
+    use cc_systolic::array::ArrayConfig;
+    use cc_tensor::quant::AccumWidth;
+    // An 8-row array gives the tiny LeNet's convs several tile row-groups,
+    // so a shard pool genuinely fans out instead of collapsing to 1 band.
+    let (train, test) =
+        SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 16).generate(77);
+    let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+    let deployed = DeployedNetwork::build_with_array(
+        &net,
+        &identity_groups(&net),
+        &train,
+        ArrayConfig::new(8, 32, AccumWidth::Bits32),
+    );
+    let images: Vec<Tensor> = (0..96).map(|i| test.image(i % test.len()).clone()).collect();
+    let serial: Vec<Vec<f32>> = images.iter().map(|im| deployed.logits(im)).collect();
+
+    for (stages, shards) in [(1usize, 2usize), (0, 3), (2, 2)] {
+        let registry = ModelRegistry::new().with_model("lenet", deployed.clone());
+        let server = Server::start(
+            registry,
+            ServeConfig::default()
+                .with_workers(2)
+                .with_max_batch(8)
+                .with_queue_capacity(256)
+                .with_pipeline_stages(stages)
+                .with_shards(shards),
+        );
+        let tickets: Vec<_> = images
+            .iter()
+            .map(|im| server.submit("lenet", im.clone()).expect("capacity admits all"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("request served");
+            assert_eq!(
+                response.logits, serial[i],
+                "request {i} diverged under stages={stages} shards={shards}"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 96);
+        assert!(
+            !stats.stage_busy.is_empty() && stats.stage_busy[0] > 0.0,
+            "stage occupancy must be recorded (stages={stages})"
+        );
+        assert!(
+            stats.shard_busy.len() >= shards.min(2),
+            "shard lanes must record occupancy: {:?} (shards={shards})",
+            stats.shard_busy
+        );
+    }
+}
+
 #[test]
 fn two_models_are_batched_separately_and_served_correctly() {
     let (a, test_a) = combined_lenet(7);

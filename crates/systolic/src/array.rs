@@ -95,6 +95,17 @@ impl SimStats {
         self.merge_ops(other);
     }
 
+    /// Accumulates counters of a run that executed *concurrently* on
+    /// another array (a row-band shard): the work counters and load
+    /// cycles sum — total work is conserved across a scatter — while
+    /// `cycles` takes the maximum, the makespan of arrays running side by
+    /// side.
+    pub fn merge_concurrent(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.load_cycles += other.load_cycles;
+        self.merge_ops(other);
+    }
+
     /// Accumulates only the operation counters (`mac_ops`,
     /// `cell_word_slots`, `input_words`, `output_words`), leaving the cycle
     /// counters alone. The tiled scheduler uses this when per-tile cycles

@@ -39,11 +39,13 @@ pub mod array;
 pub mod blocks;
 pub mod cell;
 pub mod mac;
+pub mod partition;
 pub mod pipeline;
 pub mod tiled;
 pub mod wavefront;
 
 pub use array::{ArrayConfig, ArrayRun, SimStats, SystolicArray};
 pub use cell::CellKind;
+pub use partition::{partition_bottleneck, partition_min_max};
 pub use pipeline::{pipeline_latency, LayerShape, PipelineReport};
-pub use tiled::{PreparedPacked, RunScratch, TiledRun, TiledScheduler};
+pub use tiled::{PreparedPacked, RowBand, RunScratch, TiledRun, TiledScheduler};

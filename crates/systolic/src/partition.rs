@@ -1,0 +1,111 @@
+//! Balanced contiguous partitioning: the min-max DP shared by everything
+//! that carves ordered work across parallel executors — `cc-serve`'s
+//! pipeline-stage planner and [`crate::tiled::PreparedPacked`]'s row-band
+//! shard planner both split a cost sequence into `k` contiguous ranges
+//! minimizing the bottleneck range.
+
+use std::ops::Range;
+
+/// Partitions `costs` into at most `parts` contiguous ranges minimizing
+/// the maximum per-range cost sum. Returns `min(parts, costs.len())`
+/// non-empty ranges covering `0..costs.len()`.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty or `parts` is zero.
+pub fn partition_min_max(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
+    assert!(!costs.is_empty(), "cannot partition zero items");
+    assert!(parts > 0, "need at least one part");
+    let n = costs.len();
+    let k = parts.min(n);
+
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let span = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // dp[j][i]: minimal max-range cost splitting items 0..i into j ranges
+    // (item counts are small, so the O(k·n²) table is negligible).
+    let width = n + 1;
+    let mut dp = vec![u64::MAX; (k + 1) * width];
+    let mut cut = vec![0usize; (k + 1) * width];
+    dp[0] = 0;
+    for j in 1..=k {
+        for i in j..=n {
+            for t in (j - 1)..i {
+                let prev = dp[(j - 1) * width + t];
+                if prev == u64::MAX {
+                    continue;
+                }
+                let cand = prev.max(span(t, i));
+                if cand < dp[j * width + i] {
+                    dp[j * width + i] = cand;
+                    cut[j * width + i] = t;
+                }
+            }
+        }
+    }
+
+    let mut ranges = vec![0..0; k];
+    let mut end = n;
+    for j in (1..=k).rev() {
+        let start = cut[j * width + end];
+        ranges[j - 1] = start..end;
+        end = start;
+    }
+    ranges
+}
+
+/// The bottleneck (maximum per-range cost sum) of a partition over
+/// `costs` — the quantity [`partition_min_max`] minimizes, exposed so
+/// planners can compare partitions at different `parts` counts.
+pub fn partition_bottleneck(costs: &[u64], ranges: &[Range<usize>]) -> u64 {
+    ranges
+        .iter()
+        .map(|r| costs[r.clone()].iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_contiguously_and_clamps() {
+        let costs = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        for k in 1..=10 {
+            let ranges = partition_min_max(&costs, k);
+            assert_eq!(ranges.len(), k.min(costs.len()));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, costs.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()), "no range may be empty");
+        }
+    }
+
+    #[test]
+    fn minimizes_bottleneck() {
+        // [10,1,1,10] in two parts: the only split with max 11 is 2|2.
+        let ranges = partition_min_max(&[10, 1, 1, 10], 2);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+        assert_eq!(partition_bottleneck(&[10, 1, 1, 10], &ranges), 11);
+        // A dominant item gets a range to itself.
+        assert_eq!(partition_min_max(&[1, 100, 1], 3), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn bottleneck_never_increases_with_more_parts() {
+        let costs = [7u64, 3, 9, 2, 8, 1, 6, 4];
+        let mut last = u64::MAX;
+        for k in 1..=costs.len() {
+            let b = partition_bottleneck(&costs, &partition_min_max(&costs, k));
+            assert!(b <= last, "bottleneck must be monotone in parts: {b} > {last} at k={k}");
+            last = b;
+        }
+        assert_eq!(last, *costs.iter().max().unwrap());
+    }
+}

@@ -25,11 +25,30 @@
 //! up. The original per-call path survives as
 //! [`TiledScheduler::run_packed_reference`], the bit-exactness baseline
 //! for tests and benchmarks.
+//!
+//! ## Row-band sharding
+//!
+//! One prepared matrix can also be carved across several simulated arrays:
+//! a [`RowBand`] is a borrowing view of a contiguous run of a
+//! [`PreparedPacked`]'s tile row-groups, so N shards share a single
+//! prepared op list instead of re-preparing per shard.
+//! [`PreparedPacked::partition_row_bands`] balances the bands by op count
+//! (the min-max DP from [`crate::partition`]);
+//! [`TiledScheduler::run_band_with`] executes one band into its row slice
+//! of the output plane, and [`TiledScheduler::run_bands_with`] scatters a
+//! plan across scoped threads (one simulated array each) and gathers by
+//! construction — bands own disjoint output rows, so the gather is pure
+//! row concatenation and the assembled plane is bit-identical to the
+//! unsharded [`TiledScheduler::run_prepared_with`] (which is itself now
+//! the one-band special case).
 
 use crate::array::{ArrayConfig, QuantPacked, SimStats, SystolicArray};
 use crate::cell::CellKind;
 use crate::mac::BitSerialMac;
+use crate::partition::partition_min_max;
 use cc_tensor::quant::{AccumWidth, QuantMatrix};
+use std::ops::Range;
+use std::time::Instant;
 
 /// Result of a tiled execution.
 #[derive(Clone, Debug, PartialEq)]
@@ -226,45 +245,146 @@ impl TiledScheduler {
         d: &QuantMatrix,
         scratch: &mut RunScratch,
     ) -> SimStats {
+        let band = p.full_band();
+        let l = d.cols();
+        // The output plane moves out of the scratch for the duration of
+        // the run so the band kernel can borrow the lane planes mutably
+        // alongside it; capacity is preserved, so this stays
+        // allocation-free once warm. Stale contents are fine — both band
+        // kernels fully overwrite (or re-zero) their slice — so at a
+        // steady-state size the resize is a no-op, not a memset.
+        let mut out = std::mem::take(&mut scratch.out);
+        out.resize(p.rows * l, 0);
+        let stats = self.run_band_with(p, &band, d, &mut out, scratch);
+        scratch.out = out;
+        stats
+    }
+
+    /// Runs only `band`'s tiles against `d`, widening the band's output
+    /// rows into `out` — the `band.rows()` row slice of the full output
+    /// plane (`band` rows × `d.cols()` accumulator words). `scratch`
+    /// supplies the native accumulator lanes only; reusing one per shard
+    /// keeps repeated band runs allocation-free. The returned [`SimStats`]
+    /// model *this band's array alone*: the overlap cycle model over the
+    /// band's tile subsequence plus the band's share of the op counters
+    /// (op counters and `load_cycles` of a full partition sum exactly to
+    /// the unsharded run's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiles were prepared for a different array
+    /// configuration, `d` lacks channels the packing references, or `out`
+    /// is not sized `band` rows × `d.cols()`.
+    pub fn run_band_with(
+        &self,
+        p: &PreparedPacked,
+        band: &RowBand,
+        d: &QuantMatrix,
+        out: &mut [i64],
+        scratch: &mut RunScratch,
+    ) -> SimStats {
         assert_eq!(p.cfg, self.cfg, "tiles prepared for a different array");
         assert!(d.rows() >= p.original_cols, "data matrix missing channels");
         let l = d.cols();
+        assert_eq!(out.len(), band.rows.len() * l, "band output slice mis-sized");
         let data = d.as_slice();
+        let tiles = &p.tiles[band.tiles.clone()];
 
         // The exact-bitserial dispatch happens once per run, not once per
         // MAC; the fast path further specializes to the accumulator's
         // native lane width so per-MAC wrapping is free.
         if self.cfg.exact_bitserial {
-            run_tiles_exact(p, data, l, self.cfg.acc, &mut scratch.out);
+            run_band_exact(tiles, band.rows.start, data, l, self.cfg.acc, out);
         } else {
             match self.cfg.acc {
                 AccumWidth::Bits32 => {
-                    run_tiles_lanes::<i32>(p, data, l, &mut scratch.lane32, &mut scratch.out)
+                    run_band_lanes::<i32>(tiles, band.rows.start, data, l, &mut scratch.lane32, out)
                 }
                 AccumWidth::Bits16 => {
-                    run_tiles_lanes::<i16>(p, data, l, &mut scratch.lane16, &mut scratch.out)
+                    run_band_lanes::<i16>(tiles, band.rows.start, data, l, &mut scratch.lane16, out)
                 }
             }
         }
+        // Stats are O(tiles) arithmetic over the prepared per-tile
+        // counters — no per-cell recounting.
+        band_stats(tiles, self.cfg, l)
+    }
 
-        // Stats are O(tiles) arithmetic over the prepared statics — no
-        // per-cell recounting.
-        let array = SystolicArray::new(self.cfg);
-        let mut cycles = p.tiles.first().map_or(0, |t| t.load_cycles);
-        for (i, tile) in p.tiles.iter().enumerate() {
-            let compute = array.compute_cycles(tile.rows, tile.groups, l);
-            let next_load = p.tiles.get(i + 1).map_or(0, |t| t.load_cycles);
-            cycles += compute.max(next_load);
+    /// Scatter/gather execution of a row-band shard `plan`: each band runs
+    /// on its own thread (its own simulated array) with its own lane
+    /// scratch, all writing disjoint row slices of `primary`'s output
+    /// plane, so after the call [`RunScratch::outputs`] on `primary` holds
+    /// exactly what [`TiledScheduler::run_prepared_with`] would have
+    /// produced — the gather is row concatenation by construction. Band 0
+    /// executes on the calling thread with `primary`'s lanes; bands `i ≥ 1`
+    /// execute on scoped threads with `aux[i-1]`. Per-band [`SimStats`]
+    /// land in `stats` and per-band host-time nanoseconds are *added* to
+    /// `busy` (shard occupancy accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` is empty or does not cover the matrix's rows
+    /// contiguously from 0, or if `aux`, `stats`, or `busy` are shorter
+    /// than the plan requires.
+    pub fn run_bands_with(
+        &self,
+        p: &PreparedPacked,
+        plan: &[RowBand],
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+        aux: &mut [RunScratch],
+        stats: &mut [SimStats],
+        busy: &mut [u64],
+    ) {
+        assert!(!plan.is_empty(), "empty shard plan");
+        assert_eq!(plan[0].rows.start, 0, "plan must start at row 0");
+        assert_eq!(plan.last().unwrap().rows.end, p.rows, "plan must cover every row");
+        for pair in plan.windows(2) {
+            assert_eq!(pair[0].rows.end, pair[1].rows.start, "plan bands must be contiguous");
         }
-        let l = l as u64;
-        SimStats {
-            cycles,
-            load_cycles: p.statics.load_cycles,
-            mac_ops: p.statics.nonzero_cells * l,
-            cell_word_slots: p.statics.cell_slots * l,
-            input_words: p.statics.streamed_channels * l,
-            output_words: p.statics.output_rows * l,
+        assert!(aux.len() + 1 >= plan.len(), "need one aux scratch per extra band");
+        assert!(stats.len() >= plan.len(), "need one stats slot per band");
+        assert!(busy.len() >= plan.len(), "need one busy slot per band");
+
+        let l = d.cols();
+        // As in run_prepared_with: every band fully overwrites its row
+        // slice, so no zero-fill is needed at a steady-state size.
+        let mut out = std::mem::take(&mut primary.out);
+        out.resize(p.rows * l, 0);
+
+        if plan.len() == 1 {
+            let t0 = Instant::now();
+            stats[0] = self.run_band_with(p, &plan[0], d, &mut out, primary);
+            busy[0] += t0.elapsed().as_nanos() as u64;
+            primary.out = out;
+            return;
         }
+
+        let (band0, rest_bands) = plan.split_first().expect("non-empty plan");
+        let (out0, mut out_tail) = out.split_at_mut(band0.rows.len() * l);
+        let (stat0, stats_rest) = stats.split_first_mut().expect("stats sized");
+        let (busy0, busy_rest) = busy.split_first_mut().expect("busy sized");
+        std::thread::scope(|scope| {
+            for (((band, scratch), stat), busy_slot) in rest_bands
+                .iter()
+                .zip(aux.iter_mut())
+                .zip(stats_rest.iter_mut())
+                .zip(busy_rest.iter_mut())
+            {
+                let (slice, tail) = out_tail.split_at_mut(band.rows.len() * l);
+                out_tail = tail;
+                let sched = *self;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    *stat = sched.run_band_with(p, band, d, slice, scratch);
+                    *busy_slot += t0.elapsed().as_nanos() as u64;
+                });
+            }
+            let t0 = Instant::now();
+            *stat0 = self.run_band_with(p, band0, d, out0, primary);
+            *busy0 += t0.elapsed().as_nanos() as u64;
+        });
+        primary.out = out;
     }
 }
 
@@ -360,10 +480,92 @@ impl PreparedTile {
     }
 }
 
+/// A contiguous row band of a [`PreparedPacked`]: the tiles whose output
+/// rows fall in `rows`. Bands are *views* — shards built from one plan all
+/// borrow the same prepared op list, they never re-prepare — and a full
+/// partition's bands own disjoint output rows, so concatenating their
+/// outputs reproduces the unsharded result bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowBand {
+    rows: Range<usize>,
+    tiles: Range<usize>,
+}
+
+impl RowBand {
+    /// The global output rows this band produces.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of prepared tiles the band executes.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
 impl PreparedPacked {
     /// Output rows (filters) of the full matrix.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// The whole matrix as a single band —
+    /// [`TiledScheduler::run_prepared_with`] is
+    /// [`TiledScheduler::run_band_with`] over this view.
+    pub fn full_band(&self) -> RowBand {
+        RowBand { rows: 0..self.rows, tiles: 0..self.tiles.len() }
+    }
+
+    /// Carves the matrix into at most `shards` contiguous [`RowBand`]s,
+    /// balanced by op-list length (the work the per-inference kernel
+    /// actually sweeps). Band boundaries fall on tile row-group
+    /// boundaries — a row band owns whole tiles, never part of one — so
+    /// the effective shard count is capped by the matrix's row-group
+    /// count (`rows / array_rows`, rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn partition_row_bands(&self, shards: usize) -> Vec<RowBand> {
+        assert!(shards > 0, "need at least one shard");
+        if self.tiles.is_empty() {
+            return vec![self.full_band()];
+        }
+        // Row-groups: consecutive tiles sharing a first output row. Each
+        // group costs its op-list length plus one per tile (a loaded tile
+        // is never free, even when all its weights pruned to zero).
+        let mut groups: Vec<(Range<usize>, Range<usize>, u64)> = Vec::new();
+        for (i, tile) in self.tiles.iter().enumerate() {
+            match groups.last_mut() {
+                Some((rows, tiles, cost)) if rows.start == tile.r0 => {
+                    tiles.end = i + 1;
+                    *cost += tile.ops.len() as u64 + 1;
+                }
+                _ => groups.push((
+                    tile.r0..tile.r0 + tile.rows,
+                    i..i + 1,
+                    tile.ops.len() as u64 + 1,
+                )),
+            }
+        }
+        let costs: Vec<u64> = groups.iter().map(|g| g.2).collect();
+        partition_min_max(&costs, shards)
+            .into_iter()
+            .map(|r| RowBand {
+                rows: groups[r.start].0.start..groups[r.end - 1].0.end,
+                tiles: groups[r.start].1.start..groups[r.end - 1].1.end,
+            })
+            .collect()
+    }
+
+    /// The cycle count one array takes to stream all tiles sequentially
+    /// against an `l`-column data matrix — the unsharded
+    /// [`TiledScheduler::run_prepared_with`] cycle total, computable
+    /// without running. A sharded gather uses this as the
+    /// sequential-equivalent cycle count so merged stats stay bit-identical
+    /// to the unsharded run's regardless of the shard plan.
+    pub fn sequential_cycles(&self, l: usize) -> u64 {
+        band_stats(&self.tiles, self.cfg, l).cycles
     }
 
     /// Combined columns (groups) of the full matrix.
@@ -466,29 +668,30 @@ impl Lane for i16 {
     }
 }
 
-/// The fast kernel: sweeps every tile's op list, accumulating into
+/// The fast kernel: sweeps a band's tile op lists, accumulating into
 /// native-width lanes with slice iterators (no bounds checks in the inner
-/// loop), then widens into the caller's `i64` plane. Column-band partial
-/// sums accumulate directly in the lanes — per-MAC wrapping commutes with
-/// the tile-boundary wrap of the reference path (modular addition is
-/// associative), so the result is bit-identical.
-fn run_tiles_lanes<L: Lane>(
-    p: &PreparedPacked,
+/// loop), then widens into the band's row slice of the caller's `i64`
+/// plane. Column-band partial sums accumulate directly in the lanes —
+/// per-MAC wrapping commutes with the tile-boundary wrap of the reference
+/// path (modular addition is associative), so the result is bit-identical.
+fn run_band_lanes<L: Lane>(
+    tiles: &[PreparedTile],
+    row0: usize,
     data: &[i8],
     l: usize,
     plane: &mut Vec<L>,
-    out: &mut Vec<i64>,
+    out: &mut [i64],
 ) {
     plane.clear();
-    plane.resize(p.rows * l, L::ZERO);
-    for tile in &p.tiles {
+    plane.resize(out.len(), L::ZERO);
+    for tile in tiles {
         for local in 0..tile.rows {
             let ops =
                 &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
             if ops.is_empty() {
                 continue;
             }
-            let start = (tile.r0 + local) * l;
+            let start = (tile.r0 - row0 + local) * l;
             let row = &mut plane[start..start + l];
             for op in ops {
                 let stream = &data[op.channel as usize * l..op.channel as usize * l + l];
@@ -498,23 +701,30 @@ fn run_tiles_lanes<L: Lane>(
             }
         }
     }
-    out.clear();
-    out.extend(plane.iter().map(|&v| v.widen()));
+    for (o, v) in out.iter_mut().zip(plane.iter()) {
+        *o = v.widen();
+    }
 }
 
 /// The validation kernel: identical sweep, but every MAC runs the
-/// bit-level datapath ([`BitSerialMac`]) on the `i64` plane.
-fn run_tiles_exact(p: &PreparedPacked, data: &[i8], l: usize, acc: AccumWidth, out: &mut Vec<i64>) {
-    out.clear();
-    out.resize(p.rows * l, 0);
-    for tile in &p.tiles {
+/// bit-level datapath ([`BitSerialMac`]) on the `i64` plane directly.
+fn run_band_exact(
+    tiles: &[PreparedTile],
+    row0: usize,
+    data: &[i8],
+    l: usize,
+    acc: AccumWidth,
+    out: &mut [i64],
+) {
+    out.fill(0);
+    for tile in tiles {
         for local in 0..tile.rows {
             let ops =
                 &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
             if ops.is_empty() {
                 continue;
             }
-            let start = (tile.r0 + local) * l;
+            let start = (tile.r0 - row0 + local) * l;
             let row = &mut out[start..start + l];
             for op in ops {
                 let mac = BitSerialMac::new(op.weight, acc);
@@ -524,6 +734,36 @@ fn run_tiles_exact(p: &PreparedPacked, data: &[i8], l: usize, acc: AccumWidth, o
                 }
             }
         }
+    }
+}
+
+/// [`SimStats`] of one array streaming `tiles` back to back against an
+/// `l`-column data matrix: the overlap cycle model over the subsequence
+/// plus the tiles' summed static counters. Over a full partition's bands
+/// everything except `cycles` sums exactly to the unsharded run's stats
+/// (the counters are per-tile sums); `cycles` is each band's own makespan.
+fn band_stats(tiles: &[PreparedTile], cfg: ArrayConfig, l: usize) -> SimStats {
+    let array = SystolicArray::new(cfg);
+    let mut cycles = tiles.first().map_or(0, |t| t.load_cycles);
+    let mut statics = PreparedStatics::default();
+    for (i, tile) in tiles.iter().enumerate() {
+        let compute = array.compute_cycles(tile.rows, tile.groups, l);
+        let next_load = tiles.get(i + 1).map_or(0, |t| t.load_cycles);
+        cycles += compute.max(next_load);
+        statics.load_cycles += tile.load_cycles;
+        statics.nonzero_cells += tile.ops.len() as u64;
+        statics.cell_slots += (tile.rows * tile.groups) as u64;
+        statics.streamed_channels += tile.streamed_channels;
+        statics.output_rows += tile.rows as u64;
+    }
+    let l = l as u64;
+    SimStats {
+        cycles,
+        load_cycles: statics.load_cycles,
+        mac_ops: statics.nonzero_cells * l,
+        cell_word_slots: statics.cell_slots * l,
+        input_words: statics.streamed_channels * l,
+        output_words: statics.output_rows * l,
     }
 }
 
@@ -773,6 +1013,106 @@ mod tests {
         let run = TiledScheduler::new(cfg).run_unpacked(&w, &d);
         assert_eq!(run.outputs, quant_matmul(&w, &d, AccumWidth::Bits16));
         assert_eq!(run.tiles, 4);
+    }
+
+    /// Row-band shards must reproduce the unsharded run exactly: the
+    /// gathered output plane bit for bit, the op counters and load cycles
+    /// by exact summation, and each band's makespan bounded by the
+    /// sequential run.
+    #[test]
+    fn row_band_scatter_gather_is_bit_identical() {
+        let qp = packed_fixture(100, 60, 0.25, 33);
+        for cell in [CellKind::Interleaved, CellKind::Multiplexed { mux_width: 8 }] {
+            for exact in [false, true] {
+                let cfg = ArrayConfig {
+                    rows: 16,
+                    cols: 24,
+                    acc: AccumWidth::Bits32,
+                    cell,
+                    exact_bitserial: exact,
+                };
+                let sched = TiledScheduler::new(cfg);
+                let prepared = sched.prepare_packed(&qp);
+                let d = QuantMatrix::quantize(&sparse_matrix(60, 7, 1.0, 34));
+                let mut reference = RunScratch::new();
+                let ref_stats = sched.run_prepared_with(&prepared, &d, &mut reference);
+
+                for shards in 1..=4 {
+                    let plan = prepared.partition_row_bands(shards);
+                    assert!(plan.len() <= shards);
+                    let mut primary = RunScratch::new();
+                    let mut aux = vec![RunScratch::new(); plan.len().saturating_sub(1)];
+                    let mut stats = vec![SimStats::default(); plan.len()];
+                    let mut busy = vec![0u64; plan.len()];
+                    sched.run_bands_with(
+                        &prepared, &plan, &d, &mut primary, &mut aux, &mut stats, &mut busy,
+                    );
+                    assert_eq!(
+                        primary.outputs(),
+                        reference.outputs(),
+                        "gathered plane diverged at {shards} shards (exact={exact})"
+                    );
+                    let mut summed = SimStats::default();
+                    for s in &stats {
+                        summed.merge(s);
+                        assert!(s.cycles <= ref_stats.cycles, "a band outran the full run");
+                    }
+                    // Work is conserved exactly; only cycles redistribute.
+                    assert_eq!(summed.mac_ops, ref_stats.mac_ops);
+                    assert_eq!(summed.cell_word_slots, ref_stats.cell_word_slots);
+                    assert_eq!(summed.input_words, ref_stats.input_words);
+                    assert_eq!(summed.output_words, ref_stats.output_words);
+                    assert_eq!(summed.load_cycles, ref_stats.load_cycles);
+                    assert!(busy.iter().all(|&b| b > 0), "every band must record busy time");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_band_plan_covers_rows_contiguously() {
+        let qp = packed_fixture(90, 50, 0.3, 35);
+        let prepared = TiledScheduler::new(ArrayConfig::new(16, 16, AccumWidth::Bits32))
+            .prepare_packed(&qp);
+        for shards in 1..=6 {
+            let plan = prepared.partition_row_bands(shards);
+            assert_eq!(plan[0].rows().start, 0);
+            assert_eq!(plan.last().unwrap().rows().end, prepared.rows());
+            for pair in plan.windows(2) {
+                assert_eq!(pair[0].rows().end, pair[1].rows().start);
+            }
+            assert_eq!(
+                plan.iter().map(RowBand::num_tiles).sum::<usize>(),
+                prepared.num_tiles(),
+                "bands must own every tile exactly once"
+            );
+        }
+        // 90 rows on a 16-row array → 6 row-groups: more shards than
+        // groups clamps to the group count.
+        assert_eq!(prepared.partition_row_bands(100).len(), 6);
+    }
+
+    #[test]
+    fn sequential_cycles_match_the_run() {
+        let qp = packed_fixture(64, 40, 0.2, 36);
+        let sched = TiledScheduler::new(cfg32());
+        let prepared = sched.prepare_packed(&qp);
+        for l in [1usize, 5, 16] {
+            let d = QuantMatrix::quantize(&sparse_matrix(40, l, 1.0, 37));
+            let run = sched.run_prepared(&prepared, &d);
+            assert_eq!(prepared.sequential_cycles(l), run.stats.cycles);
+        }
+    }
+
+    #[test]
+    fn merge_concurrent_takes_makespan() {
+        let a = SimStats { cycles: 10, load_cycles: 3, mac_ops: 5, ..SimStats::default() };
+        let b = SimStats { cycles: 7, load_cycles: 2, mac_ops: 4, ..SimStats::default() };
+        let mut m = a;
+        m.merge_concurrent(&b);
+        assert_eq!(m.cycles, 10, "concurrent arrays finish at the slowest one");
+        assert_eq!(m.load_cycles, 5);
+        assert_eq!(m.mac_ops, 9);
     }
 
     /// Same overflow pressure on the packed path: 16-bit lanes must wrap

@@ -1,0 +1,157 @@
+//! Property suite for multi-array sharding: a [`ShardedNetwork`] — both
+//! layer-shard and row-band geometry, 1–4 shards — must reproduce the
+//! unsharded `run_batch` bit-exactly on whole deployed networks, with
+//! merged [`SimStats`] that are shard-plan invariant, and the kernel-level
+//! band scatter/gather must match the unsharded prepared run on random
+//! packings.
+
+use cc_deploy::{identity_groups, DeployedNetwork, ShardMode, ShardScratch, ShardedNetwork};
+use cc_nn::models::{lenet5_shift, resnet20_shift, ModelConfig};
+use cc_packing::{group_columns, pack_columns, GroupingConfig};
+use cc_systolic::array::{ArrayConfig, QuantPacked, SimStats};
+use cc_systolic::{RunScratch, TiledScheduler};
+use cc_tensor::init::sparse_matrix;
+use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
+use cc_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Deployed fixtures are expensive to build (train-free, but packing and
+/// calibration still cost seconds); build each once and share across
+/// proptest cases. The 4×8 array makes even tiny convs span several tile
+/// row-groups, so row-band plans genuinely fan out.
+fn small_array() -> ArrayConfig {
+    ArrayConfig::new(4, 8, AccumWidth::Bits32)
+}
+
+fn lenet_fixture() -> &'static (DeployedNetwork, Vec<Tensor>, Vec<Vec<f32>>) {
+    static FIXTURE: OnceLock<(DeployedNetwork, Vec<Tensor>, Vec<Vec<f32>>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (train, test) = cc_dataset::SyntheticSpec::mnist_like()
+            .with_size(8, 8)
+            .with_samples(48, 8)
+            .generate(71);
+        let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+        let deployed =
+            DeployedNetwork::build_with_array(&net, &identity_groups(&net), &train, small_array());
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let serial = deployed.run_batch(&images);
+        (deployed, images, serial)
+    })
+}
+
+fn resnet_fixture() -> &'static (DeployedNetwork, Vec<Tensor>, Vec<Vec<f32>>) {
+    static FIXTURE: OnceLock<(DeployedNetwork, Vec<Tensor>, Vec<Vec<f32>>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (train, test) = cc_dataset::SyntheticSpec::cifar_like()
+            .with_size(8, 8)
+            .with_samples(32, 6)
+            .generate(72);
+        let net = resnet20_shift(&ModelConfig::tiny(3, 8, 8, 10));
+        let deployed =
+            DeployedNetwork::build_with_array(&net, &identity_groups(&net), &train, small_array());
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.image(i).clone()).collect();
+        let serial = deployed.run_batch(&images);
+        (deployed, images, serial)
+    })
+}
+
+proptest! {
+    // Cases and RNG stream are pinned so CI failures replay exactly.
+    #![proptest_config(ProptestConfig::with_cases(16).with_rng_seed(0xA5_1305_0005))]
+
+    /// Whole-network sharding: any (mode, shard count, batch slice) must
+    /// be bit-identical to the unsharded batch, and the merged stats must
+    /// be identical across every plan — the scatter redistributes work,
+    /// it never changes it.
+    #[test]
+    fn sharded_network_matches_unsharded_bit_exactly(
+        residual in any::<bool>(),
+        row_bands in any::<bool>(),
+        shards in 1usize..5,
+        start in 0usize..4,
+        len in 1usize..5,
+    ) {
+        let (deployed, images, serial) =
+            if residual { resnet_fixture() } else { lenet_fixture() };
+        let start = start.min(images.len() - 1);
+        let end = (start + len).min(images.len());
+        let batch = &images[start..end];
+        let expected = &serial[start..end];
+
+        let mode = if row_bands { ShardMode::RowBands } else { ShardMode::Layers };
+        let plan = ShardedNetwork::new(deployed.clone(), mode, shards);
+        let mut scratch = ShardScratch::for_network(&plan);
+
+        // The 1-shard plan is the unsharded reference for merged stats.
+        let baseline = ShardedNetwork::new(deployed.clone(), mode, 1);
+        let mut baseline_scratch = ShardScratch::for_network(&baseline);
+        let (_, reference) = baseline.run_batch_stats(batch, &mut baseline_scratch);
+
+        // Two rounds through one scratch: stale state must not leak.
+        for round in 0..2 {
+            let (logits, stats) = plan.run_batch_stats(batch, &mut scratch);
+            prop_assert_eq!(
+                &logits[..], expected,
+                "{:?} x{} diverged on round {}", mode, shards, round
+            );
+            prop_assert_eq!(
+                stats.merged, reference.merged,
+                "{:?} x{} merged stats diverged on round {}", mode, shards, round
+            );
+            prop_assert!(stats.makespan_cycles <= stats.merged.cycles);
+            prop_assert!(
+                stats.per_shard.iter().map(|s| s.cycles).max().unwrap_or(0)
+                    == stats.makespan_cycles
+            );
+        }
+    }
+
+    /// Kernel-level row bands on random packings: the gathered plane and
+    /// the exact work sums must match the unsharded prepared run.
+    #[test]
+    fn row_band_gather_matches_prepared_run(
+        rows in 8usize..64,
+        cols in 4usize..40,
+        density in 0.05f64..0.8,
+        l in 1usize..10,
+        array_rows in 2usize..12,
+        shards in 1usize..5,
+        sixteen_bit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = sparse_matrix(rows, cols, density, seed);
+        let params = QuantParams::calibrate(f.as_slice());
+        let packed = pack_columns(&f, &group_columns(&f, &GroupingConfig::paper_default()));
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let d = QuantMatrix::quantize(&sparse_matrix(cols, l, 1.0, seed ^ 0xF00D));
+        let acc = if sixteen_bit { AccumWidth::Bits16 } else { AccumWidth::Bits32 };
+        let sched = TiledScheduler::new(ArrayConfig::new(array_rows, 8, acc));
+        let prepared = sched.prepare_packed(&qp);
+
+        let mut reference = RunScratch::new();
+        let ref_stats = sched.run_prepared_with(&prepared, &d, &mut reference);
+
+        let plan = prepared.partition_row_bands(shards);
+        let mut primary = RunScratch::new();
+        let mut aux = vec![RunScratch::new(); plan.len().saturating_sub(1)];
+        let mut stats = vec![SimStats::default(); plan.len()];
+        let mut busy = vec![0u64; plan.len()];
+        sched.run_bands_with(&prepared, &plan, &d, &mut primary, &mut aux, &mut stats, &mut busy);
+
+        prop_assert_eq!(primary.outputs(), reference.outputs(), "gathered plane diverged");
+        let mut summed = SimStats::default();
+        let mut makespan = 0u64;
+        for s in &stats {
+            summed.merge(s);
+            makespan = makespan.max(s.cycles);
+        }
+        prop_assert_eq!(summed.mac_ops, ref_stats.mac_ops);
+        prop_assert_eq!(summed.cell_word_slots, ref_stats.cell_word_slots);
+        prop_assert_eq!(summed.input_words, ref_stats.input_words);
+        prop_assert_eq!(summed.output_words, ref_stats.output_words);
+        prop_assert_eq!(summed.load_cycles, ref_stats.load_cycles);
+        prop_assert!(makespan <= ref_stats.cycles, "a shard outran the sequential run");
+        prop_assert_eq!(prepared.sequential_cycles(l), ref_stats.cycles);
+    }
+}
