@@ -1,0 +1,10 @@
+//! Response memo-cache benchmark: Zipf-distributed closed-loop traffic
+//! with the cache on vs off, sweeping the skew exponent. Run with
+//! `--release`; set `CC_SCALE=full` for a longer run. Writes
+//! `results/bench_cache.json` alongside the CSVs.
+
+fn main() {
+    let scale = cc_bench::scale::Scale::from_env();
+    let tables = cc_bench::experiments::cache_bench::run(&scale);
+    cc_bench::emit("cache_bench", &tables);
+}

@@ -141,6 +141,15 @@ impl DeployedNetwork {
         images.iter().map(|im| QMap::quantize(im, self.inner.input_scale)).collect()
     }
 
+    /// Quantizes one image at the pipeline's calibrated input scale — the
+    /// exact activations [`DeployedNetwork::run_batch`] would derive for
+    /// it. The integer pipeline is deterministic downstream of this map,
+    /// so `(identity, map.digest())` fully determines the output logits;
+    /// serving keys its response memo-cache on that pair.
+    pub fn quantize_input(&self, image: &Tensor) -> QMap {
+        QMap::quantize(image, self.inner.input_scale)
+    }
+
     /// [`DeployedNetwork::quantize_batch`] into pooled buffers from a
     /// caller-owned scratch.
     pub fn quantize_batch_scratch(

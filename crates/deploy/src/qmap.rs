@@ -103,6 +103,36 @@ impl QMap {
         self.get(c, y, x) as f32 * self.scale
     }
 
+    /// A stable 64-bit digest of the *quantized* map: FNV-1a over the
+    /// shape, the scale bits, and every quantized byte. Two maps share a
+    /// digest exactly when they would feed the integer pipeline the same
+    /// bits (up to hash collision — callers that need certainty compare
+    /// [`QMap::as_slice`] as well). Serving uses `(network identity,
+    /// digest)` as its response-cache key: the digest is taken *after*
+    /// quantization, so float inputs that land on the same 8-bit code are
+    /// one cache line, and a hit is bit-identical by construction.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for dim in [self.channels, self.height, self.width] {
+            for b in (dim as u64).to_le_bytes() {
+                eat(b);
+            }
+        }
+        for b in self.scale.to_bits().to_le_bytes() {
+            eat(b);
+        }
+        for &q in &self.data {
+            eat(q as u8);
+        }
+        h
+    }
+
     /// Dequantizes the whole map.
     pub fn dequantize(&self) -> Tensor {
         Tensor::from_vec(
@@ -141,5 +171,24 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_rejected() {
         QMap::quantize(&Tensor::zeros(Shape::d3(1, 1, 1)), 0.0);
+    }
+
+    #[test]
+    fn digest_tracks_quantized_bits_not_float_noise() {
+        let x = Tensor::from_vec(Shape::d3(1, 2, 2), vec![0.1, -0.4, 0.9, 0.0]);
+        let a = QMap::quantize(&x, 0.01);
+        // Stable across calls and across clones of the same quantized bits.
+        assert_eq!(a.digest(), a.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+        // Sub-quantum float jitter lands on the same 8-bit code → same key.
+        let y = Tensor::from_vec(Shape::d3(1, 2, 2), vec![0.1001, -0.4001, 0.9001, 0.0]);
+        assert_eq!(QMap::quantize(&y, 0.01).digest(), a.digest());
+        // A one-step change in any element changes the digest.
+        let z = Tensor::from_vec(Shape::d3(1, 2, 2), vec![0.11, -0.4, 0.9, 0.0]);
+        assert_ne!(QMap::quantize(&z, 0.01).digest(), a.digest());
+        // Same bytes, different scale or shape, must not alias.
+        assert_ne!(QMap::quantize(&x, 0.02).digest(), a.digest());
+        let flat = Tensor::from_vec(Shape::d3(1, 1, 4), vec![0.1, -0.4, 0.9, 0.0]);
+        assert_ne!(QMap::quantize(&flat, 0.01).digest(), a.digest());
     }
 }

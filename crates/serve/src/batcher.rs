@@ -3,25 +3,36 @@
 //! deadline — whichever comes first.
 //!
 //! The batcher is generic over the queued item, its key, and its enqueue
-//! timestamp so the policy is testable without spinning up a server: seed
-//! a batch with the oldest pending item, absorb every same-key item
-//! already waiting (stash and channel), then keep the ingress window open
-//! until the batch fills or the deadline passes. Items with a different
-//! key are stashed, preserving arrival order, and seed later batches.
+//! timestamp so the policy is testable without spinning up a server. Batch
+//! formation is SLO-aware:
+//!
+//! 1. Everything already waiting (stash and channel) is gathered, and
+//!    items whose *request deadline* has passed are shed first — work that
+//!    already blew its SLO must not occupy a batch slot that fresher work
+//!    could use ([`Batcher::with_qos`]'s `on_expired` resolves them).
+//! 2. The seed is the best `(class, enqueue time)` item pending — strict
+//!    priority across QoS classes, FIFO within a class — then every
+//!    same-key item already waiting is absorbed (one stable partition
+//!    pass over the stash), and the ingress window stays open until the
+//!    batch fills or the window closes.
 //!
 //! The coalescing deadline is anchored at the *seed item's enqueue time*,
 //! not at window-open: the seed is the oldest member of its batch, so no
 //! request is ever held longer than one full deadline past its enqueue —
 //! a request that already waited in the stash (behind other keys) gets
 //! only the remainder of its window, or releases immediately if the
-//! window already passed.
+//! window already passed. A seed with a request deadline tighter than the
+//! coalescing window closes the window at that deadline instead.
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
 
-/// Deadline/size-bounded coalescing over an mpsc ingress channel.
-#[derive(Debug)]
+/// Per-request deadline hook: `None` means the item never expires.
+type DeadlineFn<T> = Box<dyn Fn(&T) -> Option<Instant> + Send>;
+
+/// Deadline/size-bounded, priority-aware coalescing over an mpsc ingress
+/// channel.
 pub struct Batcher<T, K, F, G>
 where
     K: Eq,
@@ -30,21 +41,48 @@ where
 {
     ingress: Receiver<T>,
     stash: VecDeque<T>,
+    /// Reused partition buffer for the stash absorption pass.
+    scratch: VecDeque<T>,
     max_batch: usize,
     deadline: Duration,
     key_of: F,
     enqueued_at: G,
+    /// QoS class ordinal (lower = higher priority); constant 0 without
+    /// [`Batcher::with_qos`].
+    class_of: Box<dyn Fn(&T) -> usize + Send>,
+    /// Per-request deadline; `None` without [`Batcher::with_qos`].
+    deadline_of: DeadlineFn<T>,
+    /// Receives items shed for blowing their deadline while queued.
+    on_expired: Box<dyn FnMut(T) + Send>,
+}
+
+impl<T, K, F, G> std::fmt::Debug for Batcher<T, K, F, G>
+where
+    K: Eq,
+    F: Fn(&T) -> K,
+    G: Fn(&T) -> Instant,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("stash", &self.stash.len())
+            .field("max_batch", &self.max_batch)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T, K, F, G> Batcher<T, K, F, G>
 where
+    T: 'static,
     K: Eq,
     F: Fn(&T) -> K,
     G: Fn(&T) -> Instant,
 {
     /// Creates a batcher reading from `ingress`. `key_of` decides which
     /// items may share a batch; `enqueued_at` reports when an item entered
-    /// the system, anchoring its batch's coalescing deadline.
+    /// the system, anchoring its batch's coalescing deadline. Without
+    /// [`Batcher::with_qos`] every item is one class with no request
+    /// deadline — the pre-QoS behavior.
     ///
     /// # Panics
     ///
@@ -57,47 +95,128 @@ where
         enqueued_at: G,
     ) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
-        Batcher { ingress, stash: VecDeque::new(), max_batch, deadline, key_of, enqueued_at }
+        Batcher {
+            ingress,
+            stash: VecDeque::new(),
+            scratch: VecDeque::new(),
+            max_batch,
+            deadline,
+            key_of,
+            enqueued_at,
+            class_of: Box::new(|_| 0),
+            deadline_of: Box::new(|_| None),
+            on_expired: Box::new(drop),
+        }
+    }
+
+    /// Makes batch formation QoS-aware: `class_of` orders seeds (lower
+    /// ordinal wins, FIFO within a class), `deadline_of` reports an
+    /// item's request deadline, and `on_expired` receives items shed for
+    /// blowing that deadline while still queued.
+    #[must_use]
+    pub fn with_qos(
+        mut self,
+        class_of: impl Fn(&T) -> usize + Send + 'static,
+        deadline_of: impl Fn(&T) -> Option<Instant> + Send + 'static,
+        on_expired: impl FnMut(T) + Send + 'static,
+    ) -> Self {
+        self.class_of = Box::new(class_of);
+        self.deadline_of = Box::new(deadline_of);
+        self.on_expired = Box::new(on_expired);
+        self
+    }
+
+    /// Moves every item already sitting in the channel into the stash
+    /// (arrival order preserved). Returns `false` once the channel is
+    /// closed.
+    fn drain_channel(&mut self) -> bool {
+        loop {
+            match self.ingress.try_recv() {
+                Ok(item) => self.stash.push_back(item),
+                Err(TryRecvError::Empty) => return true,
+                Err(TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Sheds every stashed item whose request deadline has already
+    /// passed — a single stable partition pass, like batch absorption.
+    fn shed_expired(&mut self, now: Instant) {
+        if self.stash.iter().all(|item| (self.deadline_of)(item).is_none_or(|d| d > now)) {
+            return;
+        }
+        debug_assert!(self.scratch.is_empty());
+        while let Some(item) = self.stash.pop_front() {
+            match (self.deadline_of)(&item) {
+                Some(d) if d <= now => (self.on_expired)(item),
+                _ => self.scratch.push_back(item),
+            }
+        }
+        std::mem::swap(&mut self.stash, &mut self.scratch);
     }
 
     /// Blocks for the next batch of same-key items, or `None` once the
     /// ingress channel is closed and the stash is drained.
     pub fn next_batch(&mut self) -> Option<Vec<T>> {
-        // Seed with the oldest pending item: the stash front predates
-        // anything still in the channel.
-        let first = match self.stash.pop_front() {
-            Some(item) => item,
-            None => self.ingress.recv().ok()?,
+        // Gather all pending work, shedding blown-deadline items first:
+        // they must neither seed nor ride in a batch.
+        let open = loop {
+            let open = self.drain_channel();
+            self.shed_expired(Instant::now());
+            if !self.stash.is_empty() {
+                break open;
+            }
+            if !open {
+                return None;
+            }
+            match self.ingress.recv() {
+                Ok(item) => self.stash.push_back(item),
+                Err(_) => return None,
+            }
         };
+
+        // Seed with the best (class, enqueue) pending item: strict
+        // priority across classes, oldest first within one.
+        let seed_idx = self
+            .stash
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, item)| ((self.class_of)(item), (self.enqueued_at)(item)))
+            .map(|(i, _)| i)
+            .expect("stash is non-empty");
+        let first = self.stash.remove(seed_idx).expect("index in bounds");
         let key = (self.key_of)(&first);
-        // The seed is the batch's oldest member, so anchoring the window
-        // at its enqueue time bounds every member's hold to one deadline.
-        let window_closes = (self.enqueued_at)(&first) + self.deadline;
+        // The seed is the batch's oldest same-key member, so anchoring the
+        // window at its enqueue time bounds every member's hold to one
+        // coalescing deadline; a tighter request deadline closes the
+        // window even sooner (never hold a batch past the seed's SLO).
+        let mut window_closes = (self.enqueued_at)(&first) + self.deadline;
+        if let Some(d) = (self.deadline_of)(&first) {
+            window_closes = window_closes.min(d);
+        }
         let mut batch = vec![first];
 
-        // Absorb same-key items already stashed, oldest first.
-        let mut i = 0;
-        while batch.len() < self.max_batch && i < self.stash.len() {
-            if (self.key_of)(&self.stash[i]) == key {
-                batch.push(self.stash.remove(i).expect("index in bounds"));
+        // Absorb same-key items already stashed, oldest first: one stable
+        // partition pass. (The seed's removal above plus this pass keep
+        // both the batch and the remaining stash in arrival order; the old
+        // `VecDeque::remove(i)`-in-a-scan formulation was O(n²) when many
+        // keys interleave under load.)
+        debug_assert!(self.scratch.is_empty());
+        while let Some(item) = self.stash.pop_front() {
+            if batch.len() < self.max_batch && (self.key_of)(&item) == key {
+                batch.push(item);
             } else {
-                i += 1;
+                self.scratch.push_back(item);
             }
         }
+        std::mem::swap(&mut self.stash, &mut self.scratch);
 
-        // Absorb items already sitting in the channel without consuming
-        // any of the deadline window: work that has arrived should never
-        // wait on the clock.
-        while batch.len() < self.max_batch {
-            match self.ingress.try_recv() {
-                Ok(item) if (self.key_of)(&item) == key => batch.push(item),
-                Ok(item) => self.stash.push_back(item),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        if !open {
+            return Some(batch);
         }
 
         // Keep the window open for stragglers until the batch fills or the
-        // seed's deadline hits (possibly already past).
+        // window closes (possibly already past).
         while batch.len() < self.max_batch {
             let now = Instant::now();
             if now >= window_closes {
@@ -119,24 +238,46 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
+    use std::sync::mpsc::{self, Receiver};
 
-    /// A test item: batch key, payload id, enqueue timestamp.
+    /// A test item: batch key, payload id, enqueue timestamp, QoS class,
+    /// optional request deadline.
     #[derive(Clone, Debug, PartialEq, Eq)]
     struct Item {
         key: u32,
         id: u32,
         at: Instant,
+        class: usize,
+        expires: Option<Instant>,
     }
 
     fn item(key: u32, id: u32) -> Item {
-        Item { key, id, at: Instant::now() }
+        Item { key, id, at: Instant::now(), class: 0, expires: None }
+    }
+
+    fn classed(key: u32, id: u32, class: usize) -> Item {
+        Item { class, ..item(key, id) }
     }
 
     type TestBatcher = Batcher<Item, u32, fn(&Item) -> u32, fn(&Item) -> Instant>;
 
     fn batcher(rx: Receiver<Item>, max_batch: usize, deadline: Duration) -> TestBatcher {
         Batcher::new(rx, max_batch, deadline, |i| i.key, |i| i.at)
+    }
+
+    fn qos_batcher(
+        rx: Receiver<Item>,
+        max_batch: usize,
+        deadline: Duration,
+        expired: std::sync::mpsc::Sender<Item>,
+    ) -> TestBatcher {
+        batcher(rx, max_batch, deadline).with_qos(
+            |i| i.class,
+            |i| i.expires,
+            move |i| {
+                let _ = expired.send(i);
+            },
+        )
     }
 
     fn ids(batch: &[Item]) -> Vec<u32> {
@@ -168,6 +309,39 @@ mod tests {
         assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 2]);
         assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 3, 4]);
         assert!(b.next_batch().is_none());
+    }
+
+    /// Regression (ISSUE 6): stash absorption used `VecDeque::remove(i)`
+    /// inside a scan — O(n²) when many keys interleave under load, and a
+    /// correctness hazard if the scan's index bookkeeping ever drifted.
+    /// The single partition pass must preserve arrival order within every
+    /// key and across the remaining stash, at any interleaving scale.
+    #[test]
+    fn many_interleaved_keys_batch_in_order_with_stable_stash() {
+        const KEYS: u32 = 12;
+        const PER_KEY: u32 = 40;
+        let (tx, rx) = mpsc::channel();
+        // Round-robin interleaving: worst case for the old quadratic scan
+        // (every absorbed item forces a shift of the whole tail).
+        for round in 0..PER_KEY {
+            for key in 0..KEYS {
+                tx.send(item(key, round * KEYS + key)).unwrap();
+            }
+        }
+        drop(tx);
+        let mut b = batcher(rx, PER_KEY as usize, Duration::from_millis(1));
+        let mut seen_keys = Vec::new();
+        while let Some(batch) = b.next_batch() {
+            let key = batch[0].key;
+            seen_keys.push(key);
+            assert_eq!(batch.len(), PER_KEY as usize, "key {key} coalesced fully");
+            assert!(batch.iter().all(|i| i.key == key), "single-key batch");
+            let got = ids(&batch);
+            let expect: Vec<u32> = (0..PER_KEY).map(|r| r * KEYS + key).collect();
+            assert_eq!(got, expect, "key {key} lost arrival order");
+        }
+        // Seeds drain keys oldest-first, so batches come out 0..KEYS.
+        assert_eq!(seen_keys, (0..KEYS).collect::<Vec<_>>(), "stash order drifted");
     }
 
     #[test]
@@ -236,6 +410,63 @@ mod tests {
             total_hold < deadline * 2,
             "worst-case hold must stay near one deadline: {total_hold:?}"
         );
+        drop(tx);
+        assert!(b.next_batch().is_none());
+    }
+
+    /// Priority at batch-formation time: a higher class (lower ordinal)
+    /// seeds before an earlier-arrived lower class.
+    #[test]
+    fn higher_class_seeds_before_older_lower_class() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(classed(1, 0, 2)).unwrap(); // batch class, arrives first
+        tx.send(classed(2, 1, 0)).unwrap(); // interactive, arrives second
+        tx.send(classed(1, 2, 2)).unwrap();
+        tx.send(classed(2, 3, 0)).unwrap();
+        drop(tx);
+        let (exp_tx, _exp_rx) = mpsc::channel();
+        let mut b = qos_batcher(rx, 8, Duration::from_millis(1), exp_tx);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 3], "interactive batch first");
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 2], "batch class follows");
+        assert!(b.next_batch().is_none());
+    }
+
+    /// Already-blown work is shed first — before it can seed or ride in a
+    /// batch — and lands in `on_expired`, oldest first.
+    #[test]
+    fn blown_deadlines_are_shed_before_batching() {
+        let (tx, rx) = mpsc::channel();
+        let past = Instant::now() - Duration::from_millis(5);
+        let future = Instant::now() + Duration::from_secs(30);
+        tx.send(Item { expires: Some(past), ..item(1, 0) }).unwrap();
+        tx.send(Item { expires: Some(future), ..item(1, 1) }).unwrap();
+        tx.send(Item { expires: Some(past), ..item(2, 2) }).unwrap();
+        tx.send(item(1, 3)).unwrap();
+        drop(tx);
+        let (exp_tx, exp_rx) = mpsc::channel();
+        let mut b = qos_batcher(rx, 8, Duration::from_millis(1), exp_tx);
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![1, 3], "live key-1 work batches");
+        let expired: Vec<u32> = exp_rx.try_iter().map(|i| i.id).collect();
+        assert_eq!(expired, vec![0, 2], "blown work shed first, oldest first");
+        assert!(b.next_batch().is_none(), "nothing left after sheds");
+    }
+
+    /// A seed whose request deadline is tighter than the coalescing window
+    /// releases at the deadline, not the window.
+    #[test]
+    fn request_deadline_tightens_coalescing_window() {
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        tx.send(Item { expires: Some(start + Duration::from_millis(20)), ..item(1, 0) })
+            .unwrap();
+        let (exp_tx, _exp_rx) = mpsc::channel();
+        // Coalescing window of 5 s would hold a partial batch far past the
+        // request's 20 ms SLO.
+        let mut b = qos_batcher(rx, 64, Duration::from_secs(5), exp_tx);
+        let batch = b.next_batch().unwrap();
+        let held = start.elapsed();
+        assert_eq!(ids(&batch), vec![0]);
+        assert!(held < Duration::from_secs(1), "window must close at the deadline: {held:?}");
         drop(tx);
         assert!(b.next_batch().is_none());
     }

@@ -1,0 +1,385 @@
+//! The response memo-cache: a bounded, sharded map from `(network
+//! identity, quantized-input digest)` to output logits.
+//!
+//! The paper's premise is packing redundant zeros out of the systolic
+//! array; the serving layer applies the same idea one level up by packing
+//! out *redundant requests*. The integer pipeline is deterministic
+//! downstream of the quantized input map, so a repeated input's logits
+//! are already known — serving them from memory replaces an entire array
+//! pass with a table lookup, and the hit is bit-identical to a fresh
+//! [`cc_deploy::DeployedNetwork::run_batch`] *by construction*: the key
+//! is taken after quantization (sub-quantum float jitter lands on the
+//! same key) and the stored quantized bytes are compared in full on every
+//! probe, so a 64-bit digest collision reads as a miss, never as wrong
+//! logits.
+//!
+//! Capacity is bounded in both entries and bytes with LRU eviction
+//! (lazy-stamped recency queue, O(1) amortized). The map is sharded by
+//! digest so concurrent submitters on different inputs do not serialize
+//! on one lock.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity bounds for a [`ResponseCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum cached responses across all shards. 0 disables the cache.
+    pub max_entries: usize,
+    /// Maximum resident bytes across all shards (quantized input bytes +
+    /// logit bytes per entry). 0 = bounded by entries only.
+    pub max_bytes: usize,
+    /// Lock shards (rounded up to a power of two, min 1). More shards =
+    /// less contention between concurrent submitters.
+    pub shards: usize,
+}
+
+impl CacheConfig {
+    /// A disabled cache (the [`crate::ServeConfig`] default: serving
+    /// behavior is exactly the pre-cache runtime).
+    pub fn disabled() -> Self {
+        CacheConfig { max_entries: 0, max_bytes: 0, shards: 1 }
+    }
+
+    /// A cache bounded to `max_entries` responses and `max_bytes`
+    /// resident bytes, with a default shard count.
+    pub fn bounded(max_entries: usize, max_bytes: usize) -> Self {
+        CacheConfig { max_entries, max_bytes, shards: 8 }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.max_entries > 0
+    }
+
+    /// Overrides the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// One cached response: the exact quantized input (verified on every
+/// probe) and the logits a fresh run would produce for it.
+#[derive(Debug)]
+struct Entry {
+    qdata: Box<[i8]>,
+    logits: Box<[f32]>,
+    /// Recency stamp; matches the newest queue node for this key.
+    stamp: u64,
+}
+
+impl Entry {
+    /// Resident cost: payload bytes plus a flat per-entry overhead for
+    /// the map/queue bookkeeping.
+    fn cost(&self) -> usize {
+        self.qdata.len() + self.logits.len() * 4 + 64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(usize, u64), Entry>,
+    /// Lazy LRU: `(key, stamp)` nodes, oldest first. A node whose stamp
+    /// no longer matches its entry is stale (the entry was touched again
+    /// later) and is skipped at eviction time.
+    recency: VecDeque<((usize, u64), u64)>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: (usize, u64)) {
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.stamp = stamp;
+        }
+        self.recency.push_back((key, stamp));
+    }
+
+    /// Evicts LRU entries until both budgets hold; returns how many
+    /// entries and bytes were dropped.
+    fn enforce(&mut self, max_entries: usize, max_bytes: usize) -> (u64, u64) {
+        let (mut evicted, mut freed) = (0u64, 0u64);
+        while self.map.len() > max_entries || (max_bytes > 0 && self.bytes > max_bytes) {
+            let Some((key, stamp)) = self.recency.pop_front() else { break };
+            let is_current = self.map.get(&key).is_some_and(|e| e.stamp == stamp);
+            if is_current {
+                let entry = self.map.remove(&key).expect("checked above");
+                self.bytes -= entry.cost();
+                freed += entry.cost() as u64;
+                evicted += 1;
+            }
+        }
+        // The lazy queue accumulates stale nodes as hot keys are
+        // re-stamped; compact when it outgrows the map so queue memory
+        // stays proportional to the entry bound.
+        if self.recency.len() > self.map.len() * 4 + 16 {
+            let map = &self.map;
+            self.recency.retain(|(key, stamp)| map.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
+        (evicted, freed)
+    }
+}
+
+/// Sharded, doubly-bounded (entries and bytes), LRU response memo-cache.
+#[derive(Debug)]
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    entries_per_shard: usize,
+    bytes_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Point-in-time cache counters and gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes served from the cache.
+    pub hits: u64,
+    /// Probes that fell through to the array.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Resident entries.
+    pub entries: u64,
+    /// Resident bytes (payload + per-entry overhead).
+    pub bytes: u64,
+}
+
+impl ResponseCache {
+    /// Builds a cache for `cfg`. The byte/entry budgets are split evenly
+    /// across shards (each shard holds at least one entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is disabled (`max_entries == 0`) — the server
+    /// represents "no cache" as `Option::None`, not as an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.enabled(), "ResponseCache requires max_entries > 0");
+        let shards = cfg.shards.clamp(1, cfg.max_entries).next_power_of_two();
+        ResponseCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: shards as u64 - 1,
+            entries_per_shard: cfg.max_entries.div_ceil(shards).max(1),
+            bytes_per_shard: cfg.max_bytes.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<Shard> {
+        // The digest is FNV-mixed; its low bits index well.
+        &self.shards[(digest & self.mask) as usize]
+    }
+
+    /// Looks up the logits for `(identity, digest)`, verifying the stored
+    /// quantized input equals `qdata` byte-for-byte (a digest collision
+    /// must read as a miss, never as wrong logits). A hit refreshes the
+    /// entry's recency.
+    pub fn lookup(&self, identity: usize, digest: u64, qdata: &[i8]) -> Option<Vec<f32>> {
+        let key = (identity, digest);
+        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        let hit = match shard.map.get(&key) {
+            Some(entry) if *entry.qdata == *qdata => Some(entry.logits.to_vec()),
+            _ => None,
+        };
+        match hit {
+            Some(logits) => {
+                shard.touch(key);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(logits)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the response for `(identity, digest)`,
+    /// evicting LRU entries as needed to hold both budgets. An input too
+    /// large for the byte budget is skipped outright rather than churning
+    /// the whole cache through eviction.
+    pub fn insert(&self, identity: usize, digest: u64, qdata: &[i8], logits: &[f32]) {
+        let key = (identity, digest);
+        let entry = Entry { qdata: qdata.into(), logits: logits.into(), stamp: 0 };
+        let cost = entry.cost();
+        if self.bytes_per_shard > 0 && cost > self.bytes_per_shard {
+            return;
+        }
+        let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
+        let replaced = match shard.map.insert(key, entry) {
+            Some(old) => {
+                // Racing workers computed the same miss twice (or a
+                // collision overwrote a stale neighbor); replace, keeping
+                // bytes honest.
+                shard.bytes -= old.cost();
+                Some(old.cost() as u64)
+            }
+            None => None,
+        };
+        shard.bytes += cost;
+        shard.touch(key);
+        let (evicted, freed) = shard.enforce(self.entries_per_shard, self.bytes_per_shard);
+        drop(shard);
+        // Gauges track the shard-local deltas of this insert, so they stay
+        // exact without sweeping every shard's lock on the hot path.
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.entries.fetch_sub(evicted, Ordering::Relaxed);
+        }
+        if replaced.is_none() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        let added = cost as u64;
+        let removed = freed + replaced.unwrap_or(0);
+        if added >= removed {
+            self.bytes.fetch_add(added - removed, Ordering::Relaxed);
+        } else {
+            self.bytes.fetch_sub(removed - added, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time counters and gauges.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total entry capacity (per-shard budget × shards).
+    pub fn capacity_entries(&self) -> usize {
+        self.entries_per_shard * self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qd(v: i8, n: usize) -> Vec<i8> {
+        vec![v; n]
+    }
+
+    #[test]
+    fn hit_returns_exact_logits_and_counts() {
+        let cache = ResponseCache::new(CacheConfig::bounded(8, 0));
+        let data = qd(3, 16);
+        assert!(cache.lookup(1, 42, &data).is_none());
+        cache.insert(1, 42, &data, &[1.0, -2.5]);
+        assert_eq!(cache.lookup(1, 42, &data), Some(vec![1.0, -2.5]));
+        // Same digest, different identity → different key.
+        assert!(cache.lookup(2, 42, &data).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn digest_collision_reads_as_miss_never_wrong_logits() {
+        let cache = ResponseCache::new(CacheConfig::bounded(8, 0));
+        cache.insert(1, 42, &qd(3, 16), &[1.0]);
+        // A colliding digest with different quantized bytes must miss.
+        assert!(cache.lookup(1, 42, &qd(4, 16)).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn entry_bound_evicts_lru_first() {
+        let cache = ResponseCache::new(CacheConfig { max_entries: 2, max_bytes: 0, shards: 1 });
+        cache.insert(1, 1, &qd(1, 4), &[1.0]);
+        cache.insert(1, 2, &qd(2, 4), &[2.0]);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.lookup(1, 1, &qd(1, 4)).is_some());
+        cache.insert(1, 3, &qd(3, 4), &[3.0]);
+        assert!(cache.lookup(1, 1, &qd(1, 4)).is_some(), "recently used entry survived");
+        assert!(cache.lookup(1, 2, &qd(2, 4)).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(1, 3, &qd(3, 4)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversized_entries_are_skipped() {
+        // Each entry costs 64 overhead + 32 data + 4 logits = 100 bytes.
+        let cache = ResponseCache::new(CacheConfig { max_entries: 64, max_bytes: 250, shards: 1 });
+        for d in 0..4u64 {
+            cache.insert(1, d, &qd(d as i8, 32), &[d as f32]);
+        }
+        let s = cache.stats();
+        assert!(s.bytes <= 250, "byte budget held: {}", s.bytes);
+        assert_eq!(s.entries, 2, "250 bytes holds two 100-byte entries");
+        assert_eq!(s.evictions, 2);
+        // An entry bigger than the whole budget never enters.
+        cache.insert(1, 99, &qd(1, 4096), &[0.0]);
+        assert!(cache.lookup(1, 99, &qd(1, 4096)).is_none());
+        assert_eq!(cache.stats().entries, 2, "oversized insert skipped");
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_bytes_honest() {
+        let cache = ResponseCache::new(CacheConfig { max_entries: 4, max_bytes: 0, shards: 1 });
+        cache.insert(1, 7, &qd(1, 8), &[1.0]);
+        let before = cache.stats().bytes;
+        for _ in 0..10 {
+            cache.insert(1, 7, &qd(1, 8), &[1.0]);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, before, "re-inserting one key must not inflate the byte gauge");
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_hot_key_churn() {
+        let cache = ResponseCache::new(CacheConfig { max_entries: 2, max_bytes: 0, shards: 1 });
+        cache.insert(1, 1, &qd(1, 4), &[1.0]);
+        cache.insert(1, 2, &qd(2, 4), &[2.0]);
+        for _ in 0..10_000 {
+            assert!(cache.lookup(1, 1, &qd(1, 4)).is_some());
+        }
+        // Trigger compaction via the insert path and bound the queue.
+        cache.insert(1, 2, &qd(2, 4), &[2.0]);
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(
+            shard.recency.len() <= shard.map.len() * 4 + 17,
+            "lazy queue must compact: {} nodes for {} entries",
+            shard.recency.len(),
+            shard.map.len()
+        );
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two_and_respects_entries() {
+        let cache = ResponseCache::new(CacheConfig { max_entries: 100, max_bytes: 0, shards: 6 });
+        assert_eq!(cache.shards.len(), 8);
+        assert!(cache.capacity_entries() >= 100);
+        // One entry total still works with many requested shards.
+        let tiny = ResponseCache::new(CacheConfig { max_entries: 1, max_bytes: 0, shards: 8 });
+        assert_eq!(tiny.shards.len(), 1);
+    }
+}

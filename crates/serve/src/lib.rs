@@ -42,11 +42,25 @@
 //!   execution and composing with `pipeline_stages` into a stages ×
 //!   shards grid. `pipeline_stages = 0` picks the depth per model from
 //!   its layer cost profile ([`auto_stages`]).
+//! - **Response memo-cache** ([`ResponseCache`],
+//!   [`ServeConfig::cache`]): a bounded, sharded LRU map from `(network
+//!   identity, quantized-input digest)` to logits. A repeated input is
+//!   served from memory — bit-identical to a fresh array pass by
+//!   construction, since the key is the exact post-quantization bytes —
+//!   without consuming a queue slot, a batch slot, or array time.
+//!   Disabled by default.
+//! - **QoS-aware admission** ([`SubmitOptions`],
+//!   [`Server::submit_with`]): per-request service classes
+//!   ([`QosClass`], strict priority at batch formation), deadlines
+//!   (already-blown work is shed first, resolving its ticket with
+//!   [`WaitError::DeadlineExceeded`]), and per-tenant in-flight quotas
+//!   ([`ServeConfig::tenant_quota`], [`SubmitError::QuotaExceeded`]).
 //! - **Admission control**: a bounded queue with shed-on-full semantics
 //!   ([`SubmitError::QueueFull`]) gives end-to-end backpressure.
 //! - **Telemetry** ([`TelemetrySnapshot`]): p50/p95/p99 latency from a
-//!   log-linear histogram, throughput, batch occupancy, queue depth, and
-//!   per-stage/per-shard busy fractions.
+//!   log-linear histogram, throughput (windowed from first traffic),
+//!   batch occupancy, queue depth, per-stage/per-shard busy fractions,
+//!   cache hit/miss/eviction counters, and per-class shed counts.
 //!
 //! Std-only: threads and channels, no async runtime.
 //!
@@ -80,12 +94,16 @@
 //! ```
 
 pub mod batcher;
+pub mod cache;
 pub mod pipeline;
+pub mod qos;
 pub mod registry;
 pub mod server;
 pub mod telemetry;
 
+pub use cache::{CacheConfig, CacheStats, ResponseCache};
 pub use pipeline::{auto_stage_cap, auto_stages, partition_stages, PipelineExecutor};
+pub use qos::{QosClass, SubmitOptions, TenantLedger, QOS_CLASSES};
 pub use registry::ModelRegistry;
-pub use server::{Response, ServeConfig, Server, SubmitError, Ticket};
+pub use server::{Response, ServeConfig, Server, SubmitError, Ticket, WaitError};
 pub use telemetry::{LatencyHistogram, Occupancy, Telemetry, TelemetrySnapshot};

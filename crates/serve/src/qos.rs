@@ -1,0 +1,171 @@
+//! QoS classes and per-request service-level options for admission
+//! control and batch formation.
+//!
+//! Every request carries a [`QosClass`] (strict priority at
+//! batch-formation time), an optional deadline (work that blows it is
+//! shed *first*, before it can waste array time), and an optional tenant
+//! key (per-tenant admission quotas). [`SubmitOptions::default`] is the
+//! pre-QoS behavior: standard class, no deadline, no tenant accounting.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Service class of a request. Lower ordinal = stricter SLO: the batcher
+/// seeds batches from the best class present (FIFO within a class), so
+/// interactive work overtakes batch work at every batch-formation point
+/// without preempting a batch already on the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum QosClass {
+    /// Latency-sensitive foreground traffic.
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput-oriented background work; first to wait under load.
+    Batch,
+}
+
+/// Number of distinct [`QosClass`] values (sizes per-class counters).
+pub const QOS_CLASSES: usize = 3;
+
+impl QosClass {
+    /// Ordinal used for priority ordering and per-class counters.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable label (telemetry tables, bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::Batch => "batch",
+        }
+    }
+
+    /// Every class, in priority order.
+    pub fn all() -> [QosClass; QOS_CLASSES] {
+        [QosClass::Interactive, QosClass::Standard, QosClass::Batch]
+    }
+}
+
+/// Per-request service-level options for [`crate::Server::submit_with`].
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Service class; see [`QosClass`].
+    pub class: QosClass,
+    /// End-to-end deadline, measured from submit. A request still queued
+    /// when its deadline passes is shed at the next batch-formation point
+    /// (its ticket resolves with
+    /// [`crate::WaitError::DeadlineExceeded`]) instead of occupying a
+    /// batch slot that fresher work could use.
+    pub deadline: Option<Duration>,
+    /// Tenant key for quota accounting. `None` bypasses quotas.
+    pub tenant: Option<String>,
+}
+
+impl SubmitOptions {
+    /// Options with everything defaulted (standard class, no deadline,
+    /// no tenant).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the service class.
+    #[must_use]
+    pub fn with_class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tenant key.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// In-flight admission counts per tenant. A tenant's count rises at admit
+/// and falls when its request completes or is shed, so the quota bounds
+/// *queued + executing* work per tenant — one tenant flooding the queue
+/// cannot starve the rest even inside the global queue capacity.
+#[derive(Debug, Default)]
+pub struct TenantLedger {
+    in_flight: Mutex<HashMap<String, usize>>,
+}
+
+impl TenantLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to admit one request for `tenant` under `quota` (0 = no
+    /// limit). Returns `false` — without counting — when the tenant is at
+    /// its quota.
+    pub fn try_admit(&self, tenant: &str, quota: usize) -> bool {
+        let mut map = self.in_flight.lock().expect("tenant ledger poisoned");
+        let count = map.entry(tenant.to_string()).or_insert(0);
+        if quota > 0 && *count >= quota {
+            return false;
+        }
+        *count += 1;
+        true
+    }
+
+    /// Releases one admitted request for `tenant` (completion or shed).
+    pub fn release(&self, tenant: &str) {
+        let mut map = self.in_flight.lock().expect("tenant ledger poisoned");
+        if let Some(count) = map.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+
+    /// Current in-flight count for `tenant`.
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        self.in_flight.lock().expect("tenant ledger poisoned").get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_and_labels() {
+        assert!(QosClass::Interactive < QosClass::Standard);
+        assert!(QosClass::Standard < QosClass::Batch);
+        assert_eq!(QosClass::default(), QosClass::Standard);
+        assert_eq!(QosClass::all().map(QosClass::index), [0, 1, 2]);
+        assert_eq!(QosClass::Batch.label(), "batch");
+    }
+
+    #[test]
+    fn ledger_enforces_quota_and_releases() {
+        let ledger = TenantLedger::new();
+        assert!(ledger.try_admit("a", 2));
+        assert!(ledger.try_admit("a", 2));
+        assert!(!ledger.try_admit("a", 2), "third admit must hit the quota");
+        // Another tenant has its own budget; zero quota means unlimited.
+        assert!(ledger.try_admit("b", 2));
+        assert!(ledger.try_admit("a", 0));
+        ledger.release("a");
+        ledger.release("a");
+        assert_eq!(ledger.in_flight("a"), 1);
+        assert!(ledger.try_admit("a", 2));
+        // Releasing an unknown tenant is a no-op, not a panic.
+        ledger.release("ghost");
+    }
+}

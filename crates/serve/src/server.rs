@@ -2,10 +2,12 @@
 //! pool, glued together with std threads and channels.
 //!
 //! ```text
-//!  submit() ──try_send──▶ [bounded ingress] ──▶ batcher ──▶ [rendezvous] ──▶ worker 0..W
-//!     │ full?                                    │ coalesce                    │ run_batch_with,
-//!     ▼ shed                                     ▼ per pipeline                │ or K-stage pipeline
-//!                                                                             ▼ reply channel
+//!  submit() ──cache hit?──▶ reply immediately (no array pass)
+//!     │ miss
+//!     ├──quota/try_send──▶ [bounded ingress] ──▶ batcher ──▶ [rendezvous] ──▶ worker 0..W
+//!     │ full?                                    │ shed blown deadlines       │ run_batch_with,
+//!     ▼ shed                                     │ seed best (class, age)     │ or K-stage pipeline
+//!                                                ▼ coalesce per pipeline      ▼ reply + cache fill
 //! ```
 //!
 //! Backpressure is end-to-end: workers pull batches over a rendezvous
@@ -15,9 +17,24 @@
 //! [`ServeConfig::pipeline_stages`] ≥ 2 a worker feeds a bounded
 //! [`PipelineExecutor`] instead of executing inline; the bounded stage
 //! channels keep the same backpressure chain intact.
+//!
+//! With [`ServeConfig::cache`] enabled, a submit first probes the
+//! response memo-cache on `(network identity, quantized-input digest)`:
+//! a repeated input is answered from memory — bit-identical to a fresh
+//! array pass, see [`crate::cache`] — without consuming a queue slot,
+//! a batch slot, or array time. Misses carry their digest through the
+//! batch so the worker fills the cache at completion.
+//!
+//! [`Server::submit_with`] attaches per-request QoS: a [`QosClass`]
+//! (strict priority at batch formation), a deadline (blown work is shed
+//! at the next batch-formation point, resolving its ticket with
+//! [`WaitError::DeadlineExceeded`]), and a tenant key (per-tenant
+//! in-flight quotas via [`ServeConfig::tenant_quota`]).
 
 use crate::batcher::Batcher;
+use crate::cache::{CacheConfig, ResponseCache};
 use crate::pipeline::{auto_stage_cap, auto_stages, PipelineExecutor};
+use crate::qos::{QosClass, SubmitOptions, TenantLedger};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
@@ -56,6 +73,13 @@ pub struct ServeConfig {
     /// concatenation — bit-identical to serial execution. Composes with
     /// `pipeline_stages` into a stages × shards executor grid.
     pub shards: usize,
+    /// Response memo-cache bounds. Disabled by default
+    /// ([`CacheConfig::disabled`]): serving behavior is then exactly the
+    /// pre-cache runtime.
+    pub cache: CacheConfig,
+    /// Per-tenant in-flight (queued + executing) request quota for
+    /// requests that carry a tenant key. 0 (the default) = unlimited.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +91,8 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             pipeline_stages: 1,
             shards: 1,
+            cache: CacheConfig::disabled(),
+            tenant_quota: 0,
         }
     }
 }
@@ -114,6 +140,20 @@ impl ServeConfig {
         self.shards = shards;
         self
     }
+
+    /// Overrides the response memo-cache bounds.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Overrides the per-tenant in-flight quota (0 = unlimited).
+    #[must_use]
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota;
+        self
+    }
 }
 
 /// Why [`Server::submit`] rejected a request.
@@ -130,6 +170,12 @@ pub enum SubmitError {
     },
     /// Admission control shed the request: the queue is full.
     QueueFull,
+    /// Admission control shed the request: its tenant is at the
+    /// [`ServeConfig::tenant_quota`] in-flight limit.
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: String,
+    },
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -142,12 +188,37 @@ impl fmt::Display for SubmitError {
                 write!(f, "image shape {got:?} does not match model input {expected:?}")
             }
             SubmitError::QueueFull => write!(f, "queue full, request shed"),
+            SubmitError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant:?} is at its in-flight quota")
+            }
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a [`Ticket`] resolved without a [`Response`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitError {
+    /// The request's [`SubmitOptions::deadline`] passed while it was
+    /// still queued; the batcher shed it at the next batch-formation
+    /// point instead of spending array time on already-blown work.
+    DeadlineExceeded,
+    /// The server was torn down before the request completed.
+    Disconnected,
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::DeadlineExceeded => write!(f, "deadline passed while queued"),
+            WaitError::Disconnected => write!(f, "server shut down before completion"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
 
 /// A served inference result.
 #[derive(Clone, Debug)]
@@ -158,41 +229,70 @@ pub struct Response {
     pub class: usize,
     /// End-to-end latency, submit to completion.
     pub latency: Duration,
-    /// Size of the batch this request rode in.
+    /// Size of the batch this request rode in. 0 means it rode in none:
+    /// the response was served from the memo-cache.
     pub batch_size: usize,
 }
 
-/// A pending response; resolves when a worker finishes the request.
+/// A pending response; resolves when a worker finishes the request (or
+/// immediately, on a cache hit).
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<Response>,
+    rx: Receiver<Result<Response, WaitError>>,
 }
 
 impl Ticket {
-    /// Blocks until the response arrives. `None` only if the server was
-    /// torn down before the request completed.
+    /// Blocks until the response arrives. `None` if the request was shed
+    /// after admission (deadline) or the server was torn down first — use
+    /// [`Ticket::wait_result`] to distinguish.
     pub fn wait(self) -> Option<Response> {
-        self.rx.recv().ok()
+        self.wait_result().ok()
+    }
+
+    /// Blocks until the response arrives, reporting *why* when it never
+    /// will.
+    pub fn wait_result(self) -> Result<Response, WaitError> {
+        self.rx.recv().unwrap_or(Err(WaitError::Disconnected))
     }
 
     /// Non-blocking poll.
     pub fn try_wait(&self) -> Option<Response> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().and_then(Result::ok)
     }
 }
+
+/// A miss's memo-cache key, carried through the batch so the worker can
+/// fill the cache at completion.
+type CacheKey = (u64, Box<[i8]>);
 
 struct Request {
     net: DeployedNetwork,
     image: Tensor,
     submitted: Instant,
-    reply: mpsc::Sender<Response>,
+    class: QosClass,
+    /// Absolute deadline (submit time + [`SubmitOptions::deadline`]).
+    deadline: Option<Instant>,
+    tenant: Option<Arc<str>>,
+    cache_key: Option<CacheKey>,
+    reply: mpsc::Sender<Result<Response, WaitError>>,
+}
+
+/// Everything the completion path needs besides the batch itself; shared
+/// by the submit path, workers, and pipeline sinks.
+#[derive(Clone)]
+struct Shared {
+    telemetry: Arc<Telemetry>,
+    cache: Option<Arc<ResponseCache>>,
+    ledger: Arc<TenantLedger>,
 }
 
 /// A concurrent batched inference server over a [`ModelRegistry`].
-#[derive(Debug)]
 pub struct Server {
     registry: Arc<ModelRegistry>,
     telemetry: Arc<Telemetry>,
+    cache: Option<Arc<ResponseCache>>,
+    ledger: Arc<TenantLedger>,
+    tenant_quota: usize,
     queue_capacity: usize,
     ingress: Option<SyncSender<Request>>,
     batcher: Option<JoinHandle<()>>,
@@ -214,7 +314,13 @@ impl Server {
         assert!(cfg.shards > 0, "shards must be at least 1");
 
         let registry = Arc::new(registry);
-        let telemetry = Arc::new(Telemetry::new());
+        // Occupancy gauges sized from the config so no configured
+        // executor's busy time is dropped (auto stage depth is bounded by
+        // the machine cap).
+        let stage_slots = if cfg.pipeline_stages == 0 { auto_stage_cap() } else { cfg.pipeline_stages };
+        let telemetry = Arc::new(Telemetry::with_slots(stage_slots, cfg.shards));
+        let cache = cfg.cache.enabled().then(|| Arc::new(ResponseCache::new(cfg.cache)));
+        let ledger = Arc::new(TenantLedger::new());
         let (ingress_tx, ingress_rx) = mpsc::sync_channel::<Request>(cfg.queue_capacity);
         // Rendezvous hand-off: the batcher blocks until a worker is free,
         // which is what pushes overload back to admission control.
@@ -222,6 +328,8 @@ impl Server {
         let work_rx = Arc::new(Mutex::new(work_rx));
 
         let batcher_telemetry = Arc::clone(&telemetry);
+        let expired_telemetry = Arc::clone(&telemetry);
+        let expired_ledger = Arc::clone(&ledger);
         let batcher = std::thread::Builder::new()
             .name("cc-serve-batcher".into())
             .spawn(move || {
@@ -238,6 +346,17 @@ impl Server {
                     cfg.batch_deadline,
                     |r: &Request| r.net.identity(),
                     |r: &Request| r.submitted,
+                )
+                .with_qos(
+                    |r: &Request| r.class.index(),
+                    |r: &Request| r.deadline,
+                    move |r: Request| {
+                        expired_telemetry.on_deadline_shed(r.class);
+                        if let Some(tenant) = &r.tenant {
+                            expired_ledger.release(tenant);
+                        }
+                        let _ = r.reply.send(Err(WaitError::DeadlineExceeded));
+                    },
                 );
                 while let Some(batch) = batcher.next_batch() {
                     batcher_telemetry.on_dispatch(batch.len());
@@ -248,15 +367,20 @@ impl Server {
             })
             .expect("spawn batcher");
 
+        let shared = Shared {
+            telemetry: Arc::clone(&telemetry),
+            cache: cache.clone(),
+            ledger: Arc::clone(&ledger),
+        };
         let workers = (0..cfg.workers)
             .map(|i| {
                 let work_rx = Arc::clone(&work_rx);
-                let telemetry = Arc::clone(&telemetry);
+                let shared = shared.clone();
                 let stages = cfg.pipeline_stages;
                 let shards = cfg.shards;
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &telemetry, stages, shards))
+                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards))
                     .expect("spawn worker")
             })
             .collect();
@@ -264,6 +388,9 @@ impl Server {
         Server {
             registry,
             telemetry,
+            cache,
+            ledger,
+            tenant_quota: cfg.tenant_quota,
             queue_capacity: cfg.queue_capacity,
             ingress: Some(ingress_tx),
             batcher: Some(batcher),
@@ -271,9 +398,25 @@ impl Server {
         }
     }
 
-    /// Submits one image for inference on `model`, returning a [`Ticket`]
+    /// Submits one image for inference on `model` with default QoS
+    /// (standard class, no deadline, no tenant), returning a [`Ticket`]
     /// to wait on — or shedding immediately when the queue is full.
     pub fn submit(&self, model: &str, image: Tensor) -> Result<Ticket, SubmitError> {
+        self.submit_with(model, image, SubmitOptions::new())
+    }
+
+    /// [`Server::submit`] with per-request QoS options: service class,
+    /// deadline, and tenant key (see [`SubmitOptions`]).
+    ///
+    /// With the memo-cache enabled, a repeated input resolves its ticket
+    /// immediately from the cache — bit-identical to a fresh array pass —
+    /// without consuming a queue slot, a quota slot, or array time.
+    pub fn submit_with(
+        &self,
+        model: &str,
+        image: Tensor,
+        options: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
         let net = self
             .registry
             .get(model)
@@ -284,26 +427,80 @@ impl Server {
         if got != [expected.0, expected.1, expected.2] {
             return Err(SubmitError::InvalidShape { expected, got });
         }
+        let submitted = Instant::now();
+
+        // Memo-cache probe. The key is taken *after* quantization — the
+        // exact bytes the array would see — so a hit is bit-identical to
+        // running the batch, and sub-quantum float jitter still hits.
+        let cache_key = match &self.cache {
+            Some(cache) => {
+                let qmap = net.quantize_input(&image);
+                let digest = qmap.digest();
+                if let Some(logits) = cache.lookup(net.identity(), digest, qmap.as_slice()) {
+                    let latency = submitted.elapsed();
+                    self.telemetry.on_complete(latency);
+                    let class = argmax(&logits);
+                    let (reply, rx) = mpsc::channel();
+                    let _ = reply.send(Ok(Response { logits, class, latency, batch_size: 0 }));
+                    return Ok(Ticket { rx });
+                }
+                Some((digest, qmap.into_raw().into_boxed_slice()))
+            }
+            None => None,
+        };
+
+        // Tenant quota: one tenant flooding submits cannot occupy the
+        // whole queue. The ledger counts whenever a tenant key is present
+        // (even at quota 0 = unlimited) so `in_flight` stays observable.
+        let tenant: Option<Arc<str>> = options.tenant.as_deref().map(Arc::from);
+        if let Some(t) = &tenant {
+            if !self.ledger.try_admit(t, self.tenant_quota) {
+                self.telemetry.on_shed(options.class);
+                return Err(SubmitError::QuotaExceeded { tenant: t.to_string() });
+            }
+        }
+        let release = |t: &Option<Arc<str>>| {
+            if let Some(t) = t {
+                self.ledger.release(t);
+            }
+        };
+
         // The gauge also covers requests the batcher has pulled into its
         // coalescing window but not yet dispatched.
         if self.telemetry.queue_depth() >= self.queue_capacity {
-            self.telemetry.on_shed();
+            release(&tenant);
+            self.telemetry.on_shed(options.class);
             return Err(SubmitError::QueueFull);
         }
-        let ingress = self.ingress.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let Some(ingress) = self.ingress.as_ref() else {
+            release(&tenant);
+            return Err(SubmitError::ShuttingDown);
+        };
         let (reply, rx) = mpsc::channel();
-        let request =
-            Request { net: net.clone(), image, submitted: Instant::now(), reply };
+        let request = Request {
+            net: net.clone(),
+            image,
+            submitted,
+            class: options.class,
+            deadline: options.deadline.map(|d| submitted + d),
+            tenant: tenant.clone(),
+            cache_key,
+            reply,
+        };
         match ingress.try_send(request) {
             Ok(()) => {
                 self.telemetry.on_admit();
                 Ok(Ticket { rx })
             }
             Err(TrySendError::Full(_)) => {
-                self.telemetry.on_shed();
+                release(&tenant);
+                self.telemetry.on_shed(options.class);
                 Err(SubmitError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            Err(TrySendError::Disconnected(_)) => {
+                release(&tenant);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -312,16 +509,25 @@ impl Server {
         &self.registry
     }
 
-    /// Point-in-time serving metrics.
+    /// Current in-flight request count for `tenant`.
+    pub fn tenant_in_flight(&self, tenant: &str) -> usize {
+        self.ledger.in_flight(tenant)
+    }
+
+    /// Point-in-time serving metrics (including memo-cache counters).
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        self.telemetry.snapshot()
+        self.telemetry.snapshot_with_cache(
+            self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+        )
     }
 
     /// Drains the queue, stops every thread, and returns the final
     /// telemetry. All outstanding tickets resolve before this returns.
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.stop();
-        self.telemetry.snapshot()
+        self.telemetry.snapshot_with_cache(
+            self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+        )
     }
 
     fn stop(&mut self) {
@@ -337,6 +543,17 @@ impl Server {
     }
 }
 
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("tenant_quota", &self.tenant_quota)
+            .field("cache", &self.cache.is_some())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
@@ -344,14 +561,22 @@ impl Drop for Server {
 }
 
 /// Per-request completion state a batch carries to the reply point.
-type BatchMeta = Vec<(Instant, mpsc::Sender<Response>)>;
+struct ReplyCtx {
+    submitted: Instant,
+    tenant: Option<Arc<str>>,
+    cache_key: Option<CacheKey>,
+    reply: mpsc::Sender<Result<Response, WaitError>>,
+}
+
+type BatchMeta = Vec<ReplyCtx>;
 
 fn worker_loop(
     work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
-    telemetry: &Arc<Telemetry>,
+    shared: &Shared,
     stages: usize,
     shards: usize,
 ) {
+    let telemetry = &shared.telemetry;
     // Pipelines are per network identity, built lazily on the first batch
     // for that pipeline (registries hold few models, so a linear scan
     // beats a map). Dropping this at loop exit drains every in-flight
@@ -374,8 +599,9 @@ fn worker_loop(
         let Ok(batch) = batch else { break };
         let size = batch.len();
         let net = batch[0].net.clone();
+        let identity = net.identity();
         assert!(
-            batch.iter().all(|r| r.net.identity() == net.identity()),
+            batch.iter().all(|r| r.net.identity() == identity),
             "batcher must never co-batch requests for distinct deployed pipelines"
         );
 
@@ -383,7 +609,12 @@ fn worker_loop(
         let mut meta: BatchMeta = Vec::with_capacity(size);
         for request in batch {
             images.push(request.image);
-            meta.push((request.submitted, request.reply));
+            meta.push(ReplyCtx {
+                submitted: request.submitted,
+                tenant: request.tenant,
+                cache_key: request.cache_key,
+                reply: request.reply,
+            });
         }
 
         // 0 = auto: depth from the network's layer cost profile, resolved
@@ -391,7 +622,7 @@ fn worker_loop(
         // a worker rotating across many models (or hot-swaps) neither
         // grows the cache without limit nor trusts an address from a
         // long-dropped network.
-        let net_stages = match resolved.iter().position(|(id, _)| *id == net.identity()) {
+        let net_stages = match resolved.iter().position(|(id, _)| *id == identity) {
             Some(idx) => {
                 let entry = resolved.remove(idx);
                 let s = entry.1;
@@ -407,7 +638,7 @@ fn worker_loop(
                 if resolved.len() >= MAX_WORKER_PIPELINES {
                     resolved.remove(0);
                 }
-                resolved.push((net.identity(), s));
+                resolved.push((identity, s));
                 s
             }
         };
@@ -424,7 +655,7 @@ fn worker_loop(
             let logits_batch = net.run_batch_banded(&sched, &images, &mut scratch, &mut bands);
             telemetry.on_stage_busy(0, started.elapsed());
             telemetry.drain_shard_busy(&mut bands);
-            complete_batch(telemetry, meta, logits_batch);
+            complete_batch(shared, identity, meta, logits_batch);
             continue;
         }
 
@@ -433,7 +664,7 @@ fn worker_loop(
         // of batch n overlaps the later stages of batch n−1. `submit`
         // blocks only at the in-flight cap, which keeps backpressure
         // flowing to admission control.
-        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, telemetry);
+        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, shared);
         pipe.submit(&images, meta);
     }
 }
@@ -452,7 +683,7 @@ fn pipeline_for<'a>(
     net: &DeployedNetwork,
     stages: usize,
     shards: usize,
-    telemetry: &Arc<Telemetry>,
+    shared: &Shared,
 ) -> &'a PipelineExecutor<BatchMeta> {
     let id = net.identity();
     if let Some(idx) = pipelines.iter().position(|(pid, _)| *pid == id) {
@@ -466,13 +697,13 @@ fn pipeline_for<'a>(
             let (_, oldest) = pipelines.remove(0);
             oldest.drain();
         }
-        let sink_telemetry = Arc::clone(telemetry);
+        let sink_shared = shared.clone();
         let pipe = PipelineExecutor::new_sharded(
             net.clone(),
             stages,
             1,
             shards,
-            Some(Arc::clone(telemetry)),
+            Some(Arc::clone(&shared.telemetry)),
             move |out, meta: BatchMeta| {
                 let logits_batch = match out {
                     BatchOutput::Logits(l) => l,
@@ -480,7 +711,7 @@ fn pipeline_for<'a>(
                         panic!("deployed pipeline must end at the classifier head")
                     }
                 };
-                complete_batch(&sink_telemetry, meta, logits_batch);
+                complete_batch(&sink_shared, id, meta, logits_batch);
             },
         );
         pipelines.push((id, pipe));
@@ -488,15 +719,27 @@ fn pipeline_for<'a>(
     &pipelines.last().expect("cache is non-empty").1
 }
 
-/// Resolves one finished batch: telemetry, argmax, replies.
-fn complete_batch(telemetry: &Telemetry, meta: BatchMeta, logits_batch: Vec<Vec<f32>>) {
+/// Resolves one finished batch: telemetry, cache fill, quota release,
+/// argmax, replies.
+fn complete_batch(
+    shared: &Shared,
+    identity: usize,
+    meta: BatchMeta,
+    logits_batch: Vec<Vec<f32>>,
+) {
     let size = meta.len();
-    for ((submitted, reply), logits) in meta.into_iter().zip(logits_batch) {
-        let latency = submitted.elapsed();
-        telemetry.on_complete(latency);
+    for (ctx, logits) in meta.into_iter().zip(logits_batch) {
+        let latency = ctx.submitted.elapsed();
+        shared.telemetry.on_complete(latency);
+        if let (Some(cache), Some((digest, qdata))) = (&shared.cache, &ctx.cache_key) {
+            cache.insert(identity, *digest, qdata, &logits);
+        }
+        if let Some(tenant) = &ctx.tenant {
+            shared.ledger.release(tenant);
+        }
         let class = argmax(&logits);
         // A dropped ticket just means the client stopped waiting.
-        let _ = reply.send(Response { logits, class, latency, batch_size: size });
+        let _ = ctx.reply.send(Ok(Response { logits, class, latency, batch_size: size }));
     }
 }
 

@@ -6,14 +6,18 @@
 //! ~6% relative error at any latency scale while the whole structure stays
 //! a fixed 8 KiB — no allocation on the record path beyond one mutex.
 
+use crate::cache::CacheStats;
+use crate::qos::{QosClass, QOS_CLASSES};
 use cc_deploy::BandSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Pipeline-stage / shard slots tracked by the occupancy gauges. Sized
-/// generously past any sane `pipeline_stages`/`shards` setting; indices
-/// beyond it are silently dropped rather than grown under concurrency.
+/// Default pipeline-stage / shard slots tracked by the occupancy gauges
+/// when the caller does not size them explicitly. The server sizes its
+/// gauges from [`crate::ServeConfig`] ([`Telemetry::with_slots`]), so
+/// configurations beyond this floor still report truthfully; the floor
+/// only covers bare [`Telemetry::new`] construction.
 const OCCUPANCY_SLOTS: usize = 16;
 
 /// Lock-free busy-time accounting per executor slot (pipeline stage or
@@ -28,8 +32,14 @@ pub struct Occupancy {
 }
 
 impl Occupancy {
-    fn new() -> Self {
-        Occupancy { busy: (0..OCCUPANCY_SLOTS).map(|_| AtomicU64::new(0)).collect() }
+    /// Gauges for `slots` executor slots (floored at the legacy default
+    /// so an under-sized caller still gets headroom). Slots must be sized
+    /// at construction: indices past the end are dropped, and a gauge
+    /// that silently drops real executors lies — the regression this
+    /// sizing exists to prevent.
+    fn new(slots: usize) -> Self {
+        let slots = slots.max(OCCUPANCY_SLOTS);
+        Occupancy { busy: (0..slots).map(|_| AtomicU64::new(0)).collect() }
     }
 
     /// Adds busy time to a slot (out-of-range indices are dropped).
@@ -146,9 +156,21 @@ impl Default for LatencyHistogram {
 #[derive(Debug)]
 pub struct Telemetry {
     started: Instant,
+    /// Nanoseconds after `started` of the first admit (or first
+    /// completion, whichever lands first — cache hits complete without
+    /// an admit). `u64::MAX` = no traffic yet. The throughput window is
+    /// anchored here, not at construction: idle time between building a
+    /// server and its first request must not permanently deflate the
+    /// reported rate.
+    first_activity_nanos: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
+    /// Sheds by QoS class (admission, quota, and deadline sheds alike).
+    shed_class: [AtomicU64; QOS_CLASSES],
+    /// Requests shed specifically because their deadline passed while
+    /// still queued.
+    deadline_shed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     /// Requests handed to workers. Queue depth is derived as
@@ -166,20 +188,45 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// Fresh telemetry; the throughput clock starts now.
+    /// Fresh telemetry with default-sized occupancy gauges.
     pub fn new() -> Self {
+        Self::with_slots(OCCUPANCY_SLOTS, OCCUPANCY_SLOTS)
+    }
+
+    /// Fresh telemetry with occupancy gauges sized for `stage_slots`
+    /// pipeline stages and `shard_slots` shard lanes (the server passes
+    /// its [`crate::ServeConfig`] dimensions, so gauges never drop busy
+    /// time for configured executors).
+    pub fn with_slots(stage_slots: usize, shard_slots: usize) -> Self {
         Telemetry {
             started: Instant::now(),
+            first_activity_nanos: AtomicU64::new(u64::MAX),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            shed_class: std::array::from_fn(|_| AtomicU64::new(0)),
+            deadline_shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
-            stage_busy: Occupancy::new(),
-            shard_busy: Occupancy::new(),
+            stage_busy: Occupancy::new(stage_slots),
+            shard_busy: Occupancy::new(shard_slots),
         }
+    }
+
+    /// Anchors the throughput window at the first observed traffic.
+    fn mark_activity(&self) {
+        if self.first_activity_nanos.load(Ordering::Relaxed) != u64::MAX {
+            return;
+        }
+        let now = self.started.elapsed().as_nanos().min(u64::MAX as u128 - 1) as u64;
+        let _ = self.first_activity_nanos.compare_exchange(
+            u64::MAX,
+            now,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
     }
 
     /// A pipeline stage (or serial worker, as stage 0) finished `busy` of
@@ -208,12 +255,26 @@ impl Telemetry {
 
     /// A request was admitted into the queue.
     pub(crate) fn on_admit(&self) {
+        self.mark_activity();
         self.submitted.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// A request was shed by admission control.
-    pub(crate) fn on_shed(&self) {
+    /// A request was shed by admission control (queue full or tenant
+    /// quota).
+    pub(crate) fn on_shed(&self, class: QosClass) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed_class[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued request was shed because its deadline passed before a
+    /// batch could carry it. Counts toward `dispatched` as well: the
+    /// request left the queue, and a depth gauge that never saw it leave
+    /// would creep toward permanent [`crate::SubmitError::QueueFull`].
+    pub(crate) fn on_deadline_shed(&self, class: QosClass) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed_class[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.dispatched.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The batcher handed `n` coalesced requests to a worker.
@@ -223,31 +284,55 @@ impl Telemetry {
         self.dispatched.fetch_add(n as u64, Ordering::AcqRel);
     }
 
-    /// A worker finished one request with the given end-to-end latency.
+    /// A request finished (worker batch or cache hit) with the given
+    /// end-to-end latency.
     pub(crate) fn on_complete(&self, latency: Duration) {
+        self.mark_activity();
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.latency.lock().expect("latency histogram poisoned").record(latency);
     }
 
+    /// The measurement window: elapsed wall clock since the first admit
+    /// (or completion), zero before any traffic. Throughput is computed
+    /// over this window so construction-to-first-request idle time never
+    /// deflates the reported rate.
+    pub fn active_window(&self) -> Duration {
+        let first = self.first_activity_nanos.load(Ordering::Acquire);
+        if first == u64::MAX {
+            return Duration::ZERO;
+        }
+        self.started.elapsed().saturating_sub(Duration::from_nanos(first))
+    }
+
     /// A consistent point-in-time summary.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot_with_cache(CacheStats::default())
+    }
+
+    /// [`Telemetry::snapshot`] with the server's response-cache counters
+    /// folded in.
+    pub(crate) fn snapshot_with_cache(&self, cache: CacheStats) -> TelemetrySnapshot {
         let hist = self.latency.lock().expect("latency histogram poisoned").clone();
         let elapsed = self.started.elapsed();
+        let window = self.active_window();
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         TelemetrySnapshot {
             elapsed,
+            window,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             shed: self.shed.load(Ordering::Relaxed),
+            shed_by_class: std::array::from_fn(|i| self.shed_class[i].load(Ordering::Relaxed)),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth(),
             batches,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
-            throughput_rps: if elapsed.is_zero() {
+            throughput_rps: if window.is_zero() {
                 0.0
             } else {
-                completed as f64 / elapsed.as_secs_f64()
+                completed as f64 / window.as_secs_f64()
             },
             mean_latency: hist.mean(),
             p50: hist.percentile(0.50),
@@ -255,6 +340,7 @@ impl Telemetry {
             p99: hist.percentile(0.99),
             stage_busy: self.stage_busy.fractions(elapsed),
             shard_busy: self.shard_busy.fractions(elapsed),
+            cache,
         }
     }
 }
@@ -270,12 +356,20 @@ impl Default for Telemetry {
 pub struct TelemetrySnapshot {
     /// Time since the server (telemetry) started.
     pub elapsed: Duration,
+    /// Time since the first admit/completion — the throughput window
+    /// (zero before any traffic).
+    pub window: Duration,
     /// Requests admitted into the queue.
     pub submitted: u64,
     /// Requests fully served.
     pub completed: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected or shed (admission, quota, and deadline).
     pub shed: u64,
+    /// [`TelemetrySnapshot::shed`] broken down by [`QosClass`] ordinal.
+    pub shed_by_class: [u64; QOS_CLASSES],
+    /// Requests shed because their deadline passed while queued (also
+    /// counted in [`TelemetrySnapshot::shed`]).
+    pub deadline_shed: u64,
     /// Requests admitted but not yet handed to a worker.
     pub queue_depth: usize,
     /// Batches dispatched to workers.
@@ -297,6 +391,9 @@ pub struct TelemetrySnapshot {
     pub stage_busy: Vec<f64>,
     /// Busy kernel fraction per row-band shard lane.
     pub shard_busy: Vec<f64>,
+    /// Response memo-cache counters and gauges (all zero when the cache
+    /// is disabled).
+    pub cache: CacheStats,
 }
 
 #[cfg(test)]
@@ -384,7 +481,8 @@ mod tests {
     #[test]
     fn counters_flow_into_snapshot() {
         let t = Telemetry::new();
-        t.on_shed();
+        t.on_shed(QosClass::Standard);
+        t.on_deadline_shed(QosClass::Batch);
         for _ in 0..6 {
             t.on_admit();
         }
@@ -396,11 +494,91 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.submitted, 6);
         assert_eq!(s.completed, 6);
-        assert_eq!(s.shed, 1);
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.shed_by_class, [0, 1, 1]);
+        assert_eq!(s.deadline_shed, 1);
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.batches, 2);
         assert!((s.mean_batch_occupancy - 3.0).abs() < 1e-9);
         assert!(s.throughput_rps > 0.0);
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert_eq!(s.cache, CacheStats::default(), "bare snapshot carries zero cache stats");
+    }
+
+    /// Regression (ISSUE 6): `Occupancy` used to hard-cap at 16 slots and
+    /// silently drop busy time for slots ≥ 16, so `shards` or
+    /// `pipeline_stages` above 16 reported lying occupancy gauges. Sized
+    /// from the config, slot 16+ must record and report.
+    #[test]
+    fn occupancy_slots_beyond_sixteen_record_when_sized_from_config() {
+        let t = Telemetry::with_slots(24, 20);
+        t.on_stage_busy(16, Duration::from_millis(5));
+        t.on_stage_busy(23, Duration::from_millis(5));
+        let mut bands = BandSet::new(1);
+        t.drain_shard_busy(&mut bands);
+        let s = t.snapshot();
+        assert_eq!(s.stage_busy.len(), 24, "slot 23 must be visible");
+        assert!(s.stage_busy[16] > 0.0, "slot 16 busy time was dropped");
+        assert!(s.stage_busy[23] > 0.0, "slot 23 busy time was dropped");
+        // Default-sized gauges keep the legacy floor.
+        let d = Telemetry::new();
+        d.on_stage_busy(15, Duration::from_millis(1));
+        assert_eq!(d.snapshot().stage_busy.len(), 16);
+    }
+
+    /// Regression (ISSUE 6): `throughput_rps` used to divide by elapsed
+    /// time since `Telemetry::new`, so idle time between server
+    /// construction and the first request permanently deflated the
+    /// reported throughput. The window must anchor at the first admit.
+    #[test]
+    fn throughput_window_anchors_at_first_admit_not_construction() {
+        let t = Telemetry::new();
+        assert_eq!(t.snapshot().throughput_rps, 0.0, "no traffic, no rate");
+        // Injected idle gap between construction and first traffic.
+        std::thread::sleep(Duration::from_millis(120));
+        let first_admit = Instant::now();
+        t.on_admit();
+        t.on_dispatch(1);
+        t.on_complete(Duration::from_micros(50));
+        let s = t.snapshot();
+        let since_admit = first_admit.elapsed().as_secs_f64();
+        let since_construction = s.elapsed.as_secs_f64();
+        assert!(s.window.as_secs_f64() <= since_admit + 0.005, "window excludes the gap");
+        assert!(
+            s.throughput_rps >= 0.9 / since_admit.max(1e-9),
+            "rate must be computed over the active window: {} rps over {:?}",
+            s.throughput_rps,
+            s.window
+        );
+        // The old formula would have reported at most 1/0.12s ≈ 8.3 rps.
+        assert!(
+            s.throughput_rps > 2.0 / since_construction,
+            "idle gap deflated throughput: {} rps", s.throughput_rps
+        );
+    }
+
+    /// A deadline shed removes an admitted request from the queue; the
+    /// depth gauge must see it leave or admission control would creep
+    /// toward shedding everything.
+    #[test]
+    fn deadline_shed_drains_the_queue_gauge() {
+        let t = Telemetry::new();
+        t.on_admit();
+        t.on_admit();
+        assert_eq!(t.queue_depth(), 2);
+        t.on_deadline_shed(QosClass::Interactive);
+        assert_eq!(t.queue_depth(), 1, "shed request must leave the gauge");
+        t.on_dispatch(1);
+        assert_eq!(t.queue_depth(), 0);
+    }
+
+    /// A completion with no prior admit (a pure cache hit) must also
+    /// anchor the window.
+    #[test]
+    fn completion_without_admit_anchors_window() {
+        let t = Telemetry::new();
+        t.on_complete(Duration::from_micros(10));
+        let s = t.snapshot();
+        assert!(s.throughput_rps > 0.0, "cache-hit-only traffic still has a rate");
     }
 }

@@ -7,7 +7,10 @@ use cc_deploy::{identity_groups, DeployedNetwork};
 use cc_nn::models::{lenet5_shift, ModelConfig};
 use cc_packing::{ColumnCombineConfig, ColumnCombiner};
 use cc_serve::batcher::Batcher;
-use cc_serve::{ModelRegistry, ServeConfig, Server, SubmitError};
+use cc_serve::{
+    CacheConfig, ModelRegistry, QosClass, ResponseCache, ServeConfig, Server, SubmitError,
+    SubmitOptions, WaitError,
+};
 use cc_tensor::Tensor;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -363,6 +366,233 @@ fn pipelined_worker_evicts_stale_pipelines_without_dropping_requests() {
     let stats = server.shutdown();
     assert_eq!(stats.completed, served);
     assert_eq!(stats.shed, 0);
+}
+
+/// Tentpole acceptance: with the memo-cache enabled, repeated inputs are
+/// served bit-identically to serial inference, the hit/miss counters
+/// reconcile with the traffic, and hits bypass the array (batch_size 0).
+#[test]
+fn memo_cache_serves_repeats_bit_identically() {
+    let (deployed, test) = combined_lenet(31);
+    let distinct = 4usize;
+    let serial: Vec<Vec<f32>> =
+        (0..distinct).map(|i| deployed.logits(test.image(i))).collect();
+
+    let registry = ModelRegistry::new().with_model("lenet", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(512)
+            .with_cache(CacheConfig::bounded(64, 1 << 20)),
+    );
+
+    // Zipf-ish repetition: every request is one of `distinct` images.
+    let total = 96usize;
+    let mut cached_responses = 0u64;
+    for r in 0..total {
+        let i = r % distinct;
+        let ticket = server.submit("lenet", test.image(i).clone()).expect("admitted");
+        let response = ticket.wait().expect("served");
+        assert_eq!(
+            response.logits, serial[i],
+            "request {r} (image {i}) diverged from serial inference"
+        );
+        if response.batch_size == 0 {
+            cached_responses += 1;
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.cache.hits, cached_responses, "hit counter matches cached responses");
+    assert!(
+        stats.cache.hits >= (total - 2 * distinct) as u64,
+        "a 4-image working set over {total} requests must mostly hit: {} hits",
+        stats.cache.hits
+    );
+    assert!(stats.cache.misses >= distinct as u64, "each distinct image misses at least once");
+    assert_eq!(stats.cache.entries, distinct as u64, "one entry per distinct input");
+    assert_eq!(
+        stats.submitted + stats.cache.hits,
+        total as u64,
+        "hits never touch the admission queue"
+    );
+}
+
+/// Per-tenant quotas: a tenant at its in-flight limit sheds with
+/// `QuotaExceeded`, quota slots free on completion, and untagged requests
+/// bypass accounting entirely.
+#[test]
+fn tenant_quota_sheds_excess_and_releases_on_completion() {
+    let (deployed, test) = slow_lenet();
+    let image = test.image(0).clone();
+    let registry = ModelRegistry::new().with_model("m", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(64)
+            .with_tenant_quota(2),
+    );
+
+    let opts = || SubmitOptions::new().with_tenant("acme").with_class(QosClass::Batch);
+    let mut tickets = Vec::new();
+    let mut quota_sheds = 0u64;
+    for _ in 0..8 {
+        match server.submit_with("m", image.clone(), opts()) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QuotaExceeded { tenant }) => {
+                assert_eq!(tenant, "acme");
+                quota_sheds += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(tickets.len(), 2, "quota 2 admits exactly two in-flight requests");
+    assert_eq!(quota_sheds, 6);
+    assert_eq!(server.tenant_in_flight("acme"), 2);
+    // Another tenant and untagged traffic are unaffected.
+    let other = server
+        .submit_with("m", image.clone(), SubmitOptions::new().with_tenant("blm"))
+        .expect("other tenant has its own budget");
+    let untagged = server.submit("m", image.clone()).expect("untagged bypasses quotas");
+
+    for t in tickets.drain(..) {
+        assert!(t.wait().is_some(), "admitted requests must still be served");
+    }
+    assert!(other.wait().is_some());
+    assert!(untagged.wait().is_some());
+    // Completions released the quota slots.
+    assert_eq!(server.tenant_in_flight("acme"), 0);
+    let again = server.submit_with("m", image.clone(), opts()).expect("slots freed");
+    assert!(again.wait().is_some());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, quota_sheds);
+    assert_eq!(
+        stats.shed_by_class[QosClass::Batch.index()],
+        quota_sheds,
+        "quota sheds land on the request's class"
+    );
+    assert_eq!(stats.deadline_shed, 0);
+}
+
+/// Deadline-aware shedding: requests whose deadline blows while queued
+/// resolve with `WaitError::DeadlineExceeded` instead of occupying the
+/// array, and every submitted request resolves one way or the other.
+#[test]
+fn blown_deadlines_resolve_tickets_with_deadline_exceeded() {
+    let (deployed, test) = slow_lenet();
+    let image = test.image(0).clone();
+    let registry = ModelRegistry::new().with_model("m", deployed);
+    let server = Server::start(
+        registry,
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_batch_deadline(Duration::ZERO)
+            .with_queue_capacity(64),
+    );
+
+    // Saturate the single worker, then queue a burst with deadlines short
+    // enough to blow while it grinds (at most a couple can be picked up
+    // before the sweep at the next batch-formation point sheds the rest —
+    // 10µs is far below the slow model's per-request cost, so the burst
+    // sheds on any machine speed).
+    let warm = server.submit("m", image.clone()).expect("admitted");
+    let doomed: Vec<_> = (0..8)
+        .map(|_| {
+            server
+                .submit_with(
+                    "m",
+                    image.clone(),
+                    SubmitOptions::new().with_deadline(Duration::from_micros(10)),
+                )
+                .expect("queue has room")
+        })
+        .collect();
+
+    assert!(warm.wait().is_some(), "the in-flight request completes normally");
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    for t in doomed {
+        match t.wait_result() {
+            Err(WaitError::DeadlineExceeded) => shed += 1,
+            Ok(_) => served += 1,
+            Err(e) => panic!("unexpected wait error: {e}"),
+        }
+    }
+    assert!(shed > 0, "10µs deadlines behind a slow worker must shed");
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_shed, shed);
+    assert_eq!(stats.completed, served + 1);
+    assert_eq!(
+        stats.shed_by_class[QosClass::Standard.index()],
+        shed,
+        "deadline sheds land on the request's class"
+    );
+    assert_eq!(stats.queue_depth, 0, "shed requests must leave the depth gauge");
+}
+
+/// Satellite 4: multi-thread hammer on one cache — hit/miss/eviction
+/// counters must reconcile exactly with the issued operations, and the
+/// gauges must respect the configured bounds throughout.
+#[test]
+fn cache_counters_stay_consistent_under_concurrent_hammer() {
+    let cache = std::sync::Arc::new(ResponseCache::new(CacheConfig {
+        max_entries: 32,
+        max_bytes: 64 * 1024,
+        shards: 4,
+    }));
+    const THREADS: usize = 8;
+    const OPS: usize = 2_000;
+    let lookups = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = std::sync::Arc::clone(&cache);
+            let lookups = std::sync::Arc::clone(&lookups);
+            std::thread::spawn(move || {
+                for op in 0..OPS {
+                    // 48 keys over a 32-entry bound: steady-state churn.
+                    let digest = ((t + op) % 48) as u64;
+                    let qdata = [digest as i8; 16];
+                    let logits = [digest as f32, t as f32];
+                    lookups.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match cache.lookup(1, digest, &qdata) {
+                        Some(hit) => assert_eq!(
+                            hit[0], digest as f32,
+                            "a hit must return the exact logits stored for its key"
+                        ),
+                        None => cache.insert(1, digest, &qdata, &logits),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+
+    let stats = cache.stats();
+    let issued = lookups.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(stats.hits + stats.misses, issued, "every probe is a hit or a miss");
+    assert!(stats.hits > 0 && stats.misses > 0, "churn exercises both outcomes");
+    assert!(
+        stats.entries <= cache.capacity_entries() as u64,
+        "entry gauge within bounds: {} > {}",
+        stats.entries,
+        cache.capacity_entries()
+    );
+    assert!(stats.evictions > 0, "48 keys over a 32-entry bound must evict");
+    // Inserts = misses (every miss inserts); entries + evictions can't
+    // exceed them (racing same-key inserts replace, not add).
+    assert!(
+        stats.entries + stats.evictions <= stats.misses,
+        "gauge arithmetic broke: {stats:?}"
+    );
+    assert!(stats.bytes > 0 && stats.bytes <= 64 * 1024, "byte gauge within budget");
 }
 
 #[test]

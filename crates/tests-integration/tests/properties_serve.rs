@@ -1,0 +1,130 @@
+//! Property suite for the serving-layer response memo-cache: across
+//! random model shapes and inputs, a cache hit must be bit-identical to a
+//! fresh `run_batch` — the tentpole correctness claim of ISSUE 6. The key
+//! is taken after quantization and the stored quantized bytes are
+//! verified on every probe, so this holds by construction; these tests
+//! pin it against regressions in the digest, the cache, or the serving
+//! wiring.
+
+use cc_dataset::{Dataset, SyntheticSpec};
+use cc_deploy::{identity_groups, DeployedNetwork};
+use cc_nn::layer::LayerKind;
+use cc_nn::layers::{Linear, PointwiseConv, Relu, Shift};
+use cc_nn::Network;
+use cc_serve::{CacheConfig, ModelRegistry, ServeConfig, Server};
+use proptest::prelude::*;
+
+/// A deployed network over a random shape: 1-channel `size`×`size` input,
+/// shift → pointwise(hidden) → relu → linear head.
+fn deployed(hidden: usize, size: usize, seed: u64) -> (DeployedNetwork, Dataset) {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .with_size(size, size)
+        .with_samples(12, 5)
+        .generate(seed);
+    let net = Network::new(
+        "prop-serve",
+        vec![
+            LayerKind::Shift(Shift::new(1)),
+            LayerKind::Pointwise(PointwiseConv::new(1, hidden, false, seed)),
+            LayerKind::Relu(Relu::new()),
+            LayerKind::Linear(Linear::new(hidden * size * size, 10, seed ^ 1)),
+        ],
+        10,
+    );
+    (DeployedNetwork::build(&net, &identity_groups(&net), &train), test)
+}
+
+proptest! {
+    // Each case deploys a network and runs a server; keep the case count
+    // modest. Cases and RNG stream are pinned so CI failures replay
+    // exactly.
+    #![proptest_config(ProptestConfig::with_cases(12).with_rng_seed(0xA5_1305_0006))]
+
+    /// For every model shape and input: first pass fills the cache (all
+    /// misses), second pass hits, and both passes return exactly the
+    /// logits a fresh serial `run_batch` produces.
+    #[test]
+    fn cache_hits_are_bit_identical_to_fresh_runs(
+        hidden in 2usize..6,
+        size in 3usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let (net, test) = deployed(hidden, size, seed);
+        let fresh: Vec<Vec<f32>> =
+            (0..test.len()).map(|i| net.logits(test.image(i))).collect();
+
+        let registry = ModelRegistry::new().with_model("m", net);
+        let server = Server::start(
+            registry,
+            ServeConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(64)
+                .with_cache(CacheConfig::bounded(32, 1 << 20)),
+        );
+
+        // Submit-and-wait serially so pass 1 has fully populated the
+        // cache before pass 2 probes it.
+        for pass in 0..2 {
+            for i in 0..test.len() {
+                let ticket = server.submit("m", test.image(i).clone()).expect("admitted");
+                let response = ticket.wait().expect("served");
+                prop_assert_eq!(
+                    &response.logits,
+                    &fresh[i],
+                    "pass {} image {} diverged from fresh run_batch", pass, i
+                );
+                if pass == 1 {
+                    prop_assert_eq!(
+                        response.batch_size, 0,
+                        "pass-2 repeat of image {} must be served from cache", i
+                    );
+                }
+            }
+        }
+
+        let stats = server.shutdown();
+        let n = test.len() as u64;
+        prop_assert_eq!(stats.completed, 2 * n);
+        prop_assert_eq!(stats.cache.hits, n, "every pass-2 probe hits");
+        prop_assert_eq!(stats.cache.misses, n, "every pass-1 probe misses");
+        prop_assert_eq!(stats.cache.entries, n);
+        prop_assert_eq!(stats.cache.evictions, 0u64);
+    }
+
+    /// Sub-quantum float jitter lands on the same quantized key: the
+    /// jittered input must hit and return the unjittered logits (which
+    /// are also its own fresh logits, bit-identically).
+    #[test]
+    fn sub_quantum_jitter_hits_the_same_entry(
+        hidden in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let size = 4usize;
+        let (net, test) = deployed(hidden, size, seed);
+        let base = test.image(0).clone();
+        let step = net.quantize_input(&base).scale();
+        let mut jittered = base.clone();
+        // Quarter-step perturbation on one pixel: rounds to the same
+        // quantized value unless the pixel sits on a rounding boundary.
+        jittered.as_mut_slice()[0] += step * 0.25;
+        let same_key = {
+            let a = net.quantize_input(&base);
+            let b = net.quantize_input(&jittered);
+            a.digest() == b.digest() && a.as_slice() == b.as_slice()
+        };
+        prop_assume!(same_key);
+        let fresh = net.logits(&jittered);
+
+        let registry = ModelRegistry::new().with_model("m", net);
+        let server = Server::start(
+            registry,
+            ServeConfig::default().with_workers(1).with_cache(CacheConfig::bounded(8, 0)),
+        );
+        server.submit("m", base).expect("admitted").wait().expect("served");
+        let hit = server.submit("m", jittered).expect("admitted").wait().expect("served");
+        prop_assert_eq!(hit.batch_size, 0, "jittered repeat must hit");
+        prop_assert_eq!(&hit.logits, &fresh, "hit logits must equal the jittered fresh run");
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.cache.hits, 1);
+    }
+}
