@@ -2,9 +2,19 @@
 //! `cc-serve`, sweeping workers × batch size for packed vs unpacked
 //! deployments. Run with `--release`; set `CC_SCALE=full` for a longer
 //! run. Writes `results/bench_serve.json` alongside the CSVs.
+//!
+//! With `--trace`, runs one traced serving pass instead (mixed QoS,
+//! memo-cache on, recorder enabled) and writes the request-lifecycle
+//! trace to `results/trace_serve.json` — Chrome trace-event JSON,
+//! loadable in Perfetto or `chrome://tracing`.
 
 fn main() {
     let scale = cc_bench::scale::Scale::from_env();
-    let tables = cc_bench::experiments::serve_load::run(&scale);
-    cc_bench::emit("serve_load", &tables);
+    if std::env::args().any(|a| a == "--trace") {
+        let tables = cc_bench::experiments::serve_load::run_trace(&scale);
+        cc_bench::emit("serve_trace", &tables);
+    } else {
+        let tables = cc_bench::experiments::serve_load::run(&scale);
+        cc_bench::emit("serve_load", &tables);
+    }
 }

@@ -15,7 +15,10 @@ use crate::setups;
 use cc_dataset::Dataset;
 use cc_deploy::{identity_groups, DeployedNetwork};
 use cc_packing::ColumnCombiner;
-use cc_serve::{ModelRegistry, ServeConfig, Server, SubmitError, TelemetrySnapshot};
+use cc_serve::{
+    CacheConfig, EventKind, ModelRegistry, QosClass, ServeConfig, Server, SubmitError,
+    SubmitOptions, TelemetrySnapshot, TraceConfig,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -39,22 +42,10 @@ impl Measurement {
             ("max_batch", JsonValue::from(self.max_batch)),
             ("stages", JsonValue::from(self.stages)),
             ("requests", JsonValue::from(self.requests)),
-            ("completed", JsonValue::from(self.stats.completed)),
-            ("shed", JsonValue::from(self.stats.shed)),
-            ("throughput_rps", JsonValue::from(self.stats.throughput_rps)),
-            ("mean_batch_occupancy", JsonValue::from(self.stats.mean_batch_occupancy)),
-            ("p50_us", JsonValue::from(self.stats.p50.as_secs_f64() * 1e6)),
-            ("p95_us", JsonValue::from(self.stats.p95.as_secs_f64() * 1e6)),
-            ("p99_us", JsonValue::from(self.stats.p99.as_secs_f64() * 1e6)),
-            ("mean_latency_us", JsonValue::from(self.stats.mean_latency.as_secs_f64() * 1e6)),
-            (
-                "stage_busy",
-                JsonValue::Arr(self.stats.stage_busy.iter().map(|&f| JsonValue::from(f)).collect()),
-            ),
-            (
-                "shard_busy",
-                JsonValue::Arr(self.stats.shard_busy.iter().map(|&f| JsonValue::from(f)).collect()),
-            ),
+            // The whole snapshot rides as one blob through the same
+            // formatter the Prometheus exposition and trace demo use —
+            // one schema for every consumer of serving metrics.
+            ("stats", JsonValue::Raw(self.stats.to_json())),
         ];
         if let Some(rate) = self.offered_rps {
             pairs.push(("offered_rps", JsonValue::from(rate)));
@@ -126,7 +117,29 @@ pub(crate) fn closed_loop(
     clients: usize,
     total: usize,
 ) -> TelemetrySnapshot {
-    let server = server_for(net, workers, max_batch, stages, shards);
+    let cfg = ServeConfig::default()
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_batch_deadline(Duration::from_millis(1))
+        .with_queue_capacity(128)
+        .with_pipeline_stages(stages)
+        .with_shards(shards);
+    closed_loop_cfg(net, test, cfg, clients, total).1
+}
+
+/// [`closed_loop`] over an arbitrary [`ServeConfig`] — the trace-overhead
+/// gate and `--trace` runs need knobs (tracing, cache) the positional
+/// helper does not expose. Returns the Chrome-trace export captured
+/// before shutdown (`None` unless the config allocated a recorder)
+/// alongside the final telemetry.
+pub(crate) fn closed_loop_cfg(
+    net: &DeployedNetwork,
+    test: &Dataset,
+    cfg: ServeConfig,
+    clients: usize,
+    total: usize,
+) -> (Option<String>, TelemetrySnapshot) {
+    let server = Server::start(ModelRegistry::new().with_model("m", net.clone()), cfg);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..clients {
@@ -151,7 +164,13 @@ pub(crate) fn closed_loop(
             });
         }
     });
-    server.shutdown()
+    // Snapshot before rendering: the telemetry window runs to the moment
+    // it is read, so serializing the trace first would bill its render
+    // time to the traced config's throughput.
+    let stats = server.telemetry();
+    let chrome = server.chrome_trace();
+    drop(server);
+    (chrome, stats)
 }
 
 /// Open loop: submit at `offered_rps` regardless of completions; the
@@ -352,6 +371,89 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     vec![closed, pipelined, open]
 }
 
+/// `--trace` mode: one traced serving run with mixed QoS classes and the
+/// memo-cache enabled, exported as Chrome trace-event JSON to
+/// `results/trace_serve.json` (load it in Perfetto or `chrome://tracing`).
+/// The returned table summarizes what the recorder captured.
+pub fn run_trace(scale: &Scale) -> Vec<Table> {
+    let (packed, _, test) = build_networks(scale);
+    let requests = (scale.train_samples / 2).max(128);
+    let server = Server::start(
+        ModelRegistry::new().with_model("m", packed),
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(8)
+            .with_batch_deadline(Duration::from_millis(1))
+            .with_queue_capacity(128)
+            .with_cache(CacheConfig::bounded(1024, 1 << 20))
+            .with_trace(TraceConfig::on()),
+    );
+
+    // Mixed traffic so every lifecycle path shows up in the trace:
+    // rotating QoS classes, repeated inputs (cache hits once the working
+    // set wraps), and a sliver of tight deadlines (queue sheds).
+    let classes = [QosClass::Interactive, QosClass::Standard, QosClass::Batch];
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                // Quarter-sized working set: three of four submits repeat
+                // an input the cache has already answered.
+                let image = test.image(i % (test.len() / 4).max(1)).clone();
+                let mut options = SubmitOptions::new().with_class(classes[i % classes.len()]);
+                if i % 16 == 15 {
+                    options = options.with_deadline(Duration::from_micros(50));
+                }
+                match server.submit_with("m", image, options) {
+                    Ok(ticket) => {
+                        let _ = ticket.wait_result();
+                    }
+                    Err(SubmitError::QueueFull | SubmitError::QuotaExceeded { .. }) => {}
+                    Err(e) => panic!("trace-run submit failed: {e}"),
+                }
+            });
+        }
+    });
+
+    let events = server.trace_events();
+    let stats = server.trace_stats().expect("trace recorder is configured on");
+    let traced = cc_serve::trace::summarize_requests(&events);
+    let chrome = server.chrome_trace().expect("trace recorder is configured on");
+    if let Err(e) = crate::report::write_json("results/trace_serve.json", &JsonValue::Raw(chrome))
+    {
+        eprintln!("warning: could not write results/trace_serve.json: {e}");
+    }
+
+    let mut table = Table::new("Serving: request-lifecycle trace capture", &["metric", "value"]);
+    table.push_row(vec!["requests offered".into(), requests.to_string()]);
+    table.push_row(vec!["requests in trace".into(), traced.len().to_string()]);
+    table.push_row(vec![
+        "cache hits in trace".into(),
+        traced.iter().filter(|t| t.cache_hit).count().to_string(),
+    ]);
+    table.push_row(vec!["events recorded".into(), stats.recorded.to_string()]);
+    table.push_row(vec!["events dropped".into(), stats.dropped.to_string()]);
+    for kind in [
+        EventKind::Submit,
+        EventKind::CacheProbe,
+        EventKind::Queue,
+        EventKind::BatchForm,
+        EventKind::Stage,
+        EventKind::ShardRun,
+        EventKind::Execute,
+        EventKind::Resolve,
+    ] {
+        let count = events.iter().filter(|e| e.kind == kind).count();
+        table.push_row(vec![format!("{} events", kind.label()), count.to_string()]);
+    }
+    drop(server);
+    vec![table]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +539,69 @@ mod tests {
         assert!(
             packed_rps > 0.9 * unpacked_rps,
             "packed serving fell behind unpacked wall clock: {packed_rps:.1} vs {unpacked_rps:.1} rps"
+        );
+    }
+
+    /// Tracing-overhead gate. Three recorder states, identical load:
+    /// no recorder at all ([`TraceConfig::none`]), recorder allocated but
+    /// disabled (the default — every record site is one atomic load), and
+    /// recorder on. Disabled tracing must sit within scheduler noise of
+    /// the no-recorder baseline, and enabled tracing must keep at least
+    /// 95% of disabled throughput — the "<5% when on" budget the trace
+    /// subsystem was designed to.
+    #[test]
+    fn trace_gate() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipping wall-clock tracing-overhead gate in debug build");
+            return;
+        }
+        let _exclusive = crate::perf_gate_lock();
+        let scale = Scale {
+            train_samples: 64,
+            test_samples: 16,
+            image_hw: 16,
+            width_mult: 1.0,
+            ..Scale::quick()
+        };
+        let (packed, _, test) = build_networks(&scale);
+        // Long enough that per-request work dominates thread start/stop
+        // noise: at ~10k rps, 256 requests is a ~25 ms measured window.
+        let total = 256;
+        let run_once = |trace: TraceConfig| {
+            let cfg = ServeConfig::default()
+                .with_workers(2)
+                .with_max_batch(8)
+                .with_batch_deadline(Duration::from_millis(1))
+                .with_queue_capacity(128)
+                .with_trace(trace);
+            let (_, stats) = closed_loop_cfg(&packed, &test, cfg, 16, total);
+            assert_eq!(stats.completed, total as u64);
+            stats.throughput_rps
+        };
+        // Interleave the configs across rounds and keep each one's best:
+        // a slow phase of the host (frequency dip, noisy neighbor) then
+        // hits all three alike instead of biasing whichever config ran
+        // during it.
+        // Maxima only sharpen with more rounds, so stop as soon as the
+        // bounds hold; on this noisy single-box measurement (±10% per
+        // round) a fixed small round count would trip on unlucky maxima.
+        let (mut none, mut off, mut on) = (0.0f64, 0.0f64, 0.0f64);
+        for round in 0..8 {
+            none = none.max(run_once(TraceConfig::none()));
+            off = off.max(run_once(TraceConfig::off()));
+            on = on.max(run_once(TraceConfig::on()));
+            eprintln!("trace_gate round {round}: none={none:.0} off={off:.0} on={on:.0} rps");
+            if off > 0.90 * none && on > 0.95 * off {
+                break;
+            }
+        }
+        assert!(
+            off > 0.90 * none,
+            "disabled tracing regressed the no-recorder baseline: {off:.1} vs {none:.1} rps"
+        );
+        assert!(
+            on > 0.95 * off,
+            "enabled tracing cost more than its 5% budget: {on:.1} vs {off:.1} rps"
         );
     }
 }

@@ -109,6 +109,10 @@ pub enum JsonValue {
     Arr(Vec<JsonValue>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, JsonValue)>),
+    /// Pre-rendered JSON spliced in verbatim — lets artifacts embed
+    /// output from other formatters (e.g. `TelemetrySnapshot::to_json`)
+    /// without re-modelling it. The caller guarantees validity.
+    Raw(String),
 }
 
 impl JsonValue {
@@ -137,6 +141,7 @@ impl JsonValue {
                 }
             }
             JsonValue::Str(s) => write_json_string(out, s),
+            JsonValue::Raw(s) => out.push_str(s),
             JsonValue::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");

@@ -41,6 +41,24 @@ use std::time::Instant;
 /// limit).
 const MAX_CACHED_PLANS: usize = 32;
 
+/// Conv-scatter records a traced [`BandSet`] retains between drains
+/// ([`BandSet::take_conv_log`]); enough for every conv of a deep model's
+/// batch, bounded so an undrained set cannot grow without limit.
+const MAX_CONV_LOG: usize = 1024;
+
+/// One traced conv scatter: when the gather finished and how long each
+/// shard lane spent in the kernel for this conv alone. Serving-side
+/// tracing turns these into per-lane span events (the span is
+/// reconstructed as `ended - lane_busy[lane] .. ended` — lanes run
+/// concurrently, so each lane's busy time ends at the gather).
+#[derive(Clone, Debug)]
+pub struct ConvTrace {
+    /// When the scatter's gather completed.
+    pub ended: Instant,
+    /// Kernel nanoseconds per shard lane for this conv (index = lane).
+    pub lane_busy: Vec<u64>,
+}
+
 /// Cache key for a prepared matrix's shard plan. The pointer identifies
 /// the layer (the prepared op list lives behind the network's `Arc`, so
 /// it is stable while any executor holds the network); the shape *and
@@ -100,6 +118,11 @@ pub struct BandSet {
     /// only on the static (prepared matrix, shard count) pair, so the
     /// per-conv partitioning DP runs once per layer, not once per batch.
     plans: Vec<(PlanKey, Vec<RowBand>)>,
+    /// When set, every conv scatter appends a [`ConvTrace`] (bounded at
+    /// [`MAX_CONV_LOG`]) for serving-side span export. Off by default:
+    /// the untraced path pays one branch per conv.
+    tracing: bool,
+    conv_log: Vec<ConvTrace>,
 }
 
 impl BandSet {
@@ -119,6 +142,29 @@ impl BandSet {
             merged: SimStats::default(),
             busy_nanos: vec![0; shards],
             plans: Vec::new(),
+            tracing: false,
+            conv_log: Vec::new(),
+        }
+    }
+
+    /// Turns per-conv trace logging on or off. Turning it off discards
+    /// any undrained log entries.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.conv_log.clear();
+        }
+    }
+
+    /// Drains the per-conv trace log accumulated since the last call
+    /// (empty unless [`BandSet::set_tracing`] is on).
+    pub fn take_conv_log(&mut self) -> Vec<ConvTrace> {
+        std::mem::take(&mut self.conv_log)
+    }
+
+    fn log_conv(&mut self, lane_busy: Vec<u64>) {
+        if self.conv_log.len() < MAX_CONV_LOG {
+            self.conv_log.push(ConvTrace { ended: Instant::now(), lane_busy });
         }
     }
 
@@ -188,6 +234,9 @@ impl BandSet {
     ) {
         let idx = self.plan_index(tiles);
         let plan = &self.plans[idx].1;
+        // Per-lane busy deltas for this conv alone: snapshot the running
+        // clocks, scatter, subtract.
+        let busy_before = self.tracing.then(|| self.busy_nanos.clone());
         let mut call_stats = std::mem::take(&mut self.call_stats);
         call_stats.clear();
         call_stats.resize(plan.len(), SimStats::default());
@@ -200,6 +249,15 @@ impl BandSet {
             &mut call_stats,
             &mut self.busy_nanos,
         );
+        if let Some(before) = busy_before {
+            let lane_busy: Vec<u64> = self
+                .busy_nanos
+                .iter()
+                .zip(before)
+                .map(|(&now, then)| now.saturating_sub(then))
+                .collect();
+            self.log_conv(lane_busy);
+        }
         // A one-band plan's stats already carry the sequential cycle
         // count; only a real scatter needs the equivalent recomputed.
         let seq_cycles = if call_stats.len() == 1 {
@@ -222,7 +280,11 @@ impl BandSet {
     ) {
         let t0 = Instant::now();
         let stats = sched.run_prepared_with(tiles, d, primary);
-        self.busy_nanos[0] += t0.elapsed().as_nanos() as u64;
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.busy_nanos[0] += elapsed;
+        if self.tracing {
+            self.log_conv(vec![elapsed]);
+        }
         // run_prepared_with's cycles *are* the sequential count.
         self.record(std::slice::from_ref(&stats), stats.cycles);
     }

@@ -54,6 +54,22 @@ where
     deadline_of: DeadlineFn<T>,
     /// Receives items shed for blowing their deadline while queued.
     on_expired: Box<dyn FnMut(T) + Send>,
+    /// Formation record of the most recent [`Batcher::next_batch`].
+    last_formation: Option<BatchFormation>,
+}
+
+/// How the most recent batch formed — the tracing hook for batch-level
+/// span events ([`Batcher::last_formation`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchFormation {
+    /// When the batch's seed item was selected (coalescing began).
+    pub seeded_at: Instant,
+    /// When the batch was released to a worker.
+    pub released_at: Instant,
+    /// Requests in the released batch.
+    pub size: usize,
+    /// QoS class ordinal of the seed item.
+    pub seed_class: usize,
 }
 
 impl<T, K, F, G> std::fmt::Debug for Batcher<T, K, F, G>
@@ -106,7 +122,15 @@ where
             class_of: Box::new(|_| 0),
             deadline_of: Box::new(|_| None),
             on_expired: Box::new(drop),
+            last_formation: None,
         }
+    }
+
+    /// How the batch most recently returned by [`Batcher::next_batch`]
+    /// formed (`None` before the first batch). Read it immediately after
+    /// `next_batch` — the next call overwrites it.
+    pub fn last_formation(&self) -> Option<BatchFormation> {
+        self.last_formation
     }
 
     /// Makes batch formation QoS-aware: `class_of` orders seeds (lower
@@ -185,6 +209,8 @@ where
             .map(|(i, _)| i)
             .expect("stash is non-empty");
         let first = self.stash.remove(seed_idx).expect("index in bounds");
+        let seeded_at = Instant::now();
+        let seed_class = (self.class_of)(&first);
         let key = (self.key_of)(&first);
         // The seed is the batch's oldest same-key member, so anchoring the
         // window at its enqueue time bounds every member's hold to one
@@ -212,6 +238,12 @@ where
         std::mem::swap(&mut self.stash, &mut self.scratch);
 
         if !open {
+            self.last_formation = Some(BatchFormation {
+                seeded_at,
+                released_at: Instant::now(),
+                size: batch.len(),
+                seed_class,
+            });
             return Some(batch);
         }
 
@@ -231,6 +263,12 @@ where
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        self.last_formation = Some(BatchFormation {
+            seeded_at,
+            released_at: Instant::now(),
+            size: batch.len(),
+            seed_class,
+        });
         Some(batch)
     }
 }
@@ -449,6 +487,33 @@ mod tests {
         let expired: Vec<u32> = exp_rx.try_iter().map(|i| i.id).collect();
         assert_eq!(expired, vec![0, 2], "blown work shed first, oldest first");
         assert!(b.next_batch().is_none(), "nothing left after sheds");
+    }
+
+    /// Every released batch leaves a formation record: seed/release
+    /// ordering, exact size, and the seed's class.
+    #[test]
+    fn formation_record_tracks_each_batch() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(classed(1, 0, 2)).unwrap();
+        tx.send(classed(1, 1, 2)).unwrap();
+        tx.send(classed(2, 2, 0)).unwrap();
+        drop(tx);
+        let (exp_tx, _exp_rx) = mpsc::channel();
+        let mut b = qos_batcher(rx, 8, Duration::from_millis(1), exp_tx);
+        assert!(b.last_formation().is_none(), "no record before the first batch");
+
+        let before = Instant::now();
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![2]);
+        let f = b.last_formation().expect("record set at release");
+        assert_eq!(f.size, 1);
+        assert_eq!(f.seed_class, 0, "interactive item seeded first");
+        assert!(f.seeded_at >= before && f.released_at >= f.seeded_at);
+
+        assert_eq!(ids(&b.next_batch().unwrap()), vec![0, 1]);
+        let g = b.last_formation().expect("record overwritten per batch");
+        assert_eq!(g.size, 2);
+        assert_eq!(g.seed_class, 2);
+        assert!(g.seeded_at >= f.released_at, "second batch seeded after the first released");
     }
 
     /// A seed whose request deadline is tighter than the coalescing window

@@ -61,6 +61,14 @@
 //!   log-linear histogram, throughput (windowed from first traffic),
 //!   batch occupancy, queue depth, per-stage/per-shard busy fractions,
 //!   cache hit/miss/eviction counters, and per-class shed counts.
+//! - **Request-lifecycle tracing** ([`trace`], [`ServeConfig::trace`]):
+//!   a lock-free ring [`TraceRecorder`] captures span events for every
+//!   request phase — submit, cache probe, queue wait, batch formation,
+//!   per-stage and per-shard execution, resolution — correlated by
+//!   request and batch id, with Chrome trace-event JSON
+//!   ([`Server::chrome_trace`], Perfetto-loadable) and Prometheus-style
+//!   text ([`Server::metrics_text`]) exporters. Runtime-toggleable; the
+//!   disabled cost is one atomic load per record site.
 //!
 //! Std-only: threads and channels, no async runtime.
 //!
@@ -100,6 +108,7 @@ pub mod qos;
 pub mod registry;
 pub mod server;
 pub mod telemetry;
+pub mod trace;
 
 pub use cache::{CacheConfig, CacheStats, ResponseCache};
 pub use pipeline::{auto_stage_cap, auto_stages, partition_stages, PipelineExecutor};
@@ -107,3 +116,6 @@ pub use qos::{QosClass, SubmitOptions, TenantLedger, QOS_CLASSES};
 pub use registry::ModelRegistry;
 pub use server::{Response, ServeConfig, Server, SubmitError, Ticket, WaitError};
 pub use telemetry::{LatencyHistogram, Occupancy, Telemetry, TelemetrySnapshot};
+pub use trace::{
+    EventKind, Outcome, RequestTrace, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,
+};

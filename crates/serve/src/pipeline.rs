@@ -24,6 +24,7 @@
 //! batch through the sink before the stage threads exit.
 
 use crate::telemetry::Telemetry;
+use crate::trace::{self, EventKind, TraceRecorder, Track};
 use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
 use cc_systolic::{partition_bottleneck, partition_min_max};
 use cc_tensor::Tensor;
@@ -82,6 +83,9 @@ pub fn auto_stage_cap() -> usize {
 struct Job<T> {
     data: BatchOutput,
     tag: T,
+    /// Trace batch id (0 = untraced), carried so every stage's span
+    /// events correlate back to the batch.
+    bid: u64,
 }
 
 /// One stage's plumbing: its inbox plus its forward edge (`None` for the
@@ -114,15 +118,18 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     where
         F: FnMut(BatchOutput, T) + Send + 'static,
     {
-        Self::new_sharded(net, stages, queue_depth, 1, None, sink)
+        Self::new_sharded(net, stages, queue_depth, 1, None, None, sink)
     }
 
-    /// [`PipelineExecutor::new`] with a row-band shard width and optional
-    /// occupancy telemetry: each stage thread owns a
-    /// [`cc_deploy::BandSet`] of `shards` simulated arrays and scatters
-    /// every packed conv in its layer range across them (the stages ×
-    /// shards grid). When `telemetry` is set, each stage reports its
-    /// busy time and its shards' kernel time after every batch.
+    /// [`PipelineExecutor::new`] with a row-band shard width, optional
+    /// occupancy telemetry, and an optional trace recorder: each stage
+    /// thread owns a [`cc_deploy::BandSet`] of `shards` simulated arrays
+    /// and scatters every packed conv in its layer range across them (the
+    /// stages × shards grid). When `telemetry` is set, each stage reports
+    /// its busy time and its shards' kernel time after every batch; when
+    /// `recorder` is set (and enabled), each stage also records a
+    /// [`EventKind::Stage`] span per batch on its own track plus
+    /// [`EventKind::ShardRun`] spans for its conv scatters.
     ///
     /// # Panics
     ///
@@ -133,6 +140,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
         queue_depth: usize,
         shards: usize,
         telemetry: Option<Arc<Telemetry>>,
+        recorder: Option<Arc<TraceRecorder>>,
         sink: F,
     ) -> Self
     where
@@ -161,6 +169,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
             .map(|(s, (range, (rx, tx)))| {
                 let stage_net = net.clone();
                 let stage_telemetry = telemetry.clone();
+                let stage_recorder = recorder.clone();
                 let mut stage_sink = if s == k - 1 { sink.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("cc-serve-stage-{s}"))
@@ -178,6 +187,13 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                         // scratches the stage's convs scatter across.
                         let mut bands = BandSet::new(shards);
                         while let Ok(job) = rx.recv() {
+                            // The toggle is sampled per batch: one atomic
+                            // load, and the BandSet conv log stays off
+                            // (one branch per conv) while tracing is.
+                            let tracing = stage_recorder
+                                .as_ref()
+                                .is_some_and(|r| r.enabled() && job.bid != 0);
+                            bands.set_tracing(tracing);
                             let started = Instant::now();
                             let data = stage_net.run_stage_banded(
                                 range.clone(),
@@ -186,13 +202,26 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                                 &mut scratch,
                                 &mut bands,
                             );
+                            if tracing {
+                                let r = stage_recorder.as_ref().expect("tracing implies recorder");
+                                r.span(
+                                    EventKind::Stage,
+                                    Track::Stage(s as u16),
+                                    0,
+                                    job.bid,
+                                    started,
+                                    Instant::now(),
+                                    s as u32,
+                                );
+                                trace::record_conv_log(r, job.bid, &bands.take_conv_log());
+                            }
                             if let Some(t) = &stage_telemetry {
                                 t.on_stage_busy(s, started.elapsed());
                                 t.drain_shard_busy(&mut bands);
                             }
                             if let Some(tx) = &tx {
                                 // The next stage hung up only on teardown.
-                                if tx.send(Job { data, tag: job.tag }).is_err() {
+                                if tx.send(Job { data, tag: job.tag, bid: job.bid }).is_err() {
                                     break;
                                 }
                             } else if let Some(sink) = &mut stage_sink {
@@ -232,8 +261,19 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     ///
     /// Panics if a stage thread died (it panicked on malformed input).
     pub fn submit(&self, images: &[Tensor], tag: T) {
+        self.submit_traced(images, tag, 0);
+    }
+
+    /// [`PipelineExecutor::submit`] carrying a trace batch id so every
+    /// stage's span events correlate to the batch (`bid = 0` = untraced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage thread died (it panicked on malformed input).
+    pub fn submit_traced(&self, images: &[Tensor], tag: T, bid: u64) {
         let data = BatchOutput::Maps(self.net.quantize_batch(images));
-        self.submit_activations(data, tag);
+        let input = self.input.as_ref().expect("pipeline already drained");
+        input.send(Job { data, tag, bid }).expect("pipeline stage died");
     }
 
     /// [`PipelineExecutor::submit`] for callers that already hold
@@ -244,7 +284,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     /// Panics if a stage thread died.
     pub fn submit_activations(&self, data: BatchOutput, tag: T) {
         let input = self.input.as_ref().expect("pipeline already drained");
-        input.send(Job { data, tag }).expect("pipeline stage died");
+        input.send(Job { data, tag, bid: 0 }).expect("pipeline stage died");
     }
 
     /// Closes the input and blocks until every in-flight batch has flowed
@@ -336,12 +376,14 @@ mod tests {
         let results: Arc<Mutex<Vec<Vec<Vec<f32>>>>> = Arc::new(Mutex::new(Vec::new()));
         let sink_results = Arc::clone(&results);
         let telemetry = Arc::new(crate::telemetry::Telemetry::new());
+        let recorder = Arc::new(crate::trace::TraceRecorder::new(crate::trace::TraceConfig::on()));
         let pipe = PipelineExecutor::new_sharded(
             deployed.clone(),
             2,
             1,
             3,
             Some(Arc::clone(&telemetry)),
+            Some(Arc::clone(&recorder)),
             move |out, _tag: usize| {
                 let logits = match out {
                     BatchOutput::Logits(l) => l,
@@ -350,8 +392,9 @@ mod tests {
                 sink_results.lock().unwrap().push(logits);
             },
         );
-        for _ in 0..3 {
-            pipe.submit(&images, 0);
+        let num_stages = pipe.num_stages();
+        for b in 0..3u64 {
+            pipe.submit_traced(&images, 0, b + 1);
         }
         pipe.drain();
         for run in results.lock().unwrap().iter() {
@@ -360,6 +403,38 @@ mod tests {
         let snap = telemetry.snapshot();
         assert!(!snap.stage_busy.is_empty(), "stages must report occupancy");
         assert!(!snap.shard_busy.is_empty(), "shard lanes must report occupancy");
+
+        // Traced batches leave stage spans on per-stage tracks plus shard
+        // spans for the conv scatters, all correlated by batch id.
+        let events = recorder.events();
+        for bid in 1..=3u64 {
+            for s in 0..num_stages as u16 {
+                assert!(
+                    events.iter().any(|e| e.kind == EventKind::Stage
+                        && e.track == Track::Stage(s)
+                        && e.bid == bid),
+                    "missing stage-{s} span for batch {bid}"
+                );
+            }
+            assert!(
+                events.iter().any(|e| e.kind == EventKind::ShardRun && e.bid == bid),
+                "missing shard spans for batch {bid}"
+            );
+        }
+        // Untraced submits (bid 0) record nothing even with tracing on.
+        let before = recorder.events().len();
+        let quiet = PipelineExecutor::new_sharded(
+            deployed.clone(),
+            2,
+            1,
+            1,
+            None,
+            Some(Arc::clone(&recorder)),
+            move |_out, _tag: usize| {},
+        );
+        quiet.submit(&images, 0);
+        quiet.drain();
+        assert_eq!(recorder.events().len(), before, "bid-0 batches must not trace");
     }
 
     #[test]

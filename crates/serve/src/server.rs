@@ -37,6 +37,9 @@ use crate::pipeline::{auto_stage_cap, auto_stages, PipelineExecutor};
 use crate::qos::{QosClass, SubmitOptions, TenantLedger};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::trace::{
+    self, EventKind, Outcome, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,
+};
 use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
 use cc_tensor::Tensor;
 use std::fmt;
@@ -80,6 +83,11 @@ pub struct ServeConfig {
     /// Per-tenant in-flight (queued + executing) request quota for
     /// requests that carry a tenant key. 0 (the default) = unlimited.
     pub tenant_quota: usize,
+    /// Request-lifecycle tracing ([`crate::trace`]). The default
+    /// ([`TraceConfig::off`]) allocates the ring but records nothing
+    /// until [`Server::set_tracing`] — a single atomic load per record
+    /// site; [`TraceConfig::none`] skips the recorder entirely.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +101,7 @@ impl Default for ServeConfig {
             shards: 1,
             cache: CacheConfig::disabled(),
             tenant_quota: 0,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -152,6 +161,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_tenant_quota(mut self, quota: usize) -> Self {
         self.tenant_quota = quota;
+        self
+    }
+
+    /// Overrides the request-lifecycle tracing config.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -232,6 +248,10 @@ pub struct Response {
     /// Size of the batch this request rode in. 0 means it rode in none:
     /// the response was served from the memo-cache.
     pub batch_size: usize,
+    /// The request's trace correlation id: matches the `rid` of its
+    /// events in [`Server::trace_events`]. 0 when the request was not
+    /// traced (no recorder, or tracing off at submit time).
+    pub id: u64,
 }
 
 /// A pending response; resolves when a worker finishes the request (or
@@ -274,6 +294,12 @@ struct Request {
     deadline: Option<Instant>,
     tenant: Option<Arc<str>>,
     cache_key: Option<CacheKey>,
+    /// Trace correlation id (0 = untraced).
+    id: u64,
+    /// When the batcher handed this request to a worker; the boundary
+    /// between its queue span and its execute span. Initialized to the
+    /// submit time and restamped at dispatch.
+    dispatched_at: Instant,
     reply: mpsc::Sender<Result<Response, WaitError>>,
 }
 
@@ -284,6 +310,7 @@ struct Shared {
     telemetry: Arc<Telemetry>,
     cache: Option<Arc<ResponseCache>>,
     ledger: Arc<TenantLedger>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 /// A concurrent batched inference server over a [`ModelRegistry`].
@@ -292,6 +319,7 @@ pub struct Server {
     telemetry: Arc<Telemetry>,
     cache: Option<Arc<ResponseCache>>,
     ledger: Arc<TenantLedger>,
+    trace: Option<Arc<TraceRecorder>>,
     tenant_quota: usize,
     queue_capacity: usize,
     ingress: Option<SyncSender<Request>>,
@@ -321,15 +349,22 @@ impl Server {
         let telemetry = Arc::new(Telemetry::with_slots(stage_slots, cfg.shards));
         let cache = cfg.cache.enabled().then(|| Arc::new(ResponseCache::new(cfg.cache)));
         let ledger = Arc::new(TenantLedger::new());
+        // Capacity 0 = no recorder at all: the serving path then carries
+        // no trace plumbing cost whatsoever, not even the atomic load.
+        let trace_rec =
+            (cfg.trace.capacity > 0).then(|| Arc::new(TraceRecorder::new(cfg.trace)));
         let (ingress_tx, ingress_rx) = mpsc::sync_channel::<Request>(cfg.queue_capacity);
         // Rendezvous hand-off: the batcher blocks until a worker is free,
-        // which is what pushes overload back to admission control.
-        let (work_tx, work_rx) = mpsc::sync_channel::<Vec<Request>>(0);
+        // which is what pushes overload back to admission control. Each
+        // batch travels with its trace batch id (0 = untraced).
+        let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(0);
         let work_rx = Arc::new(Mutex::new(work_rx));
 
         let batcher_telemetry = Arc::clone(&telemetry);
+        let batcher_trace = trace_rec.clone();
         let expired_telemetry = Arc::clone(&telemetry);
         let expired_ledger = Arc::clone(&ledger);
+        let expired_trace = trace_rec.clone();
         let batcher = std::thread::Builder::new()
             .name("cc-serve-batcher".into())
             .spawn(move || {
@@ -355,12 +390,79 @@ impl Server {
                         if let Some(tenant) = &r.tenant {
                             expired_ledger.release(tenant);
                         }
+                        if let Some(rec) = &expired_trace {
+                            if rec.enabled() && r.id != 0 {
+                                let now = Instant::now();
+                                rec.span(
+                                    EventKind::Queue,
+                                    Track::Requests,
+                                    r.id,
+                                    0,
+                                    r.submitted,
+                                    now,
+                                    0,
+                                );
+                                rec.instant(
+                                    EventKind::Resolve,
+                                    Track::Requests,
+                                    r.id,
+                                    0,
+                                    now,
+                                    Outcome::DeadlineExceeded as u32,
+                                );
+                            }
+                        }
                         let _ = r.reply.send(Err(WaitError::DeadlineExceeded));
                     },
                 );
-                while let Some(batch) = batcher.next_batch() {
+                while let Some(mut batch) = batcher.next_batch() {
                     batcher_telemetry.on_dispatch(batch.len());
-                    if work_tx.send(batch).is_err() {
+                    // Stamp the batch for tracing: close each member's
+                    // queue span, open its execute clock, and record how
+                    // the batch formed — all on the batcher thread, off
+                    // the submit path and outside worker kernel time.
+                    let mut bid = 0;
+                    if let Some(rec) = &batcher_trace {
+                        if rec.enabled() {
+                            bid = rec.next_batch_id();
+                            let now = Instant::now();
+                            if let Some(f) = batcher.last_formation() {
+                                rec.span(
+                                    EventKind::BatchForm,
+                                    Track::Batcher,
+                                    0,
+                                    bid,
+                                    f.seeded_at,
+                                    f.released_at,
+                                    batch.len() as u32,
+                                );
+                            }
+                            for r in &mut batch {
+                                r.dispatched_at = now;
+                                if r.id == 0 {
+                                    continue;
+                                }
+                                rec.span(
+                                    EventKind::Queue,
+                                    Track::Requests,
+                                    r.id,
+                                    bid,
+                                    r.submitted,
+                                    now,
+                                    0,
+                                );
+                                rec.instant(
+                                    EventKind::BatchMember,
+                                    Track::Batcher,
+                                    r.id,
+                                    bid,
+                                    now,
+                                    0,
+                                );
+                            }
+                        }
+                    }
+                    if work_tx.send((bid, batch)).is_err() {
                         break;
                     }
                 }
@@ -371,6 +473,7 @@ impl Server {
             telemetry: Arc::clone(&telemetry),
             cache: cache.clone(),
             ledger: Arc::clone(&ledger),
+            trace: trace_rec.clone(),
         };
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -380,7 +483,7 @@ impl Server {
                 let shards = cfg.shards;
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards))
+                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards, i as u16))
                     .expect("spawn worker")
             })
             .collect();
@@ -390,6 +493,7 @@ impl Server {
             telemetry,
             cache,
             ledger,
+            trace: trace_rec,
             tenant_quota: cfg.tenant_quota,
             queue_capacity: cfg.queue_capacity,
             ingress: Some(ingress_tx),
@@ -429,24 +533,88 @@ impl Server {
         }
         let submitted = Instant::now();
 
+        // Trace: allocate a correlation id and record the submit instant.
+        // With tracing off (or no recorder) this entire arm is one atomic
+        // load and rid stays 0 — every later record site skips on it.
+        let rid = match &self.trace {
+            Some(rec) if rec.enabled() => {
+                let rid = rec.next_request_id();
+                rec.instant(
+                    EventKind::Submit,
+                    Track::Requests,
+                    rid,
+                    0,
+                    submitted,
+                    options.class.index() as u32,
+                );
+                rid
+            }
+            _ => 0,
+        };
+
         // Memo-cache probe. The key is taken *after* quantization — the
         // exact bytes the array would see — so a hit is bit-identical to
         // running the batch, and sub-quantum float jitter still hits.
         let cache_key = match &self.cache {
             Some(cache) => {
+                let probe_start = Instant::now();
                 let qmap = net.quantize_input(&image);
                 let digest = qmap.digest();
-                if let Some(logits) = cache.lookup(net.identity(), digest, qmap.as_slice()) {
+                let hit = cache.lookup(net.identity(), digest, qmap.as_slice());
+                if rid != 0 {
+                    if let Some(rec) = &self.trace {
+                        rec.span(
+                            EventKind::CacheProbe,
+                            Track::Requests,
+                            rid,
+                            0,
+                            probe_start,
+                            Instant::now(),
+                            hit.is_some() as u32,
+                        );
+                    }
+                }
+                if let Some(logits) = hit {
                     let latency = submitted.elapsed();
                     self.telemetry.on_complete(latency);
+                    if rid != 0 {
+                        if let Some(rec) = &self.trace {
+                            rec.instant(
+                                EventKind::Resolve,
+                                Track::Requests,
+                                rid,
+                                0,
+                                Instant::now(),
+                                Outcome::CacheHit as u32,
+                            );
+                        }
+                    }
                     let class = argmax(&logits);
                     let (reply, rx) = mpsc::channel();
-                    let _ = reply.send(Ok(Response { logits, class, latency, batch_size: 0 }));
+                    let _ = reply
+                        .send(Ok(Response { logits, class, latency, batch_size: 0, id: rid }));
                     return Ok(Ticket { rx });
                 }
                 Some((digest, qmap.into_raw().into_boxed_slice()))
             }
             None => None,
+        };
+
+        // Admission sheds resolve the trace immediately: the lifecycle is
+        // submit → resolve(shed), no queue span.
+        let trace_shed = |rid: u64| {
+            if rid != 0 {
+                if let Some(rec) = &self.trace {
+                    rec.instant(
+                        EventKind::Resolve,
+                        Track::Requests,
+                        rid,
+                        0,
+                        Instant::now(),
+                        Outcome::Shed as u32,
+                    );
+                }
+            }
         };
 
         // Tenant quota: one tenant flooding submits cannot occupy the
@@ -456,6 +624,7 @@ impl Server {
         if let Some(t) = &tenant {
             if !self.ledger.try_admit(t, self.tenant_quota) {
                 self.telemetry.on_shed(options.class);
+                trace_shed(rid);
                 return Err(SubmitError::QuotaExceeded { tenant: t.to_string() });
             }
         }
@@ -470,6 +639,7 @@ impl Server {
         if self.telemetry.queue_depth() >= self.queue_capacity {
             release(&tenant);
             self.telemetry.on_shed(options.class);
+            trace_shed(rid);
             return Err(SubmitError::QueueFull);
         }
         let Some(ingress) = self.ingress.as_ref() else {
@@ -485,6 +655,8 @@ impl Server {
             deadline: options.deadline.map(|d| submitted + d),
             tenant: tenant.clone(),
             cache_key,
+            id: rid,
+            dispatched_at: submitted,
             reply,
         };
         match ingress.try_send(request) {
@@ -495,6 +667,7 @@ impl Server {
             Err(TrySendError::Full(_)) => {
                 release(&tenant);
                 self.telemetry.on_shed(options.class);
+                trace_shed(rid);
                 Err(SubmitError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -519,6 +692,50 @@ impl Server {
         self.telemetry.snapshot_with_cache(
             self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
         )
+    }
+
+    /// The server's trace recorder, if one was allocated
+    /// ([`TraceConfig::capacity`] > 0).
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.trace.clone()
+    }
+
+    /// Toggles request-lifecycle tracing at runtime. Returns `false` when
+    /// the server was started with [`TraceConfig::none`] (no recorder to
+    /// toggle); otherwise the new state takes effect for *subsequent*
+    /// submits — in-flight requests keep the tracing decision made at
+    /// their submit time.
+    pub fn set_tracing(&self, on: bool) -> bool {
+        match &self.trace {
+            Some(rec) => {
+                rec.set_enabled(on);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains the recorder's ring into a time-ordered event list. Empty
+    /// when no recorder exists or nothing was traced.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map(|r| r.events()).unwrap_or_default()
+    }
+
+    /// Recorder occupancy counters, if a recorder exists.
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.trace.as_ref().map(|r| r.stats())
+    }
+
+    /// Renders the recorded events as Chrome trace-event JSON (load in
+    /// Perfetto / `chrome://tracing`). `None` when no recorder exists.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(|r| trace::chrome::export(r))
+    }
+
+    /// Renders current telemetry (and recorder gauges, when present) in
+    /// Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        trace::prom::prometheus_text(&self.telemetry(), self.trace_stats())
     }
 
     /// Drains the queue, stops every thread, and returns the final
@@ -565,16 +782,26 @@ struct ReplyCtx {
     submitted: Instant,
     tenant: Option<Arc<str>>,
     cache_key: Option<CacheKey>,
+    /// Trace correlation id (0 = untraced).
+    id: u64,
+    /// Execute-span start: when the batcher dispatched the batch.
+    dispatched_at: Instant,
     reply: mpsc::Sender<Result<Response, WaitError>>,
 }
 
-type BatchMeta = Vec<ReplyCtx>;
+/// The tag a batch travels under: its trace batch id (0 = untraced) plus
+/// each member's completion state.
+type BatchMeta = (u64, Vec<ReplyCtx>);
+
+/// A formed batch in flight to a worker: trace batch id + members.
+type WorkItem = (u64, Vec<Request>);
 
 fn worker_loop(
-    work_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
+    work_rx: &Arc<Mutex<Receiver<WorkItem>>>,
     shared: &Shared,
     stages: usize,
     shards: usize,
+    worker: u16,
 ) {
     let telemetry = &shared.telemetry;
     // Pipelines are per network identity, built lazily on the first batch
@@ -596,7 +823,7 @@ fn worker_loop(
             let guard = work_rx.lock().expect("work queue poisoned");
             guard.recv()
         };
-        let Ok(batch) = batch else { break };
+        let Ok((bid, batch)) = batch else { break };
         let size = batch.len();
         let net = batch[0].net.clone();
         let identity = net.identity();
@@ -606,16 +833,19 @@ fn worker_loop(
         );
 
         let mut images = Vec::with_capacity(size);
-        let mut meta: BatchMeta = Vec::with_capacity(size);
+        let mut ctxs: Vec<ReplyCtx> = Vec::with_capacity(size);
         for request in batch {
             images.push(request.image);
-            meta.push(ReplyCtx {
+            ctxs.push(ReplyCtx {
                 submitted: request.submitted,
                 tenant: request.tenant,
                 cache_key: request.cache_key,
+                id: request.id,
+                dispatched_at: request.dispatched_at,
                 reply: request.reply,
             });
         }
+        let meta: BatchMeta = (bid, ctxs);
 
         // 0 = auto: depth from the network's layer cost profile, resolved
         // once per network per worker. Bounded like the pipeline cache so
@@ -651,8 +881,27 @@ fn worker_loop(
             // buffer, systolic output plane, and shard-lane kernel
             // scratch.
             let sched = net.scheduler();
+            // Tracing is sampled once per batch, here on the worker
+            // thread, so kernel time sees no per-event checks; the band
+            // set only logs conv timings while the flag is up.
+            let tracing = shared.trace.as_ref().is_some_and(|r| r.enabled() && bid != 0);
+            bands.set_tracing(tracing);
             let started = Instant::now();
             let logits_batch = net.run_batch_banded(&sched, &images, &mut scratch, &mut bands);
+            if tracing {
+                if let Some(rec) = &shared.trace {
+                    rec.span(
+                        EventKind::Stage,
+                        Track::Worker(worker),
+                        0,
+                        bid,
+                        started,
+                        Instant::now(),
+                        0,
+                    );
+                    trace::record_conv_log(rec, bid, &bands.take_conv_log());
+                }
+            }
             telemetry.on_stage_busy(0, started.elapsed());
             telemetry.drain_shard_busy(&mut bands);
             complete_batch(shared, identity, meta, logits_batch);
@@ -665,7 +914,7 @@ fn worker_loop(
         // blocks only at the in-flight cap, which keeps backpressure
         // flowing to admission control.
         let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, shared);
-        pipe.submit(&images, meta);
+        pipe.submit_traced(&images, meta, bid);
     }
 }
 
@@ -704,6 +953,7 @@ fn pipeline_for<'a>(
             1,
             shards,
             Some(Arc::clone(&shared.telemetry)),
+            shared.trace.clone(),
             move |out, meta: BatchMeta| {
                 let logits_batch = match out {
                     BatchOutput::Logits(l) => l,
@@ -727,8 +977,10 @@ fn complete_batch(
     meta: BatchMeta,
     logits_batch: Vec<Vec<f32>>,
 ) {
-    let size = meta.len();
-    for (ctx, logits) in meta.into_iter().zip(logits_batch) {
+    let (bid, ctxs) = meta;
+    let size = ctxs.len();
+    for (ctx, logits) in ctxs.into_iter().zip(logits_batch) {
+        let now = Instant::now();
         let latency = ctx.submitted.elapsed();
         shared.telemetry.on_complete(latency);
         if let (Some(cache), Some((digest, qdata))) = (&shared.cache, &ctx.cache_key) {
@@ -737,9 +989,34 @@ fn complete_batch(
         if let Some(tenant) = &ctx.tenant {
             shared.ledger.release(tenant);
         }
+        if ctx.id != 0 {
+            if let Some(rec) = &shared.trace {
+                if rec.enabled() {
+                    rec.span(
+                        EventKind::Execute,
+                        Track::Requests,
+                        ctx.id,
+                        bid,
+                        ctx.dispatched_at,
+                        now,
+                        0,
+                    );
+                    rec.instant(
+                        EventKind::Resolve,
+                        Track::Requests,
+                        ctx.id,
+                        bid,
+                        now,
+                        Outcome::Ok as u32,
+                    );
+                }
+            }
+        }
         let class = argmax(&logits);
         // A dropped ticket just means the client stopped waiting.
-        let _ = ctx.reply.send(Ok(Response { logits, class, latency, batch_size: size }));
+        let _ = ctx
+            .reply
+            .send(Ok(Response { logits, class, latency, batch_size: size, id: ctx.id }));
     }
 }
 

@@ -151,6 +151,21 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Completion-side metrics guarded by one mutex so a snapshot reads
+/// them as a unit: the latency histogram plus the batch counters whose
+/// ratios feed derived gauges. Keeping them under a single lock is what
+/// makes `completed == histogram count` and
+/// `mean_batch_occupancy >= 1.0 when batches > 0` exact invariants
+/// instead of usually-true races (a snapshot used to be able to observe
+/// `completed = 1` against a still-empty histogram, or a batch counted
+/// before its requests).
+#[derive(Debug)]
+struct Completion {
+    hist: LatencyHistogram,
+    batches: u64,
+    batched_requests: u64,
+}
+
 /// Shared serving metrics, updated by the submit path, the batcher, and
 /// every worker.
 #[derive(Debug)]
@@ -164,22 +179,23 @@ pub struct Telemetry {
     /// reported rate.
     first_activity_nanos: AtomicU64,
     submitted: AtomicU64,
-    completed: AtomicU64,
+    /// Shed counters stay lock-free but follow a strict store/load
+    /// discipline (SeqCst, writers total-first/detail-last, the snapshot
+    /// reading detail-first/total-last) so every snapshot satisfies
+    /// `shed >= sum(shed_by_class) >= deadline_shed` even mid-update.
     shed: AtomicU64,
     /// Sheds by QoS class (admission, quota, and deadline sheds alike).
     shed_class: [AtomicU64; QOS_CLASSES],
     /// Requests shed specifically because their deadline passed while
     /// still queued.
     deadline_shed: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
     /// Requests handed to workers. Queue depth is derived as
     /// `submitted - dispatched` (saturating): the batcher can observe and
     /// dispatch a request before the submitting thread bumps `submitted`,
     /// and a derived gauge turns that race into a transient under-count
     /// instead of an unsigned wrap.
     dispatched: AtomicU64,
-    latency: Mutex<LatencyHistogram>,
+    completion: Mutex<Completion>,
     /// Busy time per pipeline stage (stage 0 doubles as the serial
     /// worker's execution slot).
     stage_busy: Occupancy,
@@ -202,14 +218,15 @@ impl Telemetry {
             started: Instant::now(),
             first_activity_nanos: AtomicU64::new(u64::MAX),
             submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             shed_class: std::array::from_fn(|_| AtomicU64::new(0)),
             deadline_shed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
-            latency: Mutex::new(LatencyHistogram::new()),
+            completion: Mutex::new(Completion {
+                hist: LatencyHistogram::new(),
+                batches: 0,
+                batched_requests: 0,
+            }),
             stage_busy: Occupancy::new(stage_slots),
             shard_busy: Occupancy::new(shard_slots),
         }
@@ -260,36 +277,44 @@ impl Telemetry {
     }
 
     /// A request was shed by admission control (queue full or tenant
-    /// quota).
+    /// quota). The total is bumped before the class breakdown so a
+    /// concurrent snapshot (which reads the breakdown first) can never
+    /// see the per-class counts exceed the total.
     pub(crate) fn on_shed(&self, class: QosClass) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
-        self.shed_class[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        self.shed_class[class.index()].fetch_add(1, Ordering::SeqCst);
     }
 
     /// A queued request was shed because its deadline passed before a
     /// batch could carry it. Counts toward `dispatched` as well: the
     /// request left the queue, and a depth gauge that never saw it leave
     /// would creep toward permanent [`crate::SubmitError::QueueFull`].
+    /// Write order total → class → deadline (the snapshot reads the
+    /// reverse) keeps `shed >= sum(by class) >= deadline_shed` torn-free.
     pub(crate) fn on_deadline_shed(&self, class: QosClass) {
-        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
-        self.shed.fetch_add(1, Ordering::Relaxed);
-        self.shed_class[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        self.shed_class[class.index()].fetch_add(1, Ordering::SeqCst);
+        self.deadline_shed.fetch_add(1, Ordering::SeqCst);
         self.dispatched.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The batcher handed `n` coalesced requests to a worker.
     pub(crate) fn on_dispatch(&self, n: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut c = self.completion.lock().expect("completion metrics poisoned");
+            c.batches += 1;
+            c.batched_requests += n as u64;
+        }
         self.dispatched.fetch_add(n as u64, Ordering::AcqRel);
     }
 
     /// A request finished (worker batch or cache hit) with the given
-    /// end-to-end latency.
+    /// end-to-end latency. The completion count IS the histogram count —
+    /// one locked record, so a snapshot can never observe a completion
+    /// whose latency has not landed yet.
     pub(crate) fn on_complete(&self, latency: Duration) {
         self.mark_activity();
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latency.lock().expect("latency histogram poisoned").record(latency);
+        self.completion.lock().expect("completion metrics poisoned").hist.record(latency);
     }
 
     /// The measurement window: elapsed wall clock since the first admit
@@ -304,7 +329,12 @@ impl Telemetry {
         self.started.elapsed().saturating_sub(Duration::from_nanos(first))
     }
 
-    /// A consistent point-in-time summary.
+    /// A consistent point-in-time summary: no torn intermediate states.
+    /// Completion-side numbers (histogram, completed count, batch
+    /// counters) are read under one lock; the shed counters are read in
+    /// the reverse of their write order so their containment invariants
+    /// (`shed >= sum(shed_by_class) >= deadline_shed`) hold in every
+    /// snapshot, even one taken mid-update.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         self.snapshot_with_cache(CacheStats::default())
     }
@@ -312,20 +342,26 @@ impl Telemetry {
     /// [`Telemetry::snapshot`] with the server's response-cache counters
     /// folded in.
     pub(crate) fn snapshot_with_cache(&self, cache: CacheStats) -> TelemetrySnapshot {
-        let hist = self.latency.lock().expect("latency histogram poisoned").clone();
+        let (hist, batches, batched) = {
+            let c = self.completion.lock().expect("completion metrics poisoned");
+            (c.hist.clone(), c.batches, c.batched_requests)
+        };
+        let completed = hist.count();
         let elapsed = self.started.elapsed();
         let window = self.active_window();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        // Reverse of the writers' store order (see `on_deadline_shed`):
+        // detail counters first, totals last.
+        let deadline_shed = self.deadline_shed.load(Ordering::SeqCst);
+        let shed_by_class = std::array::from_fn(|i| self.shed_class[i].load(Ordering::SeqCst));
+        let shed = self.shed.load(Ordering::SeqCst);
         TelemetrySnapshot {
             elapsed,
             window,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
-            shed: self.shed.load(Ordering::Relaxed),
-            shed_by_class: std::array::from_fn(|i| self.shed_class[i].load(Ordering::Relaxed)),
-            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            shed,
+            shed_by_class,
+            deadline_shed,
             queue_depth: self.queue_depth(),
             batches,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
@@ -352,7 +388,7 @@ impl Default for Telemetry {
 }
 
 /// Point-in-time serving metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TelemetrySnapshot {
     /// Time since the server (telemetry) started.
     pub elapsed: Duration,
@@ -394,6 +430,75 @@ pub struct TelemetrySnapshot {
     /// Response memo-cache counters and gauges (all zero when the cache
     /// is disabled).
     pub cache: CacheStats,
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as one compact JSON object (no serde): the
+    /// single formatter shared by bench reports
+    /// (`results/bench_serve.json` et al.) and the metrics exposition,
+    /// so the two can never drift apart field by field. Durations are
+    /// emitted in microseconds; busy fractions as arrays.
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                let s = format!("{v:.6}");
+                // Trim trailing zeros but keep at least one decimal so the
+                // value stays unambiguously a float.
+                let trimmed = s.trim_end_matches('0');
+                let trimmed = if trimmed.ends_with('.') { &s[..trimmed.len() + 1] } else { trimmed };
+                trimmed.to_string()
+            } else {
+                "null".to_string()
+            }
+        }
+        fn us(d: Duration) -> String {
+            f(d.as_secs_f64() * 1e6)
+        }
+        fn arr(vals: impl Iterator<Item = String>) -> String {
+            let mut out = String::from("[");
+            for (i, v) in vals.enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v);
+            }
+            out.push(']');
+            out
+        }
+        format!(
+            concat!(
+                "{{\"elapsed_us\":{},\"window_us\":{},",
+                "\"submitted\":{},\"completed\":{},\"shed\":{},",
+                "\"shed_by_class\":{},\"deadline_shed\":{},\"queue_depth\":{},",
+                "\"batches\":{},\"mean_batch_occupancy\":{},\"throughput_rps\":{},",
+                "\"mean_latency_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
+                "\"stage_busy\":{},\"shard_busy\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"bytes\":{}}}}}"
+            ),
+            us(self.elapsed),
+            us(self.window),
+            self.submitted,
+            self.completed,
+            self.shed,
+            arr(self.shed_by_class.iter().map(|v| v.to_string())),
+            self.deadline_shed,
+            self.queue_depth,
+            self.batches,
+            f(self.mean_batch_occupancy),
+            f(self.throughput_rps),
+            us(self.mean_latency),
+            us(self.p50),
+            us(self.p95),
+            us(self.p99),
+            arr(self.stage_busy.iter().map(|&v| f(v))),
+            arr(self.shard_busy.iter().map(|&v| f(v))),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.bytes,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -580,5 +685,191 @@ mod tests {
         t.on_complete(Duration::from_micros(10));
         let s = t.snapshot();
         assert!(s.throughput_rps > 0.0, "cache-hit-only traffic still has a rate");
+    }
+
+    /// Boundary behaviour of `percentile`: empty, the q = 0 / q = 1
+    /// extremes, a single sample, out-of-range quantiles, and the top
+    /// bucket (which must not overflow computing its midpoint).
+    #[test]
+    fn percentile_boundaries() {
+        // Empty: every quantile is zero.
+        let empty = LatencyHistogram::new();
+        for q in [0.0, 0.5, 1.0, -3.0, 42.0] {
+            assert_eq!(empty.percentile(q), Duration::ZERO);
+        }
+
+        // Single sample: every quantile lands in that sample's bucket.
+        let mut one = LatencyHistogram::new();
+        one.record(Duration::from_micros(777));
+        let bucket = one.percentile(0.5);
+        for q in [0.0, 0.001, 0.25, 0.999, 1.0] {
+            assert_eq!(one.percentile(q), bucket);
+        }
+        let rel = (bucket.as_nanos() as f64 - 777_000.0).abs() / 777_000.0;
+        assert!(rel < 0.07, "single-sample estimate off by {rel:.3}");
+
+        // q = 0 selects the minimum-occupied bucket, q = 1 the maximum;
+        // out-of-range q clamps to those instead of indexing garbage.
+        let mut h = LatencyHistogram::new();
+        for micros in [10u64, 100, 1_000, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let lo = h.percentile(0.0);
+        let hi = h.percentile(1.0);
+        assert!(lo <= Duration::from_micros(11), "q=0 must sit in the min bucket: {lo:?}");
+        assert!(hi >= Duration::from_micros(9_300), "q=1 must sit in the max bucket: {hi:?}");
+        assert_eq!(h.percentile(-1.0), lo);
+        assert_eq!(h.percentile(2.0), hi);
+        // rank = ceil(q * total): just past a sample boundary moves on.
+        assert_eq!(h.percentile(0.25), lo);
+        assert!(h.percentile(0.26) > lo);
+
+        // Top bucket: u64::MAX nanoseconds lands in the last bucket and
+        // its midpoint computes without overflowing u64.
+        let mut top = LatencyHistogram::new();
+        top.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(LatencyHistogram::index(u64::MAX), BUCKETS - 1);
+        let p = top.percentile(1.0);
+        let rel = (p.as_nanos() as f64 - u64::MAX as f64).abs() / u64::MAX as f64;
+        assert!(rel < 0.07, "top-bucket midpoint off by {rel:.3}: {p:?}");
+        assert_eq!(top.percentile(0.0), p, "one sample, one bucket");
+    }
+
+    /// Satellite (ISSUE 7): `snapshot` must be coherent under concurrent
+    /// writers — no torn intermediate states. Previously `completed` was
+    /// bumped before the histogram lock (a snapshot could see a
+    /// completion with no recorded latency → mean/percentiles of zero)
+    /// and `batches`/`batched_requests` could tear (mean occupancy below
+    /// one). Hammer all write paths from several threads while snapshot
+    /// threads assert the invariants on every read.
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_writers() {
+        let t = std::sync::Arc::new(Telemetry::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..3u64)
+                .map(|w| {
+                    let t = std::sync::Arc::clone(&t);
+                    scope.spawn(move || {
+                        for i in 0..2_000u64 {
+                            t.on_admit();
+                            t.on_dispatch(1 + (i % 4) as usize);
+                            // Nonzero latencies so completed > 0 forces
+                            // nonzero mean and percentiles.
+                            t.on_complete(Duration::from_micros(w * 100 + i % 50 + 1));
+                            match i % 3 {
+                                0 => t.on_shed(QosClass::Interactive),
+                                1 => t.on_shed(QosClass::Batch),
+                                _ => t.on_deadline_shed(QosClass::Standard),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..2 {
+                let t = std::sync::Arc::clone(&t);
+                let stop = std::sync::Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) || reads < 50 {
+                        let s = t.snapshot();
+                        let class_sum: u64 = s.shed_by_class.iter().sum();
+                        assert!(
+                            s.shed >= class_sum,
+                            "torn shed counters: total {} < by-class sum {}",
+                            s.shed,
+                            class_sum
+                        );
+                        assert!(
+                            class_sum >= s.deadline_shed,
+                            "torn shed counters: by-class sum {} < deadline {}",
+                            class_sum,
+                            s.deadline_shed
+                        );
+                        if s.completed > 0 {
+                            assert!(
+                                s.mean_latency > Duration::ZERO,
+                                "{} completions but empty histogram",
+                                s.completed
+                            );
+                            assert!(s.p50 > Duration::ZERO);
+                            assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+                        }
+                        if s.batches > 0 {
+                            assert!(
+                                s.mean_batch_occupancy >= 1.0,
+                                "batch counted before its requests: occupancy {}",
+                                s.mean_batch_occupancy
+                            );
+                        }
+                        reads += 1;
+                    }
+                });
+            }
+            // Keep the readers sampling until every writer is done, so
+            // snapshots race real updates rather than a settled state.
+            for w in writers {
+                w.join().expect("writer panicked");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let s = t.snapshot();
+        assert_eq!(s.completed, 6_000);
+        assert_eq!(s.shed, 6_000);
+        assert_eq!(s.shed_by_class.iter().sum::<u64>(), 6_000);
+        assert_eq!(s.deadline_shed, 1_998);
+    }
+
+    #[test]
+    fn snapshot_default_is_all_zero() {
+        let s = TelemetrySnapshot::default();
+        assert_eq!(s.submitted, 0);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.mean_latency, Duration::ZERO);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert!(s.stage_busy.is_empty());
+        assert_eq!(s.cache, CacheStats::default());
+        // Debug formatting exists and names the type.
+        assert!(format!("{s:?}").contains("TelemetrySnapshot"));
+    }
+
+    #[test]
+    fn snapshot_json_is_complete_and_balanced() {
+        let t = Telemetry::new();
+        t.on_admit();
+        t.on_dispatch(1);
+        t.on_complete(Duration::from_millis(3));
+        t.on_shed(QosClass::Interactive);
+        t.on_stage_busy(0, Duration::from_millis(1));
+        let json = t.snapshot().to_json();
+        for key in [
+            "\"elapsed_us\":",
+            "\"window_us\":",
+            "\"submitted\":1",
+            "\"completed\":1",
+            "\"shed\":1",
+            "\"shed_by_class\":[1,0,0]",
+            "\"deadline_shed\":0",
+            "\"queue_depth\":0",
+            "\"batches\":1",
+            "\"mean_batch_occupancy\":1.0",
+            "\"throughput_rps\":",
+            "\"mean_latency_us\":",
+            "\"p50_us\":",
+            "\"p95_us\":",
+            "\"p99_us\":",
+            "\"stage_busy\":[",
+            "\"shard_busy\":[]",
+            "\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0,\"bytes\":0}",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+        // Defaults render too (NaN-free: no-traffic rates are 0, not null).
+        let empty = TelemetrySnapshot::default().to_json();
+        assert!(empty.contains("\"throughput_rps\":0.0"));
+        assert!(!empty.contains("null"));
     }
 }

@@ -1,0 +1,244 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a recorder's events in the [Trace Event Format] consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): a single
+//! JSON object `{"traceEvents": [...]}` whose entries are `ph:"X"`
+//! complete events (spans) and `ph:"i"` instants, with `ts`/`dur` in
+//! microseconds. Every [`Track`] becomes its own row via `thread_name`
+//! metadata events — requests, the batcher, and one row per worker,
+//! pipeline stage, and shard lane.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use super::{EventKind, TraceEvent, TraceRecorder, Track};
+use std::fmt::Write as _;
+
+/// Process id used for all tracks (one server = one process).
+const PID: u32 = 1;
+
+/// Maps a track to a stable Chrome thread id. Families are spaced so
+/// index order inside a family matches tid order.
+fn tid_of(track: Track) -> u32 {
+    let (family, idx) = track.sort_key();
+    1 + family as u32 * 4096 + idx as u32
+}
+
+fn push_common(out: &mut String, name: &str, cat: &str, ph: char, ts_us: f64, track: Track) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{PID},\"tid\":{}",
+        tid_of(track)
+    );
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str(",\"args\":{");
+    let _ = write!(out, "\"rid\":{},\"bid\":{}", ev.rid, ev.bid);
+    match ev.kind {
+        EventKind::Submit => {
+            let _ = write!(out, ",\"class\":{}", ev.arg);
+        }
+        EventKind::CacheProbe => {
+            let _ = write!(out, ",\"hit\":{}", ev.arg == 1);
+        }
+        EventKind::BatchForm => {
+            let _ = write!(out, ",\"size\":{}", ev.arg);
+        }
+        EventKind::Stage => {
+            let _ = write!(out, ",\"stage\":{}", ev.arg);
+        }
+        EventKind::ShardRun => {
+            let _ = write!(out, ",\"lane\":{}", ev.arg);
+        }
+        EventKind::Resolve => {
+            let outcome = super::Outcome::from_u32(ev.arg)
+                .map(|o| o.label())
+                .unwrap_or("unknown");
+            let _ = write!(out, ",\"outcome\":\"{outcome}\"");
+        }
+        EventKind::Queue | EventKind::BatchMember | EventKind::Execute => {}
+    }
+    out.push('}');
+}
+
+/// Renders `events` as a complete Chrome trace JSON document.
+///
+/// Spans become `ph:"X"` complete events; instants become `ph:"i"` with
+/// thread scope. Track rows are named and ordered via `thread_name` /
+/// `thread_sort_index` metadata so Perfetto shows requests first, then
+/// the batcher, workers, stages, and shard lanes.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut tracks: Vec<Track> = events.iter().map(|e| e.track).collect();
+    tracks.sort();
+    tracks.dedup();
+
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    for (order, track) in tracks.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid_of(*track),
+            track.name()
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"args\":{{\"sort_index\":{order}}}}}",
+            tid_of(*track)
+        );
+    }
+
+    for ev in events {
+        sep(&mut out);
+        let ts_us = ev.start_ns as f64 / 1_000.0;
+        if ev.kind.is_span() {
+            push_common(&mut out, ev.kind.label(), "serve", 'X', ts_us, ev.track);
+            let _ = write!(out, ",\"dur\":{:.3}", ev.dur_ns as f64 / 1_000.0);
+        } else {
+            push_common(&mut out, ev.kind.label(), "serve", 'i', ts_us, ev.track);
+            out.push_str(",\"s\":\"t\"");
+        }
+        push_args(&mut out, ev);
+        out.push('}');
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Convenience: snapshot `recorder` and render it.
+pub fn export(recorder: &TraceRecorder) -> String {
+    chrome_trace_json(&recorder.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Outcome, TraceConfig};
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                kind: EventKind::Submit,
+                track: Track::Requests,
+                rid: 1,
+                bid: 0,
+                start_ns: 1_000,
+                dur_ns: 0,
+                arg: 0,
+            },
+            TraceEvent {
+                kind: EventKind::Queue,
+                track: Track::Requests,
+                rid: 1,
+                bid: 2,
+                start_ns: 2_000,
+                dur_ns: 5_500,
+                arg: 0,
+            },
+            TraceEvent {
+                kind: EventKind::Stage,
+                track: Track::Stage(1),
+                rid: 0,
+                bid: 2,
+                start_ns: 8_000,
+                dur_ns: 3_000,
+                arg: 1,
+            },
+            TraceEvent {
+                kind: EventKind::ShardRun,
+                track: Track::Shard(0),
+                rid: 0,
+                bid: 2,
+                start_ns: 8_100,
+                dur_ns: 2_000,
+                arg: 0,
+            },
+            TraceEvent {
+                kind: EventKind::Resolve,
+                track: Track::Requests,
+                rid: 1,
+                bid: 2,
+                start_ns: 12_000,
+                dur_ns: 0,
+                arg: Outcome::Ok as u32,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_a_complete_trace_document() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Track metadata names each row.
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"requests\""));
+        assert!(json.contains("\"name\":\"stage-1\""));
+        assert!(json.contains("\"name\":\"shard-0\""));
+        // Spans are complete events with microsecond ts/dur.
+        assert!(json.contains("\"name\":\"queue\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":2.000"));
+        assert!(json.contains("\"dur\":5.500"));
+        // Instants carry thread scope; resolve names its outcome.
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"outcome\":\"ok\""));
+        // Correlation ids thread through args.
+        assert!(json.contains("\"rid\":1,\"bid\":2"));
+    }
+
+    #[test]
+    fn distinct_tracks_get_distinct_tids() {
+        let mut tids = vec![
+            tid_of(Track::Requests),
+            tid_of(Track::Batcher),
+            tid_of(Track::Worker(0)),
+            tid_of(Track::Worker(1)),
+            tid_of(Track::Stage(0)),
+            tid_of(Track::Stage(1)),
+            tid_of(Track::Shard(0)),
+        ];
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 7);
+    }
+
+    #[test]
+    fn export_reads_a_live_recorder() {
+        let r = TraceRecorder::new(TraceConfig::on());
+        for ev in sample_events() {
+            r.record(&ev);
+        }
+        let json = export(&r);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"submit\""));
+    }
+
+    #[test]
+    fn balanced_braces_and_quotes() {
+        // Cheap structural sanity without a JSON parser: balanced
+        // braces/brackets and an even quote count.
+        let json = chrome_trace_json(&sample_events());
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}
