@@ -5,9 +5,10 @@
 //!
 //! Beyond the printed tables, results land machine-readable in
 //! `results/bench_kernel.json` so the repo's kernel-performance trajectory
-//! is trackable across PRs. CI runs the release-mode `kernel_gate` test in
-//! this module, which asserts the prepared+scratch path beats the seed
-//! path by ≥2× (best-of-2 per path, tolerating noisy runners).
+//! is trackable across PRs. CI runs the release-mode `kernel_gate` tests in
+//! this module: the prepared+scratch path must beat the seed path by ≥2×,
+//! and the batch-major lane sweep must not lose to the scalar op-sweep it
+//! replaced at batch ≥ 8 (best-of-2 per path, tolerating noisy runners).
 
 use crate::report::{fnum, JsonValue, Table};
 use crate::scale::Scale;
@@ -134,6 +135,90 @@ fn measure_case(case: &KernelCase, iters: u32, rounds: u32) -> KernelMeasurement
     }
 }
 
+/// One scalar-vs-lane comparison point: the serving layer shape at a
+/// given image batch (stream length = 16 positions × batch).
+struct LaneCase {
+    batch: usize,
+    l: usize,
+}
+
+struct LaneMeasurement {
+    batch: usize,
+    l: usize,
+    scalar_ns: f64,
+    lane_ns: f64,
+}
+
+impl LaneMeasurement {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.lane_ns.max(1e-9)
+    }
+
+    fn as_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("batch", JsonValue::from(self.batch)),
+            ("stream_len", JsonValue::from(self.l)),
+            ("scalar_ns", JsonValue::from(self.scalar_ns)),
+            ("lane_ns", JsonValue::from(self.lane_ns)),
+            ("speedup_lane", JsonValue::from(self.speedup())),
+        ])
+    }
+}
+
+/// Times the retired scalar op-sweep against the batch-major lane sweep
+/// on the serving layer shape, pinning bit-identity (outputs and stats)
+/// on the exact fixture being timed.
+fn measure_lane_case(case: &LaneCase, iters: u32, rounds: u32) -> LaneMeasurement {
+    let shape =
+        KernelCase { name: "lane", rows: 128, cols: 120, density: 0.16, l: case.l };
+    let (qp, d) = fixture(&shape, 47);
+    let sched = TiledScheduler::new(ArrayConfig::new(32, 32, AccumWidth::Bits32));
+    let prepared = sched.prepare_packed(&qp);
+    let mut lane_scratch = RunScratch::new();
+    let mut scalar_scratch = RunScratch::new();
+    let lane_stats = sched.run_prepared_with(&prepared, &d, &mut lane_scratch);
+    let scalar_stats = sched.run_prepared_scalar_with(&prepared, &d, &mut scalar_scratch);
+    assert_eq!(lane_scratch.outputs(), scalar_scratch.outputs(), "lane sweep diverged");
+    assert_eq!(lane_stats, scalar_stats, "lane sweep stats diverged");
+
+    LaneMeasurement {
+        batch: case.batch,
+        l: case.l,
+        scalar_ns: best_ns(
+            || {
+                black_box(sched.run_prepared_scalar_with(
+                    black_box(&prepared),
+                    black_box(&d),
+                    &mut scalar_scratch,
+                ));
+            },
+            iters,
+            rounds,
+        ),
+        lane_ns: best_ns(
+            || {
+                black_box(sched.run_prepared_with(
+                    black_box(&prepared),
+                    black_box(&d),
+                    &mut lane_scratch,
+                ));
+            },
+            iters,
+            rounds,
+        ),
+    }
+}
+
+fn lane_cases() -> Vec<LaneCase> {
+    // 16 stream positions per image: batch 1 barely fills a lane chunk,
+    // batch 8 is the shape the lane sweep is built for.
+    vec![
+        LaneCase { batch: 1, l: 16 },
+        LaneCase { batch: 3, l: 48 },
+        LaneCase { batch: 8, l: 128 },
+    ]
+}
+
 fn kernel_cases() -> Vec<KernelCase> {
     vec![
         // The serving shape: one small image's positions through a
@@ -187,6 +272,29 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         measurements.iter().map(KernelMeasurement::speedup_scratch).fold(f64::INFINITY, f64::min);
     let speedup_best =
         measurements.iter().map(KernelMeasurement::speedup_scratch).fold(0.0f64, f64::max);
+
+    // Scalar op-sweep vs batch-major lane sweep across image batch sizes.
+    let mut lanes = Table::new(
+        "Kernel: scalar op-sweep vs batch-major lane sweep (ns/run, best-of-2)",
+        &["batch", "stream_len", "scalar_ns", "lane_ns", "speedup"],
+    );
+    let mut lane_measurements = Vec::new();
+    for case in lane_cases() {
+        let m = measure_lane_case(&case, iters, rounds);
+        lanes.push_row(vec![
+            m.batch.to_string(),
+            m.l.to_string(),
+            fnum(m.scalar_ns, 0),
+            fnum(m.lane_ns, 0),
+            fnum(m.speedup(), 2),
+        ]);
+        lane_measurements.push(m);
+    }
+    let lane_at_batch8 = lane_measurements
+        .iter()
+        .filter(|m| m.batch >= 8)
+        .map(LaneMeasurement::speedup)
+        .fold(0.0f64, f64::max);
 
     // Whole model: allocating run_batch vs warm-scratch run_batch_scratch.
     let (deployed, images) = model_fixture(scale);
@@ -262,6 +370,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         ("speedup_prepared_scratch_min", JsonValue::from(speedup_min)),
         ("speedup_prepared_scratch_best", JsonValue::from(speedup_best)),
         (
+            "lane_kernels",
+            JsonValue::Arr(lane_measurements.iter().map(LaneMeasurement::as_json).collect()),
+        ),
+        ("speedup_lane_at_batch8", JsonValue::from(lane_at_batch8)),
+        (
             "model",
             JsonValue::obj([
                 ("model", JsonValue::from("lenet")),
@@ -288,7 +401,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         eprintln!("warning: could not write results/bench_kernel.json: {e}");
     }
 
-    vec![kernels, model, serving]
+    vec![kernels, lanes, model, serving]
 }
 
 #[cfg(test)]
@@ -320,6 +433,29 @@ mod tests {
         );
     }
 
+    /// The CI release gate for the batch-major refactor: at batch ≥ 8 the
+    /// lane sweep that replaced the scalar op-sweep must at least match it
+    /// (≥ 1.0×) — a lane kernel slower than the loop it displaced would
+    /// make the refactor a regression. Best-of-2 per path, same
+    /// methodology as the other wall-clock gates.
+    #[test]
+    fn kernel_gate_lane_sweep_at_least_matches_scalar_at_batch_8() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipping lane perf gate in debug build");
+            return;
+        }
+        let _exclusive = crate::perf_gate_lock();
+        let m = measure_lane_case(&LaneCase { batch: 8, l: 128 }, 200, 2);
+        assert!(
+            m.speedup() >= 1.0,
+            "lane sweep must not lose to the scalar op-sweep at batch 8: \
+             {:.0} ns vs {:.0} ns ({:.2}×)",
+            m.scalar_ns,
+            m.lane_ns,
+            m.speedup()
+        );
+    }
+
     /// Debug-profile smoke: the experiment plumbing runs end to end and
     /// the in-measurement bit-identity assertions hold.
     #[test]
@@ -327,5 +463,7 @@ mod tests {
         let case = KernelCase { name: "smoke", rows: 40, cols: 36, density: 0.3, l: 8 };
         let m = measure_case(&case, 1, 1);
         assert!(m.reference_ns > 0.0 && m.scratch_ns > 0.0);
+        let lane = measure_lane_case(&LaneCase { batch: 1, l: 16 }, 1, 1);
+        assert!(lane.scalar_ns > 0.0 && lane.lane_ns > 0.0);
     }
 }

@@ -25,7 +25,7 @@ use cc_dataset::Dataset;
 use cc_deploy::{identity_groups, DeployedNetwork, ShardMode, ShardScratch, ShardedNetwork};
 use cc_packing::{group_columns, pack_columns, GroupingConfig};
 use cc_systolic::array::{ArrayConfig, QuantPacked};
-use cc_systolic::{PreparedPacked, RunScratch, SimStats, TiledScheduler};
+use cc_systolic::{ArrayGeometry, PreparedPacked, RunScratch, SimStats, TiledScheduler};
 use cc_tensor::init::sparse_matrix;
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 use cc_tensor::Tensor;
@@ -92,6 +92,58 @@ fn kernel_makespans(case: &LayerCase) -> Vec<(usize, usize, u64)> {
             (shards, plan.len(), makespan)
         })
         .collect()
+}
+
+/// The makespan of one kernel case scattered across an explicit fleet of
+/// array geometries (cost-weighted band planning), with the gather checked
+/// bit-identical against the unsharded plane. Returns `(bands, makespan)`.
+fn fleet_makespan(
+    prepared: &PreparedPacked,
+    sched: &TiledScheduler,
+    d: &QuantMatrix,
+    fleet: &[ArrayGeometry],
+    reference: &RunScratch,
+) -> (usize, u64) {
+    let plan = prepared.partition_row_bands_for(fleet, d.cols());
+    let mut primary = RunScratch::new();
+    let mut aux = vec![RunScratch::new(); plan.len().saturating_sub(1)];
+    let mut stats = vec![SimStats::default(); plan.len()];
+    let mut busy = vec![0u64; plan.len()];
+    sched.run_bands_geom(prepared, &plan, fleet, d, &mut primary, &mut aux, &mut stats, &mut busy);
+    assert_eq!(primary.outputs(), reference.outputs(), "fleet gather diverged");
+    (plan.len(), stats.iter().map(|s| s.cycles).max().unwrap_or(0))
+}
+
+/// Fleet configurations the heterogeneous sweep compares: the base 32×32
+/// array alone, doubled, and paired with progressively weaker partners.
+fn fleet_cases() -> Vec<(&'static str, Vec<ArrayGeometry>)> {
+    let base = ArrayGeometry::new(32, 32);
+    vec![
+        ("base_alone", vec![base]),
+        ("2x_base", vec![base, base]),
+        ("base_plus_half", vec![base, ArrayGeometry::new(16, 16)]),
+        ("base_plus_quarter", vec![base, ArrayGeometry::new(8, 8)]),
+    ]
+}
+
+/// Homogeneous-vs-heterogeneous fleet makespans for one kernel case, plus
+/// the weakest partner array's solo makespan as the baseline a sane
+/// hetero plan must beat.
+fn fleet_rows(case: &LayerCase) -> Vec<(&'static str, usize, u64)> {
+    let (prepared, d, sched) = prepared_fixture(case, 61);
+    let mut reference = RunScratch::new();
+    sched.run_prepared_with(&prepared, &d, &mut reference);
+    let mut rows: Vec<(&'static str, usize, u64)> = fleet_cases()
+        .iter()
+        .map(|(name, fleet)| {
+            let (bands, makespan) = fleet_makespan(&prepared, &sched, &d, fleet, &reference);
+            (*name, bands, makespan)
+        })
+        .collect();
+    let weak = vec![ArrayGeometry::new(8, 8)];
+    let (bands, solo) = fleet_makespan(&prepared, &sched, &d, &weak, &reference);
+    rows.push(("quarter_alone", bands, solo));
+    rows
 }
 
 /// A deployed LeNet on a deliberately small-row array so every conv spans
@@ -197,6 +249,33 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         }
     }
 
+    // 1b. Homogeneous vs heterogeneous fleets (pure simulation).
+    let mut fleet_table = Table::new(
+        "Shards: homogeneous vs heterogeneous fleet makespans",
+        &["case", "fleet", "bands", "makespan_cycles", "speedup_vs_base_alone"],
+    );
+    let mut fleet_json = Vec::new();
+    for case in layer_cases() {
+        let rows = fleet_rows(&case);
+        let base = rows[0].2;
+        for &(fleet, bands, makespan) in &rows {
+            fleet_table.push_row(vec![
+                case.name.into(),
+                fleet.into(),
+                bands.to_string(),
+                makespan.to_string(),
+                fnum(base as f64 / makespan.max(1) as f64, 2),
+            ]);
+            fleet_json.push(JsonValue::obj([
+                ("case", JsonValue::from(case.name)),
+                ("fleet", JsonValue::from(fleet)),
+                ("bands", JsonValue::from(bands)),
+                ("makespan_cycles", JsonValue::from(makespan)),
+                ("speedup_vs_base_alone", JsonValue::from(base as f64 / makespan.max(1) as f64)),
+            ]));
+        }
+    }
+
     // 2. Model-level sharding.
     let (deployed, images) = model_fixture(scale);
     let model_rows = measure_model(&deployed, &images, iters);
@@ -274,6 +353,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         ("experiment", JsonValue::from("shard_bench")),
         ("profile", JsonValue::from(if release { "release" } else { "debug" })),
         ("kernel", JsonValue::Arr(kernel_json)),
+        ("fleet", JsonValue::Arr(fleet_json)),
         ("model", JsonValue::Arr(model_rows.iter().map(ModelRow::as_json).collect())),
         ("serving", JsonValue::Arr(serving_json)),
     ]);
@@ -281,7 +361,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         eprintln!("warning: could not write results/bench_shard.json: {e}");
     }
 
-    vec![kernel_table, model_table, serving_table]
+    vec![kernel_table, fleet_table, model_table, serving_table]
 }
 
 #[cfg(test)]
@@ -307,6 +387,40 @@ mod tests {
                     pair[1].2,
                 );
             }
+        }
+    }
+
+    /// CI gate (simulated, deterministic): pairing the base array with a
+    /// weaker partner must help, not hurt — the heterogeneous 2-shard
+    /// plan's makespan must fall strictly below the *worst* single array
+    /// running everything alone, and must not exceed the base array
+    /// alone (a cost-weighted planner that hands a straggler too much
+    /// work would violate one of these).
+    #[test]
+    fn shard_gate_hetero_fleet_beats_worst_single_array() {
+        for case in layer_cases() {
+            let (prepared, d, sched) = prepared_fixture(&case, 61);
+            let mut reference = RunScratch::new();
+            sched.run_prepared_with(&prepared, &d, &mut reference);
+            let base = ArrayGeometry::new(32, 32);
+            let weak = ArrayGeometry::new(8, 8);
+            let (_, base_alone) =
+                fleet_makespan(&prepared, &sched, &d, &[base], &reference);
+            let (_, weak_alone) =
+                fleet_makespan(&prepared, &sched, &d, &[weak], &reference);
+            let (bands, hetero) =
+                fleet_makespan(&prepared, &sched, &d, &[base, weak], &reference);
+            assert_eq!(bands, 2, "{}: the fleet must actually fan out", case.name);
+            assert!(
+                hetero < weak_alone,
+                "{}: hetero plan must beat the weak array alone: {hetero} vs {weak_alone}",
+                case.name
+            );
+            assert!(
+                hetero <= base_alone,
+                "{}: adding a weak array must never hurt the base: {hetero} vs {base_alone}",
+                case.name
+            );
         }
     }
 

@@ -314,9 +314,13 @@ fn run_packed_conv_batch(
     let data =
         QuantMatrix::from_raw(c, bl, data, QuantParams::from_max_abs(first.scale() * 127.0));
     // Scatter/gather across the shard set when one is supplied; the
-    // gathered plane in `scratch.run` is bit-identical either way.
+    // gathered plane in `scratch.run` is bit-identical either way. A
+    // one-shard *fleet* still takes the banded path so its stats are
+    // priced under the fleet's geometry, not the base array's.
     match bands {
-        Some(set) if set.shards() > 1 => set.run_conv(sched, tiles, &data, &mut scratch.run),
+        Some(set) if set.shards() > 1 || set.fleet().is_some() => {
+            set.run_conv(sched, tiles, &data, &mut scratch.run)
+        }
         Some(set) => set.run_conv_serial(sched, tiles, &data, &mut scratch.run),
         None => {
             sched.run_prepared_with(tiles, &data, &mut scratch.run);

@@ -24,13 +24,21 @@
 //! to the unsharded run's, cycles included (the gather substitutes the
 //! sequential-equivalent cycle count) — and the concurrent *makespan*,
 //! which is what shrinks as shards are added.
+//!
+//! Row-band fleets need not be homogeneous:
+//! [`ShardedNetwork::with_fleet`] / [`BandSet::with_fleet`] give each
+//! shard its own [`ArrayGeometry`]. Banding is then weighted by each
+//! target's cycle model (a weaker array gets fewer rows), per-shard stats
+//! attribute cycles under each shard's own geometry, and the merged view
+//! still reports the base array's sequential equivalent — fleet-invariant
+//! by construction.
 
 use crate::builder::DeployedNetwork;
 use crate::engine::BatchOutput;
 use crate::scratch::ActivationScratch;
 use cc_systolic::partition::partition_min_max;
 use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
-use cc_systolic::{RowBand, RunScratch, SimStats};
+use cc_systolic::{ArrayGeometry, RowBand, RunScratch, SimStats};
 use cc_tensor::quant::QuantMatrix;
 use cc_tensor::Tensor;
 use std::ops::Range;
@@ -109,6 +117,12 @@ pub enum ShardMode {
 #[derive(Debug)]
 pub struct BandSet {
     shards: usize,
+    /// Per-shard array geometries of a heterogeneous fleet; `None` means
+    /// every shard is the preparing config's array (the homogeneous path,
+    /// planned by op count). With a fleet, plans are cost-weighted by each
+    /// geometry's cycle model and per-shard stats attribute cycles under
+    /// that geometry.
+    fleet: Option<Vec<ArrayGeometry>>,
     aux: Vec<RunScratch>,
     call_stats: Vec<SimStats>,
     shard_totals: Vec<SimStats>,
@@ -136,6 +150,7 @@ impl BandSet {
         assert!(shards > 0, "need at least one shard");
         BandSet {
             shards,
+            fleet: None,
             aux: (1..shards).map(|_| RunScratch::new()).collect(),
             call_stats: Vec::new(),
             shard_totals: vec![SimStats::default(); shards],
@@ -145,6 +160,28 @@ impl BandSet {
             tracing: false,
             conv_log: Vec::new(),
         }
+    }
+
+    /// A shard set over a heterogeneous fleet: shard `i` simulates an
+    /// array of `fleet[i]`'s geometry. Plans weight each band by its
+    /// target geometry's cycle model and per-shard stats attribute cycles
+    /// under that geometry; the gathered outputs stay bit-identical to the
+    /// unsharded run regardless of the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is empty.
+    pub fn with_fleet(fleet: Vec<ArrayGeometry>) -> Self {
+        assert!(!fleet.is_empty(), "need at least one shard");
+        let mut set = Self::new(fleet.len());
+        set.fleet = Some(fleet);
+        set
+    }
+
+    /// The per-shard geometries, when this set models a heterogeneous
+    /// fleet.
+    pub fn fleet(&self) -> Option<&[ArrayGeometry]> {
+        self.fleet.as_deref()
     }
 
     /// Turns per-conv trace logging on or off. Turning it off discards
@@ -232,7 +269,7 @@ impl BandSet {
         d: &QuantMatrix,
         primary: &mut RunScratch,
     ) {
-        let idx = self.plan_index(tiles);
+        let idx = self.plan_index(tiles, d.cols());
         let plan = &self.plans[idx].1;
         // Per-lane busy deltas for this conv alone: snapshot the running
         // clocks, scatter, subtract.
@@ -240,9 +277,10 @@ impl BandSet {
         let mut call_stats = std::mem::take(&mut self.call_stats);
         call_stats.clear();
         call_stats.resize(plan.len(), SimStats::default());
-        sched.run_bands_with(
+        sched.run_bands_geom(
             tiles,
             plan,
+            self.fleet.as_deref().unwrap_or(&[]),
             d,
             primary,
             &mut self.aux,
@@ -258,14 +296,17 @@ impl BandSet {
                 .collect();
             self.log_conv(lane_busy);
         }
-        // A one-band plan's stats already carry the sequential cycle
-        // count; only a real scatter needs the equivalent recomputed.
-        let seq_cycles = if call_stats.len() == 1 {
-            call_stats[0].cycles
+        // The merged view records the sequential-equivalent stats of the
+        // *base* array, never the per-geometry band stats (whose cycles
+        // and load cycles depend on the fleet), so merged stats stay plan-
+        // and fleet-invariant. A homogeneous one-band plan's stats already
+        // are the sequential stats — skip the recompute.
+        let seq = if self.fleet.is_none() && call_stats.len() == 1 {
+            call_stats[0]
         } else {
-            tiles.sequential_cycles(d.cols())
+            tiles.sequential_stats(d.cols())
         };
-        self.record(&call_stats, seq_cycles);
+        self.record(&call_stats, &seq);
         self.call_stats = call_stats;
     }
 
@@ -285,13 +326,17 @@ impl BandSet {
         if self.tracing {
             self.log_conv(vec![elapsed]);
         }
-        // run_prepared_with's cycles *are* the sequential count.
-        self.record(std::slice::from_ref(&stats), stats.cycles);
+        // run_prepared_with's stats *are* the sequential stats.
+        let seq = stats;
+        self.record(std::slice::from_ref(&stats), &seq);
     }
 
     /// Index of `tiles`' cached shard plan, computing and inserting it on
-    /// a miss (LRU order, most recently used last, bounded).
-    fn plan_index(&mut self, tiles: &PreparedPacked) -> usize {
+    /// a miss (LRU order, most recently used last, bounded). `l` is the
+    /// stream length a fleet-weighted plan is sized for; the first call's
+    /// width shapes the cached plan (later widths reuse it — the balance
+    /// shifts only marginally with `l`, never the correctness).
+    fn plan_index(&mut self, tiles: &PreparedPacked, l: usize) -> usize {
         let key = PlanKey::of(tiles);
         if let Some(i) = self.plans.iter().position(|(k, _)| *k == key) {
             let entry = self.plans.remove(i);
@@ -300,24 +345,25 @@ impl BandSet {
             if self.plans.len() >= MAX_CACHED_PLANS {
                 self.plans.remove(0);
             }
-            self.plans.push((key, tiles.partition_row_bands(self.shards)));
+            let plan = match &self.fleet {
+                Some(fleet) => tiles.partition_row_bands_for(fleet, l),
+                None => tiles.partition_row_bands(self.shards),
+            };
+            self.plans.push((key, plan));
         }
         self.plans.len() - 1
     }
 
     /// Folds one conv's per-band stats into the running totals: each band
     /// into its shard (cycles add — an array runs its bands of successive
-    /// layers back to back) and the merged view gets the exact work sum
-    /// plus `seq_cycles`, the sequential-equivalent cycle count.
-    fn record(&mut self, per_band: &[SimStats], seq_cycles: u64) {
-        let mut seq = SimStats::default();
+    /// layers back to back; under a fleet each band's stats already carry
+    /// its own geometry's cycle model) and the merged view gets `seq`, the
+    /// base array's sequential-equivalent stats.
+    fn record(&mut self, per_band: &[SimStats], seq: &SimStats) {
         for (i, s) in per_band.iter().enumerate() {
             self.shard_totals[i].merge(s);
-            seq.load_cycles += s.load_cycles;
-            seq.merge_ops(s);
         }
-        seq.cycles = seq_cycles;
-        self.merged.merge(&seq);
+        self.merged.merge(seq);
     }
 }
 
@@ -344,7 +390,10 @@ impl ShardScratch {
             },
             ShardMode::RowBands => ShardScratch {
                 acts: vec![ActivationScratch::new()],
-                bands: BandSet::new(sharded.shards),
+                bands: match &sharded.fleet {
+                    Some(fleet) => BandSet::with_fleet(fleet.clone()),
+                    None => BandSet::new(sharded.shards),
+                },
             },
         }
     }
@@ -375,6 +424,9 @@ pub struct ShardedNetwork {
     mode: ShardMode,
     shards: usize,
     layer_ranges: Vec<Range<usize>>,
+    /// Per-shard geometries of a heterogeneous row-band fleet (`None` =
+    /// all shards are the network's own array).
+    fleet: Option<Vec<ArrayGeometry>>,
 }
 
 impl ShardedNetwork {
@@ -395,7 +447,27 @@ impl ShardedNetwork {
             }
             ShardMode::RowBands => (shards, Vec::new()),
         };
-        ShardedNetwork { net, mode, shards, layer_ranges }
+        ShardedNetwork { net, mode, shards, layer_ranges, fleet: None }
+    }
+
+    /// Plans a row-band scatter of `net` across a heterogeneous fleet:
+    /// shard `i` simulates an array of `fleet[i]`'s geometry, and every
+    /// conv's banding is weighted by each geometry's cycle model. Outputs
+    /// stay bit-identical to the unsharded run; the per-shard stats and
+    /// makespan reflect the mixed hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is empty.
+    pub fn with_fleet(net: DeployedNetwork, fleet: Vec<ArrayGeometry>) -> Self {
+        assert!(!fleet.is_empty(), "need at least one shard");
+        ShardedNetwork {
+            net,
+            mode: ShardMode::RowBands,
+            shards: fleet.len(),
+            layer_ranges: Vec::new(),
+            fleet: Some(fleet),
+        }
     }
 
     /// The underlying deployed pipeline.
@@ -406,6 +478,12 @@ impl ShardedNetwork {
     /// The shard geometry.
     pub fn mode(&self) -> ShardMode {
         self.mode
+    }
+
+    /// The per-shard array geometries, when this plan targets a
+    /// heterogeneous fleet.
+    pub fn fleet(&self) -> Option<&[ArrayGeometry]> {
+        self.fleet.as_deref()
     }
 
     /// Effective shard count (layer mode clamps to the layer count).
@@ -440,6 +518,11 @@ impl ShardedNetwork {
         match self.mode {
             ShardMode::RowBands => {
                 assert_eq!(scratch.bands.shards(), self.shards, "scratch from another plan");
+                assert_eq!(
+                    scratch.bands.fleet(),
+                    self.fleet.as_deref(),
+                    "scratch from another fleet"
+                );
                 scratch.bands.reset_stats();
                 let logits = self.net.run_batch_banded(
                     &sched,
@@ -627,5 +710,89 @@ mod tests {
     #[should_panic(expected = "need at least one shard")]
     fn zero_shards_rejected() {
         BandSet::new(0);
+    }
+
+    /// Heterogeneous fleets must stay bit-identical to the unsharded run
+    /// and to every homogeneous plan — merged stats included, which are
+    /// fleet-invariant by construction.
+    #[test]
+    fn hetero_fleet_matches_unsharded_with_invariant_merged_stats() {
+        let (deployed, images) = lenet_fixture();
+        let serial = deployed.run_batch(&images);
+        let uniform = ShardedNetwork::new(deployed.clone(), ShardMode::RowBands, 1);
+        let reference_merged = uniform
+            .run_batch_stats(&images, &mut ShardScratch::for_network(&uniform))
+            .1
+            .merged;
+        let fleets = [
+            vec![ArrayGeometry::new(4, 8), ArrayGeometry::new(2, 4)],
+            vec![ArrayGeometry::new(4, 8), ArrayGeometry::new(2, 8), ArrayGeometry::new(2, 4)],
+            vec![ArrayGeometry::new(2, 2)],
+        ];
+        for fleet in fleets {
+            let plan = ShardedNetwork::with_fleet(deployed.clone(), fleet.clone());
+            assert_eq!(plan.fleet(), Some(&fleet[..]));
+            let mut scratch = ShardScratch::for_network(&plan);
+            let (logits, stats) = plan.run_batch_stats(&images, &mut scratch);
+            assert_eq!(logits, serial, "fleet {fleet:?} diverged");
+            assert_eq!(
+                stats.merged, reference_merged,
+                "merged stats must be fleet-invariant for {fleet:?}"
+            );
+        }
+    }
+
+    /// Regression test for per-geometry cycle attribution: shard totals
+    /// must price each shard's bands under *its own* geometry (the old
+    /// accounting priced every shard with the base cycle model), and the
+    /// weighted planner must use the mix to beat the weak array alone.
+    #[test]
+    fn fleet_shard_totals_attribute_cycles_per_geometry() {
+        let (deployed, images) = lenet_fixture();
+        let weak = ArrayGeometry::new(2, 4);
+
+        // Everything on one weak array: the baseline a mixed fleet must beat.
+        let weak_alone = ShardedNetwork::with_fleet(deployed.clone(), vec![weak]);
+        let weak_makespan = weak_alone
+            .run_batch_stats(&images, &mut ShardScratch::for_network(&weak_alone))
+            .1
+            .makespan_cycles;
+
+        let mixed =
+            ShardedNetwork::with_fleet(deployed.clone(), vec![ArrayGeometry::new(4, 8), weak]);
+        let mut scratch = ShardScratch::for_network(&mixed);
+        let (_, stats) = mixed.run_batch_stats(&images, &mut scratch);
+        assert_eq!(stats.per_shard.len(), 2);
+        assert!(
+            stats.per_shard.iter().all(|s| s.cycles > 0),
+            "both geometries must be priced"
+        );
+        // The makespan is the concurrent fold of per-geometry totals...
+        assert_eq!(
+            stats.makespan_cycles,
+            stats.per_shard.iter().map(|s| s.cycles).max().unwrap()
+        );
+        // ...and the weighted plan beats running everything on the weak
+        // array (the homogeneous-cost planner had no way to know).
+        assert!(
+            stats.makespan_cycles < weak_makespan,
+            "mixed fleet {} must beat the weak array alone {}",
+            stats.makespan_cycles,
+            weak_makespan
+        );
+        // Direct attribution check: one weak shard runs the very same
+        // bands as one base shard (the full matrix), so the old
+        // shared-cycle-cost accounting would price them identically — the
+        // weak geometry must cost strictly more.
+        let base_alone = ShardedNetwork::new(deployed.clone(), ShardMode::RowBands, 1);
+        let base_makespan = base_alone
+            .run_batch_stats(&images, &mut ShardScratch::for_network(&base_alone))
+            .1
+            .makespan_cycles;
+        assert!(
+            weak_makespan > base_makespan,
+            "a 2x4 array must be priced above the 4x8 base on identical bands: \
+             {weak_makespan} vs {base_makespan}"
+        );
     }
 }

@@ -26,7 +26,7 @@
 use crate::telemetry::Telemetry;
 use crate::trace::{self, EventKind, TraceRecorder, Track};
 use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
-use cc_systolic::{partition_bottleneck, partition_min_max};
+use cc_systolic::{partition_bottleneck, partition_min_max, ArrayGeometry};
 use cc_tensor::Tensor;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -146,7 +146,38 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     where
         F: FnMut(BatchOutput, T) + Send + 'static,
     {
+        Self::new_fleet(net, stages, queue_depth, shards, None, telemetry, recorder, sink)
+    }
+
+    /// [`PipelineExecutor::new_sharded`] over a heterogeneous fleet: when
+    /// `fleet` is set, each stage's [`cc_deploy::BandSet`] carries the
+    /// per-shard [`ArrayGeometry`]s so band planning weights each shard
+    /// by its array's cycle model (outputs stay bit-identical — geometry
+    /// shapes only the cost model). `None` is exactly
+    /// [`PipelineExecutor::new_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` or `shards` is zero, or if `fleet` is set with
+    /// a length different from `shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_fleet<F>(
+        net: DeployedNetwork,
+        stages: usize,
+        queue_depth: usize,
+        shards: usize,
+        fleet: Option<Vec<ArrayGeometry>>,
+        telemetry: Option<Arc<Telemetry>>,
+        recorder: Option<Arc<TraceRecorder>>,
+        sink: F,
+    ) -> Self
+    where
+        F: FnMut(BatchOutput, T) + Send + 'static,
+    {
         assert!(shards > 0, "need at least one shard");
+        if let Some(f) = &fleet {
+            assert_eq!(f.len(), shards, "fleet length must equal the shard count");
+        }
         let ranges = partition_stages(&net.layer_costs(), stages);
         let k = ranges.len();
 
@@ -170,6 +201,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                 let stage_net = net.clone();
                 let stage_telemetry = telemetry.clone();
                 let stage_recorder = recorder.clone();
+                let stage_fleet = fleet.clone();
                 let mut stage_sink = if s == k - 1 { sink.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("cc-serve-stage-{s}"))
@@ -184,8 +216,13 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                         // the useful sizes resident.
                         let mut scratch = ActivationScratch::new();
                         // Stage-lifetime shard set: the long-lived kernel
-                        // scratches the stage's convs scatter across.
-                        let mut bands = BandSet::new(shards);
+                        // scratches the stage's convs scatter across. A
+                        // fleet hands it per-shard geometries for
+                        // cost-weighted planning.
+                        let mut bands = match stage_fleet {
+                            Some(f) => BandSet::with_fleet(f),
+                            None => BandSet::new(shards),
+                        };
                         while let Ok(job) = rx.recv() {
                             // The toggle is sampled per batch: one atomic
                             // load, and the BandSet conv log stays off

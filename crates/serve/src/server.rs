@@ -41,6 +41,7 @@ use crate::trace::{
     self, EventKind, Outcome, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,
 };
 use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
+use cc_systolic::ArrayGeometry;
 use cc_tensor::Tensor;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -49,7 +50,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`Server`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads, each driving its own tiled-scheduler instance.
     pub workers: usize,
@@ -76,6 +77,15 @@ pub struct ServeConfig {
     /// concatenation — bit-identical to serial execution. Composes with
     /// `pipeline_stages` into a stages × shards executor grid.
     pub shards: usize,
+    /// Per-shard array geometries for a heterogeneous fleet
+    /// ([`ServeConfig::with_fleet`]). `None` (the default) models
+    /// `shards` identical copies of each model's own array config —
+    /// exactly the pre-fleet runtime. When set, its length *is* the
+    /// shard count: band planning weights each shard's share of the rows
+    /// by its array's cycle model, and occupancy telemetry reports busy
+    /// fractions per geometry label. Outputs stay bit-identical to the
+    /// serial path either way — geometry shapes only the cost model.
+    pub fleet: Option<Vec<ArrayGeometry>>,
     /// Response memo-cache bounds. Disabled by default
     /// ([`CacheConfig::disabled`]): serving behavior is then exactly the
     /// pre-cache runtime.
@@ -99,6 +109,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             pipeline_stages: 1,
             shards: 1,
+            fleet: None,
             cache: CacheConfig::disabled(),
             tenant_quota: 0,
             trace: TraceConfig::off(),
@@ -143,10 +154,28 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the per-executor row-band shard width.
+    /// Overrides the per-executor row-band shard width. Clears any fleet:
+    /// a bare width means `shards` identical arrays.
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self.fleet = None;
+        self
+    }
+
+    /// Describes the executor fleet by per-shard array geometry. The
+    /// fleet's length becomes the shard count; band planning weights each
+    /// shard by its geometry's cycle model and telemetry reports busy
+    /// fractions per geometry label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is empty.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Vec<ArrayGeometry>) -> Self {
+        assert!(!fleet.is_empty(), "a fleet needs at least one array");
+        self.shards = fleet.len();
+        self.fleet = Some(fleet);
         self
     }
 
@@ -340,13 +369,25 @@ impl Server {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
         assert!(cfg.shards > 0, "shards must be at least 1");
+        if let Some(fleet) = &cfg.fleet {
+            assert_eq!(
+                fleet.len(),
+                cfg.shards,
+                "fleet length must equal the shard count (use with_fleet)"
+            );
+        }
 
         let registry = Arc::new(registry);
         // Occupancy gauges sized from the config so no configured
         // executor's busy time is dropped (auto stage depth is bounded by
-        // the machine cap).
+        // the machine cap). A fleet also labels the shard lanes so the
+        // snapshot can aggregate busy fractions per geometry.
         let stage_slots = if cfg.pipeline_stages == 0 { auto_stage_cap() } else { cfg.pipeline_stages };
-        let telemetry = Arc::new(Telemetry::with_slots(stage_slots, cfg.shards));
+        let mut telemetry = Telemetry::with_slots(stage_slots, cfg.shards);
+        if let Some(fleet) = &cfg.fleet {
+            telemetry = telemetry.with_shard_labels(fleet.iter().map(ArrayGeometry::label).collect());
+        }
+        let telemetry = Arc::new(telemetry);
         let cache = cfg.cache.enabled().then(|| Arc::new(ResponseCache::new(cfg.cache)));
         let ledger = Arc::new(TenantLedger::new());
         // Capacity 0 = no recorder at all: the serving path then carries
@@ -481,9 +522,10 @@ impl Server {
                 let shared = shared.clone();
                 let stages = cfg.pipeline_stages;
                 let shards = cfg.shards;
+                let fleet = cfg.fleet.clone();
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards, i as u16))
+                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards, fleet, i as u16))
                     .expect("spawn worker")
             })
             .collect();
@@ -801,6 +843,7 @@ fn worker_loop(
     shared: &Shared,
     stages: usize,
     shards: usize,
+    fleet: Option<Vec<ArrayGeometry>>,
     worker: u16,
 ) {
     let telemetry = &shared.telemetry;
@@ -816,8 +859,12 @@ fn worker_loop(
     // batch of a given shape, serial inference allocates nothing.
     let mut scratch = ActivationScratch::new();
     // The worker's long-lived shard set for serial execution (pipelined
-    // execution gives each stage its own inside the executor).
-    let mut bands = BandSet::new(shards);
+    // execution gives each stage its own inside the executor). A fleet
+    // hands the set its per-shard geometries for cost-weighted planning.
+    let mut bands = match &fleet {
+        Some(f) => BandSet::with_fleet(f.clone()),
+        None => BandSet::new(shards),
+    };
     loop {
         let batch = {
             let guard = work_rx.lock().expect("work queue poisoned");
@@ -913,7 +960,7 @@ fn worker_loop(
         // of batch n overlaps the later stages of batch n−1. `submit`
         // blocks only at the in-flight cap, which keeps backpressure
         // flowing to admission control.
-        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, shared);
+        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, fleet.as_deref(), shared);
         pipe.submit_traced(&images, meta, bid);
     }
 }
@@ -932,6 +979,7 @@ fn pipeline_for<'a>(
     net: &DeployedNetwork,
     stages: usize,
     shards: usize,
+    fleet: Option<&[ArrayGeometry]>,
     shared: &Shared,
 ) -> &'a PipelineExecutor<BatchMeta> {
     let id = net.identity();
@@ -947,11 +995,12 @@ fn pipeline_for<'a>(
             oldest.drain();
         }
         let sink_shared = shared.clone();
-        let pipe = PipelineExecutor::new_sharded(
+        let pipe = PipelineExecutor::new_fleet(
             net.clone(),
             stages,
             1,
             shards,
+            fleet.map(<[ArrayGeometry]>::to_vec),
             Some(Arc::clone(&shared.telemetry)),
             shared.trace.clone(),
             move |out, meta: BatchMeta| {

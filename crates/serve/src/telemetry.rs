@@ -49,6 +49,11 @@ impl Occupancy {
         }
     }
 
+    /// Accumulated busy nanoseconds for one slot (0 when out of range).
+    fn nanos(&self, slot: usize) -> u64 {
+        self.busy.get(slot).map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
     /// Busy fractions per slot over `elapsed`, trimmed after the last
     /// slot that ever recorded work.
     fn fractions(&self, elapsed: Duration) -> Vec<f64> {
@@ -201,6 +206,11 @@ pub struct Telemetry {
     stage_busy: Occupancy,
     /// Busy kernel time per row-band shard lane.
     shard_busy: Occupancy,
+    /// Geometry label per shard lane ([`cc_systolic::ArrayGeometry::label`])
+    /// when the server runs a heterogeneous fleet; empty otherwise. The
+    /// snapshot aggregates lane busy fractions by label so operators see
+    /// how much work each *kind* of array absorbed.
+    shard_labels: Vec<String>,
 }
 
 impl Telemetry {
@@ -229,7 +239,19 @@ impl Telemetry {
             }),
             stage_busy: Occupancy::new(stage_slots),
             shard_busy: Occupancy::new(shard_slots),
+            shard_labels: Vec::new(),
         }
+    }
+
+    /// Labels the shard lanes with their array-geometry names (lane `i`
+    /// gets `labels[i]`). Labeled lanes additionally aggregate into
+    /// [`TelemetrySnapshot::shard_geometry_busy`] by label, so a fleet of
+    /// mixed array shapes reports how much kernel time each shape
+    /// absorbed. Lanes beyond the label list stay unlabeled.
+    #[must_use]
+    pub fn with_shard_labels(mut self, labels: Vec<String>) -> Self {
+        self.shard_labels = labels;
+        self
     }
 
     /// Anchors the throughput window at the first observed traffic.
@@ -354,6 +376,18 @@ impl Telemetry {
         let deadline_shed = self.deadline_shed.load(Ordering::SeqCst);
         let shed_by_class = std::array::from_fn(|i| self.shed_class[i].load(Ordering::SeqCst));
         let shed = self.shed.load(Ordering::SeqCst);
+        // Fleet view: lane busy fractions summed per geometry label, in
+        // first-appearance order (untrimmed — a configured-but-idle
+        // geometry must still show up, at 0.0).
+        let nanos_elapsed = elapsed.as_nanos().max(1) as f64;
+        let mut shard_geometry_busy: Vec<(String, f64)> = Vec::new();
+        for (i, label) in self.shard_labels.iter().enumerate() {
+            let f = self.shard_busy.nanos(i) as f64 / nanos_elapsed;
+            match shard_geometry_busy.iter_mut().find(|(l, _)| l == label) {
+                Some((_, v)) => *v += f,
+                None => shard_geometry_busy.push((label.clone(), f)),
+            }
+        }
         TelemetrySnapshot {
             elapsed,
             window,
@@ -376,6 +410,7 @@ impl Telemetry {
             p99: hist.percentile(0.99),
             stage_busy: self.stage_busy.fractions(elapsed),
             shard_busy: self.shard_busy.fractions(elapsed),
+            shard_geometry_busy,
             cache,
         }
     }
@@ -427,6 +462,11 @@ pub struct TelemetrySnapshot {
     pub stage_busy: Vec<f64>,
     /// Busy kernel fraction per row-band shard lane.
     pub shard_busy: Vec<f64>,
+    /// Busy kernel fraction aggregated per array-geometry label, in
+    /// fleet order ([`Telemetry::with_shard_labels`]). Empty unless the
+    /// server runs a heterogeneous fleet; configured-but-idle geometries
+    /// report 0.0 rather than vanishing.
+    pub shard_geometry_busy: Vec<(String, f64)>,
     /// Response memo-cache counters and gauges (all zero when the cache
     /// is disabled).
     pub cache: CacheStats,
@@ -472,7 +512,7 @@ impl TelemetrySnapshot {
                 "\"shed_by_class\":{},\"deadline_shed\":{},\"queue_depth\":{},",
                 "\"batches\":{},\"mean_batch_occupancy\":{},\"throughput_rps\":{},",
                 "\"mean_latency_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
-                "\"stage_busy\":{},\"shard_busy\":{},",
+                "\"stage_busy\":{},\"shard_busy\":{},\"shard_geometry_busy\":{},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"bytes\":{}}}}}"
             ),
             us(self.elapsed),
@@ -492,6 +532,19 @@ impl TelemetrySnapshot {
             us(self.p99),
             arr(self.stage_busy.iter().map(|&v| f(v))),
             arr(self.shard_busy.iter().map(|&v| f(v))),
+            {
+                // Geometry labels are shape strings ("8x32-MX8"): no JSON
+                // escaping needed.
+                let mut obj = String::from("{");
+                for (i, (label, v)) in self.shard_geometry_busy.iter().enumerate() {
+                    if i > 0 {
+                        obj.push(',');
+                    }
+                    obj.push_str(&format!("\"{label}\":{}", f(*v)));
+                }
+                obj.push('}');
+                obj
+            },
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -581,6 +634,44 @@ mod tests {
         // Out-of-range slots are dropped, not grown.
         t.on_stage_busy(usize::MAX, Duration::from_millis(1));
         assert!(t.snapshot().stage_busy.len() <= OCCUPANCY_SLOTS);
+    }
+
+    /// A fleet labels its shard lanes; the snapshot must aggregate lane
+    /// busy fractions per geometry label (duplicate labels sum), keep
+    /// fleet order, and report configured-but-idle geometries at 0.0.
+    #[test]
+    fn shard_geometry_busy_aggregates_lanes_by_label() {
+        let t = Telemetry::with_slots(1, 4).with_shard_labels(vec![
+            "8x16-MX8".to_string(),
+            "2x4-MX8".to_string(),
+            "8x16-MX8".to_string(),
+            "4x4-BL".to_string(),
+        ]);
+        t.shard_busy.record(0, Duration::from_millis(3));
+        t.shard_busy.record(1, Duration::from_millis(1));
+        t.shard_busy.record(2, Duration::from_millis(5));
+        let s = t.snapshot();
+        assert_eq!(s.shard_geometry_busy.len(), 3, "labels must dedupe");
+        assert_eq!(s.shard_geometry_busy[0].0, "8x16-MX8");
+        assert_eq!(s.shard_geometry_busy[1].0, "2x4-MX8");
+        assert_eq!(s.shard_geometry_busy[2].0, "4x4-BL");
+        let total: f64 = s.shard_busy.iter().sum();
+        assert!(
+            (s.shard_geometry_busy[0].1 - (s.shard_busy[0] + s.shard_busy[2])).abs() < 1e-12,
+            "duplicate labels must sum their lanes"
+        );
+        assert!(s.shard_geometry_busy[0].1 > s.shard_geometry_busy[1].1);
+        assert_eq!(s.shard_geometry_busy[2].1, 0.0, "idle geometry reports 0.0, not absence");
+        let label_total: f64 = s.shard_geometry_busy.iter().map(|(_, v)| v).sum();
+        assert!((label_total - total).abs() < 1e-12, "aggregation must conserve busy time");
+        // Unlabeled telemetry reports no geometry view at all.
+        let plain = Telemetry::with_slots(1, 4);
+        plain.on_stage_busy(0, Duration::from_millis(1));
+        assert!(plain.snapshot().shard_geometry_busy.is_empty());
+        // The JSON exposition carries the labeled object.
+        let json = t.snapshot().to_json();
+        assert!(json.contains("\"shard_geometry_busy\":{\"8x16-MX8\":"), "missing in {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -860,6 +951,7 @@ mod tests {
             "\"p99_us\":",
             "\"stage_busy\":[",
             "\"shard_busy\":[]",
+            "\"shard_geometry_busy\":{}",
             "\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0,\"bytes\":0}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

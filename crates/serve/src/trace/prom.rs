@@ -112,6 +112,25 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot, trace: Option<TraceStats>) 
         sample(&mut out, "cc_serve_shard_busy_fraction", &format!("shard=\"{i}\""), frac);
     }
 
+    // Heterogeneous fleets additionally aggregate by array geometry; the
+    // family is omitted entirely for unlabeled (homogeneous) serving.
+    if !snapshot.shard_geometry_busy.is_empty() {
+        family(
+            &mut out,
+            "cc_serve_geometry_busy_fraction",
+            "Busy kernel fraction per array geometry over elapsed time.",
+            "gauge",
+        );
+        for (label, frac) in &snapshot.shard_geometry_busy {
+            sample(
+                &mut out,
+                "cc_serve_geometry_busy_fraction",
+                &format!("geometry=\"{label}\""),
+                *frac,
+            );
+        }
+    }
+
     family(&mut out, "cc_serve_cache_events_total", "Response memo-cache events.", "counter");
     sample(&mut out, "cc_serve_cache_events_total", "event=\"hit\"", snapshot.cache.hits as f64);
     sample(&mut out, "cc_serve_cache_events_total", "event=\"miss\"", snapshot.cache.misses as f64);
@@ -174,6 +193,7 @@ mod tests {
             p99: Duration::from_millis(9),
             stage_busy: vec![0.5, 0.25],
             shard_busy: vec![0.75],
+            shard_geometry_busy: vec![("8x16-MX8".to_string(), 0.75)],
             cache: CacheStats { hits: 40, misses: 60, evictions: 5, entries: 55, bytes: 7040 },
             ..TelemetrySnapshot::default()
         }
@@ -196,6 +216,7 @@ mod tests {
             "cc_serve_latency_seconds",
             "cc_serve_stage_busy_fraction",
             "cc_serve_shard_busy_fraction",
+            "cc_serve_geometry_busy_fraction",
             "cc_serve_cache_events_total",
             "cc_serve_cache_entries",
             "cc_serve_cache_bytes",

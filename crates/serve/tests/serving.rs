@@ -161,6 +161,72 @@ fn sharded_serving_is_bit_identical_with_occupancy_telemetry() {
     }
 }
 
+/// Heterogeneous fleet serving: a server configured with mixed array
+/// geometries must stay bit-identical to serial inference (geometry
+/// shapes only the cost model, never the arithmetic) and must surface
+/// per-geometry busy fractions alongside the per-lane gauges — in both
+/// the serial-worker path (stages=1) and the pipelined path (stages=2).
+#[test]
+fn fleet_serving_is_bit_identical_with_per_geometry_telemetry() {
+    use cc_systolic::array::ArrayConfig;
+    use cc_systolic::ArrayGeometry;
+    use cc_tensor::quant::AccumWidth;
+    let (train, test) =
+        SyntheticSpec::mnist_like().with_size(8, 8).with_samples(48, 16).generate(78);
+    let net = lenet5_shift(&ModelConfig::tiny(1, 8, 8, 10));
+    let deployed = DeployedNetwork::build_with_array(
+        &net,
+        &identity_groups(&net),
+        &train,
+        ArrayConfig::new(8, 32, AccumWidth::Bits32),
+    );
+    let images: Vec<Tensor> = (0..64).map(|i| test.image(i % test.len()).clone()).collect();
+    let serial: Vec<Vec<f32>> = images.iter().map(|im| deployed.logits(im)).collect();
+
+    // One full-strength array plus one quarter-size straggler.
+    let fleet = vec![ArrayGeometry::new(8, 32), ArrayGeometry::new(2, 8)];
+    for stages in [1usize, 2] {
+        let registry = ModelRegistry::new().with_model("lenet", deployed.clone());
+        let cfg = ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(8)
+            .with_queue_capacity(128)
+            .with_pipeline_stages(stages)
+            .with_fleet(fleet.clone());
+        assert_eq!(cfg.shards, 2, "the fleet length must set the shard count");
+        let server = Server::start(registry, cfg);
+        let tickets: Vec<_> = images
+            .iter()
+            .map(|im| server.submit("lenet", im.clone()).expect("capacity admits all"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("request served");
+            assert_eq!(
+                response.logits, serial[i],
+                "request {i} diverged under a mixed fleet (stages={stages})"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 64);
+        let labels: Vec<&str> =
+            stats.shard_geometry_busy.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["8x32-MX8", "2x8-MX8"],
+            "snapshot must report one entry per geometry, in fleet order (stages={stages})"
+        );
+        assert!(
+            stats.shard_geometry_busy.iter().any(|(_, f)| *f > 0.0),
+            "some geometry must have absorbed kernel time (stages={stages})"
+        );
+        let exposition = stats.to_json();
+        assert!(
+            exposition.contains("\"shard_geometry_busy\":{\"8x32-MX8\":"),
+            "JSON exposition must carry the geometry view: {exposition}"
+        );
+    }
+}
+
 #[test]
 fn two_models_are_batched_separately_and_served_correctly() {
     let (a, test_a) = combined_lenet(7);

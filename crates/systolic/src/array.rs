@@ -58,6 +58,82 @@ impl ArrayConfig {
         self.exact_bitserial = exact;
         self
     }
+
+    /// This configuration's physical geometry (dimensions + cell kind).
+    pub fn geometry(&self) -> ArrayGeometry {
+        ArrayGeometry { rows: self.rows, cols: self.cols, cell: self.cell }
+    }
+}
+
+/// Physical shape of one simulated array in a (possibly heterogeneous)
+/// fleet: dimensions plus cell flavour. A fleet of `ArrayGeometry`s lets
+/// one prepared matrix scatter across arrays of *different* sizes — the
+/// op lists stay shared (outputs are bit-identical by construction), while
+/// each shard's cycle model re-tiles its band into geometry-sized physical
+/// tiles. A geometry equal to the preparing [`ArrayConfig`]'s reproduces
+/// that config's cycle model exactly; a smaller geometry splits each
+/// prepared tile into more physical tiles (more loads, more skew), a
+/// larger one cannot merge tiles that were already cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// Physical rows (filters per tile).
+    pub rows: usize,
+    /// Physical columns (combined columns per tile).
+    pub cols: usize,
+    /// Cell flavour (sets the interleave factor of the cycle model).
+    pub cell: CellKind,
+}
+
+impl ArrayGeometry {
+    /// A column-combining geometry (MX cells with mux width 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array must have positive dimensions");
+        ArrayGeometry { rows, cols, cell: CellKind::Multiplexed { mux_width: 8 } }
+    }
+
+    /// Overrides the cell kind.
+    pub fn with_cell(mut self, cell: CellKind) -> Self {
+        self.cell = cell;
+        self
+    }
+
+    /// A short display label ("8x32-MX8") for telemetry and reports.
+    pub fn label(&self) -> String {
+        let cell = match self.cell {
+            CellKind::Balanced => "BL".to_string(),
+            CellKind::Interleaved => "IL".to_string(),
+            CellKind::Multiplexed { mux_width } => format!("MX{mux_width}"),
+        };
+        format!("{}x{}-{cell}", self.rows, self.cols)
+    }
+
+    /// Cycle count for a `rows × cols` weight tile against `l` data
+    /// vectors on this geometry, per the module-level model: `L` pads to
+    /// the cell's interleave factor, the skewed wavefront costs
+    /// `L + rows + cols − 2` word times, and the last wide accumulation
+    /// drains `acc_bits − 8` clocks.
+    pub fn compute_cycles(&self, acc: AccumWidth, rows: usize, cols: usize, l: usize) -> u64 {
+        if l == 0 || rows == 0 || cols == 0 {
+            return 0;
+        }
+        let interleave = self.cell.interleave_factor(acc) as usize;
+        let l_padded = l.div_ceil(interleave) * interleave;
+        let word_times = (l_padded + rows + cols - 2) as u64;
+        word_times * SystolicArray::WORD_CLOCKS + (acc.bits() as u64).saturating_sub(8)
+    }
+
+    /// Cycle count for streaming a `rows × cols` weight tile into the
+    /// array (one 8-bit word per cell, columns in parallel, row-skewed).
+    pub fn weight_load_cycles(&self, rows: usize, cols: usize) -> u64 {
+        if rows == 0 || cols == 0 {
+            return 0;
+        }
+        ((rows + cols - 1) as u64) * SystolicArray::WORD_CLOCKS
+    }
 }
 
 /// Cycle and operation counters from a simulation.
@@ -254,24 +330,16 @@ impl SystolicArray {
     /// Cycle count for a tile of `rows × cols` weights against `l` data
     /// vectors, per the module-level model. (Shared with the tiled
     /// scheduler's prepared kernel, which assembles stats without running
-    /// per-tile simulations.)
+    /// per-tile simulations; [`ArrayGeometry::compute_cycles`] is the one
+    /// implementation.)
     pub(crate) fn compute_cycles(&self, rows: usize, cols: usize, l: usize) -> u64 {
-        if l == 0 || rows == 0 || cols == 0 {
-            return 0;
-        }
-        let interleave = self.cfg.cell.interleave_factor(self.cfg.acc) as usize;
-        let l_padded = l.div_ceil(interleave) * interleave;
-        let word_times = (l_padded + rows + cols - 2) as u64;
-        word_times * Self::WORD_CLOCKS + (self.cfg.acc.bits() as u64).saturating_sub(8)
+        self.cfg.geometry().compute_cycles(self.cfg.acc, rows, cols, l)
     }
 
     /// Cycle count for streaming a `rows × cols` weight tile into the
     /// array (one 8-bit word per cell, columns in parallel, row-skewed).
     pub(crate) fn weight_load_cycles(&self, rows: usize, cols: usize) -> u64 {
-        if rows == 0 || cols == 0 {
-            return 0;
-        }
-        ((rows + cols - 1) as u64) * Self::WORD_CLOCKS
+        self.cfg.geometry().weight_load_cycles(rows, cols)
     }
 
     fn mac(&self, w: i8, x: i8, acc: i64) -> i64 {
@@ -530,6 +598,31 @@ mod tests {
         let run = array.multiply(&w, &d);
         assert_eq!(run.stats.load_cycles, (8 + 8 - 1) * 8);
         assert!(run.stats.cycles > run.stats.load_cycles);
+    }
+
+    #[test]
+    fn geometry_reproduces_the_config_cycle_model() {
+        for (rows, cols) in [(4usize, 8usize), (16, 16), (8, 32)] {
+            for acc in [AccumWidth::Bits16, AccumWidth::Bits32] {
+                let cfg = ArrayConfig::new(rows, cols, acc);
+                let array = SystolicArray::new(cfg);
+                let geom = cfg.geometry();
+                for l in [1usize, 3, 8, 17] {
+                    assert_eq!(
+                        geom.compute_cycles(acc, rows, cols, l),
+                        array.compute_cycles(rows, cols, l)
+                    );
+                }
+                assert_eq!(geom.weight_load_cycles(rows, cols), array.weight_load_cycles(rows, cols));
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_labels_name_shape_and_cell() {
+        assert_eq!(ArrayGeometry::new(8, 32).label(), "8x32-MX8");
+        assert_eq!(ArrayGeometry::new(4, 4).with_cell(CellKind::Balanced).label(), "4x4-BL");
+        assert_eq!(ArrayGeometry::new(2, 6).with_cell(CellKind::Interleaved).label(), "2x6-IL");
     }
 
     #[test]

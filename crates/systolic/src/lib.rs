@@ -44,8 +44,8 @@ pub mod pipeline;
 pub mod tiled;
 pub mod wavefront;
 
-pub use array::{ArrayConfig, ArrayRun, SimStats, SystolicArray};
+pub use array::{ArrayConfig, ArrayGeometry, ArrayRun, SimStats, SystolicArray};
 pub use cell::CellKind;
-pub use partition::{partition_bottleneck, partition_min_max};
+pub use partition::{partition_bottleneck, partition_min_max, partition_min_max_by};
 pub use pipeline::{pipeline_latency, LayerShape, PipelineReport};
 pub use tiled::{PreparedPacked, RowBand, RunScratch, TiledRun, TiledScheduler};

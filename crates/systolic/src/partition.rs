@@ -15,15 +15,34 @@ use std::ops::Range;
 /// Panics if `costs` is empty or `parts` is zero.
 pub fn partition_min_max(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
     assert!(!costs.is_empty(), "cannot partition zero items");
-    assert!(parts > 0, "need at least one part");
     let n = costs.len();
-    let k = parts.min(n);
-
     let mut prefix = vec![0u64; n + 1];
     for (i, &c) in costs.iter().enumerate() {
         prefix[i + 1] = prefix[i] + c;
     }
-    let span = |a: usize, b: usize| prefix[b] - prefix[a];
+    partition_min_max_by(n, parts, |_, r| prefix[r.end] - prefix[r.start])
+}
+
+/// The generalization behind [`partition_min_max`]: partitions `n` ordered
+/// items into `min(parts, n)` non-empty contiguous ranges minimizing the
+/// maximum per-range cost, where assigning `range` to part `j` (parts are
+/// ordered, `j` starting at 0) costs `cost(j, range)`. Parts may price the
+/// same range differently — the heterogeneous-fleet shard planner weights
+/// each band by its target array's cycle model. Every part receives a
+/// range; a part too slow to deserve work still gets the cheapest single
+/// item the DP can give it.
+///
+/// # Panics
+///
+/// Panics if `n` or `parts` is zero.
+pub fn partition_min_max_by(
+    n: usize,
+    parts: usize,
+    cost: impl Fn(usize, Range<usize>) -> u64,
+) -> Vec<Range<usize>> {
+    assert!(n > 0, "cannot partition zero items");
+    assert!(parts > 0, "need at least one part");
+    let k = parts.min(n);
 
     // dp[j][i]: minimal max-range cost splitting items 0..i into j ranges
     // (item counts are small, so the O(k·n²) table is negligible).
@@ -38,7 +57,7 @@ pub fn partition_min_max(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
                 if prev == u64::MAX {
                     continue;
                 }
-                let cand = prev.max(span(t, i));
+                let cand = prev.max(cost(j - 1, t..i));
                 if cand < dp[j * width + i] {
                     dp[j * width + i] = cand;
                     cut[j * width + i] = t;
@@ -95,6 +114,27 @@ mod tests {
         assert_eq!(partition_bottleneck(&[10, 1, 1, 10], &ranges), 11);
         // A dominant item gets a range to itself.
         assert_eq!(partition_min_max(&[1, 100, 1], 3), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn weighted_parts_shift_the_cut_toward_fast_executors() {
+        // Four equal items, two parts. Uniform weights split 2|2; a part 1
+        // that is 3x slower per item pushes the cut so part 0 takes three.
+        let uniform = partition_min_max_by(4, 2, |_, r| r.len() as u64);
+        assert_eq!(uniform, vec![0..2, 2..4]);
+        let weighted = partition_min_max_by(4, 2, |j, r| {
+            let per_item = if j == 0 { 1 } else { 3 };
+            per_item * r.len() as u64
+        });
+        assert_eq!(weighted, vec![0..3, 3..4]);
+        // Every part still gets a non-empty range even when it is far
+        // slower than its peers.
+        let lopsided = partition_min_max_by(4, 2, |j, r| {
+            let per_item = if j == 0 { 1 } else { 1000 };
+            per_item * r.len() as u64
+        });
+        assert_eq!(lopsided, vec![0..3, 3..4]);
+        assert!(lopsided.iter().all(|r| !r.is_empty()));
     }
 
     #[test]

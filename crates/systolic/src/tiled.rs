@@ -26,6 +26,19 @@
 //! [`TiledScheduler::run_packed_reference`], the bit-exactness baseline
 //! for tests and benchmarks.
 //!
+//! ## The batch-major lane sweep
+//!
+//! The kernel's innermost loop is **batch-major**: one `(channel, weight)`
+//! op applies across all `l` batch positions of its output row as an
+//! explicit chunked lane sweep (`LANE_CHUNK`-wide fixed-size chunks the
+//! autovectorizer turns into vector MACs, ops fused in pairs so each
+//! accumulator chunk is loaded and stored once per two MACs). The PR 4
+//! one-op-at-a-time loop survives as
+//! [`TiledScheduler::run_prepared_scalar_with`], the live baseline
+//! `kernel_bench`'s scalar-vs-lane rows and the CI lane gate measure
+//! against. All kernels and the stats model share one tile/row/op walk
+//! (`walk_band` + `BandVisitor`), so loop-structure changes land once.
+//!
 //! ## Row-band sharding
 //!
 //! One prepared matrix can also be carved across several simulated arrays:
@@ -41,11 +54,22 @@
 //! row concatenation and the assembled plane is bit-identical to the
 //! unsharded [`TiledScheduler::run_prepared_with`] (which is itself now
 //! the one-band special case).
+//!
+//! ## Heterogeneous fleets
+//!
+//! The arrays of a scatter need not be identical:
+//! [`PreparedPacked::partition_row_bands_for`] weights the banding DP by
+//! each target [`ArrayGeometry`]'s cycle model, and
+//! [`TiledScheduler::run_bands_geom`] runs band `i` under `fleet[i]`'s
+//! model. Execution always sweeps the *shared* base op list — outputs stay
+//! bit-identical to the unsharded run no matter the fleet — while each
+//! band's [`SimStats`] re-tile its prepared tiles into geometry-sized
+//! physical tiles (a smaller array pays more loads and more skew).
 
-use crate::array::{ArrayConfig, QuantPacked, SimStats, SystolicArray};
+use crate::array::{ArrayConfig, ArrayGeometry, QuantPacked, SimStats, SystolicArray};
 use crate::cell::CellKind;
 use crate::mac::BitSerialMac;
-use crate::partition::partition_min_max;
+use crate::partition::{partition_min_max, partition_min_max_by};
 use cc_tensor::quant::{AccumWidth, QuantMatrix};
 use std::ops::Range;
 use std::time::Instant;
@@ -283,6 +307,38 @@ impl TiledScheduler {
         out: &mut [i64],
         scratch: &mut RunScratch,
     ) -> SimStats {
+        self.run_band_geom(p, band, self.cfg.geometry(), d, out, scratch)
+    }
+
+    /// [`TiledScheduler::run_band_with`] with the band's array replaced by
+    /// an arbitrary [`ArrayGeometry`]: the *outputs* are bit-identical
+    /// regardless of `geom` (the shared base op list is what executes),
+    /// while the returned [`SimStats`] model the band's prepared tiles
+    /// re-tiled into `geom`-sized physical tiles — a geometry equal to the
+    /// preparing config's reproduces [`TiledScheduler::run_band_with`]'s
+    /// stats exactly.
+    pub fn run_band_geom(
+        &self,
+        p: &PreparedPacked,
+        band: &RowBand,
+        geom: ArrayGeometry,
+        d: &QuantMatrix,
+        out: &mut [i64],
+        scratch: &mut RunScratch,
+    ) -> SimStats {
+        self.run_band_kernel(p, band, geom, d, out, scratch, false)
+    }
+
+    fn run_band_kernel(
+        &self,
+        p: &PreparedPacked,
+        band: &RowBand,
+        geom: ArrayGeometry,
+        d: &QuantMatrix,
+        out: &mut [i64],
+        scratch: &mut RunScratch,
+        scalar: bool,
+    ) -> SimStats {
         assert_eq!(p.cfg, self.cfg, "tiles prepared for a different array");
         assert!(d.rows() >= p.original_cols, "data matrix missing channels");
         let l = d.cols();
@@ -291,23 +347,48 @@ impl TiledScheduler {
         let tiles = &p.tiles[band.tiles.clone()];
 
         // The exact-bitserial dispatch happens once per run, not once per
-        // MAC; the fast path further specializes to the accumulator's
+        // MAC; the fast paths further specialize to the accumulator's
         // native lane width so per-MAC wrapping is free.
         if self.cfg.exact_bitserial {
-            run_band_exact(tiles, band.rows.start, data, l, self.cfg.acc, out);
+            out.fill(0);
+            let mut sweep = ExactSweep { data, l, acc: self.cfg.acc, out };
+            walk_band(tiles, band.rows.start, l, &mut sweep);
         } else {
             match self.cfg.acc {
-                AccumWidth::Bits32 => {
-                    run_band_lanes::<i32>(tiles, band.rows.start, data, l, &mut scratch.lane32, out)
-                }
-                AccumWidth::Bits16 => {
-                    run_band_lanes::<i16>(tiles, band.rows.start, data, l, &mut scratch.lane16, out)
-                }
+                AccumWidth::Bits32 => run_band_lanes::<i32>(
+                    tiles, band.rows.start, data, l, &mut scratch.lane32, out, scalar,
+                ),
+                AccumWidth::Bits16 => run_band_lanes::<i16>(
+                    tiles, band.rows.start, data, l, &mut scratch.lane16, out, scalar,
+                ),
             }
         }
-        // Stats are O(tiles) arithmetic over the prepared per-tile
-        // counters — no per-cell recounting.
-        band_stats(tiles, self.cfg, l)
+        // Stats are O(physical tiles) arithmetic over the prepared
+        // per-tile counters — no per-cell recounting.
+        band_stats_geom(tiles, geom, self.cfg.acc, l)
+    }
+
+    /// The scalar op-list baseline: bit-identical outputs and stats to
+    /// [`TiledScheduler::run_prepared_with`], but the inner sweep applies
+    /// one op at a time across the row (the PR 4 loop) instead of the
+    /// batch-major fused lane sweep. Not a serving path — it exists so the
+    /// lane kernel is always measured against a live scalar baseline
+    /// (`kernel_bench`, the CI lane gate, and the kernel proptests). Under
+    /// `exact_bitserial` both entry points run the same exact kernel.
+    pub fn run_prepared_scalar_with(
+        &self,
+        p: &PreparedPacked,
+        d: &QuantMatrix,
+        scratch: &mut RunScratch,
+    ) -> SimStats {
+        let band = p.full_band();
+        let l = d.cols();
+        let mut out = std::mem::take(&mut scratch.out);
+        out.resize(p.rows * l, 0);
+        let stats =
+            self.run_band_kernel(p, &band, self.cfg.geometry(), d, &mut out, scratch, true);
+        scratch.out = out;
+        stats
     }
 
     /// Scatter/gather execution of a row-band shard `plan`: each band runs
@@ -336,7 +417,40 @@ impl TiledScheduler {
         stats: &mut [SimStats],
         busy: &mut [u64],
     ) {
+        self.run_bands_geom(p, plan, &[], d, primary, aux, stats, busy);
+    }
+
+    /// [`TiledScheduler::run_bands_with`] over a heterogeneous fleet: band
+    /// `i` runs under `fleet[i]`'s cycle model (its own simulated array
+    /// geometry), so the per-band [`SimStats`] attribute cycles per
+    /// geometry. An empty `fleet` means every band uses the preparing
+    /// config's geometry — exactly [`TiledScheduler::run_bands_with`]. The
+    /// gathered output plane is bit-identical to the unsharded run either
+    /// way; only the stats model varies.
+    ///
+    /// # Panics
+    ///
+    /// As [`TiledScheduler::run_bands_with`], plus if a non-empty `fleet`
+    /// is shorter than `plan`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bands_geom(
+        &self,
+        p: &PreparedPacked,
+        plan: &[RowBand],
+        fleet: &[ArrayGeometry],
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+        aux: &mut [RunScratch],
+        stats: &mut [SimStats],
+        busy: &mut [u64],
+    ) {
         assert!(!plan.is_empty(), "empty shard plan");
+        assert!(
+            fleet.is_empty() || fleet.len() >= plan.len(),
+            "need one geometry per band"
+        );
+        let geom_of =
+            |i: usize| fleet.get(i).copied().unwrap_or_else(|| self.cfg.geometry());
         assert_eq!(plan[0].rows.start, 0, "plan must start at row 0");
         assert_eq!(plan.last().unwrap().rows.end, p.rows, "plan must cover every row");
         for pair in plan.windows(2) {
@@ -354,7 +468,7 @@ impl TiledScheduler {
 
         if plan.len() == 1 {
             let t0 = Instant::now();
-            stats[0] = self.run_band_with(p, &plan[0], d, &mut out, primary);
+            stats[0] = self.run_band_geom(p, &plan[0], geom_of(0), d, &mut out, primary);
             busy[0] += t0.elapsed().as_nanos() as u64;
             primary.out = out;
             return;
@@ -365,23 +479,25 @@ impl TiledScheduler {
         let (stat0, stats_rest) = stats.split_first_mut().expect("stats sized");
         let (busy0, busy_rest) = busy.split_first_mut().expect("busy sized");
         std::thread::scope(|scope| {
-            for (((band, scratch), stat), busy_slot) in rest_bands
+            for (i, (((band, scratch), stat), busy_slot)) in rest_bands
                 .iter()
                 .zip(aux.iter_mut())
                 .zip(stats_rest.iter_mut())
                 .zip(busy_rest.iter_mut())
+                .enumerate()
             {
                 let (slice, tail) = out_tail.split_at_mut(band.rows.len() * l);
                 out_tail = tail;
                 let sched = *self;
+                let geom = geom_of(i + 1);
                 scope.spawn(move || {
                     let t0 = Instant::now();
-                    *stat = sched.run_band_with(p, band, d, slice, scratch);
+                    *stat = sched.run_band_geom(p, band, geom, d, slice, scratch);
                     *busy_slot += t0.elapsed().as_nanos() as u64;
                 });
             }
             let t0 = Instant::now();
-            *stat0 = self.run_band_with(p, band0, d, out0, primary);
+            *stat0 = self.run_band_geom(p, band0, geom_of(0), d, out0, primary);
             *busy0 += t0.elapsed().as_nanos() as u64;
         });
         primary.out = out;
@@ -531,9 +647,43 @@ impl PreparedPacked {
         if self.tiles.is_empty() {
             return vec![self.full_band()];
         }
-        // Row-groups: consecutive tiles sharing a first output row. Each
-        // group costs its op-list length plus one per tile (a loaded tile
-        // is never free, even when all its weights pruned to zero).
+        let groups = self.row_groups();
+        let costs: Vec<u64> = groups.iter().map(|g| g.2).collect();
+        self.bands_from_groups(&groups, partition_min_max(&costs, shards))
+    }
+
+    /// Cost-weighted banding for a heterogeneous fleet: carves the matrix
+    /// into at most `fleet.len()` contiguous [`RowBand`]s where band `i`
+    /// targets `fleet[i]`, weighting the min-max DP by each geometry's own
+    /// simulated cycle model at stream length `l` (the batch width the
+    /// plan is sized for) — a slower/smaller array gets fewer rows, so the
+    /// fleet's makespan beats any single array running everything.
+    /// Execution stays bit-identical regardless of the plan; only the
+    /// balance changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is empty.
+    pub fn partition_row_bands_for(&self, fleet: &[ArrayGeometry], l: usize) -> Vec<RowBand> {
+        assert!(!fleet.is_empty(), "need at least one shard");
+        if self.tiles.is_empty() {
+            return vec![self.full_band()];
+        }
+        let groups = self.row_groups();
+        let cost = |j: usize, r: Range<usize>| {
+            let tiles = groups[r.start].1.start..groups[r.end - 1].1.end;
+            band_stats_geom(&self.tiles[tiles], fleet[j], self.cfg.acc, l).cycles
+        };
+        let ranges = partition_min_max_by(groups.len(), fleet.len(), cost);
+        self.bands_from_groups(&groups, ranges)
+    }
+
+    /// Row-groups: consecutive tiles sharing a first output row, each with
+    /// its row span, tile span, and op-count cost (op-list length plus one
+    /// per tile — a loaded tile is never free, even when all its weights
+    /// pruned to zero).
+    #[allow(clippy::type_complexity)]
+    fn row_groups(&self) -> Vec<(Range<usize>, Range<usize>, u64)> {
         let mut groups: Vec<(Range<usize>, Range<usize>, u64)> = Vec::new();
         for (i, tile) in self.tiles.iter().enumerate() {
             match groups.last_mut() {
@@ -548,8 +698,15 @@ impl PreparedPacked {
                 )),
             }
         }
-        let costs: Vec<u64> = groups.iter().map(|g| g.2).collect();
-        partition_min_max(&costs, shards)
+        groups
+    }
+
+    fn bands_from_groups(
+        &self,
+        groups: &[(Range<usize>, Range<usize>, u64)],
+        ranges: Vec<Range<usize>>,
+    ) -> Vec<RowBand> {
+        ranges
             .into_iter()
             .map(|r| RowBand {
                 rows: groups[r.start].0.start..groups[r.end - 1].0.end,
@@ -565,7 +722,16 @@ impl PreparedPacked {
     /// sequential-equivalent cycle count so merged stats stay bit-identical
     /// to the unsharded run's regardless of the shard plan.
     pub fn sequential_cycles(&self, l: usize) -> u64 {
-        band_stats(&self.tiles, self.cfg, l).cycles
+        self.sequential_stats(l).cycles
+    }
+
+    /// The full [`SimStats`] of the unsharded sequential run at stream
+    /// length `l`, computable without running. A sharded gather merges
+    /// these — not the per-geometry band stats, whose load cycles and
+    /// makespans differ by fleet — so merged stats stay plan- and
+    /// fleet-invariant.
+    pub fn sequential_stats(&self, l: usize) -> SimStats {
+        band_stats(&self.tiles, self.cfg, l)
     }
 
     /// Combined columns (groups) of the full matrix.
@@ -668,12 +834,138 @@ impl Lane for i16 {
     }
 }
 
-/// The fast kernel: sweeps a band's tile op lists, accumulating into
-/// native-width lanes with slice iterators (no bounds checks in the inner
-/// loop), then widens into the band's row slice of the caller's `i64`
-/// plane. Column-band partial sums accumulate directly in the lanes —
-/// per-MAC wrapping commutes with the tile-boundary wrap of the reference
-/// path (modular addition is associative), so the result is bit-identical.
+/// One pass over a band's prepared tiles — the single tile/row/op walk
+/// shared by the batch-major lane kernel, the scalar baseline, the exact
+/// bit-serial kernel, and the stats model, so loop-structure changes land
+/// once instead of three times.
+trait BandVisitor {
+    /// Called once per tile in stream order, before the tile's rows.
+    fn tile(&mut self, _tile: &PreparedTile) {}
+    /// Called per tile row holding a non-empty op list; `start` is the
+    /// row's offset into the band's output plane.
+    fn row(&mut self, _start: usize, _ops: &[TileOp]) {}
+}
+
+fn walk_band<V: BandVisitor>(tiles: &[PreparedTile], row0: usize, l: usize, v: &mut V) {
+    for tile in tiles {
+        v.tile(tile);
+        for local in 0..tile.rows {
+            let ops =
+                &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
+            if ops.is_empty() {
+                continue;
+            }
+            v.row((tile.r0 - row0 + local) * l, ops);
+        }
+    }
+}
+
+/// Width of the batch-major kernel's explicit lane chunks: fixed-size
+/// `i32`/`i16` blocks the autovectorizer maps onto vector registers
+/// (16 × i32 = one AVX-512 register, two AVX2, four NEON — small enough to
+/// stay register-resident everywhere, wide enough to amortize the loop).
+const LANE_CHUNK: usize = 16;
+
+/// The batch-major lane kernel: the output row is walked in
+/// `LANE_CHUNK`-wide fixed-size blocks, and each block is copied into a
+/// register-resident accumulator array that *every op of the row* MACs
+/// into before it is stored back — one plane load/store per row instead
+/// of one per op, with the fixed-size inner loop left to the
+/// autovectorizer. Column-band partial sums accumulate directly in the
+/// lanes — per-MAC wrapping commutes with the tile-boundary wrap of the
+/// reference path (modular addition is associative) and the op order per
+/// lane is unchanged, so the result is bit-identical to [`ScalarSweep`]
+/// and the seed indexed path.
+struct LaneSweep<'a, L: Lane> {
+    data: &'a [i8],
+    l: usize,
+    plane: &'a mut [L],
+}
+
+impl<L: Lane> BandVisitor for LaneSweep<'_, L> {
+    fn row(&mut self, start: usize, ops: &[TileOp]) {
+        let l = self.l;
+        let row = &mut self.plane[start..start + l];
+        let chunks = l / LANE_CHUNK;
+        for c in 0..chunks {
+            let base = c * LANE_CHUNK;
+            let a: &mut [L; LANE_CHUNK] =
+                (&mut row[base..base + LANE_CHUNK]).try_into().expect("exact chunk");
+            let mut acc = *a;
+            for op in ops {
+                let b: &[i8; LANE_CHUNK] = self.data[op.channel as usize * l + base..]
+                    [..LANE_CHUNK]
+                    .try_into()
+                    .expect("exact chunk");
+                let w = op.weight;
+                for i in 0..LANE_CHUNK {
+                    acc[i] = acc[i].mac(w, b[i]);
+                }
+            }
+            *a = acc;
+        }
+        // Tail positions past the last full chunk: the scalar sweep.
+        let base = chunks * LANE_CHUNK;
+        if base < l {
+            let tail = &mut row[base..];
+            for op in ops {
+                let stream = &self.data[op.channel as usize * l + base..op.channel as usize * l + l];
+                for (a, &x) in tail.iter_mut().zip(stream) {
+                    *a = a.mac(op.weight, x);
+                }
+            }
+        }
+    }
+}
+
+/// The PR 4 scalar op-list kernel, kept verbatim: one op at a time, one
+/// position at a time. The live baseline the lane kernel is benchmarked
+/// and property-tested against.
+struct ScalarSweep<'a, L: Lane> {
+    data: &'a [i8],
+    l: usize,
+    plane: &'a mut [L],
+}
+
+impl<L: Lane> BandVisitor for ScalarSweep<'_, L> {
+    fn row(&mut self, start: usize, ops: &[TileOp]) {
+        let l = self.l;
+        let row = &mut self.plane[start..start + l];
+        for op in ops {
+            let stream = &self.data[op.channel as usize * l..op.channel as usize * l + l];
+            for (acc, &x) in row.iter_mut().zip(stream) {
+                *acc = acc.mac(op.weight, x);
+            }
+        }
+    }
+}
+
+/// The validation kernel: identical sweep, but every MAC runs the
+/// bit-level datapath ([`BitSerialMac`]) on the `i64` plane directly.
+struct ExactSweep<'a> {
+    data: &'a [i8],
+    l: usize,
+    acc: AccumWidth,
+    out: &'a mut [i64],
+}
+
+impl BandVisitor for ExactSweep<'_> {
+    fn row(&mut self, start: usize, ops: &[TileOp]) {
+        let l = self.l;
+        let row = &mut self.out[start..start + l];
+        for op in ops {
+            let mac = BitSerialMac::new(op.weight, self.acc);
+            let stream = &self.data[op.channel as usize * l..op.channel as usize * l + l];
+            for (y, &x) in row.iter_mut().zip(stream) {
+                *y = mac.run(x, *y).0;
+            }
+        }
+    }
+}
+
+/// Runs one of the native-lane kernels over a band: resize the lane
+/// plane, sweep (batch-major by default, the scalar baseline on demand),
+/// widen into the caller's `i64` slice.
 fn run_band_lanes<L: Lane>(
     tiles: &[PreparedTile],
     row0: usize,
@@ -681,59 +973,99 @@ fn run_band_lanes<L: Lane>(
     l: usize,
     plane: &mut Vec<L>,
     out: &mut [i64],
+    scalar: bool,
 ) {
     plane.clear();
     plane.resize(out.len(), L::ZERO);
-    for tile in tiles {
-        for local in 0..tile.rows {
-            let ops =
-                &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
-            if ops.is_empty() {
-                continue;
-            }
-            let start = (tile.r0 - row0 + local) * l;
-            let row = &mut plane[start..start + l];
-            for op in ops {
-                let stream = &data[op.channel as usize * l..op.channel as usize * l + l];
-                for (acc, &x) in row.iter_mut().zip(stream) {
-                    *acc = acc.mac(op.weight, x);
-                }
-            }
-        }
+    if scalar {
+        let mut sweep = ScalarSweep { data, l, plane };
+        walk_band(tiles, row0, l, &mut sweep);
+    } else {
+        let mut sweep = LaneSweep { data, l, plane };
+        walk_band(tiles, row0, l, &mut sweep);
     }
     for (o, v) in out.iter_mut().zip(plane.iter()) {
         *o = v.widen();
     }
 }
 
-/// The validation kernel: identical sweep, but every MAC runs the
-/// bit-level datapath ([`BitSerialMac`]) on the `i64` plane directly.
-fn run_band_exact(
-    tiles: &[PreparedTile],
-    row0: usize,
-    data: &[i8],
-    l: usize,
+/// Streams the overlap cycle model over a band's tiles as re-tiled for an
+/// [`ArrayGeometry`]: each prepared tile splits into `geom`-sized physical
+/// tiles (row-major), every physical tile feeding the load/compute overlap
+/// chain. When `geom` equals the preparing config's geometry each prepared
+/// tile is exactly one physical tile, reproducing the base model. The op
+/// counters stay per-prepared-tile (the work is geometry-independent)
+/// except `input_words`, which re-streams a tile's channels once per
+/// physical row chunk, and `load_cycles`, which sums the physical loads.
+struct GeomStats {
+    geom: ArrayGeometry,
     acc: AccumWidth,
-    out: &mut [i64],
-) {
-    out.fill(0);
-    for tile in tiles {
-        for local in 0..tile.rows {
-            let ops =
-                &tile.ops[tile.row_starts[local] as usize..tile.row_starts[local + 1] as usize];
-            if ops.is_empty() {
-                continue;
-            }
-            let start = (tile.r0 - row0 + local) * l;
-            let row = &mut out[start..start + l];
-            for op in ops {
-                let mac = BitSerialMac::new(op.weight, acc);
-                let stream = &data[op.channel as usize * l..op.channel as usize * l + l];
-                for (y, &x) in row.iter_mut().zip(stream) {
-                    *y = mac.run(x, *y).0;
-                }
+    l: usize,
+    cycles: u64,
+    prev_compute: u64,
+    any: bool,
+    statics: PreparedStatics,
+}
+
+impl GeomStats {
+    fn new(geom: ArrayGeometry, acc: AccumWidth, l: usize) -> Self {
+        GeomStats {
+            geom,
+            acc,
+            l,
+            cycles: 0,
+            prev_compute: 0,
+            any: false,
+            statics: PreparedStatics::default(),
+        }
+    }
+
+    /// Feeds one physical tile into the overlap chain: the first load is
+    /// exposed, afterwards each step costs `max(prev compute, this load)`.
+    fn physical_tile(&mut self, rows: usize, cols: usize) {
+        let load = self.geom.weight_load_cycles(rows, cols);
+        let compute = self.geom.compute_cycles(self.acc, rows, cols, self.l);
+        if self.any {
+            self.cycles += self.prev_compute.max(load);
+        } else {
+            self.cycles += load;
+            self.any = true;
+        }
+        self.prev_compute = compute;
+        self.statics.load_cycles += load;
+    }
+
+    /// Closes the chain (the last compute is fully exposed) and assembles
+    /// the [`SimStats`].
+    fn finish(mut self) -> SimStats {
+        self.cycles += self.prev_compute;
+        let l = self.l as u64;
+        SimStats {
+            cycles: self.cycles,
+            load_cycles: self.statics.load_cycles,
+            mac_ops: self.statics.nonzero_cells * l,
+            cell_word_slots: self.statics.cell_slots * l,
+            input_words: self.statics.streamed_channels * l,
+            output_words: self.statics.output_rows * l,
+        }
+    }
+}
+
+impl BandVisitor for GeomStats {
+    fn tile(&mut self, tile: &PreparedTile) {
+        let (gr, gc) = (self.geom.rows.max(1), self.geom.cols.max(1));
+        let row_chunks = tile.rows.div_ceil(gr) as u64;
+        for r0 in (0..tile.rows).step_by(gr) {
+            let rows = gr.min(tile.rows - r0);
+            for c0 in (0..tile.groups).step_by(gc) {
+                let cols = gc.min(tile.groups - c0);
+                self.physical_tile(rows, cols);
             }
         }
+        self.statics.nonzero_cells += tile.ops.len() as u64;
+        self.statics.cell_slots += (tile.rows * tile.groups) as u64;
+        self.statics.streamed_channels += tile.streamed_channels * row_chunks;
+        self.statics.output_rows += tile.rows as u64;
     }
 }
 
@@ -743,28 +1075,21 @@ fn run_band_exact(
 /// everything except `cycles` sums exactly to the unsharded run's stats
 /// (the counters are per-tile sums); `cycles` is each band's own makespan.
 fn band_stats(tiles: &[PreparedTile], cfg: ArrayConfig, l: usize) -> SimStats {
-    let array = SystolicArray::new(cfg);
-    let mut cycles = tiles.first().map_or(0, |t| t.load_cycles);
-    let mut statics = PreparedStatics::default();
-    for (i, tile) in tiles.iter().enumerate() {
-        let compute = array.compute_cycles(tile.rows, tile.groups, l);
-        let next_load = tiles.get(i + 1).map_or(0, |t| t.load_cycles);
-        cycles += compute.max(next_load);
-        statics.load_cycles += tile.load_cycles;
-        statics.nonzero_cells += tile.ops.len() as u64;
-        statics.cell_slots += (tile.rows * tile.groups) as u64;
-        statics.streamed_channels += tile.streamed_channels;
-        statics.output_rows += tile.rows as u64;
-    }
-    let l = l as u64;
-    SimStats {
-        cycles,
-        load_cycles: statics.load_cycles,
-        mac_ops: statics.nonzero_cells * l,
-        cell_word_slots: statics.cell_slots * l,
-        input_words: statics.streamed_channels * l,
-        output_words: statics.output_rows * l,
-    }
+    band_stats_geom(tiles, cfg.geometry(), cfg.acc, l)
+}
+
+/// [`band_stats`] under an arbitrary [`ArrayGeometry`] (see [`GeomStats`]
+/// for the re-tiling model).
+fn band_stats_geom(
+    tiles: &[PreparedTile],
+    geom: ArrayGeometry,
+    acc: AccumWidth,
+    l: usize,
+) -> SimStats {
+    let row0 = tiles.first().map_or(0, |t| t.r0);
+    let mut v = GeomStats::new(geom, acc, l);
+    walk_band(tiles, row0, l, &mut v);
+    v.finish()
 }
 
 /// Total cycles with weight-load / compute overlap: the first load is
@@ -1067,6 +1392,107 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The batch-major fused lane sweep must be bit-identical (outputs and
+    /// stats) to the scalar op-list baseline at every batch width,
+    /// including the chunk-remainder widths around [`LANE_CHUNK`].
+    #[test]
+    fn lane_kernel_matches_scalar_baseline_at_every_width() {
+        let qp = packed_fixture(70, 66, 0.2, 41);
+        for acc in [AccumWidth::Bits16, AccumWidth::Bits32] {
+            let sched = TiledScheduler::new(ArrayConfig::new(24, 24, acc));
+            let prepared = sched.prepare_packed(&qp);
+            let mut lane = RunScratch::new();
+            let mut scalar = RunScratch::new();
+            for l in [1usize, 3, 8, 15, 16, 17, 33, 64] {
+                let d = QuantMatrix::quantize(&sparse_matrix(66, l, 1.0, 42 + l as u64));
+                let ls = sched.run_prepared_with(&prepared, &d, &mut lane);
+                let ss = sched.run_prepared_scalar_with(&prepared, &d, &mut scalar);
+                assert_eq!(lane.outputs(), scalar.outputs(), "outputs diverged at l={l}");
+                assert_eq!(ls, ss, "stats diverged at l={l}");
+            }
+        }
+    }
+
+    /// A geometry equal to the preparing config must reproduce the base
+    /// stats model exactly; a strictly smaller geometry re-tiles, paying
+    /// more loads and more cycles, without touching the outputs.
+    #[test]
+    fn geometry_stats_reduce_to_base_and_scale_down() {
+        let qp = packed_fixture(64, 48, 0.25, 43);
+        let cfg = ArrayConfig::new(16, 16, AccumWidth::Bits32);
+        let sched = TiledScheduler::new(cfg);
+        let prepared = sched.prepare_packed(&qp);
+        let d = QuantMatrix::quantize(&sparse_matrix(48, 9, 1.0, 44));
+        let band = prepared.full_band();
+
+        let mut base_scratch = RunScratch::new();
+        let mut out_base = vec![0i64; prepared.rows() * d.cols()];
+        let base =
+            sched.run_band_with(&prepared, &band, &d, &mut out_base, &mut base_scratch);
+
+        let mut geom_scratch = RunScratch::new();
+        let mut out_same = vec![0i64; out_base.len()];
+        let same = sched.run_band_geom(
+            &prepared, &band, cfg.geometry(), &d, &mut out_same, &mut geom_scratch,
+        );
+        assert_eq!(same, base, "matching geometry must reproduce base stats");
+        assert_eq!(out_same, out_base);
+
+        let mut out_small = vec![0i64; out_base.len()];
+        let small = sched.run_band_geom(
+            &prepared, &band, ArrayGeometry::new(4, 8), &d, &mut out_small, &mut geom_scratch,
+        );
+        assert_eq!(out_small, out_base, "geometry must never change outputs");
+        assert!(small.cycles > base.cycles, "a smaller array must be slower");
+        assert!(small.load_cycles > base.load_cycles, "re-tiling loads more");
+        // Work counters are geometry-independent.
+        assert_eq!(small.mac_ops, base.mac_ops);
+        assert_eq!(small.cell_word_slots, base.cell_word_slots);
+        assert_eq!(small.output_words, base.output_words);
+    }
+
+    /// A heterogeneous fleet plan must gather bit-identically, give the
+    /// weaker geometry fewer rows than uniform banding would, and beat the
+    /// worst single array's makespan.
+    #[test]
+    fn hetero_fleet_bands_are_bit_identical_and_weighted() {
+        let qp = packed_fixture(96, 60, 0.3, 45);
+        let cfg = ArrayConfig::new(8, 16, AccumWidth::Bits32);
+        let sched = TiledScheduler::new(cfg);
+        let prepared = sched.prepare_packed(&qp);
+        let d = QuantMatrix::quantize(&sparse_matrix(60, 8, 1.0, 46));
+        let mut reference = RunScratch::new();
+        sched.run_prepared_with(&prepared, &d, &mut reference);
+
+        let strong = cfg.geometry();
+        let weak = ArrayGeometry::new(2, 4);
+        let fleet = [strong, weak];
+        let plan = prepared.partition_row_bands_for(&fleet, d.cols());
+        assert_eq!(plan.len(), 2);
+        assert!(
+            plan[0].rows().len() > plan[1].rows().len(),
+            "the weak array must receive fewer rows: {:?}",
+            plan.iter().map(|b| b.rows()).collect::<Vec<_>>()
+        );
+
+        let mut primary = RunScratch::new();
+        let mut aux = vec![RunScratch::new(); 1];
+        let mut stats = vec![SimStats::default(); 2];
+        let mut busy = vec![0u64; 2];
+        sched.run_bands_geom(
+            &prepared, &plan, &fleet, &d, &mut primary, &mut aux, &mut stats, &mut busy,
+        );
+        assert_eq!(primary.outputs(), reference.outputs(), "hetero gather diverged");
+
+        // Makespan beats the worst single array running everything.
+        let worst_single = band_stats_geom(&prepared.tiles, weak, cfg.acc, d.cols()).cycles;
+        let makespan = stats.iter().map(|s| s.cycles).max().unwrap();
+        assert!(
+            makespan < worst_single,
+            "fleet makespan {makespan} must beat the weak array alone {worst_single}"
+        );
     }
 
     #[test]

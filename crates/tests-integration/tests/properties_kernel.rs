@@ -82,4 +82,55 @@ proptest! {
         let q_pruned = QuantMatrix::quantize_with(&packed.unpack(), params);
         prop_assert_eq!(&reference.outputs, &quant_matmul(&q_pruned, &d, acc));
     }
+
+    /// The batch-major lane sweep against the scalar op-sweep it replaced
+    /// AND the naive i64 GEMM, across image-batch-shaped stream lengths
+    /// (batch 1 underfills one lane chunk, 3 straddles, 8 spans several):
+    /// all three must agree bit-exactly on outputs, and the two op-list
+    /// paths on stats too.
+    #[test]
+    fn lane_sweep_matches_scalar_sweep_and_reference_gemm(
+        rows in 1usize..48,
+        cols in 2usize..40,
+        density in 0.05f64..0.9,
+        positions in 1usize..10,
+        batch_idx in 0usize..3,
+        sixteen_bit in any::<bool>(),
+        exact_bitserial in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let batch = [1usize, 3, 8][batch_idx];
+        let l = positions * batch;
+        let f = sparse_matrix(rows, cols, density, seed);
+        let params = QuantParams::calibrate(f.as_slice());
+        let packed = pack_columns(&f, &group_columns(&f, &GroupingConfig::paper_default()));
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let d = QuantMatrix::quantize(&sparse_matrix(cols, l, 1.0, seed ^ 0xFACE));
+
+        let acc = if sixteen_bit { AccumWidth::Bits16 } else { AccumWidth::Bits32 };
+        let cfg = ArrayConfig {
+            rows: 8,
+            cols: 16,
+            acc,
+            cell: CellKind::Multiplexed { mux_width: 8 },
+            exact_bitserial,
+        };
+        let sched = TiledScheduler::new(cfg);
+        let prepared = sched.prepare_packed(&qp);
+
+        let mut lane = RunScratch::new();
+        let mut scalar = RunScratch::new();
+        let lane_stats = sched.run_prepared_with(&prepared, &d, &mut lane);
+        let scalar_stats = sched.run_prepared_scalar_with(&prepared, &d, &mut scalar);
+        prop_assert_eq!(
+            lane.outputs(),
+            scalar.outputs(),
+            "lane sweep diverged from scalar at batch {}",
+            batch
+        );
+        prop_assert_eq!(lane_stats, scalar_stats, "lane stats diverged at batch {}", batch);
+
+        let q_pruned = QuantMatrix::quantize_with(&packed.unpack(), params);
+        prop_assert_eq!(lane.outputs(), &quant_matmul(&q_pruned, &d, acc)[..]);
+    }
 }

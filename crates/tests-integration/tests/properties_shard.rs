@@ -9,7 +9,7 @@ use cc_deploy::{identity_groups, DeployedNetwork, ShardMode, ShardScratch, Shard
 use cc_nn::models::{lenet5_shift, resnet20_shift, ModelConfig};
 use cc_packing::{group_columns, pack_columns, GroupingConfig};
 use cc_systolic::array::{ArrayConfig, QuantPacked, SimStats};
-use cc_systolic::{RunScratch, TiledScheduler};
+use cc_systolic::{ArrayGeometry, CellKind, RunScratch, TiledScheduler};
 use cc_tensor::init::sparse_matrix;
 use cc_tensor::quant::{AccumWidth, QuantMatrix, QuantParams};
 use cc_tensor::Tensor;
@@ -54,6 +54,27 @@ fn resnet_fixture() -> &'static (DeployedNetwork, Vec<Tensor>, Vec<Vec<f32>>) {
         let serial = deployed.run_batch(&images);
         (deployed, images, serial)
     })
+}
+
+/// A deterministic fleet of `shards` mixed geometries (rows, cols, and
+/// cell kind all vary) derived from one u64, so proptest shrinking stays
+/// meaningful while the fleet space is genuinely heterogeneous.
+fn random_fleet(shards: usize, gseed: u64) -> Vec<ArrayGeometry> {
+    let mut s = gseed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as usize
+    };
+    (0..shards)
+        .map(|_| {
+            let g = ArrayGeometry::new(2 + next() % 11, 2 + next() % 15);
+            match next() % 3 {
+                0 => g.with_cell(CellKind::Balanced),
+                1 => g.with_cell(CellKind::Interleaved),
+                _ => g, // keep the multiplexed default
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -153,5 +174,103 @@ proptest! {
         prop_assert_eq!(summed.load_cycles, ref_stats.load_cycles);
         prop_assert!(makespan <= ref_stats.cycles, "a shard outran the sequential run");
         prop_assert_eq!(prepared.sequential_cycles(l), ref_stats.cycles);
+    }
+
+    /// Whole-network sharding over a random heterogeneous fleet (1–4
+    /// shards, mixed rows/cols/cell kinds): logits must stay bit-identical
+    /// to the unsharded batch, and the merged stats must equal the
+    /// unsharded reference — geometry reshapes only where work lands and
+    /// how it is priced, never the work itself.
+    #[test]
+    fn mixed_fleet_network_matches_unsharded_bit_exactly(
+        residual in any::<bool>(),
+        shards in 1usize..5,
+        start in 0usize..4,
+        len in 1usize..5,
+        gseed in any::<u64>(),
+    ) {
+        let (deployed, images, serial) =
+            if residual { resnet_fixture() } else { lenet_fixture() };
+        let start = start.min(images.len() - 1);
+        let end = (start + len).min(images.len());
+        let batch = &images[start..end];
+        let expected = &serial[start..end];
+
+        let fleet = random_fleet(shards, gseed);
+        let plan = ShardedNetwork::with_fleet(deployed.clone(), fleet.clone());
+        prop_assert_eq!(plan.shards(), shards);
+        prop_assert_eq!(plan.fleet(), Some(&fleet[..]));
+        let mut scratch = ShardScratch::for_network(&plan);
+
+        // The 1-shard plan is the unsharded reference for merged stats.
+        let baseline = ShardedNetwork::new(deployed.clone(), ShardMode::RowBands, 1);
+        let mut baseline_scratch = ShardScratch::for_network(&baseline);
+        let (_, reference) = baseline.run_batch_stats(batch, &mut baseline_scratch);
+
+        // Two rounds through one scratch: stale state must not leak.
+        for round in 0..2 {
+            let (logits, stats) = plan.run_batch_stats(batch, &mut scratch);
+            prop_assert_eq!(
+                &logits[..], expected,
+                "fleet {:?} diverged on round {}", fleet, round
+            );
+            prop_assert_eq!(
+                stats.merged, reference.merged,
+                "fleet {:?} merged stats diverged on round {}", fleet, round
+            );
+            prop_assert!(
+                stats.per_shard.iter().map(|s| s.cycles).max().unwrap_or(0)
+                    == stats.makespan_cycles
+            );
+        }
+    }
+
+    /// Kernel-level fleet banding on random packings: the cost-weighted
+    /// plan gathered under per-band geometries must reproduce the
+    /// unsharded plane bit-exactly, and the geometry-invariant work sums
+    /// (MACs, occupied cell slots, output words) must match the reference.
+    /// `input_words` and `load_cycles` legitimately vary with geometry —
+    /// smaller arrays re-tile, re-stream, and re-load more.
+    #[test]
+    fn fleet_band_gather_matches_prepared_run(
+        rows in 8usize..64,
+        cols in 4usize..40,
+        density in 0.05f64..0.8,
+        l in 1usize..10,
+        shards in 1usize..5,
+        sixteen_bit in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = sparse_matrix(rows, cols, density, seed);
+        let params = QuantParams::calibrate(f.as_slice());
+        let packed = pack_columns(&f, &group_columns(&f, &GroupingConfig::paper_default()));
+        let qp = QuantPacked::quantize_with(&packed, params);
+        let d = QuantMatrix::quantize(&sparse_matrix(cols, l, 1.0, seed ^ 0xD1CE));
+        let acc = if sixteen_bit { AccumWidth::Bits16 } else { AccumWidth::Bits32 };
+        let sched = TiledScheduler::new(ArrayConfig::new(4, 8, acc));
+        let prepared = sched.prepare_packed(&qp);
+
+        let mut reference = RunScratch::new();
+        let ref_stats = sched.run_prepared_with(&prepared, &d, &mut reference);
+
+        let fleet = random_fleet(shards, seed ^ 0xFEED);
+        let plan = prepared.partition_row_bands_for(&fleet, l);
+        prop_assert!(!plan.is_empty() && plan.len() <= fleet.len());
+        let mut primary = RunScratch::new();
+        let mut aux = vec![RunScratch::new(); plan.len().saturating_sub(1)];
+        let mut stats = vec![SimStats::default(); plan.len()];
+        let mut busy = vec![0u64; plan.len()];
+        sched.run_bands_geom(
+            &prepared, &plan, &fleet, &d, &mut primary, &mut aux, &mut stats, &mut busy,
+        );
+
+        prop_assert_eq!(primary.outputs(), reference.outputs(), "fleet gather diverged");
+        let mut summed = SimStats::default();
+        for s in &stats {
+            summed.merge(s);
+        }
+        prop_assert_eq!(summed.mac_ops, ref_stats.mac_ops);
+        prop_assert_eq!(summed.cell_word_slots, ref_stats.cell_word_slots);
+        prop_assert_eq!(summed.output_words, ref_stats.output_words);
     }
 }
