@@ -7,12 +7,20 @@
 //! memo-cache on, recorder enabled) and writes the request-lifecycle
 //! trace to `results/trace_serve.json` — Chrome trace-event JSON,
 //! loadable in Perfetto or `chrome://tracing`.
+//!
+//! With `--chaos`, runs the same closed loop clean and under the seeded
+//! fault plan (one of three shard lanes killed mid-run, periodic stalls
+//! and poisoned bands, one injected worker panic) and writes the
+//! availability/recovery comparison to `results/bench_faults.json`.
 
 fn main() {
     let scale = cc_bench::scale::Scale::from_env();
     if std::env::args().any(|a| a == "--trace") {
         let tables = cc_bench::experiments::serve_load::run_trace(&scale);
         cc_bench::emit("serve_trace", &tables);
+    } else if std::env::args().any(|a| a == "--chaos") {
+        let tables = cc_bench::experiments::serve_load::run_chaos(&scale);
+        cc_bench::emit("serve_faults", &tables);
     } else {
         let tables = cc_bench::experiments::serve_load::run(&scale);
         cc_bench::emit("serve_load", &tables);

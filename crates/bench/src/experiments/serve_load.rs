@@ -16,10 +16,11 @@ use cc_dataset::Dataset;
 use cc_deploy::{identity_groups, DeployedNetwork};
 use cc_packing::ColumnCombiner;
 use cc_serve::{
-    CacheConfig, EventKind, ModelRegistry, QosClass, ServeConfig, Server, SubmitError,
+    CacheConfig, EventKind, FaultPlan, ModelRegistry, QosClass, ServeConfig, Server, SubmitError,
     SubmitOptions, TelemetrySnapshot, TraceConfig,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measured serving configuration.
@@ -446,11 +447,246 @@ pub fn run_trace(scale: &Scale) -> Vec<Table> {
         EventKind::ShardRun,
         EventKind::Execute,
         EventKind::Resolve,
+        EventKind::Fault,
+        EventKind::Quarantine,
+        EventKind::Retry,
     ] {
         let count = events.iter().filter(|e| e.kind == kind).count();
         table.push_row(vec![format!("{} events", kind.label()), count.to_string()]);
     }
     drop(server);
+    vec![table]
+}
+
+/// What one chaos (or clean-reference) run observed, request by request.
+pub(crate) struct ChaosOutcome {
+    /// Final telemetry, taken by the graceful drain.
+    pub stats: TelemetrySnapshot,
+    /// Whether [`Server::shutdown_within`] finished inside its timeout.
+    pub drained: bool,
+    /// Requests the clients submitted (admission retries excluded).
+    pub total: usize,
+    /// Requests that resolved `Ok` with logits bit-identical to the
+    /// serial unsharded reference.
+    pub ok: usize,
+    /// Requests that resolved with an error (`Faulted`/`WorkerPanicked`).
+    pub failed: usize,
+    /// Requests that resolved `Ok` but with wrong logits — must be zero:
+    /// recovery may cost retries, never correctness.
+    pub mismatched: usize,
+    /// Tickets still unresolved after the bounded wait — must be zero:
+    /// the no-hang invariant of the fault plane.
+    pub hung: usize,
+    /// Tail tickets submitted right before shutdown that still resolved.
+    pub tail_resolved: usize,
+    /// Tail tickets submitted right before shutdown (drain-under-load).
+    pub tail: usize,
+}
+
+impl ChaosOutcome {
+    /// Fraction of non-shed requests that completed with correct logits.
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.ok as f64 / self.total as f64
+    }
+
+    fn as_json(&self, mode: &str) -> JsonValue {
+        JsonValue::Obj(
+            [
+                ("mode", JsonValue::from(mode)),
+                ("total", JsonValue::from(self.total)),
+                ("ok", JsonValue::from(self.ok)),
+                ("failed", JsonValue::from(self.failed)),
+                ("mismatched", JsonValue::from(self.mismatched)),
+                ("hung", JsonValue::from(self.hung)),
+                ("availability", JsonValue::from(self.availability())),
+                ("drained", JsonValue::Bool(self.drained)),
+                ("tail", JsonValue::from(self.tail)),
+                ("tail_resolved", JsonValue::from(self.tail_resolved)),
+                ("stats", JsonValue::Raw(self.stats.to_json())),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        )
+    }
+}
+
+/// Chaos closed loop: `clients` threads drive `total` requests through a
+/// 3-shard server carrying `faults` (or none, for the clean reference),
+/// checking every response against the serial unsharded reference logits
+/// and bounding every wait — a hang is counted, never blocked on. Ends
+/// with a drain-under-load: a tail of unawaited submissions followed by
+/// [`Server::shutdown_within`].
+pub(crate) fn chaos_loop(
+    net: &DeployedNetwork,
+    test: &Dataset,
+    faults: Option<Arc<FaultPlan>>,
+    clients: usize,
+    total: usize,
+) -> ChaosOutcome {
+    // The correctness oracle: serial, unsharded, fault-free execution.
+    // Sharding and quarantine re-planning gather by row concatenation, so
+    // every Ok response must match these logits bit for bit.
+    let images: Vec<cc_tensor::Tensor> =
+        (0..test.len()).map(|i| test.image(i).clone()).collect();
+    let reference = net.run_batch(&images);
+
+    let mut cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_max_batch(8)
+        .with_batch_deadline(Duration::from_millis(1))
+        .with_queue_capacity(128)
+        .with_pipeline_stages(1)
+        .with_shards(3);
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    let server = Server::start(ModelRegistry::new().with_model("m", net.clone()), cfg);
+
+    let next = AtomicUsize::new(0);
+    let (ok, failed, mismatched, hung) = (
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let idx = i % test.len();
+                let ticket = loop {
+                    match server.submit("m", test.image(idx).clone()) {
+                        Ok(t) => break t,
+                        Err(SubmitError::QueueFull) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => panic!("chaos submit failed: {e}"),
+                    }
+                };
+                // Generous bound: any genuine hang dwarfs it, while a
+                // healthy or retrying batch resolves far inside it.
+                match ticket.wait_timeout(Duration::from_secs(10)) {
+                    Some(Ok(resp)) => {
+                        if resp.logits == reference[idx] {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            mismatched.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Some(Err(_)) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        hung.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain under load: submissions still in flight when shutdown begins
+    // must resolve (served or disconnected), never hang.
+    let tail_tickets: Vec<_> = (0..16)
+        .filter_map(|i| server.submit("m", test.image(i % test.len()).clone()).ok())
+        .collect();
+    let tail = tail_tickets.len();
+    let report = server.shutdown_within(Duration::from_secs(10));
+    let tail_resolved = tail_tickets
+        .into_iter()
+        .filter(|t| t.wait_timeout(Duration::from_secs(1)).is_some())
+        .count();
+
+    ChaosOutcome {
+        stats: report.stats,
+        drained: report.drained,
+        total,
+        ok: ok.into_inner(),
+        failed: failed.into_inner(),
+        mismatched: mismatched.into_inner(),
+        hung: hung.into_inner(),
+        tail_resolved,
+        tail,
+    }
+}
+
+/// The deterministic chaos schedule the `--chaos` run and the release
+/// fault gate share: one of the three shard lanes dies mid-run, a second
+/// suffers periodic stalls and poisoned bands, and one worker panics on a
+/// chosen batch. Same seed, same failures, every run.
+pub(crate) fn chaos_plan() -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan::seeded(0xC0FF_EECA_FE00)
+            .kill_lane_after(2, 40)
+            .stall_every(64, 50)
+            .poison_every(97)
+            .panic_on_batch(5),
+    )
+}
+
+/// `--chaos` mode: the same closed loop run clean and under the seeded
+/// fault plan, reporting availability, recovery work, and drain health
+/// side by side; also writes `results/bench_faults.json`.
+pub fn run_chaos(scale: &Scale) -> Vec<Table> {
+    let (packed, _, test) = build_networks(scale);
+    let total = (scale.train_samples * 4).max(600);
+    let clean = chaos_loop(&packed, &test, None, 8, total);
+    let chaos = chaos_loop(&packed, &test, Some(chaos_plan()), 8, total);
+
+    let mut table = Table::new(
+        "Serving under chaos: 1 of 3 shards killed + stalls + poison + worker panic",
+        &["metric", "clean", "chaos"],
+    );
+    let mut row = |name: &str, a: String, b: String| table.push_row(vec![name.into(), a, b]);
+    row("requests", clean.total.to_string(), chaos.total.to_string());
+    row("ok (bit-identical)", clean.ok.to_string(), chaos.ok.to_string());
+    row("failed", clean.failed.to_string(), chaos.failed.to_string());
+    row("mismatched", clean.mismatched.to_string(), chaos.mismatched.to_string());
+    row("hung", clean.hung.to_string(), chaos.hung.to_string());
+    row(
+        "availability",
+        format!("{:.4}", clean.availability()),
+        format!("{:.4}", chaos.availability()),
+    );
+    row(
+        "band faults / retries",
+        format!("{} / {}", clean.stats.band_faults, clean.stats.band_retries),
+        format!("{} / {}", chaos.stats.band_faults, chaos.stats.band_retries),
+    );
+    row(
+        "worker panics",
+        clean.stats.worker_panics.to_string(),
+        chaos.stats.worker_panics.to_string(),
+    );
+    row(
+        "shards quarantined (final)",
+        clean.stats.shards_quarantined.to_string(),
+        chaos.stats.shards_quarantined.to_string(),
+    );
+    row(
+        "p99 latency",
+        fnum(clean.stats.p99.as_secs_f64() * 1e6, 1) + " µs",
+        fnum(chaos.stats.p99.as_secs_f64() * 1e6, 1) + " µs",
+    );
+    row(
+        "drained cleanly",
+        format!("{} ({}/{} tail)", clean.drained, clean.tail_resolved, clean.tail),
+        format!("{} ({}/{} tail)", chaos.drained, chaos.tail_resolved, chaos.tail),
+    );
+
+    let json = JsonValue::Obj(vec![(
+        "runs".to_string(),
+        JsonValue::Arr(vec![clean.as_json("clean"), chaos.as_json("chaos")]),
+    )]);
+    if let Err(e) = crate::report::write_json("results/bench_faults.json", &json) {
+        eprintln!("warning: could not write results/bench_faults.json: {e}");
+    }
     vec![table]
 }
 
@@ -602,6 +838,62 @@ mod tests {
         assert!(
             on > 0.95 * off,
             "enabled tracing cost more than its 5% budget: {on:.1} vs {off:.1} rps"
+        );
+    }
+
+    /// Release fault gate: the seeded chaos plan (one of three shard
+    /// lanes killed mid-run, periodic stalls and poisoned bands, one
+    /// injected worker panic) must cost availability at most the panic's
+    /// own batch — ≥ 99% of non-shed requests complete, every completion
+    /// bit-identical to the serial unsharded reference, zero tickets
+    /// hang (every wait is bounded), and the server drains cleanly with
+    /// work still in flight.
+    #[test]
+    fn fault_gate() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipping serving fault gate in debug build");
+            return;
+        }
+        let _exclusive = crate::perf_gate_lock();
+        let scale = Scale {
+            train_samples: 64,
+            test_samples: 16,
+            image_hw: 16,
+            width_mult: 1.0,
+            ..Scale::quick()
+        };
+        let (packed, _, test) = build_networks(&scale);
+        let total = 1000;
+
+        // Clean reference: same server shape, no plan — everything
+        // completes, nothing faults, and the drain is clean.
+        let clean = chaos_loop(&packed, &test, None, 8, total);
+        assert_eq!(clean.ok, total, "clean run must complete every request bit-identically");
+        assert_eq!(clean.failed + clean.mismatched + clean.hung, 0);
+        assert_eq!(clean.stats.band_faults, 0);
+        assert_eq!(clean.stats.worker_panics, 0);
+        assert!(clean.drained, "clean shutdown must finish inside its timeout");
+
+        let chaos = chaos_loop(&packed, &test, Some(chaos_plan()), 8, total);
+        assert_eq!(chaos.hung, 0, "no ticket may ever hang under chaos");
+        assert_eq!(
+            chaos.mismatched, 0,
+            "post-quarantine outputs must stay bit-identical to the unsharded reference"
+        );
+        assert!(
+            chaos.availability() >= 0.99,
+            "availability under chaos fell below 99%: {}/{} ok ({} failed)",
+            chaos.ok,
+            chaos.total,
+            chaos.failed
+        );
+        assert!(chaos.stats.band_faults > 0, "the plan must actually inject band faults");
+        assert!(chaos.stats.band_retries > 0, "recovery must go through the retry path");
+        assert!(chaos.stats.worker_panics >= 1, "the injected worker panic must be caught");
+        assert!(chaos.drained, "chaos shutdown must still drain inside its timeout");
+        assert_eq!(
+            chaos.tail_resolved, chaos.tail,
+            "every in-flight ticket must resolve through the drain"
         );
     }
 }

@@ -316,9 +316,11 @@ fn run_packed_conv_batch(
     // Scatter/gather across the shard set when one is supplied; the
     // gathered plane in `scratch.run` is bit-identical either way. A
     // one-shard *fleet* still takes the banded path so its stats are
-    // priced under the fleet's geometry, not the base array's.
+    // priced under the fleet's geometry, not the base array's, and a set
+    // with a fault injector always scatters so faults can be detected
+    // and retried even at one shard.
     match bands {
-        Some(set) if set.shards() > 1 || set.fleet().is_some() => {
+        Some(set) if set.shards() > 1 || set.fleet().is_some() || set.has_faults() => {
             set.run_conv(sched, tiles, &data, &mut scratch.run)
         }
         Some(set) => set.run_conv_serial(sched, tiles, &data, &mut scratch.run),

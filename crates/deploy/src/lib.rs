@@ -51,4 +51,7 @@ pub use builder::{identity_groups, DeployedNetwork};
 pub use engine::{layer_cost, BatchOutput, DeployedLayer};
 pub use qmap::QMap;
 pub use scratch::ActivationScratch;
-pub use shard::{BandSet, ConvTrace, ShardMode, ShardScratch, ShardStats, ShardedNetwork};
+pub use shard::{
+    BandFaultError, BandSet, ConvTrace, FaultInjector, HealthEvent, ShardHealthConfig, ShardMode,
+    ShardScratch, ShardStats, ShardedNetwork,
+};

@@ -37,12 +37,13 @@ use crate::builder::DeployedNetwork;
 use crate::engine::BatchOutput;
 use crate::scratch::ActivationScratch;
 use cc_systolic::partition::partition_min_max;
-use cc_systolic::tiled::{PreparedPacked, TiledScheduler};
+use cc_systolic::tiled::{BandAction, BandOutcome, PreparedPacked, TiledScheduler};
 use cc_systolic::{ArrayGeometry, RowBand, RunScratch, SimStats};
 use cc_tensor::quant::QuantMatrix;
 use cc_tensor::Tensor;
 use std::ops::Range;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cached shard plans a [`BandSet`] retains (one per conv layer it has
 /// seen; bounded so a set rotating across many models cannot grow without
@@ -67,6 +68,101 @@ pub struct ConvTrace {
     pub lane_busy: Vec<u64>,
 }
 
+/// Decides what each shard lane does on each of its band executions — the
+/// deterministic fault-injection plane. Implementations must be pure
+/// functions of `(lane, run_index)` (plus their own seed) so a chaos run
+/// is reproducible: `run_index` is the count of band executions the lane
+/// has performed in this [`BandSet`], advancing only when the lane
+/// actually runs (a quarantined lane's clock is frozen).
+pub trait FaultInjector: Send + Sync + std::fmt::Debug {
+    /// The action lane `lane` takes on its `run_index`-th band execution.
+    fn band_action(&self, lane: usize, run_index: u64) -> BandAction;
+}
+
+/// Circuit-breaker and retry thresholds for [`BandSet`] shard health.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardHealthConfig {
+    /// Errors (poisoned/dead bands) before a lane is quarantined.
+    pub trip_errors: u32,
+    /// Consecutive stalls before a slow lane is quarantined.
+    pub trip_stalls: u32,
+    /// Convs after quarantine until a half-open probe readmits the lane.
+    /// A readmitted lane re-trips on its first error; a success fully
+    /// clears its record.
+    pub probe_after: u64,
+    /// Re-runs of one conv before giving up (throwing
+    /// [`BandFaultError`]).
+    pub retry_budget: u32,
+    /// Base backoff slept between retries (scaled by the attempt number).
+    pub backoff: Duration,
+}
+
+impl Default for ShardHealthConfig {
+    fn default() -> Self {
+        ShardHealthConfig {
+            trip_errors: 2,
+            trip_stalls: 16,
+            probe_after: 64,
+            retry_budget: 3,
+            backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+/// One recovery incident inside a [`BandSet`], drained by the serving
+/// layer ([`BandSet::take_health_events`]) for trace/telemetry export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// A band execution on `lane` returned a wrong or missing result.
+    Fault {
+        /// The erroring shard lane.
+        lane: usize,
+    },
+    /// `lane` tripped the breaker and was removed from the active set.
+    Quarantine {
+        /// The quarantined shard lane.
+        lane: usize,
+    },
+    /// A half-open probe readmitted `lane` to the active set.
+    Readmit {
+        /// The readmitted shard lane.
+        lane: usize,
+    },
+    /// A faulted conv was re-run (attempt number, 1-based).
+    Retry {
+        /// Which retry this was for the conv.
+        attempt: u32,
+    },
+}
+
+/// Health events a [`BandSet`] retains between drains; bounded so an
+/// undrained set cannot grow without limit.
+const MAX_HEALTH_EVENTS: usize = 256;
+
+/// Panic payload thrown when one conv exhausts its fault-retry budget (or
+/// its deadline) without a clean run — every active lane kept faulting.
+/// The serving worker catches it ([`std::panic::catch_unwind`]) and
+/// resolves the batch's tickets with a fault error instead of hanging.
+#[derive(Clone, Copy, Debug)]
+pub struct BandFaultError {
+    /// Re-runs attempted before giving up.
+    pub attempts: u32,
+    /// True when the retry loop stopped early because the batch deadline
+    /// passed.
+    pub deadline_blown: bool,
+}
+
+impl std::fmt::Display for BandFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "band execution still faulted after {} attempt(s){}",
+            self.attempts,
+            if self.deadline_blown { " (deadline passed)" } else { "" }
+        )
+    }
+}
+
 /// Cache key for a prepared matrix's shard plan. The pointer identifies
 /// the layer (the prepared op list lives behind the network's `Arc`, so
 /// it is stable while any executor holds the network); the shape *and
@@ -83,10 +179,14 @@ struct PlanKey {
     tiles: usize,
     array_rows: usize,
     array_cols: usize,
+    /// Bitmask of the active (non-quarantined) lanes the plan was banded
+    /// over — quarantine re-plans are distinct cache entries, so flapping
+    /// between fleet states never recomputes the partitioning DP.
+    active_mask: u64,
 }
 
 impl PlanKey {
-    fn of(tiles: &PreparedPacked) -> Self {
+    fn of(tiles: &PreparedPacked, active_mask: u64) -> Self {
         PlanKey {
             ptr: tiles as *const PreparedPacked as usize,
             rows: tiles.rows(),
@@ -94,6 +194,7 @@ impl PlanKey {
             tiles: tiles.num_tiles(),
             array_rows: tiles.config().rows,
             array_cols: tiles.config().cols,
+            active_mask,
         }
     }
 }
@@ -137,6 +238,31 @@ pub struct BandSet {
     /// the untraced path pays one branch per conv.
     tracing: bool,
     conv_log: Vec<ConvTrace>,
+    /// The fault-injection plane; `None` (the default) keeps the
+    /// zero-overhead healthy path.
+    injector: Option<Arc<dyn FaultInjector>>,
+    health_cfg: ShardHealthConfig,
+    /// Active (non-quarantined) lane ids, ascending; band `i` of a plan
+    /// runs on lane `active[i]`.
+    active: Vec<usize>,
+    quarantined: Vec<bool>,
+    lane_errors: Vec<u32>,
+    lane_stalls: Vec<u32>,
+    /// Band executions each lane has performed (the injector's clock).
+    run_counts: Vec<u64>,
+    /// Convs this set has run (the probe clock).
+    convs: u64,
+    /// Conv count at which each quarantined lane's half-open probe fires.
+    probe_at: Vec<u64>,
+    events: Vec<HealthEvent>,
+    /// Batch deadline the retry loop respects (set per batch by the
+    /// serving worker; `None` = retry on budget alone).
+    retry_deadline: Option<Instant>,
+    /// Reused per-conv scratch for the faulted path.
+    actions: Vec<BandAction>,
+    outcomes: Vec<BandOutcome>,
+    band_busy: Vec<u64>,
+    active_fleet: Vec<ArrayGeometry>,
 }
 
 impl BandSet {
@@ -159,6 +285,21 @@ impl BandSet {
             plans: Vec::new(),
             tracing: false,
             conv_log: Vec::new(),
+            injector: None,
+            health_cfg: ShardHealthConfig::default(),
+            active: (0..shards).collect(),
+            quarantined: vec![false; shards],
+            lane_errors: vec![0; shards],
+            lane_stalls: vec![0; shards],
+            run_counts: vec![0; shards],
+            convs: 0,
+            probe_at: vec![0; shards],
+            events: Vec::new(),
+            retry_deadline: None,
+            actions: Vec::new(),
+            outcomes: Vec::new(),
+            band_busy: Vec::new(),
+            active_fleet: Vec::new(),
         }
     }
 
@@ -259,6 +400,96 @@ impl BandSet {
         self.busy_nanos.iter_mut().for_each(|b| *b = 0);
     }
 
+    /// Installs (or clears) the fault-injection plane. With an injector,
+    /// every conv scatter consults it per (lane, run), scores lane health
+    /// from the outcomes, quarantines lanes that trip the breaker
+    /// (re-planning bands over the survivors — outputs stay bit-identical
+    /// by construction, only the partition changes), and re-runs faulted
+    /// convs under [`ShardHealthConfig`]'s retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than 64 shards (the re-plan cache keys
+    /// on a lane bitmask).
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<dyn FaultInjector>>) {
+        assert!(self.shards <= 64, "fault injection supports at most 64 shard lanes");
+        self.injector = injector;
+    }
+
+    /// Replaces the breaker/retry thresholds (defaults are
+    /// [`ShardHealthConfig::default`]).
+    pub fn set_health_config(&mut self, cfg: ShardHealthConfig) {
+        self.health_cfg = cfg;
+    }
+
+    /// Sets the deadline the retry loop respects for subsequent convs:
+    /// once it passes, a still-faulted conv gives up immediately instead
+    /// of burning the remaining retry budget. `None` retries on budget
+    /// alone.
+    pub fn set_retry_deadline(&mut self, deadline: Option<Instant>) {
+        self.retry_deadline = deadline;
+    }
+
+    /// True when a fault injector is installed (the serving engine routes
+    /// such sets through the scatter path even at one shard).
+    pub fn has_faults(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Drains the recovery incidents accumulated since the last call.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Currently quarantined lane ids, ascending.
+    pub fn quarantined_lanes(&self) -> Vec<usize> {
+        (0..self.shards).filter(|&i| self.quarantined[i]).collect()
+    }
+
+    /// The active (non-quarantined) lane ids, ascending. Band `i` of the
+    /// current plan runs on lane `active_lanes()[i]`.
+    pub fn active_lanes(&self) -> &[usize] {
+        &self.active
+    }
+
+    fn push_event(&mut self, event: HealthEvent) {
+        if self.events.len() < MAX_HEALTH_EVENTS {
+            self.events.push(event);
+        }
+    }
+
+    fn active_mask(&self) -> u64 {
+        self.active.iter().fold(0u64, |mask, &lane| mask | (1u64 << lane))
+    }
+
+    /// Removes `lane` from the active set (never the last lane) and
+    /// schedules its half-open probe.
+    fn quarantine(&mut self, lane: usize) {
+        if self.active.len() <= 1 || self.quarantined[lane] {
+            return;
+        }
+        self.quarantined[lane] = true;
+        self.lane_stalls[lane] = 0;
+        self.probe_at[lane] = self.convs + self.health_cfg.probe_after;
+        self.active.retain(|&l| l != lane);
+        self.push_event(HealthEvent::Quarantine { lane });
+    }
+
+    /// Readmits quarantined lanes whose probe time has arrived. A
+    /// readmitted lane sits one error from re-tripping (half-open): the
+    /// first clean run clears it, the first error re-quarantines it.
+    fn maybe_probe(&mut self) {
+        for lane in 0..self.shards {
+            if self.quarantined[lane] && self.convs >= self.probe_at[lane] {
+                self.quarantined[lane] = false;
+                self.lane_errors[lane] = self.health_cfg.trip_errors.saturating_sub(1);
+                self.active.push(lane);
+                self.active.sort_unstable();
+                self.push_event(HealthEvent::Readmit { lane });
+            }
+        }
+    }
+
     /// Scatters one prepared conv across the set's arrays and gathers the
     /// band outputs into `primary`'s plane (row concatenation — the plane
     /// ends bit-identical to `run_prepared_with`).
@@ -269,6 +500,10 @@ impl BandSet {
         d: &QuantMatrix,
         primary: &mut RunScratch,
     ) {
+        if self.injector.is_some() {
+            self.run_conv_faulted(sched, tiles, d, primary);
+            return;
+        }
         let idx = self.plan_index(tiles, d.cols());
         let plan = &self.plans[idx].1;
         // Per-lane busy deltas for this conv alone: snapshot the running
@@ -310,6 +545,145 @@ impl BandSet {
         self.call_stats = call_stats;
     }
 
+    /// [`BandSet::run_conv`] under the fault-injection plane: consult the
+    /// injector per (lane, run), detect poisoned/dead bands from the
+    /// outcomes, quarantine lanes that trip the breaker, re-plan over the
+    /// survivors, and re-run until the conv completes cleanly (the result
+    /// is then bit-identical to the unsharded run — every row was written
+    /// by a successful band) or the retry budget/deadline is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Throws [`BandFaultError`] via [`std::panic::panic_any`] when every
+    /// attempt faulted; callers that must not die run the batch under
+    /// [`std::panic::catch_unwind`]. Internal bookkeeping is updated
+    /// *before* the throw, so the set stays consistent and reusable.
+    fn run_conv_faulted(
+        &mut self,
+        sched: &TiledScheduler,
+        tiles: &PreparedPacked,
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+    ) {
+        let injector = self.injector.clone().expect("faulted path needs an injector");
+        self.convs += 1;
+        let mut attempt = 0u32;
+        loop {
+            self.maybe_probe();
+            let idx = self.plan_index(tiles, d.cols());
+            let plan_len = self.plans[idx].1.len();
+            debug_assert!(plan_len <= self.active.len(), "plan wider than the active set");
+
+            let mut actions = std::mem::take(&mut self.actions);
+            actions.clear();
+            for band in 0..plan_len {
+                let lane = self.active[band];
+                actions.push(injector.band_action(lane, self.run_counts[lane]));
+                self.run_counts[lane] += 1;
+            }
+            let mut outcomes = std::mem::take(&mut self.outcomes);
+            outcomes.clear();
+            outcomes.resize(plan_len, BandOutcome::Ran);
+            let mut call_stats = std::mem::take(&mut self.call_stats);
+            call_stats.clear();
+            call_stats.resize(plan_len, SimStats::default());
+            let mut band_busy = std::mem::take(&mut self.band_busy);
+            band_busy.clear();
+            band_busy.resize(plan_len, 0);
+            // The scatter prices band `i` under lane `active[i]`'s
+            // geometry, so a re-plan keeps per-geometry attribution.
+            let mut active_fleet = std::mem::take(&mut self.active_fleet);
+            active_fleet.clear();
+            if let Some(fleet) = &self.fleet {
+                active_fleet.extend(self.active.iter().map(|&lane| fleet[lane]));
+            }
+
+            let plan = &self.plans[idx].1;
+            sched.run_bands_faulted(
+                tiles,
+                plan,
+                &active_fleet,
+                d,
+                primary,
+                &mut self.aux,
+                &mut call_stats,
+                &mut band_busy,
+                &actions,
+                &mut outcomes,
+            );
+
+            // Host time is real on every attempt, successful or not.
+            for band in 0..plan_len {
+                self.busy_nanos[self.active[band]] += band_busy[band];
+            }
+
+            // Score lane health from the outcomes.
+            let mut any_error = false;
+            for band in 0..plan_len {
+                let lane = self.active[band];
+                match outcomes[band] {
+                    BandOutcome::Ran => {
+                        self.lane_errors[lane] = 0;
+                        self.lane_stalls[lane] = 0;
+                    }
+                    BandOutcome::Stalled => {
+                        self.lane_stalls[lane] += 1;
+                        if self.lane_stalls[lane] >= self.health_cfg.trip_stalls {
+                            self.quarantine(lane);
+                        }
+                    }
+                    BandOutcome::Poisoned | BandOutcome::Dead => {
+                        any_error = true;
+                        self.lane_errors[lane] += 1;
+                        self.push_event(HealthEvent::Fault { lane });
+                        if self.lane_errors[lane] >= self.health_cfg.trip_errors {
+                            self.quarantine(lane);
+                        }
+                    }
+                }
+            }
+
+            self.actions = actions;
+            self.outcomes = outcomes;
+            self.band_busy = band_busy;
+            self.active_fleet = active_fleet;
+
+            if !any_error {
+                if self.tracing {
+                    let mut lane_busy = vec![0u64; self.shards];
+                    for band in 0..plan_len {
+                        lane_busy[self.active[band]] = self.band_busy[band];
+                    }
+                    self.log_conv(lane_busy);
+                }
+                let seq = if self.fleet.is_none() && call_stats.len() == 1 {
+                    call_stats[0]
+                } else {
+                    tiles.sequential_stats(d.cols())
+                };
+                // Band i's counters fold into lane active[i]'s totals;
+                // only the clean run is recorded, so merged stats stay
+                // bit-identical to the fault-free run.
+                for (band, s) in call_stats.iter().enumerate().take(plan_len) {
+                    self.shard_totals[self.active[band]].merge(s);
+                }
+                self.merged.merge(&seq);
+                self.call_stats = call_stats;
+                return;
+            }
+            self.call_stats = call_stats;
+
+            attempt += 1;
+            self.push_event(HealthEvent::Retry { attempt });
+            let deadline_blown =
+                self.retry_deadline.is_some_and(|deadline| Instant::now() >= deadline);
+            if attempt > self.health_cfg.retry_budget || deadline_blown {
+                std::panic::panic_any(BandFaultError { attempts: attempt, deadline_blown });
+            }
+            std::thread::sleep(self.health_cfg.backoff * attempt);
+        }
+    }
+
     /// The one-array path with the same stats accounting (shard 0 runs the
     /// whole matrix).
     pub(crate) fn run_conv_serial(
@@ -337,7 +711,7 @@ impl BandSet {
     /// width shapes the cached plan (later widths reuse it — the balance
     /// shifts only marginally with `l`, never the correctness).
     fn plan_index(&mut self, tiles: &PreparedPacked, l: usize) -> usize {
-        let key = PlanKey::of(tiles);
+        let key = PlanKey::of(tiles, self.active_mask());
         if let Some(i) = self.plans.iter().position(|(k, _)| *k == key) {
             let entry = self.plans.remove(i);
             self.plans.push(entry);
@@ -345,9 +719,15 @@ impl BandSet {
             if self.plans.len() >= MAX_CACHED_PLANS {
                 self.plans.remove(0);
             }
+            // Bands cover the *active* lanes only — with every lane
+            // healthy (the injector-free path) this is the full set.
             let plan = match &self.fleet {
-                Some(fleet) => tiles.partition_row_bands_for(fleet, l),
-                None => tiles.partition_row_bands(self.shards),
+                Some(fleet) => {
+                    let active_fleet: Vec<ArrayGeometry> =
+                        self.active.iter().map(|&lane| fleet[lane]).collect();
+                    tiles.partition_row_bands_for(&active_fleet, l)
+                }
+                None => tiles.partition_row_bands(self.active.len()),
             };
             self.plans.push((key, plan));
         }

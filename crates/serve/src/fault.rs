@@ -1,0 +1,193 @@
+//! Deterministic fault injection for chaos-testing the serving stack.
+//!
+//! A [`FaultPlan`] is a pure function from one `u64` seed to a schedule
+//! of failures: shard lanes that stall for N µs, return poisoned bands,
+//! or die after K runs, and workers that panic on a chosen batch. Every
+//! decision hashes `(seed, lane, run_index)` — no RNG state, no wall
+//! clock — so a chaos test replays the exact same failure sequence on
+//! every run and in CI. Inject a plan with
+//! [`ServeConfig::with_faults`](crate::ServeConfig::with_faults); the
+//! recovery side (quarantine, re-planning, retries) lives in
+//! [`cc_deploy::BandSet`] and the server's supervision loop.
+
+use cc_deploy::FaultInjector;
+use cc_systolic::BandAction;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash from one word.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded, reproducible fault schedule. Build one with
+/// [`FaultPlan::seeded`] plus the chainable fault clauses; the same seed
+/// and clauses always produce the same failures.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Stall clause: roughly one in `period` band executions sleeps
+    /// `micros` µs before running.
+    stall: Option<(u64, u32)>,
+    /// Poison clause: roughly one in `period` band executions corrupts
+    /// its output rows.
+    poison: Option<u64>,
+    /// Kill clauses: `(lane, after)` — the lane returns nothing from its
+    /// `after`-th band execution onward.
+    kill: Vec<(usize, u64)>,
+    /// Batch ordinals (0-based, global across workers) on which
+    /// [`FaultPlan::batch_tick`] instructs the executing worker to panic.
+    panic_batches: Vec<u64>,
+    batch_counter: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) deriving all future decisions from
+    /// `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Makes roughly one in `period` band executions stall for `micros`
+    /// µs before producing a correct result — a slow-but-healthy array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn stall_every(mut self, period: u64, micros: u32) -> Self {
+        assert!(period > 0, "stall period must be positive");
+        self.stall = Some((period, micros));
+        self
+    }
+
+    /// Makes roughly one in `period` band executions return corrupted
+    /// output rows — a sick array the health scoring must catch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn poison_every(mut self, period: u64) -> Self {
+        assert!(period > 0, "poison period must be positive");
+        self.poison = Some(period);
+        self
+    }
+
+    /// Kills shard lane `lane` from its `after`-th band execution onward:
+    /// every subsequent run returns nothing, as a powered-off array
+    /// would. Quarantine freezes the lane's run clock, so a dead lane
+    /// stays dead through half-open probes.
+    pub fn kill_lane_after(mut self, lane: usize, after: u64) -> Self {
+        self.kill.push((lane, after));
+        self
+    }
+
+    /// Makes the worker executing global batch ordinal `batch` (0-based,
+    /// in dispatch order across all workers) panic mid-batch. Fires
+    /// exactly once per listed ordinal.
+    pub fn panic_on_batch(mut self, batch: u64) -> Self {
+        self.panic_batches.push(batch);
+        self
+    }
+
+    /// Advances the global batch clock by one; `true` instructs the
+    /// calling worker to panic now (inside its unwind-isolated region).
+    pub fn batch_tick(&self) -> bool {
+        let ordinal = self.batch_counter.fetch_add(1, Ordering::Relaxed);
+        self.panic_batches.contains(&ordinal)
+    }
+
+    /// True when the plan can fault band executions at all (workers skip
+    /// installing an injector otherwise, keeping the healthy fast path).
+    pub fn faults_bands(&self) -> bool {
+        self.stall.is_some() || self.poison.is_some() || !self.kill.is_empty()
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn band_action(&self, lane: usize, run_index: u64) -> BandAction {
+        if self.kill.iter().any(|&(l, after)| l == lane && run_index >= after) {
+            return BandAction::Dead;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(((lane as u64) << 40) ^ run_index));
+        if let Some(period) = self.poison {
+            if h.is_multiple_of(period) {
+                return BandAction::Poison;
+            }
+        }
+        // Different hash bits than the poison draw, so the clauses are
+        // decorrelated rather than nested.
+        if let Some((period, micros)) = self.stall {
+            if (h >> 17).is_multiple_of(period) {
+                return BandAction::Stall(micros);
+            }
+        }
+        BandAction::Run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let build = || FaultPlan::seeded(0xC0FFEE).stall_every(5, 10).poison_every(7);
+        let (a, b) = (build(), build());
+        for lane in 0..4 {
+            for run in 0..200 {
+                assert_eq!(a.band_action(lane, run), b.band_action(lane, run));
+            }
+        }
+        let other = FaultPlan::seeded(0xDECAF).stall_every(5, 10).poison_every(7);
+        let diverges = (0..200).any(|run| a.band_action(0, run) != other.band_action(0, run));
+        assert!(diverges, "different seeds must produce different schedules");
+    }
+
+    #[test]
+    fn killed_lane_stays_dead_and_others_live() {
+        let plan = FaultPlan::seeded(1).kill_lane_after(2, 3);
+        for run in 0..3 {
+            assert_eq!(plan.band_action(2, run), BandAction::Run);
+        }
+        for run in 3..50 {
+            assert_eq!(plan.band_action(2, run), BandAction::Dead);
+        }
+        for run in 0..50 {
+            assert_eq!(plan.band_action(0, run), BandAction::Run);
+        }
+    }
+
+    #[test]
+    fn clauses_fire_at_roughly_their_period() {
+        let plan = FaultPlan::seeded(42).poison_every(8).stall_every(8, 1);
+        let mut poisons = 0;
+        let mut stalls = 0;
+        for run in 0..800 {
+            match plan.band_action(0, run) {
+                BandAction::Poison => poisons += 1,
+                BandAction::Stall(_) => stalls += 1,
+                _ => {}
+            }
+        }
+        assert!((40..=200).contains(&poisons), "poisons off-period: {poisons}");
+        assert!((40..=200).contains(&stalls), "stalls off-period: {stalls}");
+    }
+
+    #[test]
+    fn panic_batches_fire_exactly_once() {
+        let plan = FaultPlan::seeded(7).panic_on_batch(2).panic_on_batch(4);
+        let fired: Vec<bool> = (0..8).map(|_| plan.batch_tick()).collect();
+        assert_eq!(fired, vec![false, false, true, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let plan = FaultPlan::seeded(9).panic_on_batch(0);
+        assert!(!plan.faults_bands());
+        for run in 0..100 {
+            assert_eq!(plan.band_action(0, run), BandAction::Run);
+        }
+    }
+}

@@ -61,6 +61,18 @@
 //!   log-linear histogram, throughput (windowed from first traffic),
 //!   batch occupancy, queue depth, per-stage/per-shard busy fractions,
 //!   cache hit/miss/eviction counters, and per-class shed counts.
+//! - **Fault injection + self-healing** ([`FaultPlan`],
+//!   [`ServeConfig::with_faults`]): a seeded, deterministic fault plan
+//!   can stall, poison, or kill shard lanes and panic workers mid-batch.
+//!   The serving side heals itself: workers and pipeline stages run
+//!   under an unwind boundary (a panic burns only its batch, whose
+//!   tickets resolve [`WaitError::WorkerPanicked`], and a supervisor
+//!   respawns the worker), faulted batches retry within a bounded budget
+//!   ([`WaitError::Faulted`] past it), and persistently sick lanes are
+//!   quarantined — the band set atomically re-plans row bands over the
+//!   survivors, keeping outputs bit-identical by construction, and
+//!   half-open probes readmit recovered lanes. [`Server::shutdown_within`]
+//!   drains gracefully under load.
 //! - **Request-lifecycle tracing** ([`trace`], [`ServeConfig::trace`]):
 //!   a lock-free ring [`TraceRecorder`] captures span events for every
 //!   request phase — submit, cache probe, queue wait, batch formation,
@@ -103,6 +115,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod fault;
 pub mod pipeline;
 pub mod qos;
 pub mod registry;
@@ -111,10 +124,11 @@ pub mod telemetry;
 pub mod trace;
 
 pub use cache::{CacheConfig, CacheStats, ResponseCache};
+pub use fault::FaultPlan;
 pub use pipeline::{auto_stage_cap, auto_stages, partition_stages, PipelineExecutor};
 pub use qos::{QosClass, SubmitOptions, TenantLedger, QOS_CLASSES};
 pub use registry::ModelRegistry;
-pub use server::{Response, ServeConfig, Server, SubmitError, Ticket, WaitError};
+pub use server::{DrainReport, Response, ServeConfig, Server, SubmitError, Ticket, WaitError};
 pub use telemetry::{LatencyHistogram, Occupancy, Telemetry, TelemetrySnapshot};
 pub use trace::{
     EventKind, Outcome, RequestTrace, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,

@@ -23,16 +23,26 @@
 //! dropping the executor closes the input and drains every in-flight
 //! batch through the sink before the stage threads exit.
 
+use crate::fault::FaultPlan;
 use crate::telemetry::Telemetry;
 use crate::trace::{self, EventKind, TraceRecorder, Track};
-use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
+use cc_deploy::{
+    ActivationScratch, BandFaultError, BandSet, BatchOutput, DeployedNetwork, FaultInjector,
+    HealthEvent,
+};
 use cc_systolic::{partition_bottleneck, partition_min_max, ArrayGeometry};
 use cc_tensor::Tensor;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Handler a pipeline owner installs to resolve the tickets of a batch
+/// that failed mid-pipe (injected-fault exhaustion or a stage panic);
+/// receives the batch tag and the fault payload when one was thrown.
+pub type FaultSink<T> = Arc<dyn Fn(T, Option<BandFaultError>) + Send + Sync>;
 
 /// Partitions `costs` into at most `stages` contiguous ranges minimizing
 /// the maximum per-range cost sum (balanced pipeline stages). Returns
@@ -121,6 +131,26 @@ impl<T: Send + 'static> PipelineExecutor<T> {
         Self::new_sharded(net, stages, queue_depth, 1, None, None, sink)
     }
 
+    /// Installs the stage-lifetime band set for one stage, wiring in the
+    /// fault injector when the plan can fault band executions (healthy
+    /// configs skip the injector entirely, keeping the fast path).
+    fn stage_bands(
+        fleet: Option<&Vec<ArrayGeometry>>,
+        shards: usize,
+        faults: Option<&Arc<FaultPlan>>,
+    ) -> BandSet {
+        let mut bands = match fleet {
+            Some(f) => BandSet::with_fleet(f.clone()),
+            None => BandSet::new(shards),
+        };
+        if let Some(plan) = faults {
+            if plan.faults_bands() {
+                bands.set_fault_injector(Some(Arc::clone(plan) as Arc<dyn FaultInjector>));
+            }
+        }
+        bands
+    }
+
     /// [`PipelineExecutor::new`] with a row-band shard width, optional
     /// occupancy telemetry, and an optional trace recorder: each stage
     /// thread owns a [`cc_deploy::BandSet`] of `shards` simulated arrays
@@ -146,7 +176,7 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     where
         F: FnMut(BatchOutput, T) + Send + 'static,
     {
-        Self::new_fleet(net, stages, queue_depth, shards, None, telemetry, recorder, sink)
+        Self::new_fleet(net, stages, queue_depth, shards, None, None, None, telemetry, recorder, sink)
     }
 
     /// [`PipelineExecutor::new_sharded`] over a heterogeneous fleet: when
@@ -155,6 +185,13 @@ impl<T: Send + 'static> PipelineExecutor<T> {
     /// by its array's cycle model (outputs stay bit-identical — geometry
     /// shapes only the cost model). `None` is exactly
     /// [`PipelineExecutor::new_sharded`].
+    ///
+    /// When `faults` is set, stage band sets carry its injector and stage
+    /// 0 advances its global batch clock; a batch whose bands exhaust
+    /// their retry budget — or whose stage panics outright — is routed to
+    /// `on_fault` (with its tag, so the owner can resolve tickets) while
+    /// the stage thread itself survives and keeps executing later
+    /// batches.
     ///
     /// # Panics
     ///
@@ -167,6 +204,8 @@ impl<T: Send + 'static> PipelineExecutor<T> {
         queue_depth: usize,
         shards: usize,
         fleet: Option<Vec<ArrayGeometry>>,
+        faults: Option<Arc<FaultPlan>>,
+        on_fault: Option<FaultSink<T>>,
         telemetry: Option<Arc<Telemetry>>,
         recorder: Option<Arc<TraceRecorder>>,
         sink: F,
@@ -202,6 +241,8 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                 let stage_telemetry = telemetry.clone();
                 let stage_recorder = recorder.clone();
                 let stage_fleet = fleet.clone();
+                let stage_faults = faults.clone();
+                let stage_on_fault = on_fault.clone();
                 let mut stage_sink = if s == k - 1 { sink.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("cc-serve-stage-{s}"))
@@ -219,10 +260,8 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                         // scratches the stage's convs scatter across. A
                         // fleet hands it per-shard geometries for
                         // cost-weighted planning.
-                        let mut bands = match stage_fleet {
-                            Some(f) => BandSet::with_fleet(f),
-                            None => BandSet::new(shards),
-                        };
+                        let mut bands =
+                            Self::stage_bands(stage_fleet.as_ref(), shards, stage_faults.as_ref());
                         while let Ok(job) = rx.recv() {
                             // The toggle is sampled per batch: one atomic
                             // load, and the BandSet conv log stays off
@@ -231,38 +270,91 @@ impl<T: Send + 'static> PipelineExecutor<T> {
                                 .as_ref()
                                 .is_some_and(|r| r.enabled() && job.bid != 0);
                             bands.set_tracing(tracing);
+                            let Job { data, tag, bid } = job;
                             let started = Instant::now();
-                            let data = stage_net.run_stage_banded(
-                                range.clone(),
-                                job.data,
-                                &sched,
-                                &mut scratch,
-                                &mut bands,
-                            );
+                            // The unwind boundary keeps the stage thread
+                            // alive through a panicking batch: the batch's
+                            // tickets resolve via `on_fault` and the pipe
+                            // keeps flowing — a dead stage would deadlock
+                            // every later submit.
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                if s == 0 {
+                                    if let Some(plan) = &stage_faults {
+                                        if plan.batch_tick() {
+                                            panic!("injected worker panic (fault plan)");
+                                        }
+                                    }
+                                }
+                                stage_net.run_stage_banded(
+                                    range.clone(),
+                                    data,
+                                    &sched,
+                                    &mut scratch,
+                                    &mut bands,
+                                )
+                            }));
+                            if let Some(t) = &stage_telemetry {
+                                t.on_stage_busy(s, started.elapsed());
+                                if bands.has_faults() {
+                                    for event in bands.take_health_events() {
+                                        match event {
+                                            HealthEvent::Fault { .. } => t.on_band_fault(),
+                                            HealthEvent::Quarantine { .. } => t.on_quarantine(1),
+                                            HealthEvent::Readmit { .. } => t.on_quarantine(-1),
+                                            HealthEvent::Retry { .. } => t.on_retry(),
+                                        }
+                                    }
+                                }
+                            }
+                            let data = match run {
+                                Ok(data) => data,
+                                Err(payload) => {
+                                    let fault =
+                                        payload.downcast_ref::<BandFaultError>().copied();
+                                    if let Some(handler) = &stage_on_fault {
+                                        handler(tag, fault);
+                                    }
+                                    if fault.is_none() {
+                                        // A genuine panic may have left
+                                        // scratch or band state mid-write:
+                                        // count it and rebuild both before
+                                        // the next batch.
+                                        if let Some(t) = &stage_telemetry {
+                                            t.on_worker_panic();
+                                        }
+                                        scratch = ActivationScratch::new();
+                                        bands = Self::stage_bands(
+                                            stage_fleet.as_ref(),
+                                            shards,
+                                            stage_faults.as_ref(),
+                                        );
+                                    }
+                                    continue;
+                                }
+                            };
                             if tracing {
                                 let r = stage_recorder.as_ref().expect("tracing implies recorder");
                                 r.span(
                                     EventKind::Stage,
                                     Track::Stage(s as u16),
                                     0,
-                                    job.bid,
+                                    bid,
                                     started,
                                     Instant::now(),
                                     s as u32,
                                 );
-                                trace::record_conv_log(r, job.bid, &bands.take_conv_log());
+                                trace::record_conv_log(r, bid, &bands.take_conv_log());
                             }
                             if let Some(t) = &stage_telemetry {
-                                t.on_stage_busy(s, started.elapsed());
                                 t.drain_shard_busy(&mut bands);
                             }
                             if let Some(tx) = &tx {
                                 // The next stage hung up only on teardown.
-                                if tx.send(Job { data, tag: job.tag, bid: job.bid }).is_err() {
+                                if tx.send(Job { data, tag, bid }).is_err() {
                                     break;
                                 }
                             } else if let Some(sink) = &mut stage_sink {
-                                sink(data, job.tag);
+                                sink(data, tag);
                             }
                         }
                     })

@@ -33,6 +33,7 @@
 
 use crate::batcher::Batcher;
 use crate::cache::{CacheConfig, ResponseCache};
+use crate::fault::FaultPlan;
 use crate::pipeline::{auto_stage_cap, auto_stages, PipelineExecutor};
 use crate::qos::{QosClass, SubmitOptions, TenantLedger};
 use crate::registry::ModelRegistry;
@@ -40,10 +41,14 @@ use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::trace::{
     self, EventKind, Outcome, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,
 };
-use cc_deploy::{ActivationScratch, BandSet, BatchOutput, DeployedNetwork};
+use cc_deploy::{
+    ActivationScratch, BandFaultError, BandSet, BatchOutput, DeployedNetwork, FaultInjector,
+    HealthEvent,
+};
 use cc_systolic::ArrayGeometry;
 use cc_tensor::Tensor;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -98,6 +103,11 @@ pub struct ServeConfig {
     /// until [`Server::set_tracing`] — a single atomic load per record
     /// site; [`TraceConfig::none`] skips the recorder entirely.
     pub trace: TraceConfig,
+    /// Deterministic fault-injection plan ([`crate::fault`]) for chaos
+    /// testing. `None` (the default) is the production path: workers
+    /// still run under panic isolation and supervision, but no faults
+    /// are synthesized.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +123,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::disabled(),
             tenant_quota: 0,
             trace: TraceConfig::off(),
+            faults: None,
         }
     }
 }
@@ -199,6 +210,16 @@ impl ServeConfig {
         self.trace = trace;
         self
     }
+
+    /// Injects a deterministic [`FaultPlan`]: shard lanes stall, poison,
+    /// or die and workers panic on the plan's seeded schedule, exercising
+    /// quarantine, re-planning, retries, and supervision. Chaos runs with
+    /// the same plan replay the same failures.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 /// Why [`Server::submit`] rejected a request.
@@ -252,6 +273,13 @@ pub enum WaitError {
     DeadlineExceeded,
     /// The server was torn down before the request completed.
     Disconnected,
+    /// The worker executing the request's batch panicked; the supervisor
+    /// respawned it and every ticket in the batch resolved with this
+    /// instead of hanging.
+    WorkerPanicked,
+    /// The request's batch kept hitting faulted shard executions past the
+    /// retry budget (or its deadline); the result could not be produced.
+    Faulted,
 }
 
 impl fmt::Display for WaitError {
@@ -259,6 +287,8 @@ impl fmt::Display for WaitError {
         match self {
             WaitError::DeadlineExceeded => write!(f, "deadline passed while queued"),
             WaitError::Disconnected => write!(f, "server shut down before completion"),
+            WaitError::WorkerPanicked => write!(f, "worker panicked while executing the batch"),
+            WaitError::Faulted => write!(f, "batch kept faulting past its retry budget"),
         }
     }
 }
@@ -308,6 +338,19 @@ impl Ticket {
     pub fn try_wait(&self) -> Option<Response> {
         self.rx.try_recv().ok().and_then(Result::ok)
     }
+
+    /// Bounded wait: blocks at most `timeout`. `None` means the request
+    /// is still pending (the ticket stays usable); `Some` carries the
+    /// resolution, with a dropped sender mapped to
+    /// [`WaitError::Disconnected`] exactly like [`Ticket::wait_result`].
+    /// Chaos tests use this to *assert* no ticket ever hangs.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, WaitError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resolution) => Some(resolution),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(WaitError::Disconnected)),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
+    }
 }
 
 /// A miss's memo-cache key, carried through the batch so the worker can
@@ -351,9 +394,13 @@ pub struct Server {
     trace: Option<Arc<TraceRecorder>>,
     tenant_quota: usize,
     queue_capacity: usize,
+    workers: usize,
     ingress: Option<SyncSender<Request>>,
     batcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The worker pool's supervisor: it owns the worker join handles,
+    /// respawns any worker that exits on a panic, and returns once every
+    /// worker has exited cleanly (work channel closed).
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -516,19 +563,55 @@ impl Server {
             ledger: Arc::clone(&ledger),
             trace: trace_rec.clone(),
         };
-        let workers = (0..cfg.workers)
-            .map(|i| {
+        let env = WorkerEnv {
+            stages: cfg.pipeline_stages,
+            shards: cfg.shards,
+            fleet: cfg.fleet.clone(),
+            faults: cfg.faults.clone(),
+        };
+        // Workers report (index, panicked) to the supervisor on exit: a
+        // panic exit gets the slot respawned with fresh state, a clean
+        // exit (work channel closed) counts the pool down. The closure is
+        // the single spawn path for both the initial pool and respawns.
+        let (exit_tx, exit_rx) = mpsc::channel::<(usize, bool)>();
+        let spawn_worker = {
+            let work_rx = Arc::clone(&work_rx);
+            let shared = shared.clone();
+            move |index: usize, exit_tx: mpsc::Sender<(usize, bool)>| {
                 let work_rx = Arc::clone(&work_rx);
                 let shared = shared.clone();
-                let stages = cfg.pipeline_stages;
-                let shards = cfg.shards;
-                let fleet = cfg.fleet.clone();
+                let env = env.clone();
                 std::thread::Builder::new()
-                    .name(format!("cc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work_rx, &shared, stages, shards, fleet, i as u16))
+                    .name(format!("cc-serve-worker-{index}"))
+                    .spawn(move || {
+                        let panicked = worker_loop(&work_rx, &shared, &env, index as u16);
+                        let _ = exit_tx.send((index, panicked));
+                    })
                     .expect("spawn worker")
+            }
+        };
+        let mut handles: Vec<Option<JoinHandle<()>>> =
+            (0..cfg.workers).map(|i| Some(spawn_worker(i, exit_tx.clone()))).collect();
+        let supervisor = std::thread::Builder::new()
+            .name("cc-serve-supervisor".into())
+            .spawn(move || {
+                let mut live = handles.len();
+                while live > 0 {
+                    let Ok((index, panicked)) = exit_rx.recv() else { break };
+                    if let Some(handle) = handles[index].take() {
+                        let _ = handle.join();
+                    }
+                    if panicked {
+                        handles[index] = Some(spawn_worker(index, exit_tx.clone()));
+                    } else {
+                        live -= 1;
+                    }
+                }
+                for handle in handles.into_iter().flatten() {
+                    let _ = handle.join();
+                }
             })
-            .collect();
+            .expect("spawn supervisor");
 
         Server {
             registry,
@@ -538,9 +621,10 @@ impl Server {
             trace: trace_rec,
             tenant_quota: cfg.tenant_quota,
             queue_capacity: cfg.queue_capacity,
+            workers: cfg.workers,
             ingress: Some(ingress_tx),
             batcher: Some(batcher),
-            workers,
+            supervisor: Some(supervisor),
         }
     }
 
@@ -789,17 +873,71 @@ impl Server {
         )
     }
 
+    /// Graceful drain with a bound: stops admission immediately (late
+    /// submits shed with [`SubmitError::ShuttingDown`]), flushes the
+    /// batcher's stash, and waits up to `timeout` for in-flight work to
+    /// finish. The report says whether the drain completed and carries
+    /// the final telemetry — `stats.shed` is what admission turned away,
+    /// `stats.failed` what fault isolation resolved with errors.
+    ///
+    /// On timeout the remaining work is abandoned to a detached joiner
+    /// thread: outstanding tickets still resolve (workers keep running
+    /// until the queue empties, or their reply senders drop, mapping to
+    /// [`WaitError::Disconnected`]) — nothing ever hangs, the drain just
+    /// stops waiting for it.
+    pub fn shutdown_within(mut self, timeout: Duration) -> DrainReport {
+        // Closing ingress stops admission; the batcher drains its stash,
+        // exits, and drops the work sender, which winds the workers (and
+        // then the supervisor) down.
+        self.ingress = None;
+        let batcher = self.batcher.take();
+        let supervisor = self.supervisor.take();
+        let (done_tx, done_rx) = mpsc::channel();
+        let joiner = std::thread::Builder::new()
+            .name("cc-serve-drain".into())
+            .spawn(move || {
+                if let Some(handle) = batcher {
+                    let _ = handle.join();
+                }
+                if let Some(handle) = supervisor {
+                    let _ = handle.join();
+                }
+                let _ = done_tx.send(());
+            })
+            .expect("spawn drain joiner");
+        let drained = done_rx.recv_timeout(timeout).is_ok();
+        if drained {
+            let _ = joiner.join();
+        }
+        let stats = self
+            .telemetry
+            .snapshot_with_cache(self.cache.as_ref().map(|c| c.stats()).unwrap_or_default());
+        DrainReport { drained, stats }
+    }
+
     fn stop(&mut self) {
         // Closing ingress lets the batcher drain its stash and exit; the
-        // batcher owns the work sender, so workers then exit too.
+        // batcher owns the work sender, so workers then exit too and the
+        // supervisor follows once the pool is empty.
         self.ingress = None;
         if let Some(handle) = self.batcher.take() {
             let _ = handle.join();
         }
-        for handle in self.workers.drain(..) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
+}
+
+/// What [`Server::shutdown_within`] observed.
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// True when every in-flight request resolved (and every thread
+    /// exited) within the timeout.
+    pub drained: bool,
+    /// Final telemetry: `completed`, `shed`, and `failed` together
+    /// account for every admitted request once the drain finishes.
+    pub stats: TelemetrySnapshot,
 }
 
 impl fmt::Debug for Server {
@@ -808,7 +946,7 @@ impl fmt::Debug for Server {
             .field("queue_capacity", &self.queue_capacity)
             .field("tenant_quota", &self.tenant_quota)
             .field("cache", &self.cache.is_some())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
@@ -838,14 +976,30 @@ type BatchMeta = (u64, Vec<ReplyCtx>);
 /// A formed batch in flight to a worker: trace batch id + members.
 type WorkItem = (u64, Vec<Request>);
 
-fn worker_loop(
-    work_rx: &Arc<Mutex<Receiver<WorkItem>>>,
-    shared: &Shared,
+/// The per-worker slice of the config, cloned into each (re)spawn.
+#[derive(Clone)]
+struct WorkerEnv {
     stages: usize,
     shards: usize,
     fleet: Option<Vec<ArrayGeometry>>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// Runs batches until the work channel closes. Returns `true` when the
+/// loop is aborting because a batch panicked in a way that may have
+/// corrupted worker-local state (scratch, band set, pipelines) — the
+/// supervisor then respawns the slot with everything rebuilt. Injected
+/// fault exhaustion ([`BandFaultError`]) is *not* such an abort: the band
+/// set updates its bookkeeping before throwing, so the worker resolves
+/// the batch with [`WaitError::Faulted`] and keeps its warm state.
+fn worker_loop(
+    work_rx: &Arc<Mutex<Receiver<WorkItem>>>,
+    shared: &Shared,
+    env: &WorkerEnv,
     worker: u16,
-) {
+) -> bool {
+    let WorkerEnv { stages, shards, fleet, faults } = env;
+    let (stages, shards) = (*stages, *shards);
     let telemetry = &shared.telemetry;
     // Pipelines are per network identity, built lazily on the first batch
     // for that pipeline (registries hold few models, so a linear scan
@@ -865,9 +1019,20 @@ fn worker_loop(
         Some(f) => BandSet::with_fleet(f.clone()),
         None => BandSet::new(shards),
     };
+    if let Some(plan) = faults {
+        if plan.faults_bands() {
+            bands.set_fault_injector(Some(Arc::clone(plan) as Arc<dyn FaultInjector>));
+        }
+    }
     loop {
         let batch = {
-            let guard = work_rx.lock().expect("work queue poisoned");
+            // A worker that panicked while holding the lock poisons it;
+            // the queue data itself is just a channel receiver, so the
+            // respawned worker recovers the guard and keeps serving.
+            let guard = match work_rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             guard.recv()
         };
         let Ok((bid, batch)) = batch else { break };
@@ -879,6 +1044,7 @@ fn worker_loop(
             "batcher must never co-batch requests for distinct deployed pipelines"
         );
 
+        let batch_deadline = batch.iter().filter_map(|r| r.deadline).min();
         let mut images = Vec::with_capacity(size);
         let mut ctxs: Vec<ReplyCtx> = Vec::with_capacity(size);
         for request in batch {
@@ -933,25 +1099,56 @@ fn worker_loop(
             // set only logs conv timings while the flag is up.
             let tracing = shared.trace.as_ref().is_some_and(|r| r.enabled() && bid != 0);
             bands.set_tracing(tracing);
-            let started = Instant::now();
-            let logits_batch = net.run_batch_banded(&sched, &images, &mut scratch, &mut bands);
-            if tracing {
-                if let Some(rec) = &shared.trace {
-                    rec.span(
-                        EventKind::Stage,
-                        Track::Worker(worker),
-                        0,
-                        bid,
-                        started,
-                        Instant::now(),
-                        0,
-                    );
-                    trace::record_conv_log(rec, bid, &bands.take_conv_log());
-                }
+            if bands.has_faults() {
+                // Retries stop burning time once every member's deadline
+                // has already passed.
+                bands.set_retry_deadline(batch_deadline);
             }
+            let started = Instant::now();
+            // The unwind boundary is the worker's blast radius: a panic —
+            // injected or real — burns only this batch, whose tickets
+            // fail_batch resolves, never the siblings queued behind it.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = faults {
+                    if plan.batch_tick() {
+                        panic!("injected worker panic (fault plan)");
+                    }
+                }
+                net.run_batch_banded(&sched, &images, &mut scratch, &mut bands)
+            }));
             telemetry.on_stage_busy(0, started.elapsed());
             telemetry.drain_shard_busy(&mut bands);
-            complete_batch(shared, identity, meta, logits_batch);
+            drain_health_events(&mut bands, shared, worker, bid);
+            match run {
+                Ok(logits_batch) => {
+                    if tracing {
+                        if let Some(rec) = &shared.trace {
+                            rec.span(
+                                EventKind::Stage,
+                                Track::Worker(worker),
+                                0,
+                                bid,
+                                started,
+                                Instant::now(),
+                                0,
+                            );
+                            trace::record_conv_log(rec, bid, &bands.take_conv_log());
+                        }
+                    }
+                    complete_batch(shared, identity, meta, logits_batch);
+                }
+                Err(payload) => {
+                    let fault = payload.downcast_ref::<BandFaultError>().copied();
+                    fail_batch(shared, meta, fault);
+                    if fault.is_none() {
+                        // A genuine panic may have left scratch or band
+                        // state mid-write; abort so the supervisor
+                        // respawns this slot with everything rebuilt.
+                        telemetry.on_worker_panic();
+                        return true;
+                    }
+                }
+            }
             continue;
         }
 
@@ -960,8 +1157,90 @@ fn worker_loop(
         // of batch n overlaps the later stages of batch n−1. `submit`
         // blocks only at the in-flight cap, which keeps backpressure
         // flowing to admission control.
-        let pipe = pipeline_for(&mut pipelines, &net, net_stages, shards, fleet.as_deref(), shared);
+        let pipe = pipeline_for(
+            &mut pipelines,
+            &net,
+            net_stages,
+            shards,
+            fleet.as_deref(),
+            faults.clone(),
+            shared,
+        );
         pipe.submit_traced(&images, meta, bid);
+    }
+    false
+}
+
+/// Resolves every ticket of a batch that could not produce results:
+/// injected-fault exhaustion ([`WaitError::Faulted`]) or a worker panic
+/// ([`WaitError::WorkerPanicked`]). Quota is released and the failure is
+/// traced so chaos runs can line incidents up against the timeline.
+fn fail_batch(shared: &Shared, meta: BatchMeta, fault: Option<BandFaultError>) {
+    let (bid, ctxs) = meta;
+    let (err, outcome) = match fault {
+        Some(_) => (WaitError::Faulted, Outcome::Faulted),
+        None => (WaitError::WorkerPanicked, Outcome::WorkerPanicked),
+    };
+    for ctx in ctxs {
+        let now = Instant::now();
+        shared.telemetry.on_failed();
+        if let Some(tenant) = &ctx.tenant {
+            shared.ledger.release(tenant);
+        }
+        if ctx.id != 0 {
+            if let Some(rec) = &shared.trace {
+                if rec.enabled() {
+                    rec.span(
+                        EventKind::Execute,
+                        Track::Requests,
+                        ctx.id,
+                        bid,
+                        ctx.dispatched_at,
+                        now,
+                        0,
+                    );
+                    rec.instant(EventKind::Resolve, Track::Requests, ctx.id, bid, now, outcome as u32);
+                }
+            }
+        }
+        // A dropped ticket just means the client stopped waiting.
+        let _ = ctx.reply.send(Err(err));
+    }
+}
+
+/// Ships the band set's recovery bookkeeping (faults, quarantines,
+/// readmissions, retries) into telemetry counters and the trace ring.
+fn drain_health_events(bands: &mut BandSet, shared: &Shared, worker: u16, bid: u64) {
+    if !bands.has_faults() {
+        return;
+    }
+    for event in bands.take_health_events() {
+        let now = Instant::now();
+        let (kind, track, arg) = match event {
+            HealthEvent::Fault { lane } => {
+                shared.telemetry.on_band_fault();
+                (EventKind::Fault, Track::Shard(lane as u16), lane as u64)
+            }
+            HealthEvent::Quarantine { lane } => {
+                shared.telemetry.on_quarantine(1);
+                (EventKind::Quarantine, Track::Shard(lane as u16), lane as u64)
+            }
+            HealthEvent::Readmit { lane } => {
+                shared.telemetry.on_quarantine(-1);
+                // The readmit bit distinguishes leaving quarantine from
+                // entering it while sharing one event kind.
+                (EventKind::Quarantine, Track::Shard(lane as u16), lane as u64 | (1 << 16))
+            }
+            HealthEvent::Retry { attempt } => {
+                shared.telemetry.on_retry();
+                (EventKind::Retry, Track::Worker(worker), u64::from(attempt))
+            }
+        };
+        if let Some(rec) = &shared.trace {
+            if rec.enabled() {
+                rec.instant(kind, track, 0, bid, now, arg as u32);
+            }
+        }
     }
 }
 
@@ -980,6 +1259,7 @@ fn pipeline_for<'a>(
     stages: usize,
     shards: usize,
     fleet: Option<&[ArrayGeometry]>,
+    faults: Option<Arc<FaultPlan>>,
     shared: &Shared,
 ) -> &'a PipelineExecutor<BatchMeta> {
     let id = net.identity();
@@ -995,12 +1275,17 @@ fn pipeline_for<'a>(
             oldest.drain();
         }
         let sink_shared = shared.clone();
+        let fault_shared = shared.clone();
         let pipe = PipelineExecutor::new_fleet(
             net.clone(),
             stages,
             1,
             shards,
             fleet.map(<[ArrayGeometry]>::to_vec),
+            faults,
+            Some(Arc::new(move |meta: BatchMeta, fault| {
+                fail_batch(&fault_shared, meta, fault);
+            })),
             Some(Arc::clone(&shared.telemetry)),
             shared.trace.clone(),
             move |out, meta: BatchMeta| {

@@ -200,6 +200,20 @@ pub struct Telemetry {
     /// and a derived gauge turns that race into a transient under-count
     /// instead of an unsigned wrap.
     dispatched: AtomicU64,
+    /// Requests resolved with a failure (`WorkerPanicked` / `Faulted`):
+    /// dispatched, not shed, but never completed — the third leaf of the
+    /// request ledger.
+    failed: AtomicU64,
+    /// Worker (or pipeline-stage) panics caught at the unwind boundary;
+    /// each one costs exactly its batch and triggers a respawn/rebuild.
+    worker_panics: AtomicU64,
+    /// Band executions that came back poisoned or dead (before retries).
+    band_faults: AtomicU64,
+    /// Batch retries spent recovering from band faults.
+    band_retries: AtomicU64,
+    /// Gauge: shard lanes currently quarantined across all band sets
+    /// (quarantine +1, readmit −1).
+    shards_quarantined: AtomicU64,
     completion: Mutex<Completion>,
     /// Busy time per pipeline stage (stage 0 doubles as the serial
     /// worker's execution slot).
@@ -232,6 +246,11 @@ impl Telemetry {
             shed_class: std::array::from_fn(|_| AtomicU64::new(0)),
             deadline_shed: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            band_faults: AtomicU64::new(0),
+            band_retries: AtomicU64::new(0),
+            shards_quarantined: AtomicU64::new(0),
             completion: Mutex::new(Completion {
                 hist: LatencyHistogram::new(),
                 batches: 0,
@@ -320,6 +339,42 @@ impl Telemetry {
         self.dispatched.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// A dispatched request resolved with a failure (worker panic or
+    /// retry-budget exhaustion) instead of a result.
+    pub(crate) fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A worker or pipeline-stage panic was caught at the unwind boundary.
+    pub(crate) fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A shard lane returned a poisoned or dead band execution.
+    pub(crate) fn on_band_fault(&self) {
+        self.band_faults.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A batch is being retried after a faulted band execution.
+    pub(crate) fn on_retry(&self) {
+        self.band_retries.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A shard lane entered (`+1`) or left (`-1`) quarantine.
+    pub(crate) fn on_quarantine(&self, delta: i64) {
+        if delta >= 0 {
+            self.shards_quarantined.fetch_add(delta as u64, Ordering::AcqRel);
+        } else {
+            // Saturating: a snapshot mid-update must never see the gauge
+            // wrap to u64::MAX.
+            let _ = self.shards_quarantined.fetch_update(
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                |v| Some(v.saturating_sub(delta.unsigned_abs())),
+            );
+        }
+    }
+
     /// The batcher handed `n` coalesced requests to a worker.
     pub(crate) fn on_dispatch(&self, n: usize) {
         {
@@ -396,6 +451,11 @@ impl Telemetry {
             shed,
             shed_by_class,
             deadline_shed,
+            failed: self.failed.load(Ordering::Acquire),
+            worker_panics: self.worker_panics.load(Ordering::Acquire),
+            band_faults: self.band_faults.load(Ordering::Acquire),
+            band_retries: self.band_retries.load(Ordering::Acquire),
+            shards_quarantined: self.shards_quarantined.load(Ordering::Acquire),
             queue_depth: self.queue_depth(),
             batches,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
@@ -441,6 +501,18 @@ pub struct TelemetrySnapshot {
     /// Requests shed because their deadline passed while queued (also
     /// counted in [`TelemetrySnapshot::shed`]).
     pub deadline_shed: u64,
+    /// Dispatched requests that resolved with a failure
+    /// ([`crate::WaitError::WorkerPanicked`] /
+    /// [`crate::WaitError::Faulted`]) — not shed, never completed.
+    pub failed: u64,
+    /// Worker and pipeline-stage panics caught at the unwind boundary.
+    pub worker_panics: u64,
+    /// Band executions that returned poisoned or dead (before retries).
+    pub band_faults: u64,
+    /// Batch retries spent recovering from band faults.
+    pub band_retries: u64,
+    /// Shard lanes currently quarantined (gauge).
+    pub shards_quarantined: u64,
     /// Requests admitted but not yet handed to a worker.
     pub queue_depth: usize,
     /// Batches dispatched to workers.
@@ -509,7 +581,9 @@ impl TelemetrySnapshot {
             concat!(
                 "{{\"elapsed_us\":{},\"window_us\":{},",
                 "\"submitted\":{},\"completed\":{},\"shed\":{},",
-                "\"shed_by_class\":{},\"deadline_shed\":{},\"queue_depth\":{},",
+                "\"shed_by_class\":{},\"deadline_shed\":{},\"failed\":{},",
+                "\"worker_panics\":{},\"band_faults\":{},\"band_retries\":{},",
+                "\"shards_quarantined\":{},\"queue_depth\":{},",
                 "\"batches\":{},\"mean_batch_occupancy\":{},\"throughput_rps\":{},",
                 "\"mean_latency_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
                 "\"stage_busy\":{},\"shard_busy\":{},\"shard_geometry_busy\":{},",
@@ -522,6 +596,11 @@ impl TelemetrySnapshot {
             self.shed,
             arr(self.shed_by_class.iter().map(|v| v.to_string())),
             self.deadline_shed,
+            self.failed,
+            self.worker_panics,
+            self.band_faults,
+            self.band_retries,
+            self.shards_quarantined,
             self.queue_depth,
             self.batches,
             f(self.mean_batch_occupancy),
@@ -925,6 +1004,17 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_gauge_saturates_at_zero() {
+        let t = Telemetry::new();
+        t.on_quarantine(-1);
+        assert_eq!(t.snapshot().shards_quarantined, 0, "gauge must not wrap");
+        t.on_quarantine(1);
+        t.on_quarantine(1);
+        t.on_quarantine(-1);
+        assert_eq!(t.snapshot().shards_quarantined, 1);
+    }
+
+    #[test]
     fn snapshot_json_is_complete_and_balanced() {
         let t = Telemetry::new();
         t.on_admit();
@@ -932,6 +1022,11 @@ mod tests {
         t.on_complete(Duration::from_millis(3));
         t.on_shed(QosClass::Interactive);
         t.on_stage_busy(0, Duration::from_millis(1));
+        t.on_failed();
+        t.on_worker_panic();
+        t.on_band_fault();
+        t.on_retry();
+        t.on_quarantine(1);
         let json = t.snapshot().to_json();
         for key in [
             "\"elapsed_us\":",
@@ -941,6 +1036,11 @@ mod tests {
             "\"shed\":1",
             "\"shed_by_class\":[1,0,0]",
             "\"deadline_shed\":0",
+            "\"failed\":1",
+            "\"worker_panics\":1",
+            "\"band_faults\":1",
+            "\"band_retries\":1",
+            "\"shards_quarantined\":1",
             "\"queue_depth\":0",
             "\"batches\":1",
             "\"mean_batch_occupancy\":1.0",

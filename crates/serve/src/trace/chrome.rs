@@ -56,6 +56,19 @@ fn push_args(out: &mut String, ev: &TraceEvent) {
                 .unwrap_or("unknown");
             let _ = write!(out, ",\"outcome\":\"{outcome}\"");
         }
+        EventKind::Fault => {
+            let _ = write!(out, ",\"lane\":{}", ev.arg);
+        }
+        EventKind::Quarantine => {
+            // Bit 16 distinguishes a lane being readmitted from one
+            // entering quarantine (see [`EventKind::Quarantine`]).
+            let lane = ev.arg & 0xFFFF;
+            let readmit = ev.arg & (1 << 16) != 0;
+            let _ = write!(out, ",\"lane\":{lane},\"readmit\":{readmit}");
+        }
+        EventKind::Retry => {
+            let _ = write!(out, ",\"attempt\":{}", ev.arg);
+        }
         EventKind::Queue | EventKind::BatchMember | EventKind::Execute => {}
     }
     out.push('}');

@@ -111,6 +111,15 @@ pub enum EventKind {
     Execute = 7,
     /// Instant: the request's ticket resolved (arg = [`Outcome`]).
     Resolve = 8,
+    /// Instant: a shard lane returned a poisoned or dead band execution
+    /// (arg = lane index).
+    Fault = 9,
+    /// Instant: a shard lane entered or left quarantine (arg = lane
+    /// index, bit 16 set on readmission).
+    Quarantine = 10,
+    /// Instant: a batch retry after a faulted band execution
+    /// (arg = attempt number).
+    Retry = 11,
 }
 
 impl EventKind {
@@ -125,6 +134,9 @@ impl EventKind {
             6 => EventKind::ShardRun,
             7 => EventKind::Execute,
             8 => EventKind::Resolve,
+            9 => EventKind::Fault,
+            10 => EventKind::Quarantine,
+            11 => EventKind::Retry,
             _ => return None,
         })
     }
@@ -141,6 +153,9 @@ impl EventKind {
             EventKind::ShardRun => "shard",
             EventKind::Execute => "execute",
             EventKind::Resolve => "resolve",
+            EventKind::Fault => "fault",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Retry => "retry",
         }
     }
 
@@ -171,6 +186,12 @@ pub enum Outcome {
     Shed = 2,
     /// Shed after admission because its deadline passed while queued.
     DeadlineExceeded = 3,
+    /// The worker executing the request's batch panicked; the ticket
+    /// resolved [`crate::WaitError::WorkerPanicked`].
+    WorkerPanicked = 4,
+    /// The batch kept faulting past its retry budget; the ticket resolved
+    /// [`crate::WaitError::Faulted`].
+    Faulted = 5,
 }
 
 impl Outcome {
@@ -180,6 +201,8 @@ impl Outcome {
             1 => Outcome::CacheHit,
             2 => Outcome::Shed,
             3 => Outcome::DeadlineExceeded,
+            4 => Outcome::WorkerPanicked,
+            5 => Outcome::Faulted,
             _ => return None,
         })
     }
@@ -191,6 +214,8 @@ impl Outcome {
             Outcome::CacheHit => "cache_hit",
             Outcome::Shed => "shed",
             Outcome::DeadlineExceeded => "deadline_exceeded",
+            Outcome::WorkerPanicked => "worker_panicked",
+            Outcome::Faulted => "faulted",
         }
     }
 }
@@ -626,7 +651,12 @@ pub fn summarize_requests(events: &[TraceEvent]) -> Vec<RequestTrace> {
                 ));
             }
             EventKind::BatchMember => r.bid = ev.bid,
-            EventKind::BatchForm | EventKind::Stage | EventKind::ShardRun => {}
+            EventKind::BatchForm
+            | EventKind::Stage
+            | EventKind::ShardRun
+            | EventKind::Fault
+            | EventKind::Quarantine
+            | EventKind::Retry => {}
         }
         if ev.bid != 0 && r.bid == 0 {
             r.bid = ev.bid;
@@ -850,5 +880,15 @@ mod tests {
         assert!(EventKind::Queue.is_span());
         assert!(!EventKind::Resolve.is_span());
         assert_eq!(Outcome::DeadlineExceeded.label(), "deadline_exceeded");
+        // Fault-plane additions: instants with stable labels, and the
+        // encodings round-trip like the originals.
+        for kind in [EventKind::Fault, EventKind::Quarantine, EventKind::Retry] {
+            assert!(!kind.is_span());
+        }
+        assert_eq!(EventKind::Fault.label(), "fault");
+        assert_eq!(EventKind::Quarantine.label(), "quarantine");
+        assert_eq!(EventKind::Retry.label(), "retry");
+        assert_eq!(Outcome::WorkerPanicked.label(), "worker_panicked");
+        assert_eq!(Outcome::Faulted.label(), "faulted");
     }
 }

@@ -35,6 +35,7 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot, trace: Option<TraceStats>) 
     sample(&mut out, "cc_serve_requests_total", "state=\"submitted\"", snapshot.submitted as f64);
     sample(&mut out, "cc_serve_requests_total", "state=\"completed\"", snapshot.completed as f64);
     sample(&mut out, "cc_serve_requests_total", "state=\"shed\"", snapshot.shed as f64);
+    sample(&mut out, "cc_serve_requests_total", "state=\"failed\"", snapshot.failed as f64);
 
     family(
         &mut out,
@@ -131,6 +132,38 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot, trace: Option<TraceStats>) 
         }
     }
 
+    family(
+        &mut out,
+        "cc_serve_worker_panics_total",
+        "Worker and pipeline-stage panics caught at the unwind boundary.",
+        "counter",
+    );
+    sample(&mut out, "cc_serve_worker_panics_total", "", snapshot.worker_panics as f64);
+
+    family(
+        &mut out,
+        "cc_serve_band_faults_total",
+        "Band executions that returned poisoned or dead.",
+        "counter",
+    );
+    sample(&mut out, "cc_serve_band_faults_total", "", snapshot.band_faults as f64);
+
+    family(
+        &mut out,
+        "cc_serve_band_retries_total",
+        "Batch retries spent recovering from band faults.",
+        "counter",
+    );
+    sample(&mut out, "cc_serve_band_retries_total", "", snapshot.band_retries as f64);
+
+    family(
+        &mut out,
+        "cc_serve_shard_quarantined",
+        "Shard lanes currently quarantined by health scoring.",
+        "gauge",
+    );
+    sample(&mut out, "cc_serve_shard_quarantined", "", snapshot.shards_quarantined as f64);
+
     family(&mut out, "cc_serve_cache_events_total", "Response memo-cache events.", "counter");
     sample(&mut out, "cc_serve_cache_events_total", "event=\"hit\"", snapshot.cache.hits as f64);
     sample(&mut out, "cc_serve_cache_events_total", "event=\"miss\"", snapshot.cache.misses as f64);
@@ -183,6 +216,11 @@ mod tests {
             shed: 10,
             shed_by_class: [1, 2, 7],
             deadline_shed: 4,
+            failed: 2,
+            worker_panics: 1,
+            band_faults: 6,
+            band_retries: 5,
+            shards_quarantined: 1,
             queue_depth: 3,
             batches: 30,
             mean_batch_occupancy: 3.0,
@@ -217,6 +255,10 @@ mod tests {
             "cc_serve_stage_busy_fraction",
             "cc_serve_shard_busy_fraction",
             "cc_serve_geometry_busy_fraction",
+            "cc_serve_worker_panics_total",
+            "cc_serve_band_faults_total",
+            "cc_serve_band_retries_total",
+            "cc_serve_shard_quarantined",
             "cc_serve_cache_events_total",
             "cc_serve_cache_entries",
             "cc_serve_cache_bytes",
@@ -233,6 +275,9 @@ mod tests {
             );
         }
         assert!(text.contains("cc_serve_requests_total{state=\"submitted\"} 100"));
+        assert!(text.contains("cc_serve_requests_total{state=\"failed\"} 2"));
+        assert!(text.contains("cc_serve_worker_panics_total 1"));
+        assert!(text.contains("cc_serve_shard_quarantined 1"));
         assert!(text.contains("cc_serve_shed_total{class=\"interactive\"} 1"));
         assert!(text.contains("cc_serve_shed_total{class=\"batch\"} 7"));
         assert!(text.contains("cc_serve_latency_seconds{quantile=\"0.95\"} 0.005"));

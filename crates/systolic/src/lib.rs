@@ -48,4 +48,6 @@ pub use array::{ArrayConfig, ArrayGeometry, ArrayRun, SimStats, SystolicArray};
 pub use cell::CellKind;
 pub use partition::{partition_bottleneck, partition_min_max, partition_min_max_by};
 pub use pipeline::{pipeline_latency, LayerShape, PipelineReport};
-pub use tiled::{PreparedPacked, RowBand, RunScratch, TiledRun, TiledScheduler};
+pub use tiled::{
+    BandAction, BandOutcome, PreparedPacked, RowBand, RunScratch, TiledRun, TiledScheduler,
+};

@@ -502,6 +502,177 @@ impl TiledScheduler {
         });
         primary.out = out;
     }
+
+    /// Runs one band under a fault-injection [`BandAction`], reporting
+    /// what happened as a [`BandOutcome`]. `Run` and `Stall` produce the
+    /// band's correct output rows (a stall merely sleeps first, modeling
+    /// a slow array); `Poison` computes the correct rows and then
+    /// corrupts them in place (a sick array returning garbage); `Dead`
+    /// touches nothing — the band's slice of `out` keeps whatever stale
+    /// contents it had, and the returned stats are zero.
+    fn run_band_act(
+        &self,
+        p: &PreparedPacked,
+        band: &RowBand,
+        geom: ArrayGeometry,
+        d: &QuantMatrix,
+        out: &mut [i64],
+        scratch: &mut RunScratch,
+        action: BandAction,
+    ) -> (SimStats, BandOutcome) {
+        match action {
+            BandAction::Run => (self.run_band_geom(p, band, geom, d, out, scratch), BandOutcome::Ran),
+            BandAction::Stall(micros) => {
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(micros)));
+                (self.run_band_geom(p, band, geom, d, out, scratch), BandOutcome::Stalled)
+            }
+            BandAction::Poison => {
+                let stats = self.run_band_geom(p, band, geom, d, out, scratch);
+                for word in out.iter_mut() {
+                    *word = !*word;
+                }
+                (stats, BandOutcome::Poisoned)
+            }
+            BandAction::Dead => (SimStats::default(), BandOutcome::Dead),
+        }
+    }
+
+    /// [`TiledScheduler::run_bands_geom`] with a fault-injection plane:
+    /// band `i` executes under `actions[i]` and reports what happened in
+    /// `outcomes[i]`. When every outcome is [`BandOutcome::Ran`] or
+    /// [`BandOutcome::Stalled`] the gathered output plane is bit-identical
+    /// to the unsharded run (stalls only add host latency). A `Poisoned`
+    /// band's output rows are corrupted and a `Dead` band's rows are
+    /// stale — the caller owns detection (via `outcomes`) and recovery
+    /// (re-planning over surviving arrays and re-running).
+    ///
+    /// # Panics
+    ///
+    /// As [`TiledScheduler::run_bands_geom`], plus if `actions` or
+    /// `outcomes` are shorter than `plan`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bands_faulted(
+        &self,
+        p: &PreparedPacked,
+        plan: &[RowBand],
+        fleet: &[ArrayGeometry],
+        d: &QuantMatrix,
+        primary: &mut RunScratch,
+        aux: &mut [RunScratch],
+        stats: &mut [SimStats],
+        busy: &mut [u64],
+        actions: &[BandAction],
+        outcomes: &mut [BandOutcome],
+    ) {
+        assert!(!plan.is_empty(), "empty shard plan");
+        assert!(
+            fleet.is_empty() || fleet.len() >= plan.len(),
+            "need one geometry per band"
+        );
+        let geom_of =
+            |i: usize| fleet.get(i).copied().unwrap_or_else(|| self.cfg.geometry());
+        assert_eq!(plan[0].rows.start, 0, "plan must start at row 0");
+        assert_eq!(plan.last().unwrap().rows.end, p.rows, "plan must cover every row");
+        for pair in plan.windows(2) {
+            assert_eq!(pair[0].rows.end, pair[1].rows.start, "plan bands must be contiguous");
+        }
+        assert!(aux.len() + 1 >= plan.len(), "need one aux scratch per extra band");
+        assert!(stats.len() >= plan.len(), "need one stats slot per band");
+        assert!(busy.len() >= plan.len(), "need one busy slot per band");
+        assert!(actions.len() >= plan.len(), "need one action per band");
+        assert!(outcomes.len() >= plan.len(), "need one outcome slot per band");
+
+        let l = d.cols();
+        let mut out = std::mem::take(&mut primary.out);
+        out.resize(p.rows * l, 0);
+
+        if plan.len() == 1 {
+            let t0 = Instant::now();
+            let (stat, outcome) =
+                self.run_band_act(p, &plan[0], geom_of(0), d, &mut out, primary, actions[0]);
+            stats[0] = stat;
+            outcomes[0] = outcome;
+            busy[0] += t0.elapsed().as_nanos() as u64;
+            primary.out = out;
+            return;
+        }
+
+        let (band0, rest_bands) = plan.split_first().expect("non-empty plan");
+        let (out0, mut out_tail) = out.split_at_mut(band0.rows.len() * l);
+        let (stat0, stats_rest) = stats.split_first_mut().expect("stats sized");
+        let (busy0, busy_rest) = busy.split_first_mut().expect("busy sized");
+        let (outcome0, outcomes_rest) = outcomes.split_first_mut().expect("outcomes sized");
+        std::thread::scope(|scope| {
+            for (i, ((((band, scratch), stat), busy_slot), outcome_slot)) in rest_bands
+                .iter()
+                .zip(aux.iter_mut())
+                .zip(stats_rest.iter_mut())
+                .zip(busy_rest.iter_mut())
+                .zip(outcomes_rest.iter_mut())
+                .enumerate()
+            {
+                let (slice, tail) = out_tail.split_at_mut(band.rows.len() * l);
+                out_tail = tail;
+                let sched = *self;
+                let geom = geom_of(i + 1);
+                let action = actions[i + 1];
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let (s, o) = sched.run_band_act(p, band, geom, d, slice, scratch, action);
+                    *stat = s;
+                    *outcome_slot = o;
+                    *busy_slot += t0.elapsed().as_nanos() as u64;
+                });
+            }
+            let t0 = Instant::now();
+            let (s, o) = self.run_band_act(p, band0, geom_of(0), d, out0, primary, actions[0]);
+            *stat0 = s;
+            *outcome0 = o;
+            *busy0 += t0.elapsed().as_nanos() as u64;
+        });
+        primary.out = out;
+    }
+}
+
+/// What a fault-injection hook instructs one band execution (one shard
+/// lane, one conv) to do. Produced by a deterministic fault plan and
+/// consumed by [`TiledScheduler::run_bands_faulted`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BandAction {
+    /// Execute normally.
+    #[default]
+    Run,
+    /// Sleep this many microseconds, then execute normally — a slow
+    /// array. Output is still correct.
+    Stall(u32),
+    /// Execute, then corrupt the band's output rows — a sick array
+    /// returning garbage that gathers into a wrong result.
+    Poison,
+    /// Do nothing — a dead array. The band's output rows are left stale.
+    Dead,
+}
+
+/// What actually happened to one band under a [`BandAction`] — the
+/// detection signal a self-healing caller scores shard health from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BandOutcome {
+    /// Executed normally; output rows are correct.
+    #[default]
+    Ran,
+    /// Stalled first, then executed; output rows are correct.
+    Stalled,
+    /// Output rows are corrupted; the conv must be re-run.
+    Poisoned,
+    /// Output rows were never written; the conv must be re-run.
+    Dead,
+}
+
+impl BandOutcome {
+    /// True when this band's output rows are wrong or missing — the conv
+    /// result cannot be used and the lane should be scored as erroring.
+    pub fn is_error(self) -> bool {
+        matches!(self, BandOutcome::Poisoned | BandOutcome::Dead)
+    }
 }
 
 /// One MX cell's work in the prepared op list: the original input channel

@@ -1,0 +1,289 @@
+//! Chaos property suite for the fault-injection plane and the serving
+//! stack's self-healing (ISSUE 9): under pinned-seed random fault plans —
+//! stalled, poisoned, and killed shard lanes plus injected worker panics —
+//! every submitted request must resolve exactly once within a bounded
+//! wait (no ticket ever hangs), and every `Ok` response must be
+//! bit-identical to the serial unsharded reference, because quarantine
+//! re-plans row bands over surviving lanes and gather is row
+//! concatenation. Recovery may cost retries and latency, never
+//! correctness.
+
+use cc_dataset::{Dataset, SyntheticSpec};
+use cc_deploy::{identity_groups, BatchOutput, DeployedNetwork};
+use cc_nn::layer::LayerKind;
+use cc_nn::layers::{Linear, PointwiseConv, Relu, Shift};
+use cc_nn::Network;
+use cc_serve::{FaultPlan, ModelRegistry, PipelineExecutor, ServeConfig, Server, WaitError};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deployed network over a random shape: 1-channel `size`×`size` input,
+/// shift → pointwise(hidden) → relu → linear head.
+fn deployed(hidden: usize, size: usize, seed: u64) -> (DeployedNetwork, Dataset) {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .with_size(size, size)
+        .with_samples(12, 5)
+        .generate(seed);
+    let net = Network::new(
+        "prop-fault",
+        vec![
+            LayerKind::Shift(Shift::new(1)),
+            LayerKind::Pointwise(PointwiseConv::new(1, hidden, false, seed)),
+            LayerKind::Relu(Relu::new()),
+            LayerKind::Linear(Linear::new(hidden * size * size, 10, seed ^ 1)),
+        ],
+        10,
+    );
+    (DeployedNetwork::build(&net, &identity_groups(&net), &train), test)
+}
+
+proptest! {
+    // Each case deploys a network and runs a chaos-injected server; keep
+    // the case count modest. Cases and RNG stream are pinned so CI
+    // failures replay exactly.
+    #![proptest_config(ProptestConfig::with_cases(8).with_rng_seed(0xA5_1305_0009))]
+
+    /// The core chaos invariant: whatever the plan does — kill a lane,
+    /// poison bands, stall, panic a worker mid-batch — every ticket
+    /// resolves exactly once within a bound, `Ok` logits are bit-identical
+    /// to the unsharded serial reference, and the telemetry ledger
+    /// balances (`completed + failed` = requests).
+    #[test]
+    fn every_request_resolves_once_and_ok_is_bit_identical(
+        hidden in 2usize..5,
+        size in 3usize..7,
+        seed in 0u64..1_000,
+        shards in 1usize..4,
+        // The vendored proptest has no Option strategy; each clause's
+        // range carries a "disabled" band instead.
+        kill_lane in 0usize..4,      // 3 = no kill clause
+        kill_after in 0u64..30,
+        poison in 0u64..128,         // < 16 = no poison clause
+        stall in 0u64..64,           // < 8 = no stall clause
+        panic_batch in 0u64..12,     // >= 6 = no panic clause
+    ) {
+        let (net, test) = deployed(hidden, size, seed);
+        let reference: Vec<Vec<f32>> =
+            (0..test.len()).map(|i| net.logits(test.image(i))).collect();
+
+        let mut plan = FaultPlan::seeded(seed ^ 0xFA017);
+        if kill_lane < 3 {
+            plan = plan.kill_lane_after(kill_lane % shards.max(1), kill_after);
+        }
+        if poison >= 16 {
+            plan = plan.poison_every(poison);
+        }
+        if stall >= 8 {
+            // Short stalls: the property is about resolution, not time.
+            plan = plan.stall_every(stall, 20);
+        }
+        if panic_batch < 6 {
+            plan = plan.panic_on_batch(panic_batch);
+        }
+
+        let server = Server::start(
+            ModelRegistry::new().with_model("m", net),
+            ServeConfig::default()
+                .with_workers(2)
+                .with_max_batch(4)
+                .with_queue_capacity(64)
+                .with_shards(shards)
+                .with_faults(Arc::new(plan)),
+        );
+
+        let total = 2 * test.len();
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for i in 0..total {
+            let idx = i % test.len();
+            let ticket = server.submit("m", test.image(idx).clone()).expect("admitted");
+            // Exactly-once, bounded: `None` would mean a hung ticket.
+            match ticket.wait_timeout(Duration::from_secs(20)) {
+                Some(Ok(resp)) => {
+                    prop_assert_eq!(
+                        &resp.logits, &reference[idx],
+                        "request {} diverged from the unsharded serial reference", i
+                    );
+                    ok += 1;
+                }
+                Some(Err(WaitError::WorkerPanicked | WaitError::Faulted)) => failed += 1,
+                Some(Err(e)) => prop_assert!(false, "unexpected resolution: {}", e),
+                None => prop_assert!(false, "ticket for request {} hung", i),
+            }
+        }
+
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.completed, ok, "completed must count exactly the Ok tickets");
+        prop_assert_eq!(stats.failed, failed, "failed must count exactly the Err tickets");
+        prop_assert_eq!(ok + failed, total as u64, "every request resolves exactly once");
+    }
+}
+
+/// Regression for the ticket-hang failure mode: a worker panicking
+/// mid-batch must resolve that batch's tickets with
+/// [`WaitError::WorkerPanicked`] — never leave them blocked on a dropped
+/// sender — and the supervisor must respawn the worker so the very next
+/// request is served normally.
+#[test]
+fn worker_panic_resolves_tickets_and_respawns_the_worker() {
+    let (net, test) = deployed(3, 4, 7);
+    let reference = net.logits(test.image(0));
+    let server = Server::start(
+        ModelRegistry::new().with_model("m", net),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(16)
+            .with_faults(Arc::new(FaultPlan::seeded(7).panic_on_batch(0))),
+    );
+
+    let doomed = server.submit("m", test.image(0).clone()).expect("admitted");
+    let resolution = doomed
+        .wait_timeout(Duration::from_secs(20))
+        .expect("a panicked worker's tickets must resolve, not hang");
+    assert!(
+        matches!(resolution, Err(WaitError::WorkerPanicked)),
+        "expected WorkerPanicked, got {resolution:?}"
+    );
+
+    // The single worker died with the panic; only a respawn can serve this.
+    let healed = server.submit("m", test.image(0).clone()).expect("admitted");
+    let resp = healed
+        .wait_timeout(Duration::from_secs(20))
+        .expect("respawned worker must serve, not hang")
+        .expect("post-respawn request must succeed");
+    assert_eq!(resp.logits, reference);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// A dead shard lane is quarantined and the band plan re-planned over the
+/// survivors; because gather is row concatenation, post-quarantine
+/// outputs stay bit-identical to the unsharded serial run while the
+/// telemetry records the recovery work. Lane 0 is the one killed: the
+/// tiny conv here spans a single tile row group, so the band plan has
+/// one band and only the first active lane ever executes — killing a
+/// higher lane would never fire.
+#[test]
+fn killed_lane_quarantines_and_outputs_stay_bit_identical() {
+    let (net, test) = deployed(4, 5, 11);
+    let reference: Vec<Vec<f32>> = (0..test.len()).map(|i| net.logits(test.image(i))).collect();
+    let server = Server::start(
+        ModelRegistry::new().with_model("m", net),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(64)
+            .with_shards(3)
+            .with_faults(Arc::new(FaultPlan::seeded(11).kill_lane_after(0, 2))),
+    );
+
+    let total = 4 * test.len();
+    for i in 0..total {
+        let idx = i % test.len();
+        let ticket = server.submit("m", test.image(idx).clone()).expect("admitted");
+        match ticket.wait_timeout(Duration::from_secs(20)).expect("bounded resolution") {
+            Ok(resp) => assert_eq!(
+                resp.logits, reference[idx],
+                "post-quarantine output diverged at request {i}"
+            ),
+            // The retry budget makes a kill invisible, but losing a race
+            // with the health scorer is legal — failing is, hanging isn't.
+            Err(WaitError::Faulted) => {}
+            Err(e) => panic!("unexpected resolution: {e}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert!(stats.band_faults > 0, "the dead lane must register faults");
+    assert!(stats.band_retries > 0, "recovery must go through retries");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// Drain-on-drop under faults: every batch fed to a [`PipelineExecutor`]
+/// must leave through exactly one of the sink or the fault handler before
+/// `drain` returns — an injected stage panic may cost its own batch, but
+/// it must not swallow later ones or kill the stage thread (which would
+/// deadlock the drain).
+#[test]
+fn pipeline_drains_every_batch_through_sink_or_fault_handler() {
+    let (net, test) = deployed(3, 4, 13);
+    let images: Vec<cc_tensor::Tensor> = (0..4).map(|i| test.image(i % test.len()).clone()).collect();
+    let batches = 6usize;
+
+    let sunk = Arc::new(AtomicUsize::new(0));
+    let faulted = Arc::new(AtomicUsize::new(0));
+    let (sunk_in, faulted_in) = (Arc::clone(&sunk), Arc::clone(&faulted));
+    let pipe: PipelineExecutor<usize> = PipelineExecutor::new_fleet(
+        net,
+        2,
+        1,
+        2,
+        None,
+        Some(Arc::new(FaultPlan::seeded(13).panic_on_batch(2))),
+        Some(Arc::new(move |_tag, fault| {
+            assert!(fault.is_none(), "a plain panic carries no fault payload");
+            faulted_in.fetch_add(1, Ordering::Relaxed);
+        })),
+        None,
+        None,
+        move |out, _tag| {
+            assert!(matches!(out, BatchOutput::Logits(_)));
+            sunk_in.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    for b in 0..batches {
+        pipe.submit(&images, b);
+    }
+    pipe.drain();
+
+    assert_eq!(faulted.load(Ordering::Relaxed), 1, "exactly the panicked batch faults");
+    assert_eq!(
+        sunk.load(Ordering::Relaxed) + faulted.load(Ordering::Relaxed),
+        batches,
+        "drain must flush every batch through the sink or the fault handler"
+    );
+}
+
+/// When every band execution is poisoned, quarantine cannot help (the
+/// last active lane is never removed) and the retry budget exhausts: the
+/// batch must fail *with a fault payload* through the handler, and the
+/// stage threads must survive to drain.
+#[test]
+fn unrecoverable_poison_fails_batches_with_fault_payload() {
+    let (net, test) = deployed(3, 4, 17);
+    let images: Vec<cc_tensor::Tensor> = (0..3).map(|i| test.image(i % test.len()).clone()).collect();
+    let batches = 3usize;
+
+    let sunk = Arc::new(AtomicUsize::new(0));
+    let faulted = Arc::new(AtomicUsize::new(0));
+    let (sunk_in, faulted_in) = (Arc::clone(&sunk), Arc::clone(&faulted));
+    let pipe: PipelineExecutor<usize> = PipelineExecutor::new_fleet(
+        net,
+        2,
+        1,
+        2,
+        None,
+        Some(Arc::new(FaultPlan::seeded(17).poison_every(1))),
+        Some(Arc::new(move |_tag, fault| {
+            let fault = fault.expect("retry exhaustion must carry its BandFaultError");
+            assert!(fault.attempts > 0);
+            faulted_in.fetch_add(1, Ordering::Relaxed);
+        })),
+        None,
+        None,
+        move |_out, _tag| {
+            sunk_in.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    for b in 0..batches {
+        pipe.submit(&images, b);
+    }
+    pipe.drain();
+
+    assert_eq!(sunk.load(Ordering::Relaxed), 0, "all-poisoned bands can never succeed");
+    assert_eq!(faulted.load(Ordering::Relaxed), batches);
+}
