@@ -12,12 +12,20 @@
 //! fault plan (one of three shard lanes killed mid-run, periodic stalls
 //! and poisoned bands, one injected worker panic) and writes the
 //! availability/recovery comparison to `results/bench_faults.json`.
+//!
+//! With `--autotune`, runs the phased load schedule (interactive trickle
+//! → saturating burst → steady stream) against a grid of static configs
+//! and against the live self-tuning controller, writing the comparison
+//! to `results/bench_autotune.json`.
 
 fn main() {
     let scale = cc_bench::scale::Scale::from_env();
     if std::env::args().any(|a| a == "--trace") {
         let tables = cc_bench::experiments::serve_load::run_trace(&scale);
         cc_bench::emit("serve_trace", &tables);
+    } else if std::env::args().any(|a| a == "--autotune") {
+        let tables = cc_bench::experiments::autotune::run(&scale);
+        cc_bench::emit("serve_autotune", &tables);
     } else if std::env::args().any(|a| a == "--chaos") {
         let tables = cc_bench::experiments::serve_load::run_chaos(&scale);
         cc_bench::emit("serve_faults", &tables);

@@ -4,6 +4,7 @@
 //! `src/bin/` are thin wrappers that print the tables and write CSVs.
 
 pub mod ablation;
+pub mod autotune;
 pub mod cache_bench;
 pub mod fig13a;
 pub mod fig13bc;

@@ -57,7 +57,7 @@ impl Measurement {
 
 /// Trains one small network and deploys it twice: with its column-combined
 /// groups and with singleton (unpacked) groups.
-fn build_networks(scale: &Scale) -> (DeployedNetwork, DeployedNetwork, Dataset) {
+pub(crate) fn build_networks(scale: &Scale) -> (DeployedNetwork, DeployedNetwork, Dataset) {
     // Serve a conv-dominated network even at quick scale: on a tiny model
     // the fixed per-request cost (quantize, shift, pools, channel
     // hand-off) swamps the array time that packing actually saves.

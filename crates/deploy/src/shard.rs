@@ -325,6 +325,45 @@ impl BandSet {
         self.fleet.as_deref()
     }
 
+    /// Re-plans the set in place to a new lane count, carrying over the
+    /// installed fault injector, health thresholds, and tracing flag
+    /// while discarding per-lane health state, cached band plans, and
+    /// accumulated stats — a reshaped set starts from a clean bill of
+    /// health, exactly like a freshly constructed one. The serving
+    /// control plane uses this to retune shard width on a live worker
+    /// between batches; outputs stay bit-identical across the reshape
+    /// because lane count only repartitions each conv's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, or exceeds 64 lanes while a fault
+    /// injector is installed.
+    pub fn reshape(&mut self, shards: usize) {
+        self.reshape_with(BandSet::new(shards));
+    }
+
+    /// [`BandSet::reshape`] onto a heterogeneous fleet; the fleet's
+    /// length becomes the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is empty, or longer than 64 lanes while a fault
+    /// injector is installed.
+    pub fn reshape_fleet(&mut self, fleet: Vec<ArrayGeometry>) {
+        self.reshape_with(BandSet::with_fleet(fleet));
+    }
+
+    fn reshape_with(&mut self, mut next: BandSet) {
+        next.injector = self.injector.take();
+        if next.injector.is_some() {
+            assert!(next.shards <= 64, "fault injection supports at most 64 shard lanes");
+        }
+        next.health_cfg = self.health_cfg;
+        next.tracing = self.tracing;
+        next.retry_deadline = self.retry_deadline;
+        *self = next;
+    }
+
     /// Turns per-conv trace logging on or off. Turning it off discards
     /// any undrained log entries.
     pub fn set_tracing(&mut self, on: bool) {

@@ -25,11 +25,59 @@
 //! coalescing window closes the window at that deadline instead.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-request deadline hook: `None` means the item never expires.
 type DeadlineFn<T> = Box<dyn Fn(&T) -> Option<Instant> + Send>;
+
+/// The batcher's live-tunable knobs: maximum batch size and coalescing
+/// deadline, each behind an atomic so a controller can retune a *running*
+/// batcher without rebuilding it (the values used to be plain fields read
+/// once at construction — an update then required tearing the whole
+/// server down). The batcher samples both once per batch formation, so an
+/// update takes effect at the next [`Batcher::next_batch`] call and a
+/// single batch never mixes old and new policy mid-formation.
+#[derive(Debug)]
+pub struct BatchKnobs {
+    max_batch: AtomicU64,
+    deadline_nanos: AtomicU64,
+}
+
+impl BatchKnobs {
+    /// Knobs initialized to `max_batch` / `deadline`.
+    pub fn new(max_batch: usize, deadline: Duration) -> Self {
+        let knobs = BatchKnobs { max_batch: AtomicU64::new(1), deadline_nanos: AtomicU64::new(0) };
+        knobs.set_max_batch(max_batch);
+        knobs.set_deadline(deadline);
+        knobs
+    }
+
+    /// Current maximum batch size (always ≥ 1).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch.load(Ordering::Relaxed).max(1) as usize
+    }
+
+    /// Current coalescing deadline.
+    pub fn deadline(&self) -> Duration {
+        Duration::from_nanos(self.deadline_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Updates the maximum batch size (floored at 1 — a zero would
+    /// deadlock batch formation, so it is a misuse the knob absorbs
+    /// rather than propagates).
+    pub fn set_max_batch(&self, max_batch: usize) {
+        self.max_batch.store(max_batch.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Updates the coalescing deadline.
+    pub fn set_deadline(&self, deadline: Duration) {
+        let nanos = deadline.as_nanos().min(u64::MAX as u128) as u64;
+        self.deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+}
 
 /// Deadline/size-bounded, priority-aware coalescing over an mpsc ingress
 /// channel.
@@ -43,8 +91,7 @@ where
     stash: VecDeque<T>,
     /// Reused partition buffer for the stash absorption pass.
     scratch: VecDeque<T>,
-    max_batch: usize,
-    deadline: Duration,
+    knobs: Arc<BatchKnobs>,
     key_of: F,
     enqueued_at: G,
     /// QoS class ordinal (lower = higher priority); constant 0 without
@@ -81,8 +128,8 @@ where
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Batcher")
             .field("stash", &self.stash.len())
-            .field("max_batch", &self.max_batch)
-            .field("deadline", &self.deadline)
+            .field("max_batch", &self.knobs.max_batch())
+            .field("deadline", &self.knobs.deadline())
             .finish_non_exhaustive()
     }
 }
@@ -111,12 +158,19 @@ where
         enqueued_at: G,
     ) -> Self {
         assert!(max_batch > 0, "max_batch must be at least 1");
+        Self::with_knobs(ingress, Arc::new(BatchKnobs::new(max_batch, deadline)), key_of, enqueued_at)
+    }
+
+    /// Creates a batcher whose size/deadline policy lives in a shared
+    /// [`BatchKnobs`] block — the handle a controller uses to retune the
+    /// running batcher ([`BatchKnobs::set_max_batch`] /
+    /// [`BatchKnobs::set_deadline`] take effect at the next batch).
+    pub fn with_knobs(ingress: Receiver<T>, knobs: Arc<BatchKnobs>, key_of: F, enqueued_at: G) -> Self {
         Batcher {
             ingress,
             stash: VecDeque::new(),
             scratch: VecDeque::new(),
-            max_batch,
-            deadline,
+            knobs,
             key_of,
             enqueued_at,
             class_of: Box::new(|_| 0),
@@ -124,6 +178,11 @@ where
             on_expired: Box::new(drop),
             last_formation: None,
         }
+    }
+
+    /// The shared knob block this batcher samples at each formation.
+    pub fn knobs(&self) -> &Arc<BatchKnobs> {
+        &self.knobs
     }
 
     /// How the batch most recently returned by [`Batcher::next_batch`]
@@ -182,6 +241,10 @@ where
     /// Blocks for the next batch of same-key items, or `None` once the
     /// ingress channel is closed and the stash is drained.
     pub fn next_batch(&mut self) -> Option<Vec<T>> {
+        // Sample the knob block once per formation: a controller update
+        // mid-formation must not mix policies within one batch.
+        let max_batch = self.knobs.max_batch();
+        let deadline = self.knobs.deadline();
         // Gather all pending work, shedding blown-deadline items first:
         // they must neither seed nor ride in a batch.
         let open = loop {
@@ -216,7 +279,7 @@ where
         // window at its enqueue time bounds every member's hold to one
         // coalescing deadline; a tighter request deadline closes the
         // window even sooner (never hold a batch past the seed's SLO).
-        let mut window_closes = (self.enqueued_at)(&first) + self.deadline;
+        let mut window_closes = (self.enqueued_at)(&first) + deadline;
         if let Some(d) = (self.deadline_of)(&first) {
             window_closes = window_closes.min(d);
         }
@@ -229,7 +292,7 @@ where
         // keys interleave under load.)
         debug_assert!(self.scratch.is_empty());
         while let Some(item) = self.stash.pop_front() {
-            if batch.len() < self.max_batch && (self.key_of)(&item) == key {
+            if batch.len() < max_batch && (self.key_of)(&item) == key {
                 batch.push(item);
             } else {
                 self.scratch.push_back(item);
@@ -249,7 +312,7 @@ where
 
         // Keep the window open for stragglers until the batch fills or the
         // window closes (possibly already past).
-        while batch.len() < self.max_batch {
+        while batch.len() < max_batch {
             let now = Instant::now();
             if now >= window_closes {
                 break;
@@ -514,6 +577,46 @@ mod tests {
         assert_eq!(g.size, 2);
         assert_eq!(g.seed_class, 2);
         assert!(g.seeded_at >= f.released_at, "second batch seeded after the first released");
+    }
+
+    /// Regression (ISSUE 10): `max_batch` and `deadline` used to be plain
+    /// fields read once at construction, so a controller retune required
+    /// rebuilding the batcher (and the server around it). They now live in
+    /// a shared [`BatchKnobs`] block: an update through the `Arc` must
+    /// change the very next formation of the *same* batcher instance.
+    #[test]
+    fn knob_updates_apply_without_rebuilding_the_batcher() {
+        let (tx, rx) = mpsc::channel();
+        // 16 items: consumed as 4 + 8 + 1 + (3 × 1) across the knob
+        // changes below — every batch finds a seed without blocking.
+        for i in 0..16 {
+            tx.send(item(1, i)).unwrap();
+        }
+        let knobs = Arc::new(BatchKnobs::new(4, Duration::from_millis(1)));
+        let mut b: TestBatcher = Batcher::with_knobs(rx, Arc::clone(&knobs), |i| i.key, |i| i.at);
+        assert_eq!(b.next_batch().unwrap().len(), 4, "initial max_batch honored");
+
+        // Widen mid-stream: the same batcher must release an 8-wide batch.
+        knobs.set_max_batch(8);
+        assert_eq!(b.next_batch().unwrap().len(), 8, "widened max_batch applies live");
+
+        // Narrow to 1 and stretch the deadline: batch size must shrink
+        // immediately, and the long window must not hold a filled batch.
+        knobs.set_max_batch(1);
+        knobs.set_deadline(Duration::from_secs(30));
+        let released = Instant::now();
+        assert_eq!(b.next_batch().unwrap().len(), 1, "narrowed max_batch applies live");
+        assert!(released.elapsed() < Duration::from_secs(5), "filled batch released promptly");
+
+        // A zero max_batch is floored at 1 instead of deadlocking.
+        knobs.set_max_batch(0);
+        assert_eq!(knobs.max_batch(), 1);
+        knobs.set_deadline(Duration::from_millis(1));
+        drop(tx);
+        for _ in 0..3 {
+            assert_eq!(b.next_batch().unwrap().len(), 1);
+        }
+        assert!(b.next_batch().is_none());
     }
 
     /// A seed whose request deadline is tighter than the coalescing window

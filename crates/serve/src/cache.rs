@@ -17,6 +17,13 @@
 //! (lazy-stamped recency queue, O(1) amortized). The map is sharded by
 //! digest so concurrent submitters on different inputs do not serialize
 //! on one lock.
+//!
+//! The [`FlightTable`] extends the same dedup one step earlier in time:
+//! when N requests for the same `(identity, digest)` miss *concurrently*
+//! (the first hasn't finished computing, so the cache can't serve the
+//! rest yet), only the first occupies a batch slot; the others attach as
+//! followers and are fanned the leader's result — N−1 array passes packed
+//! out, counted as coalesced hits.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -141,6 +148,7 @@ pub struct ResponseCache {
     bytes_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced_hits: AtomicU64,
     evictions: AtomicU64,
     entries: AtomicU64,
     bytes: AtomicU64,
@@ -153,12 +161,90 @@ pub struct CacheStats {
     pub hits: u64,
     /// Probes that fell through to the array.
     pub misses: u64,
+    /// Concurrent misses that attached to an in-flight computation and
+    /// were fanned its result instead of running the array again.
+    pub coalesced_hits: u64,
     /// Entries dropped by LRU eviction.
     pub evictions: u64,
     /// Resident entries.
     pub entries: u64,
     /// Resident bytes (payload + per-entry overhead).
     pub bytes: u64,
+}
+
+/// Tracks in-flight cache misses so concurrent duplicates coalesce: the
+/// first miss for an `(identity, digest)` becomes the *leader* and runs
+/// the array; later misses attach as *followers* and receive the leader's
+/// result when it resolves. `W` is whatever the caller needs to deliver a
+/// result to a follower (the server stores reply handles).
+///
+/// The protocol is deliberately conservative about registration order: a
+/// leader registers its flight only *after* it is durably admitted
+/// (queued), so a leader that sheds at admission can never strand
+/// followers behind a flight that will never resolve. The cost is a tiny
+/// window — between a leader's cache miss and its admission — where a
+/// concurrent duplicate runs redundantly, which is exactly the pre-table
+/// behavior: coalescing is strictly a reduction, never a correctness
+/// dependency.
+#[derive(Debug)]
+pub struct FlightTable<W> {
+    flights: Mutex<HashMap<(usize, u64), Vec<W>>>,
+}
+
+impl<W> Default for FlightTable<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> FlightTable<W> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlightTable { flights: Mutex::new(HashMap::new()) }
+    }
+
+    /// Registers a flight for `(identity, digest)` with this caller as
+    /// leader. Returns `false` if a flight already existed (a racing
+    /// leader won; both run, both results are bit-identical).
+    pub fn lead(&self, identity: usize, digest: u64) -> bool {
+        use std::collections::hash_map::Entry as MapEntry;
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        match flights.entry((identity, digest)) {
+            MapEntry::Occupied(_) => false,
+            MapEntry::Vacant(slot) => {
+                slot.insert(Vec::new());
+                true
+            }
+        }
+    }
+
+    /// Attaches `waiter` to an existing flight. Returns the waiter back
+    /// if no flight is registered — the caller must then take the leader
+    /// path itself.
+    pub fn follow(&self, identity: usize, digest: u64, waiter: W) -> Result<(), W> {
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        match flights.get_mut(&(identity, digest)) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                Ok(())
+            }
+            None => Err(waiter),
+        }
+    }
+
+    /// Removes the flight for `(identity, digest)` and returns its
+    /// followers for fan-out (empty if no flight or no followers). Called
+    /// on every terminal outcome of the leader — completion, failure, or
+    /// deadline shed — so followers always resolve.
+    pub fn resolve(&self, identity: usize, digest: u64) -> Vec<W> {
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        flights.remove(&(identity, digest)).unwrap_or_default()
+    }
+
+    /// Flights currently registered (tests/diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
 }
 
 impl ResponseCache {
@@ -179,6 +265,7 @@ impl ResponseCache {
             bytes_per_shard: cfg.max_bytes.div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             entries: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -260,11 +347,20 @@ impl ResponseCache {
         }
     }
 
+    /// Records `n` concurrent misses served by fanning out an in-flight
+    /// leader's result instead of re-running the array.
+    pub fn note_coalesced(&self, n: u64) {
+        if n > 0 {
+            self.coalesced_hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Point-in-time counters and gauges.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
@@ -371,6 +467,35 @@ mod tests {
             shard.recency.len(),
             shard.map.len()
         );
+    }
+
+    /// The miss-coalescing protocol: first miss leads, concurrent
+    /// duplicates follow, resolve fans the followers out exactly once.
+    #[test]
+    fn flight_table_coalesces_concurrent_misses() {
+        let table: FlightTable<u32> = FlightTable::new();
+        assert!(table.lead(1, 42), "first miss becomes leader");
+        assert!(!table.lead(1, 42), "racing leader loses registration");
+        assert_eq!(table.follow(1, 42, 7), Ok(()));
+        assert_eq!(table.follow(1, 42, 8), Ok(()));
+        // A different key has no flight: the waiter comes back.
+        assert_eq!(table.follow(2, 42, 9), Err(9));
+        assert_eq!(table.in_flight(), 1);
+        assert_eq!(table.resolve(1, 42), vec![7, 8]);
+        // Resolve is terminal: the flight is gone, later probes miss it.
+        assert_eq!(table.resolve(1, 42), Vec::<u32>::new());
+        assert_eq!(table.follow(1, 42, 10), Err(10));
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn coalesced_hits_counter_flows_into_stats() {
+        let cache = ResponseCache::new(CacheConfig::bounded(8, 0));
+        cache.note_coalesced(0);
+        assert_eq!(cache.stats().coalesced_hits, 0);
+        cache.note_coalesced(3);
+        cache.note_coalesced(2);
+        assert_eq!(cache.stats().coalesced_hits, 5);
     }
 
     #[test]

@@ -73,6 +73,21 @@
 //!   survivors, keeping outputs bit-identical by construction, and
 //!   half-open probes readmit recovered lanes. [`Server::shutdown_within`]
 //!   drains gracefully under load.
+//! - **Self-tuning control plane** ([`control`]): a [`Controller`]
+//!   thread attached to a live server classifies the load each tick
+//!   (idle / interactive / steady / saturated) from telemetry deltas and
+//!   retunes the running knobs — worker-pool size, batch cap and
+//!   deadline (live through [`batcher::BatchKnobs`]), pipeline depth and
+//!   shard width ([`Server::retune_executors`], band sets re-plan in
+//!   place) — guided by a [`ProfileStore`] seeded from bench JSONs and
+//!   refined online by EMA. Hysteresis plus cooldown guarantee it never
+//!   flaps; every decision lands as a control-track
+//!   [`EventKind::Retune`] instant and a `retunes` counter. Model
+//!   **hot-swap** ([`Server::swap_model`]) atomically replaces a
+//!   registry entry while serving: the new network is warmed up first,
+//!   in-flight batches on the old network drain (batches key on network
+//!   identity, so old and new never co-batch), and the cutover is one
+//!   `Arc` swap.
 //! - **Request-lifecycle tracing** ([`trace`], [`ServeConfig::trace`]):
 //!   a lock-free ring [`TraceRecorder`] captures span events for every
 //!   request phase — submit, cache probe, queue wait, batch formation,
@@ -115,6 +130,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod control;
 pub mod fault;
 pub mod pipeline;
 pub mod qos;
@@ -123,12 +139,19 @@ pub mod server;
 pub mod telemetry;
 pub mod trace;
 
-pub use cache::{CacheConfig, CacheStats, ResponseCache};
+pub use batcher::BatchKnobs;
+pub use cache::{CacheConfig, CacheStats, FlightTable, ResponseCache};
+pub use control::{
+    Action, ControlConfig, Controller, Engine, LoadRegime, Observation, Profile, ProfileStore,
+};
 pub use fault::FaultPlan;
 pub use pipeline::{auto_stage_cap, auto_stages, partition_stages, PipelineExecutor};
 pub use qos::{QosClass, SubmitOptions, TenantLedger, QOS_CLASSES};
 pub use registry::ModelRegistry;
-pub use server::{DrainReport, Response, ServeConfig, Server, SubmitError, Ticket, WaitError};
+pub use server::{
+    DrainReport, Response, ServeConfig, Server, SubmitError, SwapError, SwapReport, Ticket,
+    WaitError,
+};
 pub use telemetry::{LatencyHistogram, Occupancy, Telemetry, TelemetrySnapshot};
 pub use trace::{
     EventKind, Outcome, RequestTrace, TraceConfig, TraceEvent, TraceRecorder, TraceStats, Track,

@@ -30,9 +30,19 @@
 //! at the next batch-formation point, resolving its ticket with
 //! [`WaitError::DeadlineExceeded`]), and a tenant key (per-tenant
 //! in-flight quotas via [`ServeConfig::tenant_quota`]).
+//!
+//! The server is **live-tunable**: [`Server::set_max_batch`],
+//! [`Server::set_batch_deadline`], [`Server::resize_workers`], and
+//! [`Server::retune_executors`] retarget the running batcher, worker
+//! pool, and executor geometry without a restart (the control plane in
+//! [`crate::control`] drives them from telemetry deltas), and
+//! [`Server::swap_model`] atomically replaces a registry entry while
+//! serving. Batches key on *network identity*, so requests that captured
+//! the old network drain on it while new submits ride the replacement —
+//! the two never share a batch.
 
-use crate::batcher::Batcher;
-use crate::cache::{CacheConfig, ResponseCache};
+use crate::batcher::{BatchKnobs, Batcher};
+use crate::cache::{CacheConfig, FlightTable, ResponseCache};
 use crate::fault::FaultPlan;
 use crate::pipeline::{auto_stage_cap, auto_stages, PipelineExecutor};
 use crate::qos::{QosClass, SubmitOptions, TenantLedger};
@@ -46,11 +56,13 @@ use cc_deploy::{
     HealthEvent,
 };
 use cc_systolic::ArrayGeometry;
-use cc_tensor::Tensor;
+use cc_tensor::{Shape, Tensor};
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -353,9 +365,164 @@ impl Ticket {
     }
 }
 
+/// Knob ids carried in the high byte of an [`EventKind::Retune`] trace
+/// arg (the low 24 bits carry the applied value). Stable across
+/// releases: trace consumers match on these.
+pub mod knob {
+    /// Worker-pool target size ([`super::Server::resize_workers`]).
+    pub const WORKERS: u32 = 1;
+    /// Batcher maximum batch size ([`super::Server::set_max_batch`]).
+    pub const MAX_BATCH: u32 = 2;
+    /// Batcher coalescing deadline, in microseconds
+    /// ([`super::Server::set_batch_deadline`]).
+    pub const BATCH_DEADLINE_US: u32 = 3;
+    /// Pipeline stage depth, 0 = auto ([`super::Server::retune_executors`]).
+    pub const STAGES: u32 = 4;
+    /// Row-band shard width ([`super::Server::retune_executors`]).
+    pub const SHARDS: u32 = 5;
+}
+
+/// Largest worker pool [`Server::resize_workers`] will grow to.
+const MAX_POOL: usize = 64;
+
+/// Why [`Server::swap_model`] rejected a swap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwapError {
+    /// No entry with that name exists to replace. Hot-swap is a
+    /// *replacement* protocol — registering brand-new names happens at
+    /// [`Server::start`], where capacity was planned for them.
+    UnknownModel(String),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::UnknownModel(name) => {
+                write!(f, "no model {name:?} registered to swap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// What [`Server::swap_model`] observed at cutover.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapReport {
+    /// True when every request in flight on the replaced network resolved
+    /// within the drain bound. False means the bound expired first — the
+    /// stragglers still resolve eventually (their tickets never hang),
+    /// the swap just stopped waiting for them.
+    pub drained: bool,
+    /// How long the cutover waited on the old network's in-flight work.
+    pub waited: Duration,
+}
+
 /// A miss's memo-cache key, carried through the batch so the worker can
 /// fill the cache at completion.
 type CacheKey = (u64, Box<[i8]>);
+
+/// A coalesced follower parked on another request's in-flight execution
+/// (see [`FlightTable`]): everything needed to resolve its ticket when
+/// the leader's batch lands. Followers consume no queue slot, no quota
+/// slot, and no array time.
+struct Waiter {
+    submitted: Instant,
+    /// Trace correlation id (0 = untraced).
+    id: u64,
+    reply: mpsc::Sender<Result<Response, WaitError>>,
+}
+
+/// Admitted-but-unresolved request counts per network identity, with a
+/// condvar hot-swap drains wait on. Incremented at admission,
+/// decremented on every terminal path (completion, failure, deadline
+/// shed), so [`InFlight::wait_idle`] returning true means no queued or
+/// executing batch still references that network.
+#[derive(Default)]
+struct InFlight {
+    counts: Mutex<HashMap<usize, u64>>,
+    idle: Condvar,
+}
+
+impl InFlight {
+    fn inc(&self, identity: usize) {
+        *self.counts.lock().expect("inflight lock").entry(identity).or_insert(0) += 1;
+    }
+
+    fn dec(&self, identity: usize) {
+        let mut counts = self.counts.lock().expect("inflight lock");
+        if let Some(n) = counts.get_mut(&identity) {
+            *n -= 1;
+            if *n == 0 {
+                counts.remove(&identity);
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Admitted-but-unresolved requests across every network.
+    fn total(&self) -> u64 {
+        self.counts.lock().expect("inflight lock").values().sum()
+    }
+
+    /// Blocks until no request for `identity` is in flight, at most
+    /// `timeout`. True = drained, false = timed out with work pending.
+    fn wait_idle(&self, identity: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut counts = self.counts.lock().expect("inflight lock");
+        while counts.get(&identity).copied().unwrap_or(0) > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .idle
+                .wait_timeout(counts, deadline - now)
+                .expect("inflight lock");
+            counts = guard;
+        }
+        true
+    }
+}
+
+/// The live executor geometry workers run under. The control plane bumps
+/// `epoch` after changing `stages`/`shards`; each worker notices the new
+/// epoch at its next batch boundary and reshapes its band set (and drops
+/// its pipelines) to match — a batch never straddles two plans, and
+/// outputs stay bit-identical across the reshape because shard width and
+/// stage depth only repartition work.
+struct ExecPlan {
+    epoch: AtomicU64,
+    /// Stage depth (0 = auto per model).
+    stages: AtomicUsize,
+    shards: AtomicUsize,
+}
+
+/// Worker → supervisor exit report, or a control-plane resize order.
+enum PoolMsg {
+    /// A worker thread exited.
+    Exit {
+        index: usize,
+        exit: WorkerExit,
+    },
+    /// Re-check the pool against the current target: spawn any missing
+    /// slot below it. (Shrinks need no message — workers at or past the
+    /// target retire themselves at their next batch boundary.)
+    Resize,
+}
+
+/// Why a worker's loop returned.
+enum WorkerExit {
+    /// Work channel closed: the server is shutting down.
+    Closed,
+    /// A batch panicked in a way that may have corrupted worker-local
+    /// state; the supervisor respawns the slot with everything rebuilt.
+    Panicked,
+    /// The worker noticed its index is at or past the pool target and
+    /// retired. The supervisor respawns it if the target grew back in
+    /// the meantime (the shrink-then-grow race heals on this report).
+    Retired,
+}
 
 struct Request {
     net: DeployedNetwork,
@@ -381,24 +548,49 @@ struct Request {
 struct Shared {
     telemetry: Arc<Telemetry>,
     cache: Option<Arc<ResponseCache>>,
+    /// In-flight miss coalescing table; allocated iff the cache is.
+    flights: Option<Arc<FlightTable<Waiter>>>,
+    /// Per-identity in-flight counts hot-swap drains wait on.
+    inflight: Arc<InFlight>,
     ledger: Arc<TenantLedger>,
     trace: Option<Arc<TraceRecorder>>,
 }
 
 /// A concurrent batched inference server over a [`ModelRegistry`].
 pub struct Server {
-    registry: Arc<ModelRegistry>,
+    /// The registry snapshot being served. Immutable per snapshot; a
+    /// hot-swap builds a new snapshot and replaces the `Arc` under the
+    /// write lock, so readers only ever pay an uncontended read-lock
+    /// plus a pointer clone.
+    registry: RwLock<Arc<ModelRegistry>>,
     telemetry: Arc<Telemetry>,
     cache: Option<Arc<ResponseCache>>,
+    flights: Option<Arc<FlightTable<Waiter>>>,
+    inflight: Arc<InFlight>,
     ledger: Arc<TenantLedger>,
     trace: Option<Arc<TraceRecorder>>,
+    /// The live batcher's size/deadline policy block, shared with the
+    /// batcher thread — retunes take effect at the next batch formation
+    /// without rebuilding anything.
+    knobs: Arc<BatchKnobs>,
+    /// The live executor geometry, shared with every worker.
+    plan: Arc<ExecPlan>,
+    /// Desired worker-pool size, shared with workers (self-retire check)
+    /// and the supervisor (respawn bound).
+    pool_target: Arc<AtomicUsize>,
+    /// Control-plane side of the supervisor channel (resize orders).
+    pool_tx: mpsc::Sender<PoolMsg>,
+    /// Occupancy-gauge bounds fixed at start; retunes clamp to them so
+    /// no executor's busy time ever lands outside the gauges.
+    stage_slots: usize,
+    shard_slots: usize,
     tenant_quota: usize,
     queue_capacity: usize,
-    workers: usize,
     ingress: Option<SyncSender<Request>>,
     batcher: Option<JoinHandle<()>>,
     /// The worker pool's supervisor: it owns the worker join handles,
-    /// respawns any worker that exits on a panic, and returns once every
+    /// respawns panicked slots (and retired slots the target grew back
+    /// over), grows the pool on resize orders, and returns once every
     /// worker has exited cleanly (work channel closed).
     supervisor: Option<JoinHandle<()>>,
 }
@@ -436,6 +628,18 @@ impl Server {
         }
         let telemetry = Arc::new(telemetry);
         let cache = cfg.cache.enabled().then(|| Arc::new(ResponseCache::new(cfg.cache)));
+        // The flight table rides the cache: coalescing keys on the same
+        // (identity, digest) pair, so without quantized digests there is
+        // nothing sound to coalesce on.
+        let flights = cache.as_ref().map(|_| Arc::new(FlightTable::new()));
+        let inflight = Arc::new(InFlight::default());
+        let knobs = Arc::new(BatchKnobs::new(cfg.max_batch, cfg.batch_deadline));
+        let plan = Arc::new(ExecPlan {
+            epoch: AtomicU64::new(0),
+            stages: AtomicUsize::new(cfg.pipeline_stages),
+            shards: AtomicUsize::new(cfg.shards),
+        });
+        let pool_target = Arc::new(AtomicUsize::new(cfg.workers));
         let ledger = Arc::new(TenantLedger::new());
         // Capacity 0 = no recorder at all: the serving path then carries
         // no trace plumbing cost whatsoever, not even the atomic load.
@@ -450,9 +654,12 @@ impl Server {
 
         let batcher_telemetry = Arc::clone(&telemetry);
         let batcher_trace = trace_rec.clone();
+        let batcher_knobs = Arc::clone(&knobs);
         let expired_telemetry = Arc::clone(&telemetry);
         let expired_ledger = Arc::clone(&ledger);
         let expired_trace = trace_rec.clone();
+        let expired_flights = flights.clone();
+        let expired_inflight = Arc::clone(&inflight);
         let batcher = std::thread::Builder::new()
             .name("cc-serve-batcher".into())
             .spawn(move || {
@@ -463,10 +670,9 @@ impl Server {
                 // runs the whole batch on one network. The coalescing
                 // window is anchored at the seed request's submit time so
                 // a request never pays stash wait plus a fresh deadline.
-                let mut batcher = Batcher::new(
+                let mut batcher = Batcher::with_knobs(
                     ingress_rx,
-                    cfg.max_batch,
-                    cfg.batch_deadline,
+                    batcher_knobs,
                     |r: &Request| r.net.identity(),
                     |r: &Request| r.submitted,
                 )
@@ -500,6 +706,17 @@ impl Server {
                                 );
                             }
                         }
+                        // A shed leader takes its coalesced followers
+                        // with it — they share its fate, never hang.
+                        resolve_waiters_err(
+                            &expired_flights,
+                            &expired_trace,
+                            r.net.identity(),
+                            r.cache_key.as_ref(),
+                            WaitError::DeadlineExceeded,
+                            Outcome::DeadlineExceeded,
+                        );
+                        expired_inflight.dec(r.net.identity());
                         let _ = r.reply.send(Err(WaitError::DeadlineExceeded));
                     },
                 );
@@ -560,51 +777,83 @@ impl Server {
         let shared = Shared {
             telemetry: Arc::clone(&telemetry),
             cache: cache.clone(),
+            flights: flights.clone(),
+            inflight: Arc::clone(&inflight),
             ledger: Arc::clone(&ledger),
             trace: trace_rec.clone(),
         };
         let env = WorkerEnv {
-            stages: cfg.pipeline_stages,
-            shards: cfg.shards,
             fleet: cfg.fleet.clone(),
             faults: cfg.faults.clone(),
+            plan: Arc::clone(&plan),
+            pool: Arc::clone(&pool_target),
         };
-        // Workers report (index, panicked) to the supervisor on exit: a
-        // panic exit gets the slot respawned with fresh state, a clean
-        // exit (work channel closed) counts the pool down. The closure is
-        // the single spawn path for both the initial pool and respawns.
-        let (exit_tx, exit_rx) = mpsc::channel::<(usize, bool)>();
+        // Workers report their exit to the supervisor: a panic exit gets
+        // the slot respawned with fresh state, a clean exit (work channel
+        // closed) counts the pool down, and a retirement (pool shrink)
+        // leaves the slot empty until a resize order covers it again. The
+        // closure is the single spawn path for the initial pool, respawns,
+        // and resize growth.
+        let (exit_tx, exit_rx) = mpsc::channel::<PoolMsg>();
+        let pool_tx = exit_tx.clone();
         let spawn_worker = {
             let work_rx = Arc::clone(&work_rx);
             let shared = shared.clone();
-            move |index: usize, exit_tx: mpsc::Sender<(usize, bool)>| {
+            move |index: usize, exit_tx: mpsc::Sender<PoolMsg>| {
                 let work_rx = Arc::clone(&work_rx);
                 let shared = shared.clone();
                 let env = env.clone();
                 std::thread::Builder::new()
                     .name(format!("cc-serve-worker-{index}"))
                     .spawn(move || {
-                        let panicked = worker_loop(&work_rx, &shared, &env, index as u16);
-                        let _ = exit_tx.send((index, panicked));
+                        let exit = worker_loop(&work_rx, &shared, &env, index as u16);
+                        let _ = exit_tx.send(PoolMsg::Exit { index, exit });
                     })
                     .expect("spawn worker")
             }
         };
         let mut handles: Vec<Option<JoinHandle<()>>> =
             (0..cfg.workers).map(|i| Some(spawn_worker(i, exit_tx.clone()))).collect();
+        let supervisor_target = Arc::clone(&pool_target);
         let supervisor = std::thread::Builder::new()
             .name("cc-serve-supervisor".into())
             .spawn(move || {
                 let mut live = handles.len();
                 while live > 0 {
-                    let Ok((index, panicked)) = exit_rx.recv() else { break };
-                    if let Some(handle) = handles[index].take() {
-                        let _ = handle.join();
-                    }
-                    if panicked {
-                        handles[index] = Some(spawn_worker(index, exit_tx.clone()));
-                    } else {
-                        live -= 1;
+                    let Ok(msg) = exit_rx.recv() else { break };
+                    match msg {
+                        PoolMsg::Exit { index, exit } => {
+                            if let Some(handle) = handles[index].take() {
+                                let _ = handle.join();
+                            }
+                            let respawn = match exit {
+                                WorkerExit::Closed => false,
+                                // Panicked *or* retired slots come back
+                                // whenever the target still covers them;
+                                // a shrink-then-grow race heals here, on
+                                // the straggling retire report.
+                                WorkerExit::Panicked | WorkerExit::Retired => {
+                                    index < supervisor_target.load(Ordering::Acquire)
+                                }
+                            };
+                            if respawn {
+                                handles[index] = Some(spawn_worker(index, exit_tx.clone()));
+                            } else {
+                                live -= 1;
+                            }
+                        }
+                        PoolMsg::Resize => {
+                            let target = supervisor_target.load(Ordering::Acquire);
+                            if target > handles.len() {
+                                handles.resize_with(target, || None);
+                            }
+                            for index in 0..target {
+                                if handles[index].is_none() {
+                                    handles[index] = Some(spawn_worker(index, exit_tx.clone()));
+                                    live += 1;
+                                }
+                            }
+                        }
                     }
                 }
                 for handle in handles.into_iter().flatten() {
@@ -614,14 +863,21 @@ impl Server {
             .expect("spawn supervisor");
 
         Server {
-            registry,
+            registry: RwLock::new(registry),
             telemetry,
             cache,
+            flights,
+            inflight,
             ledger,
             trace: trace_rec,
+            knobs,
+            plan,
+            pool_target,
+            pool_tx,
+            stage_slots,
+            shard_slots: cfg.shards,
             tenant_quota: cfg.tenant_quota,
             queue_capacity: cfg.queue_capacity,
-            workers: cfg.workers,
             ingress: Some(ingress_tx),
             batcher: Some(batcher),
             supervisor: Some(supervisor),
@@ -647,10 +903,17 @@ impl Server {
         image: Tensor,
         options: SubmitOptions,
     ) -> Result<Ticket, SubmitError> {
-        let net = self
-            .registry
-            .get(model)
-            .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        // One uncontended read-lock + clone pins this request to the
+        // current registry snapshot: a concurrent hot-swap publishes a
+        // new snapshot without disturbing requests already holding the
+        // old network (`DeployedNetwork` is `Arc`-backed — a clone is a
+        // pointer bump).
+        let net = {
+            let registry = self.registry.read().expect("registry lock");
+            registry.get(model).cloned()
+        }
+        .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        let identity = net.identity();
         let expected = net.input_shape();
         let shape = image.shape();
         let got: Vec<usize> = (0..shape.rank()).map(|i| shape.dim(i)).collect();
@@ -686,7 +949,7 @@ impl Server {
                 let probe_start = Instant::now();
                 let qmap = net.quantize_input(&image);
                 let digest = qmap.digest();
-                let hit = cache.lookup(net.identity(), digest, qmap.as_slice());
+                let hit = cache.lookup(identity, digest, qmap.as_slice());
                 if rid != 0 {
                     if let Some(rec) = &self.trace {
                         rec.span(
@@ -721,10 +984,29 @@ impl Server {
                         .send(Ok(Response { logits, class, latency, batch_size: 0, id: rid }));
                     return Ok(Ticket { rx });
                 }
+                // In-flight miss coalescing: when an identical miss is
+                // already riding a batch, park this request on it as a
+                // follower instead of burning a second array pass on
+                // bytes already in flight — the leader's completion fans
+                // the (bit-identical) logits out. Followers skip quota
+                // and queue admission entirely: they consume nothing the
+                // limits protect.
+                if let Some(flights) = &self.flights {
+                    let (reply, rx) = mpsc::channel();
+                    if flights
+                        .follow(identity, digest, Waiter { submitted, id: rid, reply })
+                        .is_ok()
+                    {
+                        return Ok(Ticket { rx });
+                    }
+                }
                 Some((digest, qmap.into_raw().into_boxed_slice()))
             }
             None => None,
         };
+        // The digest this request would lead a flight under, once (and
+        // only once) it is actually admitted.
+        let flight_digest = cache_key.as_ref().map(|(digest, _)| *digest);
 
         // Admission sheds resolve the trace immediately: the lifecycle is
         // submit → resolve(shed), no queue span.
@@ -774,7 +1056,7 @@ impl Server {
         };
         let (reply, rx) = mpsc::channel();
         let request = Request {
-            net: net.clone(),
+            net,
             image,
             submitted,
             class: options.class,
@@ -785,32 +1067,216 @@ impl Server {
             dispatched_at: submitted,
             reply,
         };
+        // Count the request in flight *before* it becomes visible to the
+        // batcher: a worker can complete it (and dec) within the window
+        // between `try_send` and any bookkeeping after it, and a dec
+        // racing ahead of its inc would no-op and leak the count —
+        // every later hot-swap drain would then wait out its full
+        // timeout against a phantom request.
+        self.inflight.inc(identity);
         match ingress.try_send(request) {
             Ok(()) => {
                 self.telemetry.on_admit();
+                // Register the flight only *after* admission: a leader
+                // exists for every table entry, so a shed request can
+                // never strand followers. The tiny window between the
+                // probe miss and this point just lets a concurrent twin
+                // run redundantly — exactly the pre-table behavior, a
+                // reduction in work, never a correctness dependency.
+                if let (Some(flights), Some(digest)) = (&self.flights, flight_digest) {
+                    flights.lead(identity, digest);
+                }
                 Ok(Ticket { rx })
             }
             Err(TrySendError::Full(_)) => {
+                self.inflight.dec(identity);
                 release(&tenant);
                 self.telemetry.on_shed(options.class);
                 trace_shed(rid);
                 Err(SubmitError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
+                self.inflight.dec(identity);
                 release(&tenant);
                 Err(SubmitError::ShuttingDown)
             }
         }
     }
 
-    /// The registry being served.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    /// The registry snapshot currently being served. Hot-swaps replace
+    /// the snapshot atomically; a handle taken here keeps resolving
+    /// against the registry as it was at the call.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry.read().expect("registry lock"))
+    }
+
+    /// Emits one retune decision: the telemetry counter plus a
+    /// [`EventKind::Retune`] instant on the control track, knob id in
+    /// the high byte and the applied value in the low 24 bits.
+    fn note_retune(&self, knob: u32, value: u64) {
+        self.telemetry.on_retune();
+        if let Some(rec) = &self.trace {
+            if rec.enabled() {
+                let arg = (knob << 24) | (value.min(0x00FF_FFFF) as u32);
+                rec.instant(EventKind::Retune, Track::Control, 0, 0, Instant::now(), arg);
+            }
+        }
+    }
+
+    /// Retunes the live batcher's maximum batch size (floored at 1).
+    /// Takes effect at the next batch formation; no thread restarts, no
+    /// queued request disturbed. A no-op when the value is unchanged —
+    /// repeated identical decisions never inflate the retune counter.
+    pub fn set_max_batch(&self, max_batch: usize) {
+        let applied = max_batch.max(1);
+        if applied == self.knobs.max_batch() {
+            return;
+        }
+        self.knobs.set_max_batch(applied);
+        self.note_retune(knob::MAX_BATCH, applied as u64);
+    }
+
+    /// Retunes the live batcher's coalescing deadline. Takes effect at
+    /// the next batch formation; a no-op when unchanged.
+    pub fn set_batch_deadline(&self, deadline: Duration) {
+        if deadline == self.knobs.deadline() {
+            return;
+        }
+        self.knobs.set_deadline(deadline);
+        self.note_retune(
+            knob::BATCH_DEADLINE_US,
+            u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// Current batcher policy: (max batch, coalescing deadline).
+    pub fn batch_knobs(&self) -> (usize, Duration) {
+        (self.knobs.max_batch(), self.knobs.deadline())
+    }
+
+    /// Grows or shrinks the live worker pool toward `target` (clamped to
+    /// 1..=64), returning the applied target. Growth spawns the missing
+    /// worker threads immediately; a shrink is cooperative — surplus
+    /// workers retire at their next batch boundary, so no batch is ever
+    /// abandoned mid-run (an idle surplus worker retires when the next
+    /// batch reaches it). A no-op when the target is unchanged.
+    pub fn resize_workers(&self, target: usize) -> usize {
+        let target = target.clamp(1, MAX_POOL);
+        if self.pool_target.swap(target, Ordering::AcqRel) == target {
+            return target;
+        }
+        let _ = self.pool_tx.send(PoolMsg::Resize);
+        self.note_retune(knob::WORKERS, target as u64);
+        target
+    }
+
+    /// The worker pool's current target size.
+    pub fn worker_target(&self) -> usize {
+        self.pool_target.load(Ordering::Acquire)
+    }
+
+    /// Re-picks the executor geometry on the live server: pipeline stage
+    /// depth (0 = auto per model) and row-band shard width. Values clamp
+    /// to the occupancy gauges sized at [`Server::start`] (a fleet's
+    /// width can shrink to a prefix and grow back, never exceed the
+    /// fleet). Each worker adopts the new plan at its next batch
+    /// boundary — outputs stay bit-identical across the reshape, because
+    /// stage depth and shard width only repartition the same
+    /// computation. Returns the applied (stages, shards).
+    pub fn retune_executors(&self, stages: usize, shards: usize) -> (usize, usize) {
+        let stages = if stages == 0 { 0 } else { stages.min(self.stage_slots) };
+        let shards = shards.clamp(1, self.shard_slots);
+        let stages_changed = self.plan.stages.swap(stages, Ordering::Relaxed) != stages;
+        let shards_changed = self.plan.shards.swap(shards, Ordering::Relaxed) != shards;
+        if stages_changed || shards_changed {
+            self.plan.epoch.fetch_add(1, Ordering::AcqRel);
+            if stages_changed {
+                self.note_retune(knob::STAGES, stages as u64);
+            }
+            if shards_changed {
+                self.note_retune(knob::SHARDS, shards as u64);
+            }
+        }
+        (stages, shards)
+    }
+
+    /// The live executor plan: (pipeline stages, shard width).
+    pub fn exec_plan(&self) -> (usize, usize) {
+        (self.plan.stages.load(Ordering::Relaxed), self.plan.shards.load(Ordering::Relaxed))
+    }
+
+    /// Atomically replaces the registry entry `name` with `net` while
+    /// serving, then waits up to `drain` for requests in flight on the
+    /// replaced network to resolve.
+    ///
+    /// The protocol: **warm up** (one inference on the incoming network,
+    /// off the serving path, so its first served batch pays no cold
+    /// start), **publish** (clone-on-write registry snapshot swapped
+    /// under the write lock — submits on either side of the instant get
+    /// a coherent snapshot), **drain** (bounded wait on the old
+    /// network's in-flight count). Batches key on network identity, so
+    /// requests holding the old network finish on it and never share a
+    /// batch with the new one; post-swap submits produce logits
+    /// bit-identical to a fresh server started on `net`.
+    pub fn swap_model(
+        &self,
+        name: &str,
+        net: DeployedNetwork,
+        drain: Duration,
+    ) -> Result<SwapReport, SwapError> {
+        let new_identity = net.identity();
+        // Warm-up before the entry becomes visible: the run touches every
+        // layer's prepacked tiles and quantization tables exactly as a
+        // served batch would.
+        let (c, h, w) = net.input_shape();
+        let _ = net.run_batch(std::slice::from_ref(&Tensor::zeros(Shape::d3(c, h, w))));
+
+        let old_identity = {
+            let mut slot = self.registry.write().expect("registry lock");
+            let Some(old) = slot.get(name) else {
+                return Err(SwapError::UnknownModel(name.to_string()));
+            };
+            let old_identity = old.identity();
+            let mut next = ModelRegistry::clone(&slot);
+            next.register(name, net);
+            *slot = Arc::new(next);
+            old_identity
+        };
+
+        // Swapping an entry for the very network it already holds needs
+        // no drain — there is no "old" side to retire.
+        let started = Instant::now();
+        let drained = old_identity == new_identity
+            || self.inflight.wait_idle(old_identity, drain);
+        let waited = started.elapsed();
+        self.telemetry.on_swap();
+        if let Some(rec) = &self.trace {
+            if rec.enabled() {
+                rec.instant(
+                    EventKind::Swap,
+                    Track::Control,
+                    0,
+                    0,
+                    Instant::now(),
+                    u32::from(drained),
+                );
+            }
+        }
+        Ok(SwapReport { drained, waited })
     }
 
     /// Current in-flight request count for `tenant`.
     pub fn tenant_in_flight(&self, tenant: &str) -> usize {
         self.ledger.in_flight(tenant)
+    }
+
+    /// Admitted-but-unresolved requests across every model: queued,
+    /// riding a batch, or executing. Together with the queue depth this
+    /// is the server's outstanding work — the control plane reads it
+    /// because a wide batch mid-execution empties the *queue* while the
+    /// box is at its busiest.
+    pub fn in_flight(&self) -> u64 {
+        self.inflight.total()
     }
 
     /// Point-in-time serving metrics (including memo-cache counters).
@@ -946,7 +1412,7 @@ impl fmt::Debug for Server {
             .field("queue_capacity", &self.queue_capacity)
             .field("tenant_quota", &self.tenant_quota)
             .field("cache", &self.cache.is_some())
-            .field("workers", &self.workers)
+            .field("workers", &self.pool_target.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -976,30 +1442,36 @@ type BatchMeta = (u64, Vec<ReplyCtx>);
 /// A formed batch in flight to a worker: trace batch id + members.
 type WorkItem = (u64, Vec<Request>);
 
-/// The per-worker slice of the config, cloned into each (re)spawn.
+/// The per-worker slice of the config, cloned into each (re)spawn. The
+/// full fleet rides along even when the live plan runs a prefix of it —
+/// a later retune can widen back out.
 #[derive(Clone)]
 struct WorkerEnv {
-    stages: usize,
-    shards: usize,
     fleet: Option<Vec<ArrayGeometry>>,
     faults: Option<Arc<FaultPlan>>,
+    plan: Arc<ExecPlan>,
+    pool: Arc<AtomicUsize>,
 }
 
-/// Runs batches until the work channel closes. Returns `true` when the
-/// loop is aborting because a batch panicked in a way that may have
-/// corrupted worker-local state (scratch, band set, pipelines) — the
-/// supervisor then respawns the slot with everything rebuilt. Injected
-/// fault exhaustion ([`BandFaultError`]) is *not* such an abort: the band
-/// set updates its bookkeeping before throwing, so the worker resolves
-/// the batch with [`WaitError::Faulted`] and keeps its warm state.
+/// Runs batches until the work channel closes ([`WorkerExit::Closed`]),
+/// the pool target drops below this worker's index
+/// ([`WorkerExit::Retired`]), or a batch panics in a way that may have
+/// corrupted worker-local state — scratch, band set, pipelines — so the
+/// supervisor respawns the slot with everything rebuilt
+/// ([`WorkerExit::Panicked`]). Injected fault exhaustion
+/// ([`BandFaultError`]) is *not* such an abort: the band set updates its
+/// bookkeeping before throwing, so the worker resolves the batch with
+/// [`WaitError::Faulted`] and keeps its warm state.
 fn worker_loop(
     work_rx: &Arc<Mutex<Receiver<WorkItem>>>,
     shared: &Shared,
     env: &WorkerEnv,
     worker: u16,
-) -> bool {
-    let WorkerEnv { stages, shards, fleet, faults } = env;
-    let (stages, shards) = (*stages, *shards);
+) -> WorkerExit {
+    let WorkerEnv { fleet, faults, plan, pool } = env;
+    let mut seen_epoch = plan.epoch.load(Ordering::Acquire);
+    let mut stages = plan.stages.load(Ordering::Relaxed);
+    let mut shards = plan.shards.load(Ordering::Relaxed);
     let telemetry = &shared.telemetry;
     // Pipelines are per network identity, built lazily on the first batch
     // for that pipeline (registries hold few models, so a linear scan
@@ -1016,12 +1488,12 @@ fn worker_loop(
     // execution gives each stage its own inside the executor). A fleet
     // hands the set its per-shard geometries for cost-weighted planning.
     let mut bands = match &fleet {
-        Some(f) => BandSet::with_fleet(f.clone()),
+        Some(f) => BandSet::with_fleet(f[..shards.min(f.len())].to_vec()),
         None => BandSet::new(shards),
     };
-    if let Some(plan) = faults {
-        if plan.faults_bands() {
-            bands.set_fault_injector(Some(Arc::clone(plan) as Arc<dyn FaultInjector>));
+    if let Some(fault_plan) = faults {
+        if fault_plan.faults_bands() {
+            bands.set_fault_injector(Some(Arc::clone(fault_plan) as Arc<dyn FaultInjector>));
         }
     }
     loop {
@@ -1036,6 +1508,27 @@ fn worker_loop(
             guard.recv()
         };
         let Ok((bid, batch)) = batch else { break };
+
+        // Adopt a retuned executor plan at the batch boundary: reshape
+        // the band set (injector and health thresholds carry over, see
+        // [`BandSet::reshape`]) and drop the stage pipelines — they were
+        // built for the old depth, and dropping drains their in-flight
+        // batches first. One relaxed-load-plus-compare per batch on the
+        // unchanged path.
+        let epoch = plan.epoch.load(Ordering::Acquire);
+        if epoch != seen_epoch {
+            seen_epoch = epoch;
+            stages = plan.stages.load(Ordering::Relaxed);
+            shards = plan.shards.load(Ordering::Relaxed);
+            match &fleet {
+                Some(f) => bands.reshape_fleet(f[..shards.min(f.len())].to_vec()),
+                None => bands.reshape(shards),
+            }
+            for (_, pipe) in pipelines.drain(..) {
+                pipe.drain();
+            }
+            resolved.clear();
+        }
         let size = batch.len();
         let net = batch[0].net.clone();
         let identity = net.identity();
@@ -1109,8 +1602,8 @@ fn worker_loop(
             // injected or real — burns only this batch, whose tickets
             // fail_batch resolves, never the siblings queued behind it.
             let run = catch_unwind(AssertUnwindSafe(|| {
-                if let Some(plan) = faults {
-                    if plan.batch_tick() {
+                if let Some(fault_plan) = faults {
+                    if fault_plan.batch_tick() {
                         panic!("injected worker panic (fault plan)");
                     }
                 }
@@ -1139,43 +1632,52 @@ fn worker_loop(
                 }
                 Err(payload) => {
                     let fault = payload.downcast_ref::<BandFaultError>().copied();
-                    fail_batch(shared, meta, fault);
+                    fail_batch(shared, identity, meta, fault);
                     if fault.is_none() {
                         // A genuine panic may have left scratch or band
                         // state mid-write; abort so the supervisor
                         // respawns this slot with everything rebuilt.
                         telemetry.on_worker_panic();
-                        return true;
+                        return WorkerExit::Panicked;
                     }
                 }
             }
-            continue;
+        } else {
+            // Pipelined path: hand the batch to this worker's stage
+            // pipeline for the network and immediately pull the next
+            // batch, so stage 0 of batch n overlaps the later stages of
+            // batch n−1. `submit` blocks only at the in-flight cap, which
+            // keeps backpressure flowing to admission control.
+            let pipe = pipeline_for(
+                &mut pipelines,
+                &net,
+                net_stages,
+                shards,
+                fleet.as_deref().map(|f| &f[..shards.min(f.len())]),
+                faults.clone(),
+                shared,
+            );
+            pipe.submit_traced(&images, meta, bid);
         }
 
-        // Pipelined path: hand the batch to this worker's stage pipeline
-        // for the network and immediately pull the next batch, so stage 0
-        // of batch n overlaps the later stages of batch n−1. `submit`
-        // blocks only at the in-flight cap, which keeps backpressure
-        // flowing to admission control.
-        let pipe = pipeline_for(
-            &mut pipelines,
-            &net,
-            net_stages,
-            shards,
-            fleet.as_deref(),
-            faults.clone(),
-            shared,
-        );
-        pipe.submit_traced(&images, meta, bid);
+        // Cooperative pool shrink: a worker whose slot fell past the
+        // target retires only *between* batches, so the batch it just
+        // took always resolves. (Dropping `pipelines` on the way out
+        // drains any still-streaming batches too.)
+        if usize::from(worker) >= pool.load(Ordering::Acquire) {
+            return WorkerExit::Retired;
+        }
     }
-    false
+    WorkerExit::Closed
 }
 
 /// Resolves every ticket of a batch that could not produce results:
 /// injected-fault exhaustion ([`WaitError::Faulted`]) or a worker panic
-/// ([`WaitError::WorkerPanicked`]). Quota is released and the failure is
-/// traced so chaos runs can line incidents up against the timeline.
-fn fail_batch(shared: &Shared, meta: BatchMeta, fault: Option<BandFaultError>) {
+/// ([`WaitError::WorkerPanicked`]). Quota is released, coalesced
+/// followers share the leader's fate, the in-flight count steps down,
+/// and the failure is traced so chaos runs can line incidents up against
+/// the timeline.
+fn fail_batch(shared: &Shared, identity: usize, meta: BatchMeta, fault: Option<BandFaultError>) {
     let (bid, ctxs) = meta;
     let (err, outcome) = match fault {
         Some(_) => (WaitError::Faulted, Outcome::Faulted),
@@ -1203,8 +1705,48 @@ fn fail_batch(shared: &Shared, meta: BatchMeta, fault: Option<BandFaultError>) {
                 }
             }
         }
+        resolve_waiters_err(
+            &shared.flights,
+            &shared.trace,
+            identity,
+            ctx.cache_key.as_ref(),
+            err,
+            outcome,
+        );
+        shared.inflight.dec(identity);
         // A dropped ticket just means the client stopped waiting.
         let _ = ctx.reply.send(Err(err));
+    }
+}
+
+/// Resolves the coalesced followers parked on a flight whose leader
+/// terminated without logits (fault, panic, or deadline shed): they get
+/// the same error, so no follower ever outlives its leader unresolved.
+fn resolve_waiters_err(
+    flights: &Option<Arc<FlightTable<Waiter>>>,
+    trace: &Option<Arc<TraceRecorder>>,
+    identity: usize,
+    cache_key: Option<&CacheKey>,
+    err: WaitError,
+    outcome: Outcome,
+) {
+    let (Some(flights), Some((digest, _))) = (flights, cache_key) else { return };
+    for waiter in flights.resolve(identity, *digest) {
+        if waiter.id != 0 {
+            if let Some(rec) = trace {
+                if rec.enabled() {
+                    rec.instant(
+                        EventKind::Resolve,
+                        Track::Requests,
+                        waiter.id,
+                        0,
+                        Instant::now(),
+                        outcome as u32,
+                    );
+                }
+            }
+        }
+        let _ = waiter.reply.send(Err(err));
     }
 }
 
@@ -1284,7 +1826,7 @@ fn pipeline_for<'a>(
             fleet.map(<[ArrayGeometry]>::to_vec),
             faults,
             Some(Arc::new(move |meta: BatchMeta, fault| {
-                fail_batch(&fault_shared, meta, fault);
+                fail_batch(&fault_shared, id, meta, fault);
             })),
             Some(Arc::clone(&shared.telemetry)),
             shared.trace.clone(),
@@ -1303,8 +1845,8 @@ fn pipeline_for<'a>(
     &pipelines.last().expect("cache is non-empty").1
 }
 
-/// Resolves one finished batch: telemetry, cache fill, quota release,
-/// argmax, replies.
+/// Resolves one finished batch: telemetry, cache fill, coalesced-waiter
+/// fan-out, quota release, argmax, replies.
 fn complete_batch(
     shared: &Shared,
     identity: usize,
@@ -1320,6 +1862,46 @@ fn complete_batch(
         if let (Some(cache), Some((digest, qdata))) = (&shared.cache, &ctx.cache_key) {
             cache.insert(identity, *digest, qdata, &logits);
         }
+        // Fan the leader's logits out to any followers that coalesced on
+        // this flight while it was queued or executing. They ran in no
+        // batch (batch_size 0, like a cache hit) and the bytes are the
+        // very ones the leader's array pass produced — bit-identical by
+        // construction.
+        if let (Some(flights), Some((digest, _))) = (&shared.flights, &ctx.cache_key) {
+            let waiters = flights.resolve(identity, *digest);
+            if !waiters.is_empty() {
+                if let Some(cache) = &shared.cache {
+                    cache.note_coalesced(waiters.len() as u64);
+                }
+                let class = argmax(&logits);
+                for waiter in waiters {
+                    let wlatency = waiter.submitted.elapsed();
+                    shared.telemetry.on_complete(wlatency);
+                    if waiter.id != 0 {
+                        if let Some(rec) = &shared.trace {
+                            if rec.enabled() {
+                                rec.instant(
+                                    EventKind::Resolve,
+                                    Track::Requests,
+                                    waiter.id,
+                                    bid,
+                                    Instant::now(),
+                                    Outcome::CoalescedHit as u32,
+                                );
+                            }
+                        }
+                    }
+                    let _ = waiter.reply.send(Ok(Response {
+                        logits: logits.clone(),
+                        class,
+                        latency: wlatency,
+                        batch_size: 0,
+                        id: waiter.id,
+                    }));
+                }
+            }
+        }
+        shared.inflight.dec(identity);
         if let Some(tenant) = &ctx.tenant {
             shared.ledger.release(tenant);
         }

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 /// gauges from [`crate::ServeConfig`] ([`Telemetry::with_slots`]), so
 /// configurations beyond this floor still report truthfully; the floor
 /// only covers bare [`Telemetry::new`] construction.
-const OCCUPANCY_SLOTS: usize = 16;
+pub(crate) const OCCUPANCY_SLOTS: usize = 16;
 
 /// Lock-free busy-time accounting per executor slot (pipeline stage or
 /// shard lane): workers add the nanoseconds a slot spent executing, the
@@ -214,6 +214,13 @@ pub struct Telemetry {
     /// Gauge: shard lanes currently quarantined across all band sets
     /// (quarantine +1, readmit −1).
     shards_quarantined: AtomicU64,
+    /// Control-plane retune decisions applied to the live server (worker
+    /// pool resize, batch knob update, stage/shard re-plan — one count
+    /// per knob actually changed).
+    retunes: AtomicU64,
+    /// Model hot-swaps completed (registry entry atomically replaced
+    /// while serving).
+    swaps: AtomicU64,
     completion: Mutex<Completion>,
     /// Busy time per pipeline stage (stage 0 doubles as the serial
     /// worker's execution slot).
@@ -251,6 +258,8 @@ impl Telemetry {
             band_faults: AtomicU64::new(0),
             band_retries: AtomicU64::new(0),
             shards_quarantined: AtomicU64::new(0),
+            retunes: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             completion: Mutex::new(Completion {
                 hist: LatencyHistogram::new(),
                 batches: 0,
@@ -360,6 +369,16 @@ impl Telemetry {
         self.band_retries.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// The control plane applied one retune decision to the live server.
+    pub(crate) fn on_retune(&self) {
+        self.retunes.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A model hot-swap completed.
+    pub(crate) fn on_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::AcqRel);
+    }
+
     /// A shard lane entered (`+1`) or left (`-1`) quarantine.
     pub(crate) fn on_quarantine(&self, delta: i64) {
         if delta >= 0 {
@@ -456,6 +475,8 @@ impl Telemetry {
             band_faults: self.band_faults.load(Ordering::Acquire),
             band_retries: self.band_retries.load(Ordering::Acquire),
             shards_quarantined: self.shards_quarantined.load(Ordering::Acquire),
+            retunes: self.retunes.load(Ordering::Acquire),
+            swaps: self.swaps.load(Ordering::Acquire),
             queue_depth: self.queue_depth(),
             batches,
             mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
@@ -513,6 +534,10 @@ pub struct TelemetrySnapshot {
     pub band_retries: u64,
     /// Shard lanes currently quarantined (gauge).
     pub shards_quarantined: u64,
+    /// Control-plane retune decisions applied (one per knob changed).
+    pub retunes: u64,
+    /// Model hot-swaps completed while serving.
+    pub swaps: u64,
     /// Requests admitted but not yet handed to a worker.
     pub queue_depth: usize,
     /// Batches dispatched to workers.
@@ -583,11 +608,12 @@ impl TelemetrySnapshot {
                 "\"submitted\":{},\"completed\":{},\"shed\":{},",
                 "\"shed_by_class\":{},\"deadline_shed\":{},\"failed\":{},",
                 "\"worker_panics\":{},\"band_faults\":{},\"band_retries\":{},",
-                "\"shards_quarantined\":{},\"queue_depth\":{},",
+                "\"shards_quarantined\":{},\"retunes\":{},\"swaps\":{},\"queue_depth\":{},",
                 "\"batches\":{},\"mean_batch_occupancy\":{},\"throughput_rps\":{},",
                 "\"mean_latency_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
                 "\"stage_busy\":{},\"shard_busy\":{},\"shard_geometry_busy\":{},",
-                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"bytes\":{}}}}}"
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced_hits\":{},",
+                "\"evictions\":{},\"entries\":{},\"bytes\":{}}}}}"
             ),
             us(self.elapsed),
             us(self.window),
@@ -601,6 +627,8 @@ impl TelemetrySnapshot {
             self.band_faults,
             self.band_retries,
             self.shards_quarantined,
+            self.retunes,
+            self.swaps,
             self.queue_depth,
             self.batches,
             f(self.mean_batch_occupancy),
@@ -626,6 +654,7 @@ impl TelemetrySnapshot {
             },
             self.cache.hits,
             self.cache.misses,
+            self.cache.coalesced_hits,
             self.cache.evictions,
             self.cache.entries,
             self.cache.bytes,
@@ -1027,6 +1056,8 @@ mod tests {
         t.on_band_fault();
         t.on_retry();
         t.on_quarantine(1);
+        t.on_retune();
+        t.on_swap();
         let json = t.snapshot().to_json();
         for key in [
             "\"elapsed_us\":",
@@ -1041,6 +1072,8 @@ mod tests {
             "\"band_faults\":1",
             "\"band_retries\":1",
             "\"shards_quarantined\":1",
+            "\"retunes\":1",
+            "\"swaps\":1",
             "\"queue_depth\":0",
             "\"batches\":1",
             "\"mean_batch_occupancy\":1.0",
@@ -1052,7 +1085,7 @@ mod tests {
             "\"stage_busy\":[",
             "\"shard_busy\":[]",
             "\"shard_geometry_busy\":{}",
-            "\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0,\"bytes\":0}",
+            "\"cache\":{\"hits\":0,\"misses\":0,\"coalesced_hits\":0,\"evictions\":0,\"entries\":0,\"bytes\":0}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

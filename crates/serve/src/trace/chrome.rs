@@ -69,6 +69,16 @@ fn push_args(out: &mut String, ev: &TraceEvent) {
         EventKind::Retry => {
             let _ = write!(out, ",\"attempt\":{}", ev.arg);
         }
+        EventKind::Retune => {
+            // Knob id in the high byte, new value in the low 24 bits
+            // (see [`EventKind::Retune`]).
+            let knob = ev.arg >> 24;
+            let value = ev.arg & 0x00FF_FFFF;
+            let _ = write!(out, ",\"knob\":{knob},\"value\":{value}");
+        }
+        EventKind::Swap => {
+            let _ = write!(out, ",\"drained\":{}", ev.arg == 1);
+        }
         EventKind::Queue | EventKind::BatchMember | EventKind::Execute => {}
     }
     out.push('}');
@@ -221,10 +231,44 @@ mod tests {
             tid_of(Track::Stage(0)),
             tid_of(Track::Stage(1)),
             tid_of(Track::Shard(0)),
+            tid_of(Track::Control),
         ];
         tids.sort_unstable();
         tids.dedup();
-        assert_eq!(tids.len(), 7);
+        assert_eq!(tids.len(), 8);
+    }
+
+    /// Control-plane instants render on their own track with decoded
+    /// knob/value and drained args.
+    #[test]
+    fn control_events_render_with_decoded_args() {
+        let events = vec![
+            TraceEvent {
+                kind: EventKind::Retune,
+                track: Track::Control,
+                rid: 0,
+                bid: 0,
+                start_ns: 1_000,
+                dur_ns: 0,
+                arg: (2 << 24) | 8,
+            },
+            TraceEvent {
+                kind: EventKind::Swap,
+                track: Track::Control,
+                rid: 0,
+                bid: 0,
+                start_ns: 2_000,
+                dur_ns: 0,
+                arg: 1,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"control\""), "control track named: {json}");
+        assert!(json.contains("\"name\":\"retune\""));
+        assert!(json.contains("\"knob\":2,\"value\":8"), "retune arg decoded: {json}");
+        assert!(json.contains("\"name\":\"swap\""));
+        assert!(json.contains("\"drained\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -120,6 +120,13 @@ pub enum EventKind {
     /// Instant: a batch retry after a faulted band execution
     /// (arg = attempt number).
     Retry = 11,
+    /// Instant: the control plane applied one retune decision to the
+    /// live server (arg = knob id in bits 24..32, new value in bits
+    /// 0..24).
+    Retune = 12,
+    /// Instant: a model hot-swap completed (arg = 1 when the old
+    /// network's in-flight work fully drained before the call returned).
+    Swap = 13,
 }
 
 impl EventKind {
@@ -137,6 +144,8 @@ impl EventKind {
             9 => EventKind::Fault,
             10 => EventKind::Quarantine,
             11 => EventKind::Retry,
+            12 => EventKind::Retune,
+            13 => EventKind::Swap,
             _ => return None,
         })
     }
@@ -156,6 +165,8 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Quarantine => "quarantine",
             EventKind::Retry => "retry",
+            EventKind::Retune => "retune",
+            EventKind::Swap => "swap",
         }
     }
 
@@ -192,6 +203,10 @@ pub enum Outcome {
     /// The batch kept faulting past its retry budget; the ticket resolved
     /// [`crate::WaitError::Faulted`].
     Faulted = 5,
+    /// Served by fanning out a concurrent leader's result — the request
+    /// missed the cache but coalesced onto an identical in-flight miss
+    /// instead of occupying its own batch slot.
+    CoalescedHit = 6,
 }
 
 impl Outcome {
@@ -203,6 +218,7 @@ impl Outcome {
             3 => Outcome::DeadlineExceeded,
             4 => Outcome::WorkerPanicked,
             5 => Outcome::Faulted,
+            6 => Outcome::CoalescedHit,
             _ => return None,
         })
     }
@@ -216,6 +232,7 @@ impl Outcome {
             Outcome::DeadlineExceeded => "deadline_exceeded",
             Outcome::WorkerPanicked => "worker_panicked",
             Outcome::Faulted => "faulted",
+            Outcome::CoalescedHit => "coalesced_hit",
         }
     }
 }
@@ -235,6 +252,8 @@ pub enum Track {
     Stage(u16),
     /// One shard lane (simulated array) of the band set.
     Shard(u16),
+    /// Control-plane decisions: retunes and hot-swaps.
+    Control,
 }
 
 impl Track {
@@ -245,6 +264,7 @@ impl Track {
             Track::Worker(i) => (2, i),
             Track::Stage(i) => (3, i),
             Track::Shard(i) => (4, i),
+            Track::Control => (5, 0),
         }
     }
 
@@ -255,6 +275,7 @@ impl Track {
             2 => Track::Worker(idx),
             3 => Track::Stage(idx),
             4 => Track::Shard(idx),
+            5 => Track::Control,
             _ => return None,
         })
     }
@@ -267,6 +288,7 @@ impl Track {
             Track::Worker(i) => format!("worker-{i}"),
             Track::Stage(i) => format!("stage-{i}"),
             Track::Shard(i) => format!("shard-{i}"),
+            Track::Control => "control".to_string(),
         }
     }
 
@@ -656,7 +678,9 @@ pub fn summarize_requests(events: &[TraceEvent]) -> Vec<RequestTrace> {
             | EventKind::ShardRun
             | EventKind::Fault
             | EventKind::Quarantine
-            | EventKind::Retry => {}
+            | EventKind::Retry
+            | EventKind::Retune
+            | EventKind::Swap => {}
         }
         if ev.bid != 0 && r.bid == 0 {
             r.bid = ev.bid;
@@ -890,5 +914,41 @@ mod tests {
         assert_eq!(EventKind::Retry.label(), "retry");
         assert_eq!(Outcome::WorkerPanicked.label(), "worker_panicked");
         assert_eq!(Outcome::Faulted.label(), "faulted");
+        // Control-plane additions (ISSUE 10): instants on their own
+        // track, and the new outcome keeps a stable label.
+        for kind in [EventKind::Retune, EventKind::Swap] {
+            assert!(!kind.is_span());
+        }
+        assert_eq!(EventKind::Retune.label(), "retune");
+        assert_eq!(EventKind::Swap.label(), "swap");
+        assert_eq!(Track::Control.name(), "control");
+        assert_eq!(Outcome::CoalescedHit.label(), "coalesced_hit");
+    }
+
+    /// The control track and kinds round-trip through the ring encoding.
+    #[test]
+    fn control_events_roundtrip_the_ring() {
+        let r = TraceRecorder::new(TraceConfig::on());
+        let retune = TraceEvent {
+            kind: EventKind::Retune,
+            track: Track::Control,
+            rid: 0,
+            bid: 0,
+            start_ns: 10,
+            dur_ns: 0,
+            arg: (3 << 24) | 42,
+        };
+        let swap = TraceEvent {
+            kind: EventKind::Swap,
+            track: Track::Control,
+            rid: 0,
+            bid: 0,
+            start_ns: 20,
+            dur_ns: 0,
+            arg: 1,
+        };
+        r.record(&retune);
+        r.record(&swap);
+        assert_eq!(r.events(), vec![retune, swap]);
     }
 }

@@ -164,9 +164,31 @@ pub fn prometheus_text(snapshot: &TelemetrySnapshot, trace: Option<TraceStats>) 
     );
     sample(&mut out, "cc_serve_shard_quarantined", "", snapshot.shards_quarantined as f64);
 
+    family(
+        &mut out,
+        "cc_serve_retunes_total",
+        "Control-plane retune decisions applied to the live server.",
+        "counter",
+    );
+    sample(&mut out, "cc_serve_retunes_total", "", snapshot.retunes as f64);
+
+    family(
+        &mut out,
+        "cc_serve_swaps_total",
+        "Model hot-swaps completed while serving.",
+        "counter",
+    );
+    sample(&mut out, "cc_serve_swaps_total", "", snapshot.swaps as f64);
+
     family(&mut out, "cc_serve_cache_events_total", "Response memo-cache events.", "counter");
     sample(&mut out, "cc_serve_cache_events_total", "event=\"hit\"", snapshot.cache.hits as f64);
     sample(&mut out, "cc_serve_cache_events_total", "event=\"miss\"", snapshot.cache.misses as f64);
+    sample(
+        &mut out,
+        "cc_serve_cache_events_total",
+        "event=\"coalesced_hit\"",
+        snapshot.cache.coalesced_hits as f64,
+    );
     sample(
         &mut out,
         "cc_serve_cache_events_total",
@@ -221,6 +243,8 @@ mod tests {
             band_faults: 6,
             band_retries: 5,
             shards_quarantined: 1,
+            retunes: 8,
+            swaps: 2,
             queue_depth: 3,
             batches: 30,
             mean_batch_occupancy: 3.0,
@@ -232,7 +256,14 @@ mod tests {
             stage_busy: vec![0.5, 0.25],
             shard_busy: vec![0.75],
             shard_geometry_busy: vec![("8x16-MX8".to_string(), 0.75)],
-            cache: CacheStats { hits: 40, misses: 60, evictions: 5, entries: 55, bytes: 7040 },
+            cache: CacheStats {
+                hits: 40,
+                misses: 60,
+                coalesced_hits: 12,
+                evictions: 5,
+                entries: 55,
+                bytes: 7040,
+            },
             ..TelemetrySnapshot::default()
         }
     }
@@ -259,6 +290,8 @@ mod tests {
             "cc_serve_band_faults_total",
             "cc_serve_band_retries_total",
             "cc_serve_shard_quarantined",
+            "cc_serve_retunes_total",
+            "cc_serve_swaps_total",
             "cc_serve_cache_events_total",
             "cc_serve_cache_entries",
             "cc_serve_cache_bytes",
@@ -283,6 +316,9 @@ mod tests {
         assert!(text.contains("cc_serve_latency_seconds{quantile=\"0.95\"} 0.005"));
         assert!(text.contains("cc_serve_stage_busy_fraction{stage=\"1\"} 0.25"));
         assert!(text.contains("cc_serve_cache_events_total{event=\"hit\"} 40"));
+        assert!(text.contains("cc_serve_cache_events_total{event=\"coalesced_hit\"} 12"));
+        assert!(text.contains("cc_serve_retunes_total 8"));
+        assert!(text.contains("cc_serve_swaps_total 2"));
         assert!(text.contains("cc_serve_trace_enabled 1"));
         assert!(text.contains("cc_serve_trace_dropped_total 2"));
     }
